@@ -1,0 +1,96 @@
+//! Criterion benches: one group per paper figure, at reduced scale.
+//!
+//! These measure the *harness* end-to-end (layout generation, transaction
+//! execution, scans, defragmentation) so regressions in any layer show up
+//! as timing changes; the printed figure data comes from the `fig*`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+
+use pushtap_bench::{fig10, fig11, fig12, fig8, fig9};
+use pushtap_olap::Query;
+
+const SCALE: f64 = 0.0003;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("threshold_sweep", |b| {
+        b.iter(|| black_box(fig8::threshold_sweep(10)))
+    });
+    g.bench_function("subset_sweep", |b| b.iter(|| black_box(fig8::subset_sweep())));
+    g.bench_function("htapbench", |b| {
+        b.iter(|| black_box(fig8::htapbench_effectiveness(0.55)))
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("oltp_formats_200txn", |b| {
+        b.iter(|| black_box(fig9::oltp_formats(SCALE, &[200])))
+    });
+    g.bench_function("olap_consistency_500txn", |b| {
+        b.iter(|| black_box(fig9::olap_consistency(SCALE, &[500], Query::Q6)))
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("frontier_measure_and_sweep", |b| {
+        b.iter(|| black_box(fig10::frontiers(SCALE, 8)))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("oltp_overhead", |b| {
+        b.iter(|| black_box(fig11::oltp_overhead(SCALE, 300, &[900])))
+    });
+    g.bench_function("fragmentation_sweep", |b| {
+        b.iter(|| black_box(fig11::fragmentation_vs_defrag(SCALE, &[200, 800], 200)))
+    });
+    g.bench_function("txn_breakdown", |b| {
+        b.iter(|| black_box(fig11::txn_breakdown(SCALE, 300)))
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(4));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("defrag_strategies", |b| {
+        b.iter(|| black_box(fig12::defrag_strategies(SCALE, &[400])))
+    });
+    g.bench_function("wram_sweep", |b| {
+        b.iter(|| black_box(fig12::wram_sweep(1.0, &[16, 64, 256])))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12
+);
+criterion_main!(figures);

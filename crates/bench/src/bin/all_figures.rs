@@ -1,0 +1,19 @@
+//! Regenerates every figure in sequence (the full evaluation pass).
+//! Optional argument: population scale (default 0.001).
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.001);
+    pushtap_bench::table1::print_all();
+    println!();
+    pushtap_bench::fig8::print_all();
+    println!();
+    pushtap_bench::fig9::print_all(scale);
+    println!();
+    pushtap_bench::fig10::print_all(scale);
+    println!();
+    pushtap_bench::fig11::print_all(scale);
+    println!();
+    pushtap_bench::fig12::print_all(scale);
+}

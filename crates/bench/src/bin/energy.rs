@@ -1,0 +1,4 @@
+//! Prints the energy extension: PIM-local vs CPU-bus column scans.
+fn main() {
+    pushtap_bench::energy::print_all();
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 10 of the paper. Optional argument: population
+//! scale (default chosen for a quick run; 1.0 = the paper's 20 GB).
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.001);
+    
+    pushtap_bench::fig10::print_all(scale);
+}

@@ -1,0 +1,4 @@
+//! Prints Table 1 (system configuration) from the live config structs.
+fn main() {
+    pushtap_bench::table1::print_all();
+}

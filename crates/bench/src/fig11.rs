@@ -1,0 +1,231 @@
+//! Figure 11: defragmentation economics.
+//!
+//! (a) defragmentation overhead on OLTP across transaction counts;
+//! (b) fragmentation cost vs defragmentation cost per period (the 10 k
+//!     crossover that justifies the paper's defrag period);
+//! (c) transaction time breakdown;
+//! (d) defragmentation time breakdown.
+
+use pushtap_core::{Pushtap, PushtapConfig, DEFRAG_FIXED_OVERHEAD};
+use pushtap_mvcc::DefragStrategy;
+use pushtap_olap::Query;
+use pushtap_pim::Ps;
+
+fn config(scale: f64, defrag_period: u64, min_delta: u64) -> PushtapConfig {
+    let mut cfg = PushtapConfig::small();
+    cfg.db.scale = scale;
+    cfg.db.min_delta_rows = min_delta;
+    cfg.defrag_period = defrag_period;
+    cfg
+}
+
+/// One Fig. 11(a) point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OltpOverheadPoint {
+    /// Transactions run.
+    pub txns: u64,
+    /// Pure transaction time.
+    pub txn_time: Ps,
+    /// Defragmentation pause time.
+    pub defrag_time: Ps,
+    /// Overhead fraction.
+    pub overhead: f64,
+}
+
+/// Fig. 11(a): OLTP with periodic defragmentation (period 10 k scaled
+/// down to the run size/1... the paper's 10 k at full scale).
+pub fn oltp_overhead(scale: f64, period: u64, checkpoints: &[u64]) -> Vec<OltpOverheadPoint> {
+    let max = *checkpoints.iter().max().expect("checkpoints");
+    let mut p = Pushtap::new(config(scale, period, 4 * max)).expect("build");
+    let mut gen = p.txn_gen(31);
+    let mut out = Vec::new();
+    let mut done = 0u64;
+    let mut txn_time = Ps::ZERO;
+    let mut defrag_time = Ps::ZERO;
+    for &cp in checkpoints {
+        let r = p.run_txns(&mut gen, cp - done);
+        done = cp;
+        txn_time += r.txn_time;
+        defrag_time += r.defrag_time;
+        out.push(OltpOverheadPoint {
+            txns: cp,
+            txn_time,
+            defrag_time,
+            overhead: defrag_time.ps() as f64 / (txn_time + defrag_time).ps() as f64,
+        });
+    }
+    out
+}
+
+/// One Fig. 11(b) point: costs of *not* defragmenting for a period of
+/// `txns` transactions vs defragmenting once at its end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FragmentationPoint {
+    /// Period length in transactions.
+    pub txns: u64,
+    /// Cumulative OLAP slowdown from scanning delta rows over the period
+    /// (queries interleaved every `txns_per_query` transactions).
+    pub fragmentation: Ps,
+    /// One defragmentation pass at the end of the period.
+    pub defragmentation: Ps,
+}
+
+/// Fig. 11(b): sweep period lengths. `txns_per_query` sets how often
+/// analytical queries sample the fragmented state (HTAP mix).
+pub fn fragmentation_vs_defrag(
+    scale: f64,
+    checkpoints: &[u64],
+    txns_per_query: u64,
+) -> Vec<FragmentationPoint> {
+    let max = *checkpoints.iter().max().expect("checkpoints");
+    let mut p = Pushtap::new(config(scale, 0, 4 * max)).expect("build");
+    let mut gen = p.txn_gen(47);
+    // Clean-state query cost.
+    let clean = {
+        let r = p.run_query(Query::Q6);
+        r.timing.end.saturating_sub(r.consistency)
+    };
+    let mut out = Vec::new();
+    let mut done = 0u64;
+    for &cp in checkpoints {
+        p.run_txns(&mut gen, cp - done);
+        done = cp;
+        let r = p.run_query(Query::Q6);
+        let fragged = r.timing.end.saturating_sub(r.consistency);
+        let per_query = fragged.saturating_sub(clean);
+        let queries_in_period = (cp / txns_per_query).max(1);
+        out.push(FragmentationPoint {
+            txns: cp,
+            fragmentation: per_query * queries_in_period,
+            defragmentation: p.estimate_defrag_pause(DefragStrategy::Hybrid),
+        });
+    }
+    out
+}
+
+/// Fig. 11(c): the transaction-time CPU breakdown
+/// (compute, alloc, index, chain fractions).
+pub fn txn_breakdown(scale: f64, txns: u64) -> (f64, f64, f64, f64) {
+    let mut p = Pushtap::new(config(scale, 10_000, 4 * txns)).expect("build");
+    let mut gen = p.txn_gen(7);
+    let r = p.run_txns(&mut gen, txns);
+    r.breakdown.cpu_fractions()
+}
+
+/// Fig. 11(d): defragmentation breakdown: (chain-traverse fraction,
+/// data-copy fraction) of the variable (non-fixed) defrag time.
+pub fn defrag_breakdown(scale: f64, txns: u64) -> (f64, f64) {
+    let mut p = Pushtap::new(config(scale, 0, 4 * txns)).expect("build");
+    let mut gen = p.txn_gen(7);
+    p.run_txns(&mut gen, txns);
+    let (stats, pause) = p.defragment_all();
+    let traverse = p
+        .db()
+        .meter()
+        .cpu
+        .cycles(stats.chain_steps * p.db().meter().costs.chain_step_cycles);
+    let variable = pause.saturating_sub(DEFRAG_FIXED_OVERHEAD);
+    let copy = variable.saturating_sub(traverse);
+    let t = variable.ps().max(1) as f64;
+    (traverse.ps() as f64 / t, copy.ps() as f64 / t)
+}
+
+/// Prints the whole figure.
+pub fn print_all(scale: f64) {
+    println!("== Fig. 11(a): defrag overhead on OLTP ==");
+    let pts = oltp_overhead(scale, 500, &[500, 1_000, 2_000, 4_000]);
+    println!("{:>8} {:>14} {:>14} {:>10}", "txns", "txn time", "defrag", "overhead");
+    for p in &pts {
+        println!(
+            "{:>8} {:>14} {:>14} {:>9.2}%",
+            p.txns,
+            p.txn_time.to_string(),
+            p.defrag_time.to_string(),
+            p.overhead * 100.0
+        );
+    }
+
+    println!("\n== Fig. 11(b): fragmentation vs defragmentation per period ==");
+    let pts = fragmentation_vs_defrag(scale, &[100, 400, 1_000, 4_000, 10_000], 1_000);
+    println!(
+        "{:>8} {:>16} {:>16} {:>8}",
+        "txns", "fragmentation", "defragmentation", "frag>defrag"
+    );
+    for p in &pts {
+        println!(
+            "{:>8} {:>16} {:>16} {:>8}",
+            p.txns,
+            p.fragmentation.to_string(),
+            p.defragmentation.to_string(),
+            p.fragmentation > p.defragmentation
+        );
+    }
+
+    let (compute, alloc, index, chain) = txn_breakdown(scale, 1_000);
+    println!("\n== Fig. 11(c): transaction breakdown ==");
+    println!(
+        "computation {:.2}%  allocation {:.2}%  indexing {:.2}%  chain {:.3}%",
+        compute * 100.0,
+        alloc * 100.0,
+        index * 100.0,
+        chain * 100.0
+    );
+    println!("(paper: 36.65% / 44.10% / 19.25% / <0.1%)");
+
+    let (traverse, copy) = defrag_breakdown(scale, 1_000);
+    println!("\n== Fig. 11(d): defragmentation breakdown ==");
+    println!(
+        "version-chain traverse {:.2}%  data copy {:.2}%",
+        traverse * 100.0,
+        copy * 100.0
+    );
+    println!("(paper: 26.39% / 73.61%)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 11(a): defragmentation costs OLTP only a few percent (paper:
+    /// < 1.5 %; generous bound at our reduced scale).
+    #[test]
+    fn oltp_overhead_is_small() {
+        let pts = oltp_overhead(0.0005, 500, &[2_000]);
+        assert!(pts[0].overhead < 0.10, "overhead {}", pts[0].overhead);
+        assert!(pts[0].defrag_time > Ps::ZERO);
+    }
+
+    /// Fig. 11(b): fragmentation grows superlinearly with the period
+    /// while defragmentation grows sublinearly (fixed cost amortises), so
+    /// long periods favour defragmenting.
+    #[test]
+    fn fragmentation_overtakes_defrag() {
+        let pts = fragmentation_vs_defrag(0.0005, &[200, 2_000, 8_000], 200);
+        // Short period: defrag dominates (fixed overhead).
+        assert!(pts[0].defragmentation > pts[0].fragmentation);
+        // Fragmentation cost strictly grows with the period.
+        assert!(pts[2].fragmentation > pts[0].fragmentation);
+        // The gap narrows by at least an order of magnitude.
+        let r0 = pts[0].defragmentation.ps() as f64 / pts[0].fragmentation.ps().max(1) as f64;
+        let r2 = pts[2].defragmentation.ps() as f64 / pts[2].fragmentation.ps().max(1) as f64;
+        assert!(r2 < r0 / 5.0, "ratio did not close: {r0} → {r2}");
+    }
+
+    /// Fig. 11(c): the component shares land near the paper's.
+    #[test]
+    fn breakdown_near_paper() {
+        let (compute, alloc, index, chain) = txn_breakdown(0.0005, 400);
+        assert!((0.25..0.50).contains(&compute));
+        assert!((0.30..0.60).contains(&alloc));
+        assert!((0.08..0.32).contains(&index));
+        assert!(chain < 0.01);
+    }
+
+    /// Fig. 11(d): data copy dominates chain traversal.
+    #[test]
+    fn copy_dominates_traverse() {
+        let (traverse, copy) = defrag_breakdown(0.0005, 500);
+        assert!(copy > traverse, "copy {copy} vs traverse {traverse}");
+        assert!((traverse + copy - 1.0).abs() < 0.01);
+    }
+}

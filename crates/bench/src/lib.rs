@@ -1,0 +1,19 @@
+//! Experiment harnesses that regenerate every table and figure of the
+//! PUSHtap paper's evaluation (§7).
+//!
+//! Each module owns one figure and exposes both structured data (for the
+//! Criterion benches and tests) and a `print_all` routine (for the
+//! `fig*` binaries). The mapping to the paper is indexed in `DESIGN.md`;
+//! measured-vs-paper values are recorded in `EXPERIMENTS.md`.
+//!
+//! Scales: the binaries default to small populations (the simulator is
+//! value-correct at any scale and the reported quantities are ratios);
+//! pass a scale argument to grow them.
+
+pub mod energy;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

@@ -1,0 +1,62 @@
+//! Table 1: the system configuration, printed from the live config
+//! structs so the documentation can never drift from the code.
+
+use pushtap_pim::SystemConfig;
+
+/// Prints the configuration table for one system.
+pub fn print_system(label: &str, cfg: &SystemConfig) {
+    let g = &cfg.pim_geometry;
+    let t = &cfg.pim_timing;
+    println!("== Table 1 ({label}) ==");
+    println!(
+        "Host CPU: {} O3 cores @ {:.1} GHz, {} B cache lines",
+        cfg.cpu.cores,
+        cfg.cpu.freq_hz as f64 / 1e9,
+        cfg.cpu.cache_line
+    );
+    println!(
+        "PIM memory: {} channels x {} ranks, {} devices x {} banks, {} rows x {} B rows",
+        g.channels, g.ranks_per_channel, g.devices_per_rank, g.banks_per_device,
+        g.rows_per_bank, g.row_bytes
+    );
+    println!(
+        "interleave granularity {} B, {} PIM units ({} per rank), capacity {} GiB",
+        g.granularity,
+        g.pim_units(),
+        g.pim_units_per_rank(),
+        g.total_bytes() >> 30
+    );
+    println!(
+        "timing: tBURST={} tRCD={} tCL={} tRP={} tRAS={} tRRD={}",
+        t.t_burst, t.t_rcd, t.t_cl, t.t_rp, t.t_ras, t.t_rrd
+    );
+    println!(
+        "        tRFC={} tWR={} tWTR={} tRTP={} tRTW=tCS={} tREFI={}",
+        t.t_rfc, t.t_wr, t.t_wtr, t.t_rtp, t.t_cs, t.t_refi
+    );
+    println!(
+        "PIM unit: {} MHz, {} tasklets, {} kB WRAM, {} GB/s DMA; mode switch {}",
+        cfg.pim_unit.freq_hz / 1_000_000,
+        cfg.pim_unit.tasklets,
+        cfg.pim_unit.wram_bytes / 1024,
+        cfg.pim_unit.dma_bytes_per_sec as f64 / 1e9,
+        cfg.mode_switch
+    );
+}
+
+/// Prints both configured systems.
+pub fn print_all() {
+    print_system("DIMM-based system", &SystemConfig::dimm());
+    println!();
+    print_system("HBM-based system", &SystemConfig::hbm());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_all();
+    }
+}

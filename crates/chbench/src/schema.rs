@@ -1,0 +1,360 @@
+//! The CH-benCHmark schema: the nine TPC-C tables plus the three TPC-H
+//! side tables (SUPPLIER/NATION/REGION) that CH-benCHmark adds.
+//!
+//! Column widths are fixed-point encodings of the TPC-C/CH column types
+//! (chars at one byte per char, money as 8-byte integers, dates as 8-byte
+//! timestamps). Variable-width text columns are stored at their maximum
+//! width — the paper handles variable width "using traditional storage
+//! methods" (§4.1.2) and so do we. The widest column is 152 B and the
+//! narrowest 1 B, matching the paper's "column width varies from 2 bytes
+//! to 152 bytes" (§8) at byte resolution.
+//!
+//! All columns start as [`ColumnKind::Normal`]; the key set is derived
+//! from an OLAP query subset via [`crate::queries`].
+
+use pushtap_format::{Column, TableSchema};
+
+/// Table identifiers of the CH-benCHmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Table {
+    /// WAREHOUSE.
+    Warehouse,
+    /// DISTRICT.
+    District,
+    /// CUSTOMER.
+    Customer,
+    /// HISTORY.
+    History,
+    /// NEWORDER.
+    NewOrder,
+    /// ORDER.
+    Order,
+    /// ORDERLINE.
+    OrderLine,
+    /// ITEM.
+    Item,
+    /// STOCK.
+    Stock,
+    /// SUPPLIER (CH-benCHmark addition).
+    Supplier,
+    /// NATION (CH-benCHmark addition).
+    Nation,
+    /// REGION (CH-benCHmark addition).
+    Region,
+}
+
+/// All tables in declaration order.
+pub const ALL_TABLES: [Table; 12] = [
+    Table::Warehouse,
+    Table::District,
+    Table::Customer,
+    Table::History,
+    Table::NewOrder,
+    Table::Order,
+    Table::OrderLine,
+    Table::Item,
+    Table::Stock,
+    Table::Supplier,
+    Table::Nation,
+    Table::Region,
+];
+
+impl Table {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Table::Warehouse => "warehouse",
+            Table::District => "district",
+            Table::Customer => "customer",
+            Table::History => "history",
+            Table::NewOrder => "neworder",
+            Table::Order => "order",
+            Table::OrderLine => "orderline",
+            Table::Item => "item",
+            Table::Stock => "stock",
+            Table::Supplier => "supplier",
+            Table::Nation => "nation",
+            Table::Region => "region",
+        }
+    }
+
+    /// Row count at the paper's full scale (§7.1: ITEM 20M, STOCK 20M,
+    /// CUSTOMER 6M, ORDER 6M, ORDERLINE 60M, NEWORDER 60M, HISTORY 6M;
+    /// 200 warehouses give 6M customers at 30k each).
+    pub fn rows_full_scale(self) -> u64 {
+        match self {
+            Table::Warehouse => 200,
+            Table::District => 2_000,
+            Table::Customer => 6_000_000,
+            Table::History => 6_000_000,
+            Table::NewOrder => 60_000_000,
+            Table::Order => 6_000_000,
+            Table::OrderLine => 60_000_000,
+            Table::Item => 20_000_000,
+            Table::Stock => 20_000_000,
+            Table::Supplier => 10_000,
+            Table::Nation => 62,
+            Table::Region => 5,
+        }
+    }
+
+    /// Row count at a fractional `scale` (≥ 1 row).
+    pub fn rows_at_scale(self, scale: f64) -> u64 {
+        assert!(scale > 0.0, "scale must be positive");
+        ((self.rows_full_scale() as f64 * scale).round() as u64).max(1)
+    }
+
+    /// The schema of this table, with every column initially Normal.
+    pub fn schema(self) -> TableSchema {
+        let n = |name: &'static str, w: u32| Column::normal(name, w);
+        let cols: Vec<Column> = match self {
+            Table::Warehouse => vec![
+                n("w_id", 4),
+                n("w_name", 10),
+                n("w_street_1", 20),
+                n("w_street_2", 20),
+                n("w_city", 20),
+                n("w_state", 2),
+                n("w_zip", 9),
+                n("w_tax", 4),
+                n("w_ytd", 8),
+            ],
+            Table::District => vec![
+                n("d_id", 1),
+                n("d_w_id", 4),
+                n("d_name", 10),
+                n("d_street_1", 20),
+                n("d_street_2", 20),
+                n("d_city", 20),
+                n("d_state", 2),
+                n("d_zip", 9),
+                n("d_tax", 4),
+                n("d_ytd", 8),
+                n("d_next_o_id", 4),
+            ],
+            Table::Customer => vec![
+                n("c_id", 4),
+                n("c_d_id", 1),
+                n("c_w_id", 4),
+                n("c_first", 16),
+                n("c_middle", 2),
+                n("c_last", 16),
+                n("c_street_1", 20),
+                n("c_street_2", 20),
+                n("c_city", 20),
+                n("c_state", 2),
+                n("c_zip", 9),
+                n("c_phone", 16),
+                n("c_since", 8),
+                n("c_credit", 2),
+                n("c_credit_lim", 8),
+                n("c_discount", 4),
+                n("c_balance", 8),
+                n("c_ytd_payment", 8),
+                n("c_payment_cnt", 2),
+                n("c_delivery_cnt", 2),
+                n("c_data", 152),
+            ],
+            Table::History => vec![
+                n("h_c_id", 4),
+                n("h_c_d_id", 1),
+                n("h_c_w_id", 4),
+                n("h_d_id", 1),
+                n("h_w_id", 4),
+                n("h_date", 8),
+                n("h_amount", 4),
+                n("h_data", 24),
+            ],
+            Table::NewOrder => vec![n("no_o_id", 4), n("no_d_id", 1), n("no_w_id", 4)],
+            Table::Order => vec![
+                n("o_id", 4),
+                n("o_d_id", 1),
+                n("o_w_id", 4),
+                n("o_c_id", 4),
+                n("o_entry_d", 8),
+                n("o_carrier_id", 1),
+                n("o_ol_cnt", 1),
+                n("o_all_local", 1),
+            ],
+            Table::OrderLine => vec![
+                n("ol_o_id", 4),
+                n("ol_d_id", 1),
+                n("ol_w_id", 4),
+                n("ol_number", 1),
+                n("ol_i_id", 4),
+                n("ol_supply_w_id", 4),
+                n("ol_delivery_d", 8),
+                n("ol_quantity", 2),
+                n("ol_amount", 8),
+                n("ol_dist_info", 24),
+            ],
+            Table::Item => vec![
+                n("i_id", 4),
+                n("i_im_id", 4),
+                n("i_name", 24),
+                n("i_price", 4),
+                n("i_data", 50),
+            ],
+            Table::Stock => vec![
+                n("s_i_id", 4),
+                n("s_w_id", 4),
+                n("s_quantity", 2),
+                n("s_dist_01", 24),
+                n("s_dist_02", 24),
+                n("s_dist_03", 24),
+                n("s_dist_04", 24),
+                n("s_dist_05", 24),
+                n("s_dist_06", 24),
+                n("s_dist_07", 24),
+                n("s_dist_08", 24),
+                n("s_dist_09", 24),
+                n("s_dist_10", 24),
+                n("s_ytd", 8),
+                n("s_order_cnt", 2),
+                n("s_remote_cnt", 2),
+                n("s_data", 50),
+            ],
+            Table::Supplier => vec![
+                n("su_suppkey", 4),
+                n("su_name", 25),
+                n("su_address", 40),
+                n("su_nationkey", 1),
+                n("su_phone", 15),
+                n("su_acctbal", 8),
+                n("su_comment", 100),
+            ],
+            Table::Nation => vec![
+                n("n_nationkey", 1),
+                n("n_name", 25),
+                n("n_regionkey", 1),
+                n("n_comment", 152),
+            ],
+            Table::Region => vec![n("r_regionkey", 1), n("r_name", 25), n("r_comment", 152)],
+        };
+        TableSchema::new(self.name(), cols)
+    }
+
+    /// Finds the table owning a column by its TPC-C prefix convention.
+    pub fn of_column(column: &str) -> Option<Table> {
+        ALL_TABLES
+            .into_iter()
+            .find(|t| t.schema().index_of(column).is_some())
+    }
+}
+
+/// Total bytes of the database at `scale` (data only, row-store lower
+/// bound). The paper's full-scale population occupies ~20 GB (§7.1).
+pub fn database_bytes(scale: f64) -> u64 {
+    ALL_TABLES
+        .into_iter()
+        .map(|t| t.rows_at_scale(scale) * t.schema().row_width() as u64)
+        .sum()
+}
+
+/// Widest column the layout generator promotes to a key. Wider columns
+/// are long (variable-width) text — the paper stores those "using
+/// traditional storage methods, such as length-prefixed encoding or
+/// separate metadata structures" (§4.1.2) and scans them through the CPU,
+/// so they stay byte-divisible normal columns here.
+pub const MAX_KEY_WIDTH: u32 = 32;
+
+/// Returns the schema of `table` with exactly the given columns marked as
+/// keys (columns not in the list — and columns wider than
+/// [`MAX_KEY_WIDTH`] — become Normal).
+pub fn schema_with_keys(table: Table, keys: &[&str]) -> TableSchema {
+    let all = table.schema();
+    let filtered: Vec<&str> = keys
+        .iter()
+        .copied()
+        .filter(|k| {
+            all.index_of(k)
+                .map(|i| all.column(i).width <= MAX_KEY_WIDTH)
+                .unwrap_or(false)
+        })
+        .collect();
+    all.with_keys(&filtered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_tables_with_unique_names() {
+        let mut names: Vec<_> = ALL_TABLES.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    /// §7.1 row counts.
+    #[test]
+    fn paper_row_counts() {
+        assert_eq!(Table::Item.rows_full_scale(), 20_000_000);
+        assert_eq!(Table::Stock.rows_full_scale(), 20_000_000);
+        assert_eq!(Table::Customer.rows_full_scale(), 6_000_000);
+        assert_eq!(Table::Order.rows_full_scale(), 6_000_000);
+        assert_eq!(Table::OrderLine.rows_full_scale(), 60_000_000);
+        assert_eq!(Table::NewOrder.rows_full_scale(), 60_000_000);
+        assert_eq!(Table::History.rows_full_scale(), 6_000_000);
+    }
+
+    /// §7.1: "The tables occupy 20 GB of memory storage." Our fixed-width
+    /// encodings are somewhat leaner than the authors' (e.g. c_data is
+    /// stored at 152 B, the paper's maximum column width, rather than
+    /// TPC-C's 500-char declaration), so we accept the same order of
+    /// magnitude.
+    #[test]
+    fn full_scale_is_about_20gb() {
+        let gb = database_bytes(1.0) as f64 / (1u64 << 30) as f64;
+        assert!((10.0..30.0).contains(&gb), "database is {gb:.1} GiB");
+    }
+
+    /// §8: column widths span 1–2 bytes up to 152 bytes.
+    #[test]
+    fn width_range_matches_paper() {
+        let widths: Vec<u32> = ALL_TABLES
+            .into_iter()
+            .flat_map(|t| t.schema().columns().iter().map(|c| c.width).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(widths.iter().copied().max(), Some(152));
+        assert_eq!(widths.iter().copied().min(), Some(1));
+    }
+
+    #[test]
+    fn orderline_amount_is_8_bytes() {
+        // §8 calls out ORDERLINE.amount as 8 bytes.
+        let s = Table::OrderLine.schema();
+        let i = s.index_of("ol_amount").unwrap();
+        assert_eq!(s.column(i).width, 8);
+    }
+
+    #[test]
+    fn scaling_is_proportional_with_floor() {
+        assert_eq!(Table::OrderLine.rows_at_scale(0.01), 600_000);
+        assert_eq!(Table::Region.rows_at_scale(0.0001), 1); // floor at 1
+    }
+
+    #[test]
+    fn of_column_finds_owner() {
+        assert_eq!(Table::of_column("ol_amount"), Some(Table::OrderLine));
+        assert_eq!(Table::of_column("c_state"), Some(Table::Customer));
+        assert_eq!(Table::of_column("nope"), None);
+    }
+
+    #[test]
+    fn schema_with_keys_classifies() {
+        let s = schema_with_keys(Table::OrderLine, &["ol_amount", "ol_quantity"]);
+        assert_eq!(s.key_indices().len(), 2);
+        use pushtap_format::ColumnKind;
+        let i = s.index_of("ol_amount").unwrap();
+        assert_eq!(s.column(i).kind, ColumnKind::Key);
+    }
+
+    #[test]
+    fn all_columns_start_normal() {
+        for t in ALL_TABLES {
+            assert!(t.schema().key_indices().is_empty(), "{}", t.name());
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! TPC-C transaction mix generation (Payment + NewOrder, ~90 % of the
+//! standard mix — the two types the paper simulates, §7.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one Payment transaction: update a customer's balance and
+/// the warehouse/district year-to-date totals, append a HISTORY row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Payment {
+    /// Warehouse.
+    pub w_id: u64,
+    /// District within the warehouse.
+    pub d_id: u64,
+    /// Customer row index.
+    pub c_row: u64,
+    /// Amount in cents.
+    pub amount: u64,
+}
+
+/// Parameters of one NewOrder transaction: insert an order with `ol_cnt`
+/// order lines, updating STOCK rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewOrder {
+    /// Warehouse.
+    pub w_id: u64,
+    /// District within the warehouse.
+    pub d_id: u64,
+    /// Customer row index.
+    pub c_row: u64,
+    /// Item row index per order line.
+    pub items: Vec<u64>,
+    /// Stock row index per order line.
+    pub stock_rows: Vec<u64>,
+}
+
+/// One transaction of the mix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Txn {
+    /// A Payment transaction.
+    Payment(Payment),
+    /// A NewOrder transaction.
+    NewOrder(NewOrder),
+}
+
+impl Txn {
+    /// Short label for reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Txn::Payment(_) => "payment",
+            Txn::NewOrder(_) => "neworder",
+        }
+    }
+}
+
+/// Deterministic transaction-mix generator.
+///
+/// The mix follows TPC-C's relative frequencies for the two simulated
+/// types: Payment : NewOrder ≈ 43 : 45, i.e. ~48.9 % Payment.
+#[derive(Debug)]
+pub struct TxnGen {
+    rng: StdRng,
+    warehouses: u64,
+    customers: u64,
+    items: u64,
+    stocks: u64,
+}
+
+impl TxnGen {
+    /// Payment share of the generated mix (Payment vs NewOrder).
+    pub const PAYMENT_SHARE: f64 = 43.0 / 88.0;
+
+    /// Creates a generator over a population of the given sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any population is zero.
+    pub fn new(seed: u64, warehouses: u64, customers: u64, items: u64, stocks: u64) -> TxnGen {
+        assert!(
+            warehouses > 0 && customers > 0 && items > 0 && stocks > 0,
+            "empty population"
+        );
+        TxnGen {
+            rng: StdRng::seed_from_u64(seed),
+            warehouses,
+            customers,
+            items,
+            stocks,
+        }
+    }
+
+    /// Generates the next transaction of the mix.
+    pub fn next_txn(&mut self) -> Txn {
+        if self.rng.random_bool(Self::PAYMENT_SHARE) {
+            Txn::Payment(Payment {
+                w_id: self.rng.random_range(0..self.warehouses),
+                d_id: self.rng.random_range(0..10),
+                c_row: self.rng.random_range(0..self.customers),
+                amount: self.rng.random_range(100..500_000),
+            })
+        } else {
+            let ol_cnt = (self.rng.random_range(5..=15) as u64).min(self.stocks) as usize;
+            // Stock rows must be distinct within one order (TPC-C orders
+            // distinct items): a repeated row would be updated twice at
+            // one timestamp.
+            let mut stock_rows = Vec::with_capacity(ol_cnt);
+            while stock_rows.len() < ol_cnt {
+                let s = self.rng.random_range(0..self.stocks);
+                if !stock_rows.contains(&s) {
+                    stock_rows.push(s);
+                }
+            }
+            Txn::NewOrder(NewOrder {
+                w_id: self.rng.random_range(0..self.warehouses),
+                d_id: self.rng.random_range(0..10),
+                c_row: self.rng.random_range(0..self.customers),
+                items: (0..ol_cnt)
+                    .map(|_| self.rng.random_range(0..self.items))
+                    .collect(),
+                stock_rows,
+            })
+        }
+    }
+
+    /// Generates a batch of `n` transactions.
+    pub fn batch(&mut self, n: usize) -> Vec<Txn> {
+        (0..n).map(|_| self.next_txn()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> TxnGen {
+        TxnGen::new(7, 4, 1000, 5000, 5000)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = gen().batch(50);
+        let b = gen().batch(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_is_roughly_half_payment() {
+        let batch = gen().batch(10_000);
+        let payments = batch.iter().filter(|t| t.label() == "payment").count();
+        let share = payments as f64 / 10_000.0;
+        assert!(
+            (share - TxnGen::PAYMENT_SHARE).abs() < 0.03,
+            "payment share {share}"
+        );
+    }
+
+    #[test]
+    fn neworder_has_5_to_15_lines() {
+        for t in gen().batch(500) {
+            if let Txn::NewOrder(no) = t {
+                assert!((5..=15).contains(&no.items.len()));
+                assert_eq!(no.items.len(), no.stock_rows.len());
+            }
+        }
+    }
+
+    #[test]
+    fn indices_respect_population() {
+        for t in gen().batch(500) {
+            match t {
+                Txn::Payment(p) => {
+                    assert!(p.w_id < 4);
+                    assert!(p.d_id < 10);
+                    assert!(p.c_row < 1000);
+                }
+                Txn::NewOrder(no) => {
+                    assert!(no.items.iter().all(|&i| i < 5000));
+                    assert!(no.stock_rows.iter().all(|&s| s < 5000));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn zero_population_panics() {
+        let _ = TxnGen::new(0, 0, 1, 1, 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! The OLTP/OLAP throughput frontier (Fig. 10).
+//!
+//! For a mixed workload at transaction rate `x` and query rate `y`, two
+//! constraints bound `y`:
+//!
+//! 1. **Consistency**: each query absorbs the consistency work of the
+//!    transactions since the previous query (`x / y` of them) — rebuild
+//!    for MI, snapshot + amortised defragmentation for PUSHtap. With
+//!    per-transaction consistency cost `σ`,
+//!    `1 = y·τ_q + x·σ  ⇒  y = (1 − σ·x) / τ_q`.
+//! 2. **Memory bandwidth**: OLTP and the CPU-visible part of OLAP share
+//!    the bus: `x·β_t + y·β_q ≤ B`.
+//!
+//! MI's `σ` (shipping whole new-version rows over the bus) is far larger
+//! than PUSHtap's (bitmap updates + local copies), which is why PUSHtap's
+//! frontier is flat-then-cliff while MI's declines steeply.
+
+use pushtap_pim::Ps;
+
+use crate::metrics::{qphh, tpmc};
+
+/// Measured inputs of the frontier model.
+#[derive(Debug, Clone, Copy)]
+pub struct FrontierParams {
+    /// Per-transaction service time on one core.
+    pub txn_time: Ps,
+    /// Per-query execution time (without consistency work).
+    pub query_time: Ps,
+    /// Consistency cost per transaction (σ): rebuild share for MI,
+    /// snapshot + defragmentation share for PUSHtap.
+    pub per_txn_consistency: Ps,
+    /// Cores driving transactions.
+    pub cores: u32,
+    /// Memory-bus budget, bytes/second.
+    pub bus_bytes_per_sec: f64,
+    /// Bus bytes per transaction.
+    pub txn_bus_bytes: f64,
+    /// Bus bytes per query (CPU-visible traffic only).
+    pub query_bus_bytes: f64,
+}
+
+/// One frontier point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierPoint {
+    /// OLTP throughput, tpmC.
+    pub tpmc: f64,
+    /// Maximum sustainable OLAP throughput at that OLTP rate, QphH.
+    pub qphh: f64,
+}
+
+impl FrontierParams {
+    /// Peak transaction rate (transactions/second) from CPU and bus.
+    pub fn peak_txn_rate(&self) -> f64 {
+        let cpu = self.cores as f64 / self.txn_time.as_secs();
+        let bus = self.bus_bytes_per_sec / self.txn_bus_bytes.max(1.0);
+        // Consistency work competes for the same cores as transactions:
+        // at y→0 consistency amortises away, so the cap is cpu/bus only.
+        cpu.min(bus)
+    }
+
+    /// Maximum query rate at transaction rate `x` (per second).
+    pub fn max_query_rate(&self, x: f64) -> f64 {
+        let tq = self.query_time.as_secs();
+        let sigma = self.per_txn_consistency.as_secs();
+        let consistency_bound = (1.0 - sigma * x) / tq;
+        let bus_bound =
+            (self.bus_bytes_per_sec - x * self.txn_bus_bytes) / self.query_bus_bytes.max(1.0);
+        consistency_bound.min(bus_bound).max(0.0)
+    }
+
+    /// Sweeps the frontier with `n` points from idle OLTP to peak OLTP.
+    pub fn sweep(&self, n: usize) -> Vec<FrontierPoint> {
+        assert!(n >= 2, "need at least two frontier points");
+        let x_max = self.peak_txn_rate();
+        (0..n)
+            .map(|i| {
+                let x = x_max * i as f64 / (n - 1) as f64;
+                let y = self.max_query_rate(x);
+                FrontierPoint {
+                    tpmc: tpmc((x * 60.0) as u64, Ps::from_ms(60_000.0), 1),
+                    qphh: qphh((y * 3600.0) as u64, Ps::from_ms(3_600_000.0)),
+                }
+            })
+            .collect()
+    }
+
+    /// Peak OLAP throughput (QphH) with OLTP idle.
+    pub fn peak_qphh(&self) -> f64 {
+        self.max_query_rate(0.0) * 3600.0
+    }
+
+    /// Peak OLTP throughput (tpmC) on the frontier.
+    pub fn peak_tpmc(&self) -> f64 {
+        self.peak_txn_rate() * 60.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pushtap_like() -> FrontierParams {
+        FrontierParams {
+            txn_time: Ps::from_us(8.0),
+            query_time: Ps::from_ms(10.0),
+            per_txn_consistency: Ps::new(40_000), // 40 ns/txn
+            cores: 16,
+            bus_bytes_per_sec: 100e9,
+            txn_bus_bytes: 1500.0,
+            query_bus_bytes: 2e6,
+        }
+    }
+
+    fn mi_like() -> FrontierParams {
+        FrontierParams {
+            per_txn_consistency: Ps::new(2_000_000), // 2 µs/txn rebuild
+            txn_bus_bytes: 1200.0,
+            ..pushtap_like()
+        }
+    }
+
+    /// The qualitative Fig. 10 shape: PUSHtap's frontier dominates MI's —
+    /// higher peak OLAP retention and a larger usable OLTP range.
+    #[test]
+    fn pushtap_dominates_mi() {
+        let p = pushtap_like();
+        let m = mi_like();
+        // At MI's peak OLTP rate, PUSHtap still sustains far more OLAP.
+        let mi_usable_x = 1.0 / m.per_txn_consistency.as_secs(); // x where MI's OLAP hits 0
+        assert!(p.max_query_rate(mi_usable_x * 0.9) > m.max_query_rate(mi_usable_x * 0.9) * 3.0);
+    }
+
+    /// PUSHtap's frontier is flat at low OLTP rates (peak OLAP retained),
+    /// then declines.
+    #[test]
+    fn pushtap_frontier_is_flat_then_declines() {
+        let p = pushtap_like();
+        let peak = p.max_query_rate(0.0);
+        let mid = p.max_query_rate(p.peak_txn_rate() * 0.2);
+        let high = p.max_query_rate(p.peak_txn_rate() * 0.95);
+        assert!(mid > peak * 0.8, "mid {mid} vs peak {peak}");
+        assert!(high < mid);
+    }
+
+    /// MI's frontier declines steeply from the start.
+    #[test]
+    fn mi_frontier_declines_early() {
+        let m = mi_like();
+        let peak = m.max_query_rate(0.0);
+        let early = m.max_query_rate(m.peak_txn_rate() * 0.2);
+        assert!(early < peak * 0.6, "early {early} vs peak {peak}");
+    }
+
+    #[test]
+    fn sweep_is_monotone_decreasing() {
+        for params in [pushtap_like(), mi_like()] {
+            let pts = params.sweep(16);
+            assert_eq!(pts.len(), 16);
+            for w in pts.windows(2) {
+                assert!(w[1].qphh <= w[0].qphh + 1e-6);
+                assert!(w[1].tpmc >= w[0].tpmc);
+            }
+        }
+    }
+
+    #[test]
+    fn peaks_are_consistent_with_sweep() {
+        let p = pushtap_like();
+        let pts = p.sweep(8);
+        assert!((pts[0].qphh - p.peak_qphh()).abs() / p.peak_qphh() < 0.05);
+        assert!((pts[7].tpmc - p.peak_tpmc()).abs() / p.peak_tpmc() < 0.05);
+    }
+}

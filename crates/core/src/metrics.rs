@@ -1,0 +1,41 @@
+//! Throughput metrics: tpmC (transactions per minute, TPC-C) and QphH
+//! (queries per hour, TPC-H), as used in Fig. 10.
+
+use pushtap_pim::Ps;
+
+/// Transactions-per-minute from a transaction count and elapsed time,
+/// scaled by the number of concurrent cores driving transactions.
+pub fn tpmc(txns: u64, elapsed: Ps, cores: u32) -> f64 {
+    if elapsed == Ps::ZERO {
+        return 0.0;
+    }
+    txns as f64 * cores as f64 / elapsed.as_secs() * 60.0
+}
+
+/// Queries-per-hour from a query count and elapsed time.
+pub fn qphh(queries: u64, elapsed: Ps) -> f64 {
+    if elapsed == Ps::ZERO {
+        return 0.0;
+    }
+    queries as f64 / elapsed.as_secs() * 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpmc_scales_with_cores_and_time() {
+        let t = Ps::from_ms(1000.0); // 1 s
+        assert!((tpmc(100, t, 1) - 6000.0).abs() < 1e-9);
+        assert!((tpmc(100, t, 16) - 96_000.0).abs() < 1e-9);
+        assert_eq!(tpmc(100, Ps::ZERO, 16), 0.0);
+    }
+
+    #[test]
+    fn qphh_converts_to_hourly() {
+        let t = Ps::from_ms(100.0); // 0.1 s per query
+        assert!((qphh(1, t) - 36_000.0).abs() < 1e-9);
+        assert_eq!(qphh(5, Ps::ZERO), 0.0);
+    }
+}

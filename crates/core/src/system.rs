@@ -1,0 +1,418 @@
+//! The PUSHtap system: single-instance HTAP over the unified format.
+//!
+//! Ties together the OLTP executor, the OLAP scan engine, MVCC
+//! snapshotting, and periodic defragmentation on one simulated memory
+//! system. This is the object the experiments drive.
+
+use pushtap_chbench::{Table, Txn, TxnGen};
+use pushtap_format::LayoutError;
+use pushtap_mvcc::{DefragCostModel, DefragStats, DefragStrategy};
+use pushtap_olap::{Query, QueryResult, QueryTiming, ScanEngine};
+use pushtap_oltp::{Breakdown, DbConfig, TpccDb, TxnResult};
+use pushtap_pim::{ControlArch, MemSystem, Ps, SystemConfig};
+
+/// Fixed overhead of one defragmentation pass: worker-thread creation and
+/// PIM-unit activation (§7.4: "the fixed overhead, including thread
+/// creation and PIM units activation, is amortized when the number of
+/// transactions is large").
+pub const DEFRAG_FIXED_OVERHEAD: Ps = Ps::new(100_000_000); // 100 µs
+
+/// Configuration of a complete PUSHtap instance.
+#[derive(Debug, Clone)]
+pub struct PushtapConfig {
+    /// Database build parameters (scale, format, key queries, costs).
+    pub db: DbConfig,
+    /// Hardware configuration (DIMM or HBM system).
+    pub system: SystemConfig,
+    /// Control architecture (PUSHtap scheduler vs original PIM).
+    pub arch: ControlArch,
+    /// Transactions between defragmentation passes (0 = only on demand).
+    /// The paper settles on 10 k (§7.4).
+    pub defrag_period: u64,
+    /// Defragmentation strategy (§5.3); Hybrid is the paper's choice.
+    pub defrag_strategy: DefragStrategy,
+}
+
+impl PushtapConfig {
+    /// A small DIMM-based instance for tests and examples.
+    pub fn small() -> PushtapConfig {
+        PushtapConfig {
+            db: DbConfig::small(),
+            system: SystemConfig::dimm(),
+            arch: ControlArch::Pushtap,
+            defrag_period: 10_000,
+            defrag_strategy: DefragStrategy::Hybrid,
+        }
+    }
+}
+
+/// Aggregate OLTP statistics from a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OltpReport {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Pure transaction time (excludes defragmentation pauses).
+    pub txn_time: Ps,
+    /// Time spent in defragmentation pauses (OLTP is paused, §5.3).
+    pub defrag_time: Ps,
+    /// Number of defragmentation passes.
+    pub defrag_passes: u64,
+    /// Component breakdown across all transactions.
+    pub breakdown: Breakdown,
+}
+
+impl OltpReport {
+    /// Wall-clock time including pauses.
+    pub fn total_time(&self) -> Ps {
+        self.txn_time + self.defrag_time
+    }
+
+    /// Defragmentation overhead on OLTP (Fig. 11(a)): pause time over
+    /// total time.
+    pub fn defrag_overhead(&self) -> f64 {
+        if self.total_time() == Ps::ZERO {
+            0.0
+        } else {
+            self.defrag_time.ps() as f64 / self.total_time().ps() as f64
+        }
+    }
+}
+
+/// One analytical query's report.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The value result.
+    pub result: QueryResult,
+    /// Scan/compute/control timing.
+    pub timing: QueryTiming,
+    /// Consistency time paid before the scan (snapshotting; plus any
+    /// defragmentation folded into this query).
+    pub consistency: Ps,
+}
+
+impl QueryReport {
+    /// Total query latency (scan + CPU coordination + consistency); the
+    /// report's `timing.end` is normalised to this duration.
+    pub fn total(&self) -> Ps {
+        self.timing.end
+    }
+}
+
+/// A complete PUSHtap instance.
+#[derive(Debug)]
+pub struct Pushtap {
+    cfg: PushtapConfig,
+    mem: MemSystem,
+    db: TpccDb,
+    engine: ScanEngine,
+    defrag_cost: DefragCostModel,
+    now: Ps,
+    txns_since_defrag: u64,
+}
+
+impl Pushtap {
+    /// Builds and populates an instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-generation errors.
+    pub fn new(cfg: PushtapConfig) -> Result<Pushtap, LayoutError> {
+        let mem = MemSystem::new(cfg.system);
+        let db = TpccDb::build(&cfg.db, &mem)?;
+        let engine = ScanEngine::new(cfg.arch, &cfg.system);
+        // Defragmentation moves scattered row-granule versions, which
+        // achieves a fraction of peak bandwidth on either path (short
+        // transfers on the bus; DMA setup per row on the PIM side).
+        let defrag_cost = DefragCostModel::new(
+            16.0,
+            cfg.system.cpu_peak_bw() * 0.35,
+            cfg.system.pim_peak_bw() * 0.25,
+        );
+        Ok(Pushtap {
+            cfg,
+            mem,
+            db,
+            engine,
+            defrag_cost,
+            now: Ps::ZERO,
+            txns_since_defrag: 0,
+        })
+    }
+
+    /// The simulated clock.
+    pub fn now(&self) -> Ps {
+        self.now
+    }
+
+    /// The database.
+    pub fn db(&self) -> &TpccDb {
+        &self.db
+    }
+
+    /// Mutable database access (for experiment setup).
+    pub fn db_mut(&mut self) -> &mut TpccDb {
+        &mut self.db
+    }
+
+    /// The memory system.
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Split borrow for callers that drive the OLAP engine directly:
+    /// a shared database view plus the mutable memory system.
+    pub fn db_and_mem_mut(&mut self) -> (&TpccDb, &mut MemSystem) {
+        (&self.db, &mut self.mem)
+    }
+
+    /// The scan engine.
+    pub fn engine(&self) -> &ScanEngine {
+        &self.engine
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &PushtapConfig {
+        &self.cfg
+    }
+
+    /// The §5.3 defragmentation cost model in effect.
+    pub fn defrag_cost(&self) -> &DefragCostModel {
+        &self.defrag_cost
+    }
+
+    /// A transaction generator sized to this instance's population.
+    pub fn txn_gen(&self, seed: u64) -> TxnGen {
+        TxnGen::new(
+            seed,
+            self.db.table(Table::Warehouse).n_rows(),
+            self.db.table(Table::Customer).n_rows(),
+            self.db.table(Table::Item).n_rows(),
+            self.db.table(Table::Stock).n_rows(),
+        )
+    }
+
+    /// Executes one transaction; defragments and retries on a full delta
+    /// arena. Returns the result plus any defragmentation pause incurred.
+    pub fn execute_txn(&mut self, txn: &Txn) -> (TxnResult, Ps) {
+        let mut pause = Ps::ZERO;
+        if self.cfg.defrag_period > 0 && self.txns_since_defrag >= self.cfg.defrag_period {
+            pause += self.defragment_all().1;
+        }
+        loop {
+            match self.db.execute(txn, &mut self.mem, self.now) {
+                Ok(r) => {
+                    self.now = r.end;
+                    self.txns_since_defrag += 1;
+                    return (r, pause);
+                }
+                Err(_full) => {
+                    pause += self.defragment_all().1;
+                }
+            }
+        }
+    }
+
+    /// Runs `n` transactions from `gen`, defragmenting per the configured
+    /// period.
+    pub fn run_txns(&mut self, gen: &mut TxnGen, n: u64) -> OltpReport {
+        let mut report = OltpReport::default();
+        for _ in 0..n {
+            let txn = gen.next_txn();
+            let before = self.now;
+            let (r, pause) = self.execute_txn(&txn);
+            report.committed += 1;
+            if pause > Ps::ZERO {
+                report.defrag_passes += 1;
+            }
+            report.defrag_time += pause;
+            report.txn_time += self.now.saturating_sub(before).saturating_sub(pause);
+            report.breakdown.merge(&r.breakdown);
+        }
+        report
+    }
+
+    /// Defragments every table (OLTP paused). Returns the aggregate stats
+    /// and the pause duration, and advances the clock.
+    pub fn defragment_all(&mut self) -> (DefragStats, Ps) {
+        let upto = self.db.last_ts();
+        let strategy = self.cfg.defrag_strategy;
+        let model = self.defrag_cost;
+        let mut total = DefragStats::default();
+        let mut seconds = 0.0;
+        for table in pushtap_chbench::ALL_TABLES {
+            let t = self.db.table_mut(table);
+            if t.chains().updated_row_count() == 0 {
+                continue;
+            }
+            let (stats, secs) = t.defragment(&model, strategy, upto);
+            seconds += secs;
+            total.rows_copied += stats.rows_copied;
+            total.slots_reclaimed += stats.slots_reclaimed;
+            total.chain_steps += stats.chain_steps;
+            total.bytes_copied += stats.bytes_copied;
+            total.meta_bytes += stats.meta_bytes;
+        }
+        let traverse = self
+            .db
+            .meter()
+            .cpu
+            .cycles(total.chain_steps * self.db.meter().costs.chain_step_cycles);
+        let pause = DEFRAG_FIXED_OVERHEAD
+            + Ps::new((seconds * 1e12).round() as u64)
+            + traverse;
+        self.now += pause;
+        self.txns_since_defrag = 0;
+        (total, pause)
+    }
+
+    /// Estimates the pause one defragmentation pass would cost *right
+    /// now* under `strategy`, without executing it. Mirrors
+    /// [`Pushtap::defragment_all`]'s accounting; used by the Fig. 11(b)
+    /// and Fig. 12(a) sweeps, which compare strategies on identical
+    /// delta-region states.
+    pub fn estimate_defrag_pause(&self, strategy: DefragStrategy) -> Ps {
+        let model = self.defrag_cost;
+        let mut seconds = 0.0;
+        let mut chain_steps = 0u64;
+        let mut any = false;
+        for table in pushtap_chbench::ALL_TABLES {
+            let t = self.db.table(table);
+            let rows = t.chains().updated_row_count() as u64;
+            if rows == 0 {
+                continue;
+            }
+            any = true;
+            let slots = t.live_delta_rows();
+            chain_steps += slots;
+            let p = rows as f64 / slots.max(1) as f64;
+            let d = t.layout().devices();
+            let widths: Vec<u32> = t.layout().parts().iter().map(|pt| pt.width()).collect();
+            seconds += model.comm_parts(strategy, slots.max(1), p, d, &widths);
+        }
+        if !any {
+            return DEFRAG_FIXED_OVERHEAD;
+        }
+        let traverse = self
+            .db
+            .meter()
+            .cpu
+            .cycles(chain_steps * self.db.meter().costs.chain_step_cycles);
+        DEFRAG_FIXED_OVERHEAD + Ps::new((seconds * 1e12).round() as u64) + traverse
+    }
+
+    /// Snapshots the tables a query touches (the §5.2 consistency step).
+    /// Returns the snapshotting duration.
+    pub fn snapshot_for(&mut self, query: Query) -> Ps {
+        let upto = self.db.last_ts();
+        let tables: &[Table] = match query {
+            Query::Q1 | Query::Q6 => &[Table::OrderLine],
+            Query::Q9 => &[Table::OrderLine, Table::Item],
+        };
+        let start = self.now;
+        let meter = *self.db.meter();
+        for &t in tables {
+            let (_, end) = self
+                .db
+                .table_mut(t)
+                .timed_snapshot_update(&mut self.mem, &meter, upto, self.now);
+            self.now = self.now.max(end);
+        }
+        self.now - start
+    }
+
+    /// Runs one analytical query with fresh data: snapshot, then scan.
+    pub fn run_query(&mut self, query: Query) -> QueryReport {
+        let consistency = self.snapshot_for(query);
+        let start = self.now;
+        let (result, mut timing) = query.execute(&self.db, &self.engine, &mut self.mem, start);
+        self.now = timing.end.max(start);
+        timing.end = self.now - start + consistency;
+        QueryReport {
+            result,
+            timing,
+            consistency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Pushtap {
+        Pushtap::new(PushtapConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn txns_then_query_sees_fresh_data() {
+        let mut p = small();
+        let mut gen = p.txn_gen(11);
+        let before = p.run_query(Query::Q6);
+        p.run_txns(&mut gen, 80);
+        let after = p.run_query(Query::Q6);
+        // The snapshot makes the query see committed inserts: Q6 revenue
+        // changes (ORDERLINE grew).
+        assert_ne!(before.result, after.result, "query must see fresh data");
+        assert!(after.consistency > Ps::ZERO);
+    }
+
+    #[test]
+    fn defrag_period_triggers_and_is_small_overhead() {
+        let mut cfg = PushtapConfig::small();
+        cfg.defrag_period = 50;
+        let mut p = Pushtap::new(cfg).unwrap();
+        let mut gen = p.txn_gen(3);
+        let report = p.run_txns(&mut gen, 200);
+        assert!(report.defrag_passes >= 2, "period must trigger defrag");
+        assert!(report.defrag_time > Ps::ZERO);
+        // Fig. 11(a): defragmentation costs OLTP < a few percent.
+        assert!(
+            report.defrag_overhead() < 0.25,
+            "defrag overhead {}",
+            report.defrag_overhead()
+        );
+    }
+
+    #[test]
+    fn defragment_all_clears_versions() {
+        let mut p = small();
+        let mut gen = p.txn_gen(5);
+        p.run_txns(&mut gen, 60);
+        assert!(p.db().live_delta_rows() > 0);
+        let (stats, pause) = p.defragment_all();
+        assert!(stats.rows_copied > 0);
+        assert!(pause >= DEFRAG_FIXED_OVERHEAD);
+        assert_eq!(p.db().live_delta_rows(), 0);
+        // Queries still answer correctly after defragmentation.
+        let r = p.run_query(Query::Q1);
+        let QueryResult::Q1(rows) = r.result else {
+            panic!("wrong result kind")
+        };
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn query_after_defrag_equals_query_before() {
+        // Defragmentation must not change query answers (it only moves
+        // the newest versions into the data region).
+        let mut p = small();
+        let mut gen = p.txn_gen(7);
+        p.run_txns(&mut gen, 60);
+        let before = p.run_query(Query::Q6);
+        p.defragment_all();
+        let after = p.run_query(Query::Q6);
+        assert_eq!(before.result, after.result);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut p = small();
+        let mut gen = p.txn_gen(1);
+        let t0 = p.now();
+        p.run_txns(&mut gen, 10);
+        let t1 = p.now();
+        assert!(t1 > t0);
+        p.run_query(Query::Q6);
+        assert!(p.now() > t1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Traditional row-store / column-store access metrics (Fig. 3(a)).
+//!
+//! The RS and CS baselines of §7.3 are not ADE/IDE aligned; what matters
+//! for the comparison is how many cache lines a transaction touches to
+//! read or write one row, and how effective a column scan is.
+
+use crate::bandwidth::avg_chunks_per_row;
+use crate::schema::TableSchema;
+
+/// Average cache lines fetched to read one full row from a contiguous
+/// row-store of rows `row_width` bytes wide.
+pub fn rowstore_lines_per_row(row_width: u32, line_bytes: u32) -> f64 {
+    avg_chunks_per_row(row_width, line_bytes)
+}
+
+/// Average cache lines fetched to read one full row from a column-store:
+/// every column lives in its own array, so each column contributes its own
+/// line(s) — the paper's "CS requires accessing data from every column to
+/// reconstruct the rows".
+pub fn colstore_lines_per_row(schema: &TableSchema, line_bytes: u32) -> f64 {
+    schema
+        .columns()
+        .iter()
+        .map(|c| avg_chunks_per_row(c.width, line_bytes))
+        .sum()
+}
+
+/// CPU effective bandwidth of a full-row read on a row-store.
+pub fn rowstore_cpu_effective(schema: &TableSchema, line_bytes: u32) -> f64 {
+    schema.row_width() as f64
+        / (rowstore_lines_per_row(schema.row_width(), line_bytes) * line_bytes as f64)
+}
+
+/// CPU effective bandwidth of a full-row read on a column-store.
+pub fn colstore_cpu_effective(schema: &TableSchema, line_bytes: u32) -> f64 {
+    schema.row_width() as f64
+        / (colstore_lines_per_row(schema, line_bytes) * line_bytes as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::paper_example_schema;
+
+    #[test]
+    fn rowstore_beats_colstore_for_row_reads() {
+        let s = paper_example_schema();
+        let rs = rowstore_lines_per_row(s.row_width(), 64);
+        let cs = colstore_lines_per_row(&s, 64);
+        assert!(rs < cs, "rs {rs} vs cs {cs}");
+        assert!(rowstore_cpu_effective(&s, 64) > colstore_cpu_effective(&s, 64));
+    }
+
+    #[test]
+    fn colstore_pays_one_line_per_column() {
+        let s = paper_example_schema();
+        // Six columns; the 9-byte zip straddles a line boundary for 8 of
+        // every 64 rows: 5 + 1.125 lines on average.
+        assert!((colstore_lines_per_row(&s, 64) - 6.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rowstore_21_bytes_fits_mostly_one_line() {
+        let s = paper_example_schema();
+        let lines = rowstore_lines_per_row(s.row_width(), 64);
+        assert!(lines >= 1.0 && lines < 1.5, "{lines}");
+    }
+
+    #[test]
+    fn effectiveness_bounded_by_one() {
+        let s = paper_example_schema();
+        assert!(rowstore_cpu_effective(&s, 64) <= 1.0);
+        assert!(colstore_cpu_effective(&s, 64) <= 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the unified data format.
+//!
+//! The layout generator must uphold, for *any* schema, device count, and
+//! threshold:
+//!
+//! 1. every column byte is mapped exactly once (validated by
+//!    `TableLayout::new`, so generation succeeding is itself the property);
+//! 2. key columns are single device-local fragments;
+//! 3. key columns admitted to a part pass the threshold test;
+//! 4. rows written through the store read back identically, for data rows
+//!    and delta versions alike;
+//! 5. circulant placement is a bijection and balances devices.
+
+use proptest::prelude::*;
+use pushtap_format::{
+    compact_layout, cpu_effective, naive_layout, pim_effective, Column, Placement, RowSlot,
+    TableSchema, TableStore,
+};
+
+fn arb_schema() -> impl Strategy<Value = TableSchema> {
+    // 1..12 columns, widths 1..32, ~half keys.
+    prop::collection::vec((1u32..32, any::<bool>()), 1..12).prop_map(|cols| {
+        let columns = cols
+            .into_iter()
+            .enumerate()
+            .map(|(i, (w, key))| {
+                let name = format!("c{i}");
+                if key {
+                    Column::key(name, w)
+                } else {
+                    Column::normal(name, w)
+                }
+            })
+            .collect();
+        TableSchema::new("prop", columns)
+    })
+}
+
+proptest! {
+    /// Generation always yields a *validated* layout: total coverage, no
+    /// duplicates, no split keys (TableLayout::new re-checks all of it).
+    #[test]
+    fn compact_layout_always_valid(
+        schema in arb_schema(),
+        devices in 1u32..10,
+        th in 0.0f64..=1.0,
+    ) {
+        let layout = compact_layout(&schema, devices, th).unwrap();
+        // Conservation: data bytes across parts equal the schema width.
+        let data: u32 = layout.parts().iter().map(|p| p.data_bytes()).sum();
+        prop_assert_eq!(data, schema.row_width());
+        // Key columns are device-local.
+        for c in schema.key_indices() {
+            prop_assert_eq!(layout.fragments(c).len(), 1);
+        }
+    }
+
+    /// Threshold admission: every key column in a part has width ≥ th·w
+    /// (the lead column trivially satisfies it with width = w).
+    #[test]
+    fn threshold_admission_respected(
+        schema in arb_schema(),
+        devices in 2u32..9,
+        th in 0.0f64..=1.0,
+    ) {
+        let layout = compact_layout(&schema, devices, th).unwrap();
+        for c in schema.key_indices() {
+            let (part, _) = layout.key_location(c).unwrap();
+            let w = layout.parts()[part as usize].width();
+            let cw = schema.column(c).width;
+            prop_assert!(
+                cw as f64 + 1e-6 >= th * w as f64,
+                "column {} width {} in part of width {} violates th={}",
+                c, cw, w, th
+            );
+        }
+    }
+
+    /// PIM effectiveness of every key column is width/part-width ∈ (0, 1].
+    #[test]
+    fn pim_effectiveness_in_unit_interval(
+        schema in arb_schema(),
+        devices in 1u32..9,
+        th in 0.0f64..=1.0,
+    ) {
+        let layout = compact_layout(&schema, devices, th).unwrap();
+        for c in schema.key_indices() {
+            let e = layout.pim_scan_effectiveness(c).unwrap();
+            prop_assert!(e > 0.0 && e <= 1.0);
+        }
+        let agg = pim_effective(&layout, |_| 1.0);
+        prop_assert!(agg > 0.0 && agg <= 1.0);
+    }
+
+    /// At th = 0 (greedy packing) the compact format never uses more
+    /// storage than the naïve format: sorted widest-first grouping plus
+    /// byte-splitting normal columns can only reduce padding. (At high
+    /// thresholds compact deliberately trades storage for PIM bandwidth,
+    /// so the inequality is restricted to th = 0.)
+    #[test]
+    fn compact_at_zero_threshold_never_pads_more_than_naive(
+        schema in arb_schema(),
+        devices in 1u32..9,
+    ) {
+        let compact = compact_layout(&schema, devices, 0.0).unwrap();
+        let naive = naive_layout(&schema, devices).unwrap();
+        prop_assert!(
+            compact.padding_per_row() <= naive.padding_per_row(),
+            "compact {} > naive {}",
+            compact.padding_per_row(),
+            naive.padding_per_row()
+        );
+    }
+
+    /// Structural sanity across the threshold sweep: accounting conserves
+    /// bytes, effectiveness stays in (0, 1], and raising th from 0 to 1
+    /// cannot reduce the number of parts by more than the optional
+    /// trailing normal-byte part.
+    #[test]
+    fn threshold_sweep_structural_invariants(
+        schema in arb_schema(),
+        devices in 2u32..9,
+    ) {
+        let lo = compact_layout(&schema, devices, 0.0).unwrap();
+        let hi = compact_layout(&schema, devices, 1.0).unwrap();
+        prop_assert!(hi.parts().len() + 1 >= lo.parts().len());
+        for l in [&lo, &hi] {
+            let e = cpu_effective(l, 8);
+            prop_assert!(e > 0.0 && e <= 1.0, "effectiveness {e}");
+            let data: u32 = l.parts().iter().map(|p| p.data_bytes()).sum();
+            prop_assert_eq!(data + l.padding_per_row(), l.padded_row_bytes());
+        }
+    }
+
+    /// Functional round-trip: random row contents survive write/read via
+    /// the store, under rotation, for data rows and delta versions.
+    #[test]
+    fn store_round_trip(
+        schema in arb_schema(),
+        devices in 1u32..9,
+        th in 0.0f64..=1.0,
+        row in 0u64..64,
+        seed in any::<u64>(),
+    ) {
+        let layout = compact_layout(&schema, devices, th).unwrap();
+        let mut store = TableStore::new(layout, 8, 64, 16);
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u8
+        };
+        let values: Vec<Vec<u8>> = schema
+            .columns()
+            .iter()
+            .map(|c| (0..c.width).map(|_| next()).collect())
+            .collect();
+        store.write_row(RowSlot::Data { row }, &values);
+        prop_assert_eq!(store.read_row(RowSlot::Data { row }), values.clone());
+
+        let rotation = store.arena_for_row(row);
+        let slot = RowSlot::Delta { rotation, idx: 1 };
+        store.write_row(slot, &values);
+        prop_assert_eq!(store.read_row(slot), values);
+    }
+
+    /// Placement bijection and balance.
+    #[test]
+    fn placement_bijection(devices in 1u32..12, block in 1u32..64, row in 0u64..100_000) {
+        let p = Placement::new(devices, block);
+        let mut seen = vec![false; devices as usize];
+        for slot in 0..devices {
+            let d = p.device_of(slot, row);
+            prop_assert_eq!(p.slot_of(d, row), slot);
+            prop_assert!(!seen[d as usize], "device {} hit twice", d);
+            seen[d as usize] = true;
+        }
+    }
+}

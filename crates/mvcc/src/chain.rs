@@ -1,0 +1,266 @@
+//! Version chains and the commit log (§2.3, §5.1, Fig. 6(b)).
+//!
+//! Every row version carries a write timestamp, a read timestamp, and a
+//! pointer to the previous version. Metadata lives in CPU memory ("as
+//! metadata is not required by PIM units", §5.1); the versions' *data*
+//! lives in the delta region of the unified format.
+
+use std::collections::HashMap;
+
+use pushtap_format::RowSlot;
+
+use crate::timestamp::Ts;
+
+/// Metadata of one row version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionMeta {
+    /// Timestamp of the transaction that created this version.
+    pub write_ts: Ts,
+    /// Timestamp of the most recent reader.
+    pub read_ts: Ts,
+    /// The previous version (None for original versions).
+    pub prev: Option<RowSlot>,
+}
+
+/// One committed update, in commit-timestamp order. Consumed by
+/// snapshotting to update the visibility bitmaps (§5.2, Fig. 6(c)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Commit timestamp.
+    pub ts: Ts,
+    /// The updated data-region row.
+    pub row: u64,
+    /// Where the new version lives.
+    pub new_slot: RowSlot,
+    /// The version it supersedes.
+    pub prev_slot: RowSlot,
+}
+
+/// The version chains of one table.
+#[derive(Debug, Clone, Default)]
+pub struct VersionChains {
+    newest: HashMap<u64, RowSlot>,
+    meta: HashMap<RowSlot, VersionMeta>,
+    log: Vec<LogEntry>,
+    traverse_steps: u64,
+}
+
+impl VersionChains {
+    /// Creates empty chains.
+    pub fn new() -> VersionChains {
+        VersionChains::default()
+    }
+
+    /// Records a committed update of `row`, whose new version was written
+    /// to `new_slot` at timestamp `ts`. Returns the superseded slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ts` is not newer than the row's current version (commits
+    /// are timestamp-ordered per row under MVCC write locking).
+    pub fn record_update(&mut self, row: u64, new_slot: RowSlot, ts: Ts) -> RowSlot {
+        let prev = self.newest_slot(row);
+        if let Some(m) = self.meta.get(&prev) {
+            assert!(m.write_ts < ts, "non-monotone commit at row {row}");
+        }
+        self.meta.insert(
+            new_slot,
+            VersionMeta {
+                write_ts: ts,
+                read_ts: ts,
+                prev: Some(prev),
+            },
+        );
+        self.newest.insert(row, new_slot);
+        self.log.push(LogEntry {
+            ts,
+            row,
+            new_slot,
+            prev_slot: prev,
+        });
+        prev
+    }
+
+    /// The newest version slot of `row` (its origin slot if never updated).
+    pub fn newest_slot(&self, row: u64) -> RowSlot {
+        self.newest
+            .get(&row)
+            .copied()
+            .unwrap_or(RowSlot::Data { row })
+    }
+
+    /// Whether `row` has any delta versions.
+    pub fn has_versions(&self, row: u64) -> bool {
+        self.newest.contains_key(&row)
+    }
+
+    /// The version of `row` visible at `ts`, and the number of chain hops
+    /// traversed to find it. Original versions (write_ts 0) are visible to
+    /// everyone.
+    pub fn visible_at(&mut self, row: u64, ts: Ts) -> (RowSlot, u32) {
+        let mut slot = self.newest_slot(row);
+        let mut steps = 0u32;
+        loop {
+            match self.meta.get(&slot) {
+                Some(m) if m.write_ts > ts => {
+                    steps += 1;
+                    self.traverse_steps += 1;
+                    slot = m.prev.expect("chain must terminate at an origin version");
+                }
+                _ => return (slot, steps),
+            }
+        }
+    }
+
+    /// Updates the read timestamp of the version at `slot`.
+    pub fn mark_read(&mut self, slot: RowSlot, ts: Ts) {
+        if let Some(m) = self.meta.get_mut(&slot) {
+            m.read_ts = m.read_ts.max(ts);
+        }
+    }
+
+    /// Metadata of a version, if it has any (origin versions without
+    /// updates have implicit `write_ts = 0`).
+    pub fn meta(&self, slot: RowSlot) -> Option<&VersionMeta> {
+        self.meta.get(&slot)
+    }
+
+    /// Rows that currently have delta versions.
+    pub fn updated_rows(&self) -> impl Iterator<Item = u64> + '_ {
+        self.newest.keys().copied()
+    }
+
+    /// Number of rows with delta versions.
+    pub fn updated_row_count(&self) -> usize {
+        self.newest.len()
+    }
+
+    /// The committed-update log, in timestamp order.
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Walks `row`'s chain collecting every delta slot (newest first), and
+    /// the hop count — the traverse component of defragmentation
+    /// (Fig. 11(d)).
+    pub fn chain_slots(&self, row: u64) -> (Vec<RowSlot>, u32) {
+        let mut out = Vec::new();
+        let mut steps = 0;
+        let mut slot = self.newest_slot(row);
+        while let RowSlot::Delta { .. } = slot {
+            out.push(slot);
+            steps += 1;
+            slot = self
+                .meta
+                .get(&slot)
+                .and_then(|m| m.prev)
+                .expect("delta version must have a predecessor");
+        }
+        (out, steps)
+    }
+
+    /// Clears all chains and the log after defragmentation moved every
+    /// newest version back to the data region. Returns the number of
+    /// versions discarded.
+    pub fn clear_after_defrag(&mut self) -> usize {
+        let versions = self.meta.len();
+        self.newest.clear();
+        self.meta.clear();
+        self.log.clear();
+        versions
+    }
+
+    /// Total chain hops ever traversed (for the Fig. 11(c) breakdown).
+    pub fn traverse_steps(&self) -> u64 {
+        self.traverse_steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(rotation: u32, idx: u64) -> RowSlot {
+        RowSlot::Delta { rotation, idx }
+    }
+
+    #[test]
+    fn chain_grows_newest_first() {
+        let mut c = VersionChains::new();
+        assert_eq!(c.newest_slot(5), RowSlot::Data { row: 5 });
+        let p0 = c.record_update(5, delta(0, 0), Ts(1));
+        assert_eq!(p0, RowSlot::Data { row: 5 });
+        let p1 = c.record_update(5, delta(0, 1), Ts(3));
+        assert_eq!(p1, delta(0, 0));
+        assert_eq!(c.newest_slot(5), delta(0, 1));
+        assert!(c.has_versions(5));
+        assert_eq!(c.updated_row_count(), 1);
+    }
+
+    /// The Fig. 6(b) scenario: T1 and T3 update the same row; a snapshot
+    /// at T=T2 must see T1's version, at T=T4 T3's version, and at T=T0
+    /// the origin.
+    #[test]
+    fn visibility_walks_the_chain() {
+        let mut c = VersionChains::new();
+        c.record_update(7, delta(1, 0), Ts(1)); // T1
+        c.record_update(7, delta(1, 1), Ts(3)); // T3
+        assert_eq!(c.visible_at(7, Ts(4)), (delta(1, 1), 0));
+        assert_eq!(c.visible_at(7, Ts(2)), (delta(1, 0), 1));
+        assert_eq!(c.visible_at(7, Ts(0)), (RowSlot::Data { row: 7 }, 2));
+        assert_eq!(c.traverse_steps(), 3);
+    }
+
+    #[test]
+    fn log_preserves_commit_order() {
+        let mut c = VersionChains::new();
+        c.record_update(1, delta(0, 0), Ts(1));
+        c.record_update(2, delta(0, 1), Ts(2));
+        c.record_update(1, delta(0, 2), Ts(4));
+        let ts: Vec<u64> = c.log().iter().map(|e| e.ts.0).collect();
+        assert_eq!(ts, vec![1, 2, 4]);
+        assert_eq!(c.log()[2].prev_slot, delta(0, 0));
+    }
+
+    #[test]
+    fn chain_slots_lists_all_versions() {
+        let mut c = VersionChains::new();
+        c.record_update(9, delta(2, 0), Ts(1));
+        c.record_update(9, delta(2, 5), Ts(2));
+        let (slots, steps) = c.chain_slots(9);
+        assert_eq!(slots, vec![delta(2, 5), delta(2, 0)]);
+        assert_eq!(steps, 2);
+        // A row with no versions has an empty chain.
+        assert_eq!(c.chain_slots(1).0.len(), 0);
+    }
+
+    #[test]
+    fn clear_after_defrag_resets() {
+        let mut c = VersionChains::new();
+        c.record_update(1, delta(0, 0), Ts(1));
+        c.record_update(2, delta(1, 0), Ts(2));
+        assert_eq!(c.clear_after_defrag(), 2);
+        assert_eq!(c.updated_row_count(), 0);
+        assert!(c.log().is_empty());
+        assert_eq!(c.newest_slot(1), RowSlot::Data { row: 1 });
+    }
+
+    #[test]
+    fn read_ts_advances() {
+        let mut c = VersionChains::new();
+        c.record_update(1, delta(0, 0), Ts(2));
+        c.mark_read(delta(0, 0), Ts(9));
+        assert_eq!(c.meta(delta(0, 0)).unwrap().read_ts, Ts(9));
+        // mark_read never regresses.
+        c.mark_read(delta(0, 0), Ts(3));
+        assert_eq!(c.meta(delta(0, 0)).unwrap().read_ts, Ts(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone commit")]
+    fn non_monotone_commit_panics() {
+        let mut c = VersionChains::new();
+        c.record_update(1, delta(0, 0), Ts(5));
+        c.record_update(1, delta(0, 1), Ts(5));
+    }
+}

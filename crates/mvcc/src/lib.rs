@@ -1,0 +1,50 @@
+//! Multi-version concurrency control for PUSHtap (§5 of the paper).
+//!
+//! Single-instance HTAP needs MVCC so analytical queries read a consistent
+//! snapshot while transactions keep committing. PUSHtap keeps version
+//! *metadata* in CPU memory but version *data* in the delta region of the
+//! unified format, rotation-aligned with the origin rows so PIM units can
+//! copy versions back locally during defragmentation.
+//!
+//! * [`Ts`]/[`TsAllocator`] — transaction timestamps;
+//! * [`VersionChains`] — per-row version chains plus the commit log;
+//! * [`DeltaAllocator`] — rotation-arena slot allocation;
+//! * [`Snapshot`] — the per-device visibility bitmaps, updated
+//!   incrementally from the log (Fig. 6(c));
+//! * [`DefragCostModel`] — Equations 1–3 and the CPU/PIM/Hybrid strategy
+//!   choice (Fig. 12(a)).
+//!
+//! # Examples
+//!
+//! ```
+//! use pushtap_format::RowSlot;
+//! use pushtap_mvcc::{Snapshot, Ts, TsAllocator, VersionChains};
+//!
+//! let mut ts = TsAllocator::new();
+//! let mut chains = VersionChains::new();
+//! let mut snap = Snapshot::new(16, 4, 8);
+//!
+//! // A transaction updates row 3 with a version in arena 0, slot 0.
+//! let t = ts.allocate();
+//! chains.record_update(3, RowSlot::Delta { rotation: 0, idx: 0 }, t);
+//!
+//! // Snapshotting folds the commit log into the bitmaps.
+//! snap.update(chains.log(), t);
+//! assert!(!snap.visible(RowSlot::Data { row: 3 }));
+//! assert!(snap.visible(RowSlot::Delta { rotation: 0, idx: 0 }));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chain;
+mod delta;
+mod defrag;
+mod snapshot;
+mod timestamp;
+
+pub use chain::{LogEntry, VersionChains, VersionMeta};
+pub use delta::{DeltaAllocator, DeltaFull};
+pub use defrag::{DefragCostModel, DefragStats, DefragStrategy};
+pub use snapshot::{Bitmap, Snapshot, SnapshotUpdate};
+pub use timestamp::{Ts, TsAllocator};

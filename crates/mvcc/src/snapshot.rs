@@ -1,0 +1,324 @@
+//! Bitmap snapshots (§5.2, Fig. 6(c)).
+//!
+//! Before an analytical query, the CPU folds the commit log into two
+//! visibility bitmaps — one over the data region, one over the delta
+//! region — and the PIM units consult their bank-local copy while
+//! scanning. Bit `1` means the row version is part of the snapshot.
+//! Updates are incremental: entries newer than the snapshot timestamp are
+//! left for the next snapshot (transaction T5 in the paper's example).
+
+use serde::{Deserialize, Serialize};
+
+use pushtap_format::RowSlot;
+
+use crate::chain::LogEntry;
+use crate::timestamp::Ts;
+
+/// A dense bitset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: u64,
+}
+
+impl Bitmap {
+    /// Creates a bitmap of `len` bits, all set to `fill`.
+    pub fn new(len: u64, fill: bool) -> Bitmap {
+        let words = vec![if fill { !0u64 } else { 0 }; len.div_ceil(64) as usize];
+        let mut b = Bitmap { words, len };
+        if fill {
+            b.trim_tail();
+        }
+        b
+    }
+
+    fn trim_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the bitmap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: u64) -> bool {
+        assert!(i < self.len, "bit {i} out of range");
+        self.words[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets the bit at `i` to `v`; returns whether the bit changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: u64, v: bool) -> bool {
+        assert!(i < self.len, "bit {i} out of range");
+        let w = &mut self.words[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        let old = *w & mask != 0;
+        if v {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+        old != v
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Bytes occupied by this bitmap (what each device stores).
+    pub fn bytes(&self) -> u64 {
+        self.len.div_ceil(8)
+    }
+}
+
+/// Statistics of one incremental snapshot update, used for timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotUpdate {
+    /// Log entries folded into the bitmaps.
+    pub entries_applied: u64,
+    /// Bits that actually changed.
+    pub bits_flipped: u64,
+    /// Changed bits in the data-region bitmap (scattered by row).
+    pub data_flips: u64,
+    /// Changed bits in the delta-region bitmap (clustered: delta slots
+    /// allocate sequentially within arenas).
+    pub delta_flips: u64,
+}
+
+/// The visibility snapshot of one table.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    ts: Ts,
+    data: Bitmap,
+    delta: Bitmap,
+    arena_rows: u64,
+    cursor: usize,
+}
+
+impl Snapshot {
+    /// Creates the initial snapshot: every data row visible, no delta
+    /// version visible.
+    pub fn new(n_rows: u64, arenas: u32, arena_rows: u64) -> Snapshot {
+        Snapshot {
+            ts: Ts::ZERO,
+            data: Bitmap::new(n_rows, true),
+            delta: Bitmap::new(arenas as u64 * arena_rows, false),
+            arena_rows,
+            cursor: 0,
+        }
+    }
+
+    /// The snapshot timestamp.
+    pub fn ts(&self) -> Ts {
+        self.ts
+    }
+
+    fn delta_index(&self, rotation: u32, idx: u64) -> u64 {
+        rotation as u64 * self.arena_rows + idx
+    }
+
+    fn bit_of(&self, slot: RowSlot) -> (bool, u64) {
+        match slot {
+            RowSlot::Data { row } => (true, row),
+            RowSlot::Delta { rotation, idx } => (false, self.delta_index(rotation, idx)),
+        }
+    }
+
+    fn set_slot(&mut self, slot: RowSlot, v: bool) -> (bool, bool) {
+        let (is_data, i) = self.bit_of(slot);
+        let changed = if is_data {
+            self.data.set(i, v)
+        } else {
+            self.delta.set(i, v)
+        };
+        (changed, is_data)
+    }
+
+    /// Whether `slot` is visible in this snapshot.
+    pub fn visible(&self, slot: RowSlot) -> bool {
+        let (is_data, i) = self.bit_of(slot);
+        if is_data {
+            self.data.get(i)
+        } else {
+            self.delta.get(i)
+        }
+    }
+
+    /// Folds log entries with `ts ≤ upto` into the bitmaps, advancing the
+    /// snapshot timestamp to `upto`. Entries must be the same log the
+    /// previous updates consumed (the internal cursor tracks progress).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log shrank below the cursor (the engine must only
+    /// clear the log together with [`Snapshot::reset_after_defrag`]).
+    pub fn update(&mut self, log: &[LogEntry], upto: Ts) -> SnapshotUpdate {
+        assert!(
+            log.len() >= self.cursor,
+            "log shrank without a snapshot reset"
+        );
+        let mut stats = SnapshotUpdate::default();
+        while self.cursor < log.len() && log[self.cursor].ts <= upto {
+            let e = log[self.cursor];
+            stats.entries_applied += 1;
+            for (slot, v) in [(e.prev_slot, false), (e.new_slot, true)] {
+                let (changed, is_data) = self.set_slot(slot, v);
+                stats.bits_flipped += changed as u64;
+                if changed {
+                    if is_data {
+                        stats.data_flips += 1;
+                    } else {
+                        stats.delta_flips += 1;
+                    }
+                }
+            }
+            self.cursor += 1;
+        }
+        self.ts = self.ts.max(upto);
+        stats
+    }
+
+    /// Resets visibility after defragmentation: every data row visible
+    /// again, all delta versions gone, cursor rewound for the cleared log.
+    pub fn reset_after_defrag(&mut self, upto: Ts) {
+        self.data = Bitmap::new(self.data.len(), true);
+        self.delta = Bitmap::new(self.delta.len(), false);
+        self.cursor = 0;
+        self.ts = self.ts.max(upto);
+    }
+
+    /// Visible data-region rows.
+    pub fn visible_data_rows(&self) -> u64 {
+        self.data.count_ones()
+    }
+
+    /// Visible delta-region versions.
+    pub fn visible_delta_rows(&self) -> u64 {
+        self.delta.count_ones()
+    }
+
+    /// Bitmap bytes stored per device (both regions).
+    pub fn bytes_per_device(&self) -> u64 {
+        self.data.bytes() + self.delta.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::VersionChains;
+
+    fn delta(rotation: u32, idx: u64) -> RowSlot {
+        RowSlot::Delta { rotation, idx }
+    }
+
+    #[test]
+    fn bitmap_basics() {
+        let mut b = Bitmap::new(70, false);
+        assert_eq!(b.len(), 70);
+        assert!(!b.get(69));
+        assert!(b.set(69, true));
+        assert!(!b.set(69, true)); // unchanged
+        assert!(b.get(69));
+        assert_eq!(b.count_ones(), 1);
+        assert_eq!(b.bytes(), 9);
+        let full = Bitmap::new(70, true);
+        assert_eq!(full.count_ones(), 70);
+    }
+
+    /// The paper's Fig. 6(c) walk-through: initial bitmap 111|0000; after
+    /// T1 (a→d): 011|1000; after T2 (c→e): 010|1100; after T3 (d→f):
+    /// 010|0110; T5 is newer than the snapshot and is skipped.
+    #[test]
+    fn figure_6c_example() {
+        // Rows a,b,c = 0,1,2; delta slots d,e,f,g = idx 0..3 in arena 0.
+        let mut chains = VersionChains::new();
+        let mut snap = Snapshot::new(3, 1, 4);
+        chains.record_update(0, delta(0, 0), Ts(1)); // T1: a → d
+        chains.record_update(2, delta(0, 1), Ts(2)); // T2: c → e
+        chains.record_update(0, delta(0, 2), Ts(3)); // T3: d → f
+        chains.record_update(1, delta(0, 3), Ts(5)); // T5: b → g (after the query)
+
+        let stats = snap.update(chains.log(), Ts(4));
+        assert_eq!(stats.entries_applied, 3);
+        assert!(!snap.visible(RowSlot::Data { row: 0 })); // a invisible
+        assert!(snap.visible(RowSlot::Data { row: 1 })); // b still visible (T5 skipped)
+        assert!(!snap.visible(RowSlot::Data { row: 2 })); // c invisible
+        assert!(!snap.visible(delta(0, 0))); // d superseded by f
+        assert!(snap.visible(delta(0, 1))); // e visible
+        assert!(snap.visible(delta(0, 2))); // f visible
+        assert!(!snap.visible(delta(0, 3))); // g not yet in snapshot
+        assert_eq!(snap.ts(), Ts(4));
+
+        // The next snapshot picks T5 up.
+        let stats = snap.update(chains.log(), Ts(6));
+        assert_eq!(stats.entries_applied, 1);
+        assert!(snap.visible(delta(0, 3)));
+        assert!(!snap.visible(RowSlot::Data { row: 1 }));
+    }
+
+    #[test]
+    fn incremental_update_is_idempotent_per_entry() {
+        let mut chains = VersionChains::new();
+        let mut snap = Snapshot::new(4, 1, 4);
+        chains.record_update(0, delta(0, 0), Ts(1));
+        let s1 = snap.update(chains.log(), Ts(1));
+        let s2 = snap.update(chains.log(), Ts(1));
+        assert_eq!(s1.entries_applied, 1);
+        assert_eq!(s2.entries_applied, 0); // cursor does not re-apply
+    }
+
+    #[test]
+    fn snapshot_counts_and_sizes() {
+        let snap = Snapshot::new(100, 4, 25);
+        assert_eq!(snap.visible_data_rows(), 100);
+        assert_eq!(snap.visible_delta_rows(), 0);
+        assert_eq!(snap.bytes_per_device(), 13 + 13);
+    }
+
+    #[test]
+    fn reset_after_defrag_restores_data_visibility() {
+        let mut chains = VersionChains::new();
+        let mut snap = Snapshot::new(4, 1, 4);
+        chains.record_update(0, delta(0, 0), Ts(1));
+        snap.update(chains.log(), Ts(2));
+        assert!(!snap.visible(RowSlot::Data { row: 0 }));
+        chains.clear_after_defrag();
+        snap.reset_after_defrag(Ts(2));
+        assert!(snap.visible(RowSlot::Data { row: 0 }));
+        assert_eq!(snap.visible_delta_rows(), 0);
+        // Cursor rewound: an empty log is acceptable again.
+        snap.update(chains.log(), Ts(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "log shrank")]
+    fn shrunken_log_without_reset_panics() {
+        let mut chains = VersionChains::new();
+        let mut snap = Snapshot::new(4, 1, 4);
+        chains.record_update(0, delta(0, 0), Ts(1));
+        snap.update(chains.log(), Ts(1));
+        chains.clear_after_defrag();
+        // Forgot reset_after_defrag:
+        snap.update(chains.log(), Ts(2));
+    }
+}

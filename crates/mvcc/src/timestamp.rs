@@ -1,0 +1,74 @@
+//! Transaction timestamps.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A transaction timestamp. `Ts(0)` is reserved for "the beginning of
+/// time" (original data-load versions).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ts(pub u64);
+
+impl Ts {
+    /// The load-time timestamp carried by original versions.
+    pub const ZERO: Ts = Ts(0);
+}
+
+impl fmt::Display for Ts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Monotonic timestamp allocator (one per database instance).
+#[derive(Debug, Clone, Default)]
+pub struct TsAllocator {
+    next: u64,
+}
+
+impl TsAllocator {
+    /// Creates an allocator starting at `T1`.
+    pub fn new() -> TsAllocator {
+        TsAllocator { next: 1 }
+    }
+
+    /// Allocates the next timestamp.
+    pub fn allocate(&mut self) -> Ts {
+        let ts = Ts(self.next);
+        self.next += 1;
+        ts
+    }
+
+    /// The most recently allocated timestamp (`Ts::ZERO` if none).
+    pub fn last(&self) -> Ts {
+        Ts(self.next.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_monotone() {
+        let mut a = TsAllocator::new();
+        let t1 = a.allocate();
+        let t2 = a.allocate();
+        assert!(t2 > t1);
+        assert!(t1 > Ts::ZERO);
+        assert_eq!(a.last(), t2);
+    }
+
+    #[test]
+    fn fresh_allocator_has_no_last() {
+        let a = TsAllocator::default();
+        assert_eq!(a.last(), Ts::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Ts(42).to_string(), "T42");
+    }
+}

@@ -1,0 +1,49 @@
+//! The OLAP engine of PUSHtap (§6 of the paper).
+//!
+//! Analytical queries run on the PIM units through a two-phase execution
+//! model: *load* phases DMA 32 kB WRAM slices (banks handed to PIM, CPU
+//! blocked on those banks only), *compute* phases evaluate the operator
+//! from WRAM while the CPU runs transactions freely. The CPU coordinates
+//! multi-column operators (group-index shuffles, hash-join bucket
+//! partitioning, §6.3).
+//!
+//! * [`LaunchRequest`] — byte-exact Fig. 7(b) launch-request encodings;
+//! * [`ScanEngine`] — two-phase scans under PUSHtap's scheduler or the
+//!   original per-unit control architecture (the Fig. 12(b) comparison);
+//! * [`Query`] — Q1 / Q6 / Q9 with value-correct results;
+//! * [`ref_q1`]/[`ref_q6`]/[`ref_q9`] — the naive reference executor used
+//!   to validate the PIM path.
+//!
+//! # Examples
+//!
+//! ```
+//! use pushtap_olap::{Query, ScanEngine};
+//! use pushtap_oltp::{DbConfig, TpccDb};
+//! use pushtap_pim::{ControlArch, MemSystem, Ps, SystemConfig};
+//!
+//! let mut mem = MemSystem::dimm();
+//! let db = TpccDb::build(&DbConfig::small(), &mem)?;
+//! let engine = ScanEngine::new(ControlArch::Pushtap, &SystemConfig::dimm());
+//! let (result, timing) = Query::Q6.execute(&db, &engine, &mut mem, Ps::ZERO);
+//! assert!(timing.end > Ps::ZERO);
+//! # let _ = result;
+//! # Ok::<(), pushtap_format::LayoutError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod exec;
+mod footprint;
+mod ops;
+mod query;
+mod reference;
+
+pub use exec::{ScanEngine, ScanOutcome};
+pub use footprint::{run_all_queries, run_footprint_query, FootprintReport};
+pub use ops::{DecodeError, LaunchRequest};
+pub use query::{
+    Q1Row, Q9Row, Query, QueryResult, QueryTiming, DELIVERY_CUTOFF, PRICE_MODULUS, Q9_GROUPS,
+    QUANTITY_MAX,
+};
+pub use reference::{ref_q1, ref_q6, ref_q9};

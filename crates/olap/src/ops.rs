@@ -1,0 +1,466 @@
+//! Launch-request encodings (Fig. 7(b)).
+//!
+//! A launch request is disguised as a 64-byte memory write to a reserved
+//! physical address: one type byte plus 63 parameter bytes. The field
+//! widths below are byte-exact to the figure; all multi-byte fields are
+//! little-endian. PIM units interpret the parameter block according to the
+//! type byte (the "dual-level configurability" of §6.1).
+
+use pushtap_pim::{LaunchPayload, PimOpKind};
+
+/// Operation type bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum TypeByte {
+    Ls = 0,
+    Filter = 1,
+    Group = 2,
+    Aggregation = 3,
+    Hash = 4,
+    Join = 5,
+    Defragment = 6,
+}
+
+fn put(bytes: &mut Vec<u8>, value: u64, width: usize) {
+    bytes.extend_from_slice(&value.to_le_bytes()[..width]);
+}
+
+fn get(bytes: &[u8], cursor: &mut usize, width: usize) -> u64 {
+    let mut le = [0u8; 8];
+    le[..width].copy_from_slice(&bytes[*cursor..*cursor + width]);
+    *cursor += width;
+    u64::from_le_bytes(le)
+}
+
+/// The Fig. 7(b) request set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchRequest {
+    /// Load/store phase: move data between DRAM and WRAM.
+    /// Fields: `result_addr(3) result_len(2) result_offset(2)
+    /// result_stride(2) op0_addr(3) op0_len(2) op0_offset(2) op0_stride(2)`.
+    Ls {
+        /// DRAM address to store last phase's results to (3 bytes).
+        result_addr: u32,
+        /// Result length in bytes (2 bytes).
+        result_len: u16,
+        /// WRAM offset of the results (2 bytes).
+        result_offset: u16,
+        /// Per-unit stride applied to `result_addr` (2 bytes).
+        result_stride: u16,
+        /// DRAM address of the next operand block (3 bytes).
+        op0_addr: u32,
+        /// Operand length in bytes (2 bytes).
+        op0_len: u16,
+        /// WRAM offset for the operand (2 bytes).
+        op0_offset: u16,
+        /// Per-unit stride applied to `op0_addr` (2 bytes); the real
+        /// address loaded by PIM unit *i* is `op0_stride * i + op0_addr`
+        /// (§6.2, block-circulant placement).
+        op0_stride: u16,
+    },
+    /// Predicate evaluation.
+    /// Fields: `bitmap_offset(2) data_offset(2) result_offset(2)
+    /// data_width(1) condition(8)`.
+    Filter {
+        /// WRAM offset of the snapshot bitmap slice (2 bytes).
+        bitmap_offset: u16,
+        /// WRAM offset of the column data (2 bytes).
+        data_offset: u16,
+        /// WRAM offset for the result bitmap (2 bytes).
+        result_offset: u16,
+        /// Element width in bytes (1 byte).
+        data_width: u8,
+        /// Packed predicate: comparison plus bound(s) (8 bytes).
+        condition: u64,
+    },
+    /// Group-index computation for `GROUP BY`.
+    /// Fields: `bitmap_offset(2) data_offset(2) dict_offset(2)
+    /// result_offset(2) data_width(1)`.
+    Group {
+        /// WRAM offset of the snapshot bitmap slice (2 bytes).
+        bitmap_offset: u16,
+        /// WRAM offset of the column data (2 bytes).
+        data_offset: u16,
+        /// WRAM offset of the group dictionary (2 bytes).
+        dict_offset: u16,
+        /// WRAM offset for the group indices (2 bytes).
+        result_offset: u16,
+        /// Element width in bytes (1 byte).
+        data_width: u8,
+    },
+    /// Indexed accumulation.
+    /// Fields: `bitmap_offset(2) data_offset(2) index_offset(2)
+    /// result_offset(2) data_width(1)`.
+    Aggregation {
+        /// WRAM offset of the snapshot bitmap slice (2 bytes).
+        bitmap_offset: u16,
+        /// WRAM offset of the column data (2 bytes).
+        data_offset: u16,
+        /// WRAM offset of the group indices (2 bytes).
+        index_offset: u16,
+        /// WRAM offset for the accumulators (2 bytes).
+        result_offset: u16,
+        /// Element width in bytes (1 byte).
+        data_width: u8,
+    },
+    /// Join-key hashing.
+    /// Fields: `bitmap_offset(2) data_offset(2) result_offset(2)
+    /// hash_function(4) data_width(1)`.
+    Hash {
+        /// WRAM offset of the snapshot bitmap slice (2 bytes).
+        bitmap_offset: u16,
+        /// WRAM offset of the key column (2 bytes).
+        data_offset: u16,
+        /// WRAM offset for the hash values (2 bytes).
+        result_offset: u16,
+        /// Hash-function selector/seed (4 bytes).
+        hash_function: u32,
+        /// Element width in bytes (1 byte).
+        data_width: u8,
+    },
+    /// Bucket-local hash-join probe.
+    /// Fields: `hash1_offset(2) hash2_offset(2) result_offset(2)
+    /// data_width(1)`.
+    Join {
+        /// WRAM offset of the build-side hashes (2 bytes).
+        hash1_offset: u16,
+        /// WRAM offset of the probe-side hashes (2 bytes).
+        hash2_offset: u16,
+        /// WRAM offset for the match list (2 bytes).
+        result_offset: u16,
+        /// Element width in bytes (1 byte).
+        data_width: u8,
+    },
+    /// Version copy-back.
+    /// Fields: `meta_addr(3) data_addr(3) data_stride(2) delta_addr(3)
+    /// delta_stride(2)`.
+    Defragment {
+        /// DRAM address of the broadcast metadata (3 bytes).
+        meta_addr: u32,
+        /// Data-region base address (3 bytes).
+        data_addr: u32,
+        /// Data-region row stride (2 bytes).
+        data_stride: u16,
+        /// Delta-region base address (3 bytes).
+        delta_addr: u32,
+        /// Delta-region row stride (2 bytes).
+        delta_stride: u16,
+    },
+}
+
+/// Errors from decoding a launch payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The unrecognised type byte.
+    pub type_byte: u8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown launch type byte {}", self.type_byte)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl LaunchRequest {
+    /// The PIM operation this request launches.
+    pub fn op_kind(&self) -> PimOpKind {
+        match self {
+            LaunchRequest::Ls { .. } => PimOpKind::Ls,
+            LaunchRequest::Filter { .. } => PimOpKind::Filter,
+            LaunchRequest::Group { .. } => PimOpKind::Group,
+            LaunchRequest::Aggregation { .. } => PimOpKind::Aggregate,
+            LaunchRequest::Hash { .. } => PimOpKind::Hash,
+            LaunchRequest::Join { .. } => PimOpKind::Join,
+            LaunchRequest::Defragment { .. } => PimOpKind::Defragment,
+        }
+    }
+
+    /// Encodes the request as the 64-byte wire payload.
+    pub fn encode(&self) -> LaunchPayload {
+        let mut p = Vec::with_capacity(63);
+        let ty = match self {
+            LaunchRequest::Ls {
+                result_addr,
+                result_len,
+                result_offset,
+                result_stride,
+                op0_addr,
+                op0_len,
+                op0_offset,
+                op0_stride,
+            } => {
+                put(&mut p, *result_addr as u64, 3);
+                put(&mut p, *result_len as u64, 2);
+                put(&mut p, *result_offset as u64, 2);
+                put(&mut p, *result_stride as u64, 2);
+                put(&mut p, *op0_addr as u64, 3);
+                put(&mut p, *op0_len as u64, 2);
+                put(&mut p, *op0_offset as u64, 2);
+                put(&mut p, *op0_stride as u64, 2);
+                TypeByte::Ls
+            }
+            LaunchRequest::Filter {
+                bitmap_offset,
+                data_offset,
+                result_offset,
+                data_width,
+                condition,
+            } => {
+                put(&mut p, *bitmap_offset as u64, 2);
+                put(&mut p, *data_offset as u64, 2);
+                put(&mut p, *result_offset as u64, 2);
+                put(&mut p, *data_width as u64, 1);
+                put(&mut p, *condition, 8);
+                TypeByte::Filter
+            }
+            LaunchRequest::Group {
+                bitmap_offset,
+                data_offset,
+                dict_offset,
+                result_offset,
+                data_width,
+            } => {
+                put(&mut p, *bitmap_offset as u64, 2);
+                put(&mut p, *data_offset as u64, 2);
+                put(&mut p, *dict_offset as u64, 2);
+                put(&mut p, *result_offset as u64, 2);
+                put(&mut p, *data_width as u64, 1);
+                TypeByte::Group
+            }
+            LaunchRequest::Aggregation {
+                bitmap_offset,
+                data_offset,
+                index_offset,
+                result_offset,
+                data_width,
+            } => {
+                put(&mut p, *bitmap_offset as u64, 2);
+                put(&mut p, *data_offset as u64, 2);
+                put(&mut p, *index_offset as u64, 2);
+                put(&mut p, *result_offset as u64, 2);
+                put(&mut p, *data_width as u64, 1);
+                TypeByte::Aggregation
+            }
+            LaunchRequest::Hash {
+                bitmap_offset,
+                data_offset,
+                result_offset,
+                hash_function,
+                data_width,
+            } => {
+                put(&mut p, *bitmap_offset as u64, 2);
+                put(&mut p, *data_offset as u64, 2);
+                put(&mut p, *result_offset as u64, 2);
+                put(&mut p, *hash_function as u64, 4);
+                put(&mut p, *data_width as u64, 1);
+                TypeByte::Hash
+            }
+            LaunchRequest::Join {
+                hash1_offset,
+                hash2_offset,
+                result_offset,
+                data_width,
+            } => {
+                put(&mut p, *hash1_offset as u64, 2);
+                put(&mut p, *hash2_offset as u64, 2);
+                put(&mut p, *result_offset as u64, 2);
+                put(&mut p, *data_width as u64, 1);
+                TypeByte::Join
+            }
+            LaunchRequest::Defragment {
+                meta_addr,
+                data_addr,
+                data_stride,
+                delta_addr,
+                delta_stride,
+            } => {
+                put(&mut p, *meta_addr as u64, 3);
+                put(&mut p, *data_addr as u64, 3);
+                put(&mut p, *data_stride as u64, 2);
+                put(&mut p, *delta_addr as u64, 3);
+                put(&mut p, *delta_stride as u64, 2);
+                TypeByte::Defragment
+            }
+        };
+        LaunchPayload::new(ty as u8, &p)
+    }
+
+    /// Decodes a wire payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for an unknown type byte.
+    pub fn decode(payload: &LaunchPayload) -> Result<LaunchRequest, DecodeError> {
+        let p = payload.params();
+        let mut c = 0usize;
+        Ok(match payload.op_type() {
+            0 => LaunchRequest::Ls {
+                result_addr: get(p, &mut c, 3) as u32,
+                result_len: get(p, &mut c, 2) as u16,
+                result_offset: get(p, &mut c, 2) as u16,
+                result_stride: get(p, &mut c, 2) as u16,
+                op0_addr: get(p, &mut c, 3) as u32,
+                op0_len: get(p, &mut c, 2) as u16,
+                op0_offset: get(p, &mut c, 2) as u16,
+                op0_stride: get(p, &mut c, 2) as u16,
+            },
+            1 => LaunchRequest::Filter {
+                bitmap_offset: get(p, &mut c, 2) as u16,
+                data_offset: get(p, &mut c, 2) as u16,
+                result_offset: get(p, &mut c, 2) as u16,
+                data_width: get(p, &mut c, 1) as u8,
+                condition: get(p, &mut c, 8),
+            },
+            2 => LaunchRequest::Group {
+                bitmap_offset: get(p, &mut c, 2) as u16,
+                data_offset: get(p, &mut c, 2) as u16,
+                dict_offset: get(p, &mut c, 2) as u16,
+                result_offset: get(p, &mut c, 2) as u16,
+                data_width: get(p, &mut c, 1) as u8,
+            },
+            3 => LaunchRequest::Aggregation {
+                bitmap_offset: get(p, &mut c, 2) as u16,
+                data_offset: get(p, &mut c, 2) as u16,
+                index_offset: get(p, &mut c, 2) as u16,
+                result_offset: get(p, &mut c, 2) as u16,
+                data_width: get(p, &mut c, 1) as u8,
+            },
+            4 => LaunchRequest::Hash {
+                bitmap_offset: get(p, &mut c, 2) as u16,
+                data_offset: get(p, &mut c, 2) as u16,
+                result_offset: get(p, &mut c, 2) as u16,
+                hash_function: get(p, &mut c, 4) as u32,
+                data_width: get(p, &mut c, 1) as u8,
+            },
+            5 => LaunchRequest::Join {
+                hash1_offset: get(p, &mut c, 2) as u16,
+                hash2_offset: get(p, &mut c, 2) as u16,
+                result_offset: get(p, &mut c, 2) as u16,
+                data_width: get(p, &mut c, 1) as u8,
+            },
+            6 => LaunchRequest::Defragment {
+                meta_addr: get(p, &mut c, 3) as u32,
+                data_addr: get(p, &mut c, 3) as u32,
+                data_stride: get(p, &mut c, 2) as u16,
+                delta_addr: get(p, &mut c, 3) as u32,
+                delta_stride: get(p, &mut c, 2) as u16,
+            },
+            other => return Err(DecodeError { type_byte: other }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<LaunchRequest> {
+        vec![
+            LaunchRequest::Ls {
+                result_addr: 0x123456,
+                result_len: 512,
+                result_offset: 0,
+                result_stride: 64,
+                op0_addr: 0xABCDEF,
+                op0_len: 32_768,
+                op0_offset: 1024,
+                op0_stride: 4096,
+            },
+            LaunchRequest::Filter {
+                bitmap_offset: 1,
+                data_offset: 2,
+                result_offset: 3,
+                data_width: 8,
+                condition: 0xDEADBEEF,
+            },
+            LaunchRequest::Group {
+                bitmap_offset: 1,
+                data_offset: 2,
+                dict_offset: 3,
+                result_offset: 4,
+                data_width: 1,
+            },
+            LaunchRequest::Aggregation {
+                bitmap_offset: 1,
+                data_offset: 2,
+                index_offset: 3,
+                result_offset: 4,
+                data_width: 8,
+            },
+            LaunchRequest::Hash {
+                bitmap_offset: 1,
+                data_offset: 2,
+                result_offset: 3,
+                hash_function: 0x9E3779B9,
+                data_width: 4,
+            },
+            LaunchRequest::Join {
+                hash1_offset: 1,
+                hash2_offset: 2,
+                result_offset: 3,
+                data_width: 4,
+            },
+            LaunchRequest::Defragment {
+                meta_addr: 0x111111,
+                data_addr: 0x222222,
+                data_stride: 56,
+                delta_addr: 0x333333,
+                delta_stride: 56,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_request() {
+        for r in all_requests() {
+            let decoded = LaunchRequest::decode(&r.encode()).unwrap();
+            assert_eq!(decoded, r);
+        }
+    }
+
+    /// Field widths are byte-exact to Fig. 7(b): check a known encoding.
+    #[test]
+    fn filter_wire_layout() {
+        let r = LaunchRequest::Filter {
+            bitmap_offset: 0x0102,
+            data_offset: 0x0304,
+            result_offset: 0x0506,
+            data_width: 8,
+            condition: 0x1122334455667788,
+        };
+        let p = r.encode();
+        assert_eq!(p.op_type(), 1);
+        let params = p.params();
+        assert_eq!(&params[0..2], &[0x02, 0x01]); // bitmap_offset LE
+        assert_eq!(&params[2..4], &[0x04, 0x03]);
+        assert_eq!(&params[4..6], &[0x06, 0x05]);
+        assert_eq!(params[6], 8);
+        assert_eq!(&params[7..15], &0x1122334455667788u64.to_le_bytes());
+    }
+
+    /// The LS parameter block is 18 bytes: 3+2+2+2 + 3+2+2+2.
+    #[test]
+    fn ls_parameter_length() {
+        let r = &all_requests()[0];
+        let p = r.encode();
+        // Bytes beyond the fields are zero.
+        assert!(p.params()[18..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn op_kind_mapping() {
+        use PimOpKind::*;
+        let kinds: Vec<PimOpKind> = all_requests().iter().map(LaunchRequest::op_kind).collect();
+        assert_eq!(kinds, vec![Ls, Filter, Group, Aggregate, Hash, Join, Defragment]);
+    }
+
+    #[test]
+    fn unknown_type_byte_errors() {
+        let p = LaunchPayload::new(9, &[]);
+        let e = LaunchRequest::decode(&p).unwrap_err();
+        assert_eq!(e.type_byte, 9);
+        assert!(e.to_string().contains('9'));
+    }
+}

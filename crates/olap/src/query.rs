@@ -1,0 +1,391 @@
+//! The three analytical queries of the evaluation (§7.1): Q1
+//! (aggregation-heavy), Q6 (selection-heavy), Q9 (join-heavy), executed
+//! with the §6.3 CPU/PIM task division and returning *value-correct*
+//! results from the snapshot.
+
+use std::collections::{BTreeMap, HashSet};
+
+use pushtap_chbench::{dec_u64, Table};
+use pushtap_oltp::{HtapTable, TpccDb};
+use pushtap_pim::{BankAddr, MemSystem, Op, PimOpKind, Ps, Side};
+
+use crate::exec::{ScanEngine, ScanOutcome};
+
+/// Q1/Q6 delivery-date cutoff: the midpoint of the generator's two-year
+/// window (selectivity ≈ 50 %).
+pub const DELIVERY_CUTOFF: u64 = 1_167_600_000 + 31_536_000;
+/// Q6 quantity bound (inclusive): quantities are 1..=50, so ≈ 50 %.
+pub const QUANTITY_MAX: u64 = 25;
+/// Q9 item predicate: prices ending in a 0/5 cent (≈ 20 %).
+pub const PRICE_MODULUS: u64 = 5;
+/// Q9 grouping fan-out ("nations").
+pub const Q9_GROUPS: u64 = 7;
+
+/// One Q1 output row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Q1Row {
+    /// Grouping key (`ol_number`).
+    pub ol_number: u64,
+    /// `SUM(ol_quantity)`.
+    pub sum_qty: u64,
+    /// `SUM(ol_amount)`.
+    pub sum_amount: u64,
+    /// `COUNT(*)`.
+    pub count: u64,
+}
+
+/// One Q9 output row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Q9Row {
+    /// Grouping key (`ol_i_id mod Q9_GROUPS`, the "nation" proxy).
+    pub group: u64,
+    /// `SUM(ol_amount)` over matching order lines.
+    pub sum_amount: u64,
+}
+
+/// A query's value result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// Q1's grouped pricing summary.
+    Q1(Vec<Q1Row>),
+    /// Q6's single revenue figure.
+    Q6 {
+        /// `SUM(ol_amount)` under the date/quantity predicate.
+        revenue: u64,
+    },
+    /// Q9's grouped profit.
+    Q9(Vec<Q9Row>),
+}
+
+/// Timing of a query execution, decomposed as in Fig. 9(b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryTiming {
+    /// Completion time.
+    pub end: Ps,
+    /// PIM load (DMA) time.
+    pub pim_load: Ps,
+    /// PIM compute time.
+    pub pim_compute: Ps,
+    /// CPU-side compute (partitioning, merging, final reduction).
+    pub cpu_compute: Ps,
+    /// Control-path overhead.
+    pub control: Ps,
+    /// Time CPU access to the scanned banks was blocked.
+    pub cpu_blocked: Ps,
+}
+
+impl QueryTiming {
+    fn absorb(&mut self, o: &ScanOutcome) {
+        self.pim_load += o.load_time;
+        self.pim_compute += o.compute_time;
+        self.control += o.control_time;
+        self.cpu_blocked += o.cpu_blocked;
+    }
+}
+
+/// The analytical queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// TPC-H Q1 (aggregation-heavy).
+    Q1,
+    /// TPC-H Q6 (selection-heavy).
+    Q6,
+    /// TPC-H Q9 (join-heavy).
+    Q9,
+}
+
+impl Query {
+    /// All three evaluation queries.
+    pub const ALL: [Query; 3] = [Query::Q1, Query::Q6, Query::Q9];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Query::Q1 => "Q1",
+            Query::Q6 => "Q6",
+            Query::Q9 => "Q9",
+        }
+    }
+
+    /// Executes the query against the database's *current snapshots*
+    /// (call the engine's snapshotting first for freshness), returning
+    /// the value result and the timing.
+    pub fn execute(
+        self,
+        db: &TpccDb,
+        engine: &ScanEngine,
+        mem: &mut MemSystem,
+        at: Ps,
+    ) -> (QueryResult, QueryTiming) {
+        match self {
+            Query::Q1 => q1(db, engine, mem, at),
+            Query::Q6 => q6(db, engine, mem, at),
+            Query::Q9 => q9(db, engine, mem, at),
+        }
+    }
+}
+
+fn col(t: &HtapTable, name: &str) -> u32 {
+    t.layout()
+        .schema()
+        .index_of(name)
+        .unwrap_or_else(|| panic!("missing column {name}"))
+}
+
+/// Scans with the PIM units when the column is device-local, otherwise
+/// falls back to the CPU path (§4.1.2's normal-column discussion).
+fn scan(
+    engine: &ScanEngine,
+    table: &HtapTable,
+    c: u32,
+    op: PimOpKind,
+    mem: &mut MemSystem,
+    at: Ps,
+    timing: &mut QueryTiming,
+) -> Ps {
+    if table.layout().key_location(c).is_some() {
+        let out = engine.scan_column(table, c, op, mem, at);
+        timing.absorb(&out);
+        out.end
+    } else {
+        let end = engine.cpu_scan_column(table, c, mem, at);
+        timing.cpu_compute += end.saturating_sub(at);
+        end
+    }
+}
+
+/// CPU-mediated transfer of `bytes` between banks (indices, hash values,
+/// bucket partitions — §6.3): a read stream plus a write stream.
+fn cpu_transfer(mem: &mut MemSystem, bytes: u64, at: Ps) -> Ps {
+    if bytes == 0 {
+        return at;
+    }
+    let bursts = bytes.div_ceil(64);
+    // Valid on every configured geometry (HBM has a single rank).
+    let bank_r = BankAddr::new(0, 0, 0);
+    let bank_w = BankAddr::new(1, 0, 1);
+    let mid = mem.stream_sampled(Side::Pim, bank_r, 0, bursts, 16, Op::Read, 64, at);
+    mem.stream_sampled(Side::Pim, bank_w, 0, bursts, 16, Op::Write, 64, mid)
+}
+
+fn cpu_compute(db: &TpccDb, elems: u64, cycles_per_elem: u64) -> Ps {
+    db.meter().cpu.cycles(elems * cycles_per_elem)
+}
+
+fn q6(db: &TpccDb, engine: &ScanEngine, mem: &mut MemSystem, at: Ps) -> (QueryResult, QueryTiming) {
+    let ol = db.table(Table::OrderLine);
+    let (c_date, c_qty, c_amt) = (
+        col(ol, "ol_delivery_d"),
+        col(ol, "ol_quantity"),
+        col(ol, "ol_amount"),
+    );
+    let mut t = QueryTiming::default();
+    // Serial column scans (§6.3): filter date, filter qty, aggregate amount.
+    let mut now = scan(engine, ol, c_date, PimOpKind::Filter, mem, at, &mut t);
+    now = scan(engine, ol, c_qty, PimOpKind::Filter, mem, now, &mut t);
+    now = scan(engine, ol, c_amt, PimOpKind::Aggregate, mem, now, &mut t);
+    // Collect one partial sum per PIM unit and reduce on the CPU.
+    let partials = engine.units() * 8;
+    let end = cpu_transfer(mem, partials, now);
+    let reduce = cpu_compute(db, engine.units(), 4);
+    t.cpu_compute += (end - now) + reduce;
+    t.end = end + reduce;
+
+    // Functional result over the snapshot.
+    let mut revenue = 0u64;
+    for row in 0..ol.n_rows() {
+        let date = dec_u64(&ol.snapshot_read_value(row, c_date));
+        if date <= DELIVERY_CUTOFF {
+            continue;
+        }
+        let qty = dec_u64(&ol.snapshot_read_value(row, c_qty));
+        if qty <= QUANTITY_MAX {
+            revenue = revenue.wrapping_add(dec_u64(&ol.snapshot_read_value(row, c_amt)));
+        }
+    }
+    (QueryResult::Q6 { revenue }, t)
+}
+
+fn q1(db: &TpccDb, engine: &ScanEngine, mem: &mut MemSystem, at: Ps) -> (QueryResult, QueryTiming) {
+    let ol = db.table(Table::OrderLine);
+    let (c_date, c_num, c_qty, c_amt) = (
+        col(ol, "ol_delivery_d"),
+        col(ol, "ol_number"),
+        col(ol, "ol_quantity"),
+        col(ol, "ol_amount"),
+    );
+    let mut t = QueryTiming::default();
+    // Filter on the date, then Group on ol_number.
+    let mut now = scan(engine, ol, c_date, PimOpKind::Filter, mem, at, &mut t);
+    now = scan(engine, ol, c_num, PimOpKind::Group, mem, now, &mut t);
+    // CPU moves group indices to the banks holding the aggregated columns
+    // (§6.3): one index byte per row.
+    let idx_bytes = ol.n_rows() + ol.live_delta_rows();
+    let moved = cpu_transfer(mem, idx_bytes, now);
+    t.cpu_compute += moved - now;
+    now = moved;
+    // Aggregate quantity and amount.
+    now = scan(engine, ol, c_qty, PimOpKind::Aggregate, mem, now, &mut t);
+    now = scan(engine, ol, c_amt, PimOpKind::Aggregate, mem, now, &mut t);
+    // Collect per-unit per-group partials.
+    let partials = engine.units() * 16 * 3;
+    let end = cpu_transfer(mem, partials, now);
+    let reduce = cpu_compute(db, engine.units() * 16, 4);
+    t.cpu_compute += (end - now) + reduce;
+    t.end = end + reduce;
+
+    // Functional result.
+    let mut groups: BTreeMap<u64, Q1Row> = BTreeMap::new();
+    for row in 0..ol.n_rows() {
+        let date = dec_u64(&ol.snapshot_read_value(row, c_date));
+        if date <= DELIVERY_CUTOFF {
+            continue;
+        }
+        let num = dec_u64(&ol.snapshot_read_value(row, c_num));
+        let qty = dec_u64(&ol.snapshot_read_value(row, c_qty));
+        let amt = dec_u64(&ol.snapshot_read_value(row, c_amt));
+        let e = groups.entry(num).or_insert(Q1Row {
+            ol_number: num,
+            sum_qty: 0,
+            sum_amount: 0,
+            count: 0,
+        });
+        e.sum_qty = e.sum_qty.wrapping_add(qty);
+        e.sum_amount = e.sum_amount.wrapping_add(amt);
+        e.count += 1;
+    }
+    (QueryResult::Q1(groups.into_values().collect()), t)
+}
+
+fn q9(db: &TpccDb, engine: &ScanEngine, mem: &mut MemSystem, at: Ps) -> (QueryResult, QueryTiming) {
+    let ol = db.table(Table::OrderLine);
+    let it = db.table(Table::Item);
+    let (c_ol_iid, c_amt) = (col(ol, "ol_i_id"), col(ol, "ol_amount"));
+    let (c_iid, c_price) = (col(it, "i_id"), col(it, "i_price"));
+    let mut t = QueryTiming::default();
+    // Hash both join columns with the PIM units ([38]'s task division).
+    let mut now = scan(engine, it, c_iid, PimOpKind::Hash, mem, at, &mut t);
+    now = scan(engine, ol, c_ol_iid, PimOpKind::Hash, mem, now, &mut t);
+    // CPU fetches hash values, partitions into buckets, transfers back.
+    let hash_bytes = (it.n_rows() + ol.n_rows()) * 4;
+    let moved = cpu_transfer(mem, 2 * hash_bytes, now);
+    let partition = cpu_compute(db, it.n_rows() + ol.n_rows(), 6);
+    t.cpu_compute += (moved - now) + partition;
+    now = moved + partition;
+    // Bucket-local joins on the PIM units.
+    let probe_bytes = engine
+        .unit()
+        .round_to_wire((it.n_rows() + ol.n_rows()) * 4 / engine.units().max(1));
+    let join = engine.timed_phases(
+        PimOpKind::Join,
+        probe_bytes.max(8),
+        probe_bytes.max(8) * engine.units(),
+        1.0,
+        mem,
+        now,
+    );
+    t.absorb(&join);
+    now = join.end;
+    // Aggregate the amounts of matching lines.
+    now = scan(engine, ol, c_amt, PimOpKind::Aggregate, mem, now, &mut t);
+    let partials = engine.units() * Q9_GROUPS * 8;
+    let end = cpu_transfer(mem, partials, now);
+    let reduce = cpu_compute(db, engine.units() * Q9_GROUPS, 4);
+    t.cpu_compute += (end - now) + reduce;
+    t.end = end + reduce;
+
+    // Functional result: semi-join on item ids passing the price filter.
+    let mut matching: HashSet<u64> = HashSet::new();
+    for row in 0..it.n_rows() {
+        let price = dec_u64(&it.snapshot_read_value(row, c_price));
+        if price % PRICE_MODULUS == 0 {
+            matching.insert(dec_u64(&it.snapshot_read_value(row, c_iid)));
+        }
+    }
+    let mut groups: BTreeMap<u64, u64> = BTreeMap::new();
+    for row in 0..ol.n_rows() {
+        let iid = dec_u64(&ol.snapshot_read_value(row, c_ol_iid));
+        if matching.contains(&iid) {
+            let amt = dec_u64(&ol.snapshot_read_value(row, c_amt));
+            let g = groups.entry(iid % Q9_GROUPS).or_insert(0);
+            *g = g.wrapping_add(amt);
+        }
+    }
+    (
+        QueryResult::Q9(
+            groups
+                .into_iter()
+                .map(|(group, sum_amount)| Q9Row { group, sum_amount })
+                .collect(),
+        ),
+        t,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushtap_oltp::DbConfig;
+    use pushtap_pim::{ControlArch, SystemConfig};
+
+    fn setup() -> (TpccDb, MemSystem, ScanEngine) {
+        let mem = MemSystem::dimm();
+        let db = TpccDb::build(&DbConfig::small(), &mem).unwrap();
+        let engine = ScanEngine::new(ControlArch::Pushtap, &SystemConfig::dimm());
+        (db, mem, engine)
+    }
+
+    #[test]
+    fn q6_returns_nonzero_revenue() {
+        let (db, mut mem, engine) = setup();
+        let (r, t) = Query::Q6.execute(&db, &engine, &mut mem, Ps::ZERO);
+        let QueryResult::Q6 { revenue } = r else {
+            panic!("wrong result kind")
+        };
+        assert!(revenue > 0);
+        assert!(t.end > Ps::ZERO);
+        assert!(t.pim_load > Ps::ZERO);
+        assert!(t.pim_compute > Ps::ZERO);
+    }
+
+    #[test]
+    fn q1_groups_cover_the_domain() {
+        let (db, mut mem, engine) = setup();
+        let (r, _) = Query::Q1.execute(&db, &engine, &mut mem, Ps::ZERO);
+        let QueryResult::Q1(rows) = r else {
+            panic!("wrong result kind")
+        };
+        // ol_number has domain 15; with ~50 % date selectivity over 30 k
+        // rows every group should appear.
+        assert_eq!(rows.len(), 15);
+        for row in &rows {
+            assert!(row.count > 0);
+            assert!(row.sum_qty >= row.count); // quantities ≥ 1
+        }
+    }
+
+    #[test]
+    fn q9_produces_all_groups() {
+        let (db, mut mem, engine) = setup();
+        let (r, t) = Query::Q9.execute(&db, &engine, &mut mem, Ps::ZERO);
+        let QueryResult::Q9(rows) = r else {
+            panic!("wrong result kind")
+        };
+        assert_eq!(rows.len(), Q9_GROUPS as usize);
+        assert!(t.cpu_compute > Ps::ZERO, "join needs CPU partitioning");
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let (db, mut mem, engine) = setup();
+        let (a, _) = Query::Q6.execute(&db, &engine, &mut mem, Ps::ZERO);
+        let (b, _) = Query::Q6.execute(&db, &engine, &mut mem, Ps::ZERO);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn query_names() {
+        assert_eq!(Query::Q1.name(), "Q1");
+        assert_eq!(Query::ALL.len(), 3);
+    }
+}

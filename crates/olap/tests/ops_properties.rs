@@ -1,0 +1,131 @@
+//! Property tests of the Fig. 7(b) launch-request wire format: every
+//! field value survives the 64-byte encode/decode round trip, and the
+//! payload never exceeds the type byte + 63 parameter bytes.
+
+use proptest::prelude::*;
+use pushtap_olap::LaunchRequest;
+
+fn arb_request() -> impl Strategy<Value = LaunchRequest> {
+    prop_oneof![
+        (
+            0u32..1 << 24,
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            0u32..1 << 24,
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+        )
+            .prop_map(
+                |(result_addr, result_len, result_offset, result_stride, op0_addr, op0_len, op0_offset, op0_stride)| {
+                    LaunchRequest::Ls {
+                        result_addr,
+                        result_len,
+                        result_offset,
+                        result_stride,
+                        op0_addr,
+                        op0_len,
+                        op0_offset,
+                        op0_stride,
+                    }
+                }
+            ),
+        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u8>(), any::<u64>()).prop_map(
+            |(bitmap_offset, data_offset, result_offset, data_width, condition)| {
+                LaunchRequest::Filter {
+                    bitmap_offset,
+                    data_offset,
+                    result_offset,
+                    data_width,
+                    condition,
+                }
+            }
+        ),
+        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
+            |(bitmap_offset, data_offset, dict_offset, result_offset, data_width)| {
+                LaunchRequest::Group {
+                    bitmap_offset,
+                    data_offset,
+                    dict_offset,
+                    result_offset,
+                    data_width,
+                }
+            }
+        ),
+        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
+            |(bitmap_offset, data_offset, index_offset, result_offset, data_width)| {
+                LaunchRequest::Aggregation {
+                    bitmap_offset,
+                    data_offset,
+                    index_offset,
+                    result_offset,
+                    data_width,
+                }
+            }
+        ),
+        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u32>(), any::<u8>()).prop_map(
+            |(bitmap_offset, data_offset, result_offset, hash_function, data_width)| {
+                LaunchRequest::Hash {
+                    bitmap_offset,
+                    data_offset,
+                    result_offset,
+                    hash_function,
+                    data_width,
+                }
+            }
+        ),
+        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
+            |(hash1_offset, hash2_offset, result_offset, data_width)| {
+                LaunchRequest::Join {
+                    hash1_offset,
+                    hash2_offset,
+                    result_offset,
+                    data_width,
+                }
+            }
+        ),
+        (0u32..1 << 24, 0u32..1 << 24, any::<u16>(), 0u32..1 << 24, any::<u16>()).prop_map(
+            |(meta_addr, data_addr, data_stride, delta_addr, delta_stride)| {
+                LaunchRequest::Defragment {
+                    meta_addr,
+                    data_addr,
+                    data_stride,
+                    delta_addr,
+                    delta_stride,
+                }
+            }
+        ),
+    ]
+}
+
+proptest! {
+    /// Encode/decode is the identity for every representable request.
+    #[test]
+    fn round_trip(req in arb_request()) {
+        let payload = req.encode();
+        let decoded = LaunchRequest::decode(&payload).expect("decode");
+        prop_assert_eq!(decoded, req);
+    }
+
+    /// The wire image is always exactly 64 bytes with the op type first.
+    #[test]
+    fn wire_shape(req in arb_request()) {
+        let payload = req.encode();
+        prop_assert_eq!(payload.as_bytes().len(), 64);
+        prop_assert!(payload.op_type() <= 6);
+        // Parameter tail beyond the densest encoding (LS: 18 bytes) is 0.
+        prop_assert!(payload.params()[20..].iter().all(|&b| b == 0));
+    }
+
+    /// Distinct requests produce distinct payloads (the scheduler can
+    /// rely on the wire image alone).
+    #[test]
+    fn injective_on_samples(a in arb_request(), b in arb_request()) {
+        if a != b {
+            let pa = a.encode();
+            let pb = b.encode();
+            prop_assert_ne!(pa.as_bytes(), pb.as_bytes());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! CPU cost model and per-transaction time breakdown (Fig. 11(c)).
+//!
+//! The paper's DBx1000-based executor spends transaction time on four
+//! components besides raw memory access: computation, memory allocation
+//! (MVCC allocates a delta slot per updated row), hash indexing, and
+//! version-chain traversal. The cycle constants below are calibrated so
+//! the Payment/NewOrder mix reproduces the paper's measured shares
+//! (computation 36.65 %, allocation 44.10 %, indexing 19.25 %, chain
+//! traversal < 0.1 %).
+
+use serde::{Deserialize, Serialize};
+
+use pushtap_pim::{CpuSpec, Ps};
+
+/// Per-operation CPU cycle costs.
+///
+/// Defaults are calibrated so the Payment/NewOrder mix (≈21 index ops,
+/// ≈15 allocations, ≈37 row operations per average transaction)
+/// reproduces the paper's component shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Hash-index probe or insert.
+    pub index_cycles: u64,
+    /// Allocating (and version-chaining) one delta slot or insert row.
+    pub alloc_cycles: u64,
+    /// Fixed computation per row operation (validation, dispatch).
+    pub op_base_cycles: u64,
+    /// Computation per column value read or written.
+    pub per_value_cycles: u64,
+    /// One version-chain hop.
+    pub chain_step_cycles: u64,
+    /// Commit-time memory barrier after the clflush train (§6.3).
+    pub commit_barrier_cycles: u64,
+    /// Issue/reform overhead per cache line touched (load issue, line-fill
+    /// stall shadow, and byte re-layout into the row buffer). Charged to
+    /// the *memory* component, so formats needing more lines per row pay
+    /// proportionally (Fig. 9(a)) without skewing the Fig. 11(c) CPU pie.
+    pub per_line_cycles: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            index_cycles: 200,
+            alloc_cycles: 650,
+            op_base_cycles: 150,
+            per_value_cycles: 33,
+            chain_step_cycles: 10,
+            commit_barrier_cycles: 80,
+            per_line_cycles: 40,
+        }
+    }
+}
+
+/// Where a transaction's CPU time went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Hash-index probes and inserts.
+    pub indexing: Ps,
+    /// Delta-slot / insert-row allocation.
+    pub alloc: Ps,
+    /// Computation (validation, arithmetic, commit barriers).
+    pub compute: Ps,
+    /// Version-chain traversal.
+    pub chain: Ps,
+    /// DRAM access time (row reads/writes through the memory system).
+    pub memory: Ps,
+}
+
+impl Breakdown {
+    /// Total time across all components.
+    pub fn total(&self) -> Ps {
+        self.indexing + self.alloc + self.compute + self.chain + self.memory
+    }
+
+    /// CPU-side time (everything but DRAM).
+    pub fn cpu_total(&self) -> Ps {
+        self.indexing + self.alloc + self.compute + self.chain
+    }
+
+    /// Fractions of the CPU-side components, in the paper's Fig. 11(c)
+    /// order: (computation, allocation, indexing, chain).
+    pub fn cpu_fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.cpu_total().ps() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.compute.ps() as f64 / t,
+            self.alloc.ps() as f64 / t,
+            self.indexing.ps() as f64 / t,
+            self.chain.ps() as f64 / t,
+        )
+    }
+
+    /// Accumulates another breakdown.
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.indexing += other.indexing;
+        self.alloc += other.alloc;
+        self.compute += other.compute;
+        self.chain += other.chain;
+        self.memory += other.memory;
+    }
+}
+
+/// Charges cycle costs into a breakdown using a CPU spec.
+#[derive(Debug, Clone, Copy)]
+pub struct Meter {
+    /// The cost model in effect.
+    pub costs: CostModel,
+    /// The CPU converting cycles to time.
+    pub cpu: CpuSpec,
+}
+
+impl Meter {
+    /// Creates a meter.
+    pub fn new(costs: CostModel, cpu: CpuSpec) -> Meter {
+        Meter { costs, cpu }
+    }
+
+    /// Time of `n` index operations.
+    pub fn indexing(&self, n: u64) -> Ps {
+        self.cpu.cycles(self.costs.index_cycles * n)
+    }
+
+    /// Time of `n` allocations.
+    pub fn alloc(&self, n: u64) -> Ps {
+        self.cpu.cycles(self.costs.alloc_cycles * n)
+    }
+
+    /// Base computation plus `values` column-value operations.
+    pub fn compute(&self, values: u64) -> Ps {
+        self.cpu
+            .cycles(self.costs.op_base_cycles + self.costs.per_value_cycles * values)
+    }
+
+    /// Time of `hops` version-chain hops.
+    pub fn chain(&self, hops: u64) -> Ps {
+        self.cpu.cycles(self.costs.chain_step_cycles * hops)
+    }
+
+    /// Commit barrier time.
+    pub fn commit_barrier(&self) -> Ps {
+        self.cpu.cycles(self.costs.commit_barrier_cycles)
+    }
+
+    /// Issue/reform time for touching `lines` cache lines.
+    pub fn line_issue(&self, lines: u64) -> Ps {
+        self.cpu.cycles(self.costs.per_line_cycles * lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> Meter {
+        Meter::new(CostModel::default(), CpuSpec::xeon_like())
+    }
+
+    #[test]
+    fn cycles_convert_to_time() {
+        let m = meter();
+        // 200 cycles at 3.2 GHz = 62.5 ns.
+        assert_eq!(m.indexing(1), Ps::new(62_500));
+        assert_eq!(m.indexing(2), Ps::new(125_000));
+        assert!(m.alloc(1) > m.indexing(1));
+    }
+
+    #[test]
+    fn breakdown_accumulates_and_fractions_sum() {
+        let m = meter();
+        let mut b = Breakdown::default();
+        b.indexing += m.indexing(4);
+        b.alloc += m.alloc(4);
+        b.compute += m.compute(30);
+        b.chain += m.chain(1);
+        let (c, a, i, ch) = b.cpu_fractions();
+        assert!((c + a + i + ch - 1.0).abs() < 1e-9);
+        assert!(ch < 0.01, "chain share {ch}");
+        let mut total = Breakdown::default();
+        total.merge(&b);
+        total.merge(&b);
+        assert_eq!(total.cpu_total(), b.cpu_total() * 2);
+    }
+
+    #[test]
+    fn zero_breakdown_has_zero_fractions() {
+        let b = Breakdown::default();
+        assert_eq!(b.cpu_fractions(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(b.total(), Ps::ZERO);
+    }
+}

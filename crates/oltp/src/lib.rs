@@ -1,0 +1,41 @@
+//! The OLTP engine of PUSHtap: a DBx1000-style transaction executor over
+//! the unified data format (§7.1 of the paper).
+//!
+//! * [`HashIndex`] — chained hash index;
+//! * [`CostModel`]/[`Meter`]/[`Breakdown`] — the CPU cost components of a
+//!   transaction (Fig. 11(c): computation / allocation / indexing /
+//!   version-chain traversal) plus DRAM time;
+//! * [`HtapTable`] — one table: functional unified-format storage + MVCC +
+//!   snapshot + timing glue, with [`AccessModel`] selecting whether the
+//!   traffic is timed as the unified format, a row-store, or a
+//!   column-store (the Fig. 9(a) comparison);
+//! * [`TpccDb`] — the Payment/NewOrder executor over the CH schema.
+//!
+//! # Examples
+//!
+//! ```
+//! use pushtap_oltp::{DbConfig, TpccDb};
+//! use pushtap_chbench::TxnGen;
+//! use pushtap_pim::{MemSystem, Ps};
+//!
+//! let mut mem = MemSystem::dimm();
+//! let mut db = TpccDb::build(&DbConfig::small(), &mem)?;
+//! let mut gen = TxnGen::new(1, 1, 3000, 10000, 10000);
+//! let txn = gen.next_txn();
+//! let result = db.execute(&txn, &mut mem, Ps::ZERO).expect("commit");
+//! assert!(result.end > Ps::ZERO);
+//! # Ok::<(), pushtap_format::LayoutError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod index;
+mod table;
+mod tpcc;
+
+pub use cost::{Breakdown, CostModel, Meter};
+pub use index::HashIndex;
+pub use table::{AccessModel, HtapTable, LineRef, OpResult, TableConfig};
+pub use tpcc::{DbConfig, DbFormat, TpccDb, TxnResult};

@@ -1,0 +1,673 @@
+//! The HTAP table: one table instance combining functional storage
+//! (unified format), MVCC state, a snapshot, and the timing glue that
+//! charges every operation's memory traffic to the simulator.
+//!
+//! The same functional substrate serves three *timing* models
+//! ([`AccessModel`]): the unified format (PUSHtap), a traditional
+//! row-store, and a traditional column-store — the byte values are
+//! identical, only the cache-line traffic differs, which is exactly the
+//! comparison Fig. 9(a) makes.
+
+use pushtap_format::{RegionPlan, RowSlot, TableLayout, TableStore};
+use pushtap_mvcc::{
+    DefragCostModel, DefragStats, DefragStrategy, DeltaAllocator, DeltaFull, Snapshot,
+    SnapshotUpdate, Ts, VersionChains,
+};
+use pushtap_pim::{BankAddr, MemSystem, Op, Ps, Side};
+
+use crate::cost::{Breakdown, Meter};
+use crate::index::HashIndex;
+
+/// Which storage format's traffic pattern the table is timed as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessModel {
+    /// PUSHtap's unified aligned format (parts × devices).
+    Unified,
+    /// Traditional contiguous row-store (the RS baseline; OLTP-ideal).
+    RowStore,
+    /// Traditional per-column arrays (the CS baseline).
+    ColumnStore,
+}
+
+/// Construction parameters of a table instance.
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    /// Data-region rows.
+    pub n_rows: u64,
+    /// Delta-region capacity in rows.
+    pub delta_rows: u64,
+    /// Block-circulant block size.
+    pub block_rows: u32,
+    /// The banks this table is sharded over.
+    pub shards: Vec<BankAddr>,
+    /// First DRAM row used in each bank (table placement).
+    pub base_dram_row: u32,
+    /// Timing model.
+    pub model: AccessModel,
+    /// Which memory the instance lives in.
+    pub side: Side,
+    /// Interleave granularity (bytes per device per burst).
+    pub granularity: u32,
+    /// Device row-buffer bytes (for chunk → DRAM-row mapping).
+    pub bank_row_bytes: u32,
+    /// Rows per bank (DRAM rows wrap modulo this).
+    pub rows_per_bank: u32,
+}
+
+/// One timed operation's outcome.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpResult {
+    /// Completion time.
+    pub end: Ps,
+    /// Component breakdown.
+    pub breakdown: Breakdown,
+}
+
+/// A cache-line access this table needs for an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRef {
+    /// The bank holding the line.
+    pub bank: BankAddr,
+    /// DRAM row within the bank.
+    pub dram_row: u32,
+    /// Useful bytes in the 64-byte line.
+    pub useful: u32,
+}
+
+/// An HTAP table instance.
+#[derive(Debug, Clone)]
+pub struct HtapTable {
+    store: TableStore,
+    chains: VersionChains,
+    alloc: DeltaAllocator,
+    snapshot: Snapshot,
+    index: HashIndex,
+    cfg: TableConfig,
+    insert_cursor: u64,
+}
+
+impl HtapTable {
+    /// Creates a table with the given layout and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard list is empty.
+    pub fn new(layout: TableLayout, cfg: TableConfig) -> HtapTable {
+        assert!(!cfg.shards.is_empty(), "table needs at least one shard");
+        let devices = layout.devices();
+        let store = TableStore::new(layout, cfg.block_rows, cfg.n_rows, cfg.delta_rows);
+        let arena_rows = store.region().arena_rows();
+        HtapTable {
+            alloc: DeltaAllocator::new(devices, arena_rows),
+            snapshot: Snapshot::new(cfg.n_rows, devices, arena_rows),
+            chains: VersionChains::new(),
+            index: HashIndex::with_capacity(cfg.n_rows),
+            store,
+            cfg,
+            insert_cursor: 0,
+        }
+    }
+
+    /// The table's layout.
+    pub fn layout(&self) -> &TableLayout {
+        self.store.layout()
+    }
+
+    /// The region plan.
+    pub fn region(&self) -> &RegionPlan {
+        self.store.region()
+    }
+
+    /// The functional store.
+    pub fn store(&self) -> &TableStore {
+        &self.store
+    }
+
+    /// The version chains.
+    pub fn chains(&self) -> &VersionChains {
+        &self.chains
+    }
+
+    /// The current snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// The table configuration.
+    pub fn config(&self) -> &TableConfig {
+        &self.cfg
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> u64 {
+        self.cfg.n_rows
+    }
+
+    /// Live delta versions awaiting defragmentation.
+    pub fn live_delta_rows(&self) -> u64 {
+        self.alloc.live_total()
+    }
+
+    /// The bank holding `row` (blocks round-robin across shards).
+    pub fn shard_of(&self, row: u64) -> BankAddr {
+        self.shard_salted(row, 0)
+    }
+
+    /// The bank holding one part (or column array) of `row`: different
+    /// parts of a table live on different channels so the CPU reads them
+    /// in parallel (§4.1.1: "The two parts are mapped to different memory
+    /// channels").
+    fn shard_salted(&self, row: u64, salt: u64) -> BankAddr {
+        let block = row / self.cfg.block_rows as u64;
+        let n = self.cfg.shards.len() as u64;
+        self.cfg.shards[((block + salt.wrapping_mul(37)) % n) as usize]
+    }
+
+    fn dram_row(&self, dev_offset: u64) -> u32 {
+        let r = self.cfg.base_dram_row as u64 + dev_offset / self.cfg.bank_row_bytes as u64;
+        (r % self.cfg.rows_per_bank as u64) as u32
+    }
+
+    /// Cache lines needed to access a full row version under the current
+    /// access model.
+    pub fn lines_for(&self, slot: RowSlot) -> Vec<LineRef> {
+        let schema = self.store.layout().schema();
+        let g = self.cfg.granularity as u64;
+        let line_bytes = 64u64;
+        let row = match slot {
+            RowSlot::Data { row } => row,
+            // Delta versions shard with their arena (approximation: the
+            // arena index spreads like a row index).
+            RowSlot::Delta { rotation, idx } => {
+                rotation as u64 * self.store.region().arena_rows() + idx
+            }
+        };
+        let shard_row = row % self.cfg.n_rows.max(1);
+        let bank = self.shard_of(shard_row);
+        match self.cfg.model {
+            AccessModel::Unified => {
+                let mut lines = Vec::new();
+                for (p, _) in self.store.layout().parts().iter().enumerate() {
+                    let bank = self.shard_salted(shard_row, p as u64 + 1);
+                    let (start, width) = match slot {
+                        RowSlot::Data { row } => (
+                            self.store.region().data_offset(p as u32, row),
+                            self.store.region().parts()[p].width as u64,
+                        ),
+                        RowSlot::Delta { rotation, idx } => (
+                            self.store.region().delta_offset(p as u32, rotation, idx),
+                            self.store.region().parts()[p].width as u64,
+                        ),
+                    };
+                    let c0 = start / g;
+                    let c1 = (start + width - 1) / g + 1;
+                    let chunks = c1 - c0;
+                    let useful_total =
+                        self.store.layout().parts()[p as usize].data_bytes() as u64;
+                    for c in c0..c1 {
+                        lines.push(LineRef {
+                            bank,
+                            dram_row: self.dram_row(c * g),
+                            useful: (useful_total / chunks).min(line_bytes) as u32,
+                        });
+                    }
+                }
+                lines
+            }
+            AccessModel::RowStore => {
+                let w = schema.row_width() as u64;
+                let offset = row * w;
+                let l0 = offset / line_bytes;
+                let l1 = (offset + w - 1) / line_bytes + 1;
+                (l0..l1)
+                    .map(|l| LineRef {
+                        bank,
+                        dram_row: self.dram_row(l * g),
+                        useful: (w / (l1 - l0)).min(line_bytes) as u32,
+                    })
+                    .collect()
+            }
+            AccessModel::ColumnStore => {
+                let mut lines = Vec::new();
+                let mut base = 0u64;
+                for (ci, col) in schema.columns().iter().enumerate() {
+                    let bank = self.shard_salted(shard_row, ci as u64 + 1);
+                    let w = col.width as u64;
+                    let offset = base + row * w;
+                    let l0 = offset / line_bytes;
+                    let l1 = (offset + w - 1) / line_bytes + 1;
+                    for l in l0..l1 {
+                        lines.push(LineRef {
+                            bank,
+                            dram_row: self.dram_row(l * g),
+                            useful: (w / (l1 - l0)).min(line_bytes) as u32,
+                        });
+                    }
+                    base += w * self.cfg.n_rows;
+                }
+                lines
+            }
+        }
+    }
+
+    fn issue_lines(&self, mem: &mut MemSystem, lines: &[LineRef], op: Op, at: Ps) -> Ps {
+        let mut end = at;
+        for l in lines {
+            let done = mem
+                .access(self.cfg.side, l.bank, l.dram_row, op, l.useful.min(64), at)
+                .done;
+            end = end.max(done);
+        }
+        end
+    }
+
+    /// Timed read of the row visible at `ts`. Returns the column values
+    /// and the operation result.
+    pub fn timed_read(
+        &mut self,
+        mem: &mut MemSystem,
+        meter: &Meter,
+        row: u64,
+        ts: Ts,
+        at: Ps,
+    ) -> (Vec<Vec<u8>>, OpResult) {
+        let mut b = Breakdown::default();
+        b.indexing += meter.indexing(1);
+        self.index.get(row);
+        let (slot, hops) = self.chains.visible_at(row, ts);
+        b.chain += meter.chain(hops as u64);
+        let cpu_ready = at + b.cpu_total();
+        let lines = self.lines_for(slot);
+        let issue = meter.line_issue(lines.len() as u64);
+        let mem_end = self.issue_lines(mem, &lines, Op::Read, cpu_ready) + issue;
+        b.memory += mem_end.saturating_sub(cpu_ready);
+        let values = self.store.read_row(slot);
+        let compute = meter.compute(values.len() as u64);
+        b.compute += compute;
+        self.chains.mark_read(slot, ts);
+        (
+            values,
+            OpResult {
+                end: mem_end + compute,
+                breakdown: b,
+            },
+        )
+    }
+
+    /// Timed MVCC update: reads the newest version, writes a new version
+    /// into the delta region, and chains it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeltaFull`] when the row's rotation arena is exhausted —
+    /// the engine must defragment.
+    pub fn timed_update(
+        &mut self,
+        mem: &mut MemSystem,
+        meter: &Meter,
+        row: u64,
+        ts: Ts,
+        changes: &[(u32, Vec<u8>)],
+        at: Ps,
+    ) -> Result<OpResult, DeltaFull> {
+        let mut b = Breakdown::default();
+        b.indexing += meter.indexing(1);
+        self.index.get(row);
+        let newest = self.chains.newest_slot(row);
+        // Read the current version (read-modify-write).
+        let read_lines = self.lines_for(newest);
+        let cpu_ready = at + b.cpu_total();
+        let read_end = self.issue_lines(mem, &read_lines, Op::Read, cpu_ready)
+            + meter.line_issue(read_lines.len() as u64);
+        b.memory += read_end.saturating_sub(cpu_ready);
+        let mut values = self.store.read_row(newest);
+
+        // Allocate the new version in the origin row's rotation arena.
+        let rotation = self.store.arena_for_row(row);
+        let idx = self.alloc.alloc(rotation)?;
+        b.alloc += meter.alloc(1);
+
+        for (col, v) in changes {
+            values[*col as usize] = v.clone();
+        }
+        b.compute += meter.compute(changes.len() as u64 * 2);
+        let new_slot = RowSlot::Delta { rotation, idx };
+        self.store.write_row(new_slot, &values);
+        self.chains.record_update(row, new_slot, ts);
+
+        // Commit write-back: clflush the new version's lines (§6.3).
+        let write_lines = self.lines_for(new_slot);
+        let write_start = read_end + b.alloc + b.compute;
+        let write_end = self.issue_lines(mem, &write_lines, Op::Write, write_start)
+            + meter.line_issue(write_lines.len() as u64);
+        b.memory += write_end.saturating_sub(write_start);
+        b.compute += meter.commit_barrier();
+        Ok(OpResult {
+            end: write_end + meter.commit_barrier(),
+            breakdown: b,
+        })
+    }
+
+    /// Timed insert: allocates the next row slot of the (pre-sized)
+    /// population and writes the new row as a delta *version* of it, so
+    /// the insert obeys snapshot isolation exactly like an update: OLAP
+    /// sees it only after the next snapshot, and defragmentation folds it
+    /// into the data region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeltaFull`] when the target rotation arena is exhausted.
+    pub fn timed_insert(
+        &mut self,
+        mem: &mut MemSystem,
+        meter: &Meter,
+        values: &[Vec<u8>],
+        ts: Ts,
+        at: Ps,
+    ) -> Result<(u64, OpResult), DeltaFull> {
+        let mut b = Breakdown::default();
+        let row = self.insert_cursor % self.cfg.n_rows;
+        let rotation = self.store.arena_for_row(row);
+        let idx = self.alloc.alloc(rotation)?;
+        self.insert_cursor += 1;
+        b.alloc += meter.alloc(1);
+        b.indexing += meter.indexing(1);
+        self.index.insert(row, row);
+        let new_slot = RowSlot::Delta { rotation, idx };
+        self.store.write_row(new_slot, values);
+        self.chains.record_update(row, new_slot, ts);
+        b.compute += meter.compute(values.len() as u64);
+        let cpu_ready = at + b.cpu_total();
+        let lines = self.lines_for(new_slot);
+        let end = self.issue_lines(mem, &lines, Op::Write, cpu_ready)
+            + meter.line_issue(lines.len() as u64);
+        b.memory += end.saturating_sub(cpu_ready);
+        Ok((row, OpResult { end, breakdown: b }))
+    }
+
+    /// Loads a row functionally (no timing) — used for population.
+    pub fn load_row(&mut self, row: u64, values: &[Vec<u8>]) {
+        self.store.write_row(RowSlot::Data { row }, values);
+        self.index.insert(row, row);
+    }
+
+    /// The slot of `row` visible in the current snapshot.
+    pub fn snapshot_slot(&self, row: u64) -> RowSlot {
+        let mut slot = self.chains.newest_slot(row);
+        // Walk back until we find the snapshot-visible version.
+        loop {
+            if self.snapshot.visible(slot) {
+                return slot;
+            }
+            match self.chains.meta(slot).and_then(|m| m.prev) {
+                Some(prev) => slot = prev,
+                None => return RowSlot::Data { row },
+            }
+        }
+    }
+
+    /// Reads the version of `row` visible in the current *snapshot* (what
+    /// the OLAP engine sees), without timing.
+    pub fn snapshot_read(&self, row: u64) -> Vec<Vec<u8>> {
+        self.store.read_row(self.snapshot_slot(row))
+    }
+
+    /// Reads one column of the snapshot-visible version of `row` — the
+    /// per-column access a PIM scan performs.
+    pub fn snapshot_read_value(&self, row: u64, col: u32) -> Vec<u8> {
+        self.store.read_value(self.snapshot_slot(row), col)
+    }
+
+    /// Timed snapshot update (§5.2): folds the commit log into the
+    /// bitmaps. CPU reads metadata from host memory and writes bitmap
+    /// lines on the PIM side (one aligned write updates all devices).
+    pub fn timed_snapshot_update(
+        &mut self,
+        mem: &mut MemSystem,
+        meter: &Meter,
+        upto: Ts,
+        at: Ps,
+    ) -> (SnapshotUpdate, Ps) {
+        let stats = self.snapshot.update(self.chains.log(), upto);
+        // Metadata reads: 16 B per entry from host DRAM, 4 entries/line.
+        let meta_lines = stats.entries_applied.div_ceil(4);
+        let host_bank = BankAddr::new(0, 0, 0);
+        let mut end = at;
+        for i in 0..meta_lines {
+            let done = mem
+                .access(Side::Host, host_bank, (i / 16) as u32, Op::Read, 64, at)
+                .done;
+            end = end.max(done);
+        }
+        // Bitmap writes on the PIM side: data-region flips scatter (one
+        // aligned write each, updating every device at once); delta-region
+        // flips cluster because delta slots allocate sequentially.
+        let bitmap_base_row = self.dram_row(self.store.region().bitmap_base());
+        let writes = stats.data_flips + stats.delta_flips.div_ceil(64);
+        for i in 0..writes {
+            let bank = self.cfg.shards[(i % self.cfg.shards.len() as u64) as usize];
+            let done = mem
+                .access(self.cfg.side, bank, bitmap_base_row, Op::Write, 8, at)
+                .done;
+            end = end.max(done);
+        }
+        // Per-entry processing: read the metadata fields and flip two
+        // bits (~12 cycles in a tight scan loop).
+        end += meter.cpu.cycles(stats.entries_applied * 12);
+        (stats, end)
+    }
+
+    /// Defragments the table (§5.3): copies every row's newest version
+    /// back to the data region, reclaims delta slots, clears chains and
+    /// log, and resets the snapshot. Returns execution stats and the
+    /// communication time per the chosen strategy and cost model.
+    pub fn defragment(
+        &mut self,
+        model: &DefragCostModel,
+        strategy: DefragStrategy,
+        upto: Ts,
+    ) -> (DefragStats, f64) {
+        let mut stats = DefragStats::default();
+        // Sorted for determinism: the reclaim order feeds the delta
+        // free-lists, which decides future version placement (and thus
+        // timing); HashMap order would vary per process.
+        let mut rows: Vec<u64> = self.chains.updated_rows().collect();
+        rows.sort_unstable();
+        let d = self.store.layout().devices();
+        let padded = self.store.layout().padded_row_bytes() as u64;
+        for row in rows {
+            let (slots, steps) = self.chains.chain_slots(row);
+            stats.chain_steps += steps as u64;
+            if let Some(&RowSlot::Delta { rotation, idx }) = slots.first() {
+                self.store.copy_back(row, rotation, idx);
+                stats.rows_copied += 1;
+                stats.bytes_copied += padded;
+            }
+            for slot in &slots {
+                if let RowSlot::Delta { rotation, idx } = slot {
+                    self.alloc.release(*rotation, *idx);
+                    stats.slots_reclaimed += 1;
+                }
+            }
+        }
+        stats.meta_bytes = stats.slots_reclaimed * model.meta_bytes as u64;
+        // Communication time: metadata once per table, data movement per
+        // part (Hybrid picks per part width, §7.4).
+        let n = stats.slots_reclaimed.max(1);
+        let p = stats.rows_copied as f64 / n as f64;
+        let widths: Vec<u32> = self.store.layout().parts().iter().map(|pt| pt.width()).collect();
+        let seconds = model.comm_parts(strategy, n, p, d, &widths);
+        self.chains.clear_after_defrag();
+        self.snapshot.reset_after_defrag(upto);
+        (stats, seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostModel, Meter};
+    use pushtap_format::{compact_layout, paper_example_schema};
+    use pushtap_pim::{CpuSpec, Geometry};
+
+    fn table(model: AccessModel) -> HtapTable {
+        let layout = compact_layout(&paper_example_schema(), 8, 0.6).unwrap();
+        let g = Geometry::dimm();
+        HtapTable::new(
+            layout,
+            TableConfig {
+                n_rows: 256,
+                delta_rows: 64,
+                block_rows: 16,
+                shards: vec![BankAddr::new(0, 0, 0), BankAddr::new(0, 0, 1)],
+                base_dram_row: 0,
+                model,
+                side: Side::Pim,
+                granularity: g.granularity,
+                bank_row_bytes: g.row_bytes,
+                rows_per_bank: g.rows_per_bank,
+            },
+        )
+    }
+
+    fn meter() -> Meter {
+        Meter::new(CostModel::default(), CpuSpec::xeon_like())
+    }
+
+    fn values(seed: u8) -> Vec<Vec<u8>> {
+        vec![
+            vec![seed, 1],
+            vec![seed, 2],
+            vec![seed, 3, 3, 3],
+            vec![seed, 4, 4, 4, 4, 4, 4, 4, 4],
+            vec![seed, 5],
+            vec![seed, 6],
+        ]
+    }
+
+    #[test]
+    fn read_returns_loaded_values_with_time() {
+        let mut t = table(AccessModel::Unified);
+        let mut mem = MemSystem::dimm();
+        t.load_row(5, &values(9));
+        let (vals, r) = t.timed_read(&mut mem, &meter(), 5, Ts(1), Ps::ZERO);
+        assert_eq!(vals, values(9));
+        assert!(r.end > Ps::ZERO);
+        assert!(r.breakdown.memory > Ps::ZERO);
+        assert!(r.breakdown.indexing > Ps::ZERO);
+    }
+
+    #[test]
+    fn update_creates_visible_version() {
+        let mut t = table(AccessModel::Unified);
+        let mut mem = MemSystem::dimm();
+        t.load_row(5, &values(1));
+        t.timed_update(&mut mem, &meter(), 5, Ts(2), &[(0, vec![7, 7])], Ps::ZERO)
+            .unwrap();
+        // Reading at a later ts sees the new value; at an earlier ts the old.
+        let (new_vals, _) = t.timed_read(&mut mem, &meter(), 5, Ts(3), Ps::ZERO);
+        assert_eq!(new_vals[0], vec![7, 7]);
+        let (old_vals, _) = t.timed_read(&mut mem, &meter(), 5, Ts(1), Ps::ZERO);
+        assert_eq!(old_vals[0], vec![1, 1]);
+        assert_eq!(t.live_delta_rows(), 1);
+    }
+
+    #[test]
+    fn snapshot_sees_only_snapshotted_versions() {
+        let mut t = table(AccessModel::Unified);
+        let mut mem = MemSystem::dimm();
+        t.load_row(5, &values(1));
+        t.timed_update(&mut mem, &meter(), 5, Ts(2), &[(0, vec![7, 7])], Ps::ZERO)
+            .unwrap();
+        // Before snapshotting, OLAP still sees the origin.
+        assert_eq!(t.snapshot_read(5)[0], vec![1, 1]);
+        t.timed_snapshot_update(&mut mem, &meter(), Ts(2), Ps::ZERO);
+        assert_eq!(t.snapshot_read(5)[0], vec![7, 7]);
+        // A later update not yet snapshotted stays invisible.
+        t.timed_update(&mut mem, &meter(), 5, Ts(5), &[(0, vec![8, 8])], Ps::ZERO)
+            .unwrap();
+        assert_eq!(t.snapshot_read(5)[0], vec![7, 7]);
+    }
+
+    #[test]
+    fn defragment_restores_data_region() {
+        let mut t = table(AccessModel::Unified);
+        let mut mem = MemSystem::dimm();
+        let cost = DefragCostModel::new(16.0, 1e9, 3e9);
+        t.load_row(5, &values(1));
+        t.timed_update(&mut mem, &meter(), 5, Ts(2), &[(0, vec![7, 7])], Ps::ZERO)
+            .unwrap();
+        t.timed_update(&mut mem, &meter(), 5, Ts(3), &[(1, vec![9, 9])], Ps::ZERO)
+            .unwrap();
+        let (stats, secs) = t.defragment(&cost, DefragStrategy::Hybrid, Ts(3));
+        assert_eq!(stats.rows_copied, 1);
+        assert_eq!(stats.slots_reclaimed, 2);
+        assert!(stats.chain_steps >= 2);
+        assert!(secs > 0.0);
+        assert_eq!(t.live_delta_rows(), 0);
+        // Data region now holds the newest version, visible to OLAP.
+        assert_eq!(t.snapshot_read(5)[0], vec![7, 7]);
+        assert_eq!(t.snapshot_read(5)[1], vec![9, 9]);
+    }
+
+    #[test]
+    fn delta_exhaustion_reports_full() {
+        let mut t = table(AccessModel::Unified);
+        let mut mem = MemSystem::dimm();
+        t.load_row(0, &values(1));
+        let mut ts = 1u64;
+        loop {
+            ts += 1;
+            match t.timed_update(&mut mem, &meter(), 0, Ts(ts), &[(0, vec![1, 1])], Ps::ZERO) {
+                Ok(_) => continue,
+                Err(DeltaFull { rotation }) => {
+                    assert_eq!(rotation, 0);
+                    break;
+                }
+            }
+        }
+        assert_eq!(t.live_delta_rows(), t.region().arena_rows());
+    }
+
+    #[test]
+    fn colstore_reads_more_lines_than_rowstore() {
+        let rs = table(AccessModel::RowStore);
+        let cs = table(AccessModel::ColumnStore);
+        let uni = table(AccessModel::Unified);
+        let slot = RowSlot::Data { row: 17 };
+        let rs_lines = rs.lines_for(slot).len();
+        let cs_lines = cs.lines_for(slot).len();
+        let uni_lines = uni.lines_for(slot).len();
+        assert!(cs_lines > rs_lines, "cs {cs_lines} rs {rs_lines}");
+        assert!(uni_lines >= rs_lines);
+        assert!(uni_lines <= cs_lines);
+    }
+
+    #[test]
+    fn inserts_advance_cursor_and_are_versioned() {
+        let mut t = table(AccessModel::Unified);
+        let mut mem = MemSystem::dimm();
+        let (r0, _) = t
+            .timed_insert(&mut mem, &meter(), &values(1), Ts(1), Ps::ZERO)
+            .unwrap();
+        let (r1, _) = t
+            .timed_insert(&mut mem, &meter(), &values(2), Ts(2), Ps::ZERO)
+            .unwrap();
+        assert_eq!((r0, r1), (0, 1));
+        // The insert is a delta version: invisible to the snapshot until
+        // the next snapshot update (insert isolation).
+        assert_ne!(t.snapshot_read(1), values(2));
+        t.timed_snapshot_update(&mut mem, &meter(), Ts(2), Ps::ZERO);
+        assert_eq!(t.snapshot_read(1), values(2));
+    }
+
+    #[test]
+    fn shards_rotate_by_block() {
+        let t = table(AccessModel::Unified);
+        let s0 = t.shard_of(0);
+        let s1 = t.shard_of(16); // next block
+        let s2 = t.shard_of(32);
+        assert_ne!(s0, s1);
+        assert_eq!(s0, s2); // two shards → period 2
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests of the OLTP engine: arbitrary committed transaction
+//! streams preserve the engine's structural invariants — version
+//! accounting, snapshot isolation, timestamp monotonicity, and functional
+//! read-your-writes.
+
+use proptest::prelude::*;
+use pushtap_chbench::{dec_u64, enc_u64, Table};
+use pushtap_format::RowSlot;
+use pushtap_mvcc::Ts;
+use pushtap_oltp::{DbConfig, TpccDb};
+use pushtap_pim::{MemSystem, Ps};
+
+/// Scripted operations against the CUSTOMER table.
+#[derive(Debug, Clone)]
+enum Op {
+    UpdateBalance { row: u64, amount: u64 },
+    Read { row: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..64, 1u64..1_000_000)
+                .prop_map(|(row, amount)| Op::UpdateBalance { row, amount }),
+            (0u64..64).prop_map(|row| Op::Read { row }),
+        ],
+        1..80,
+    )
+}
+
+fn build() -> (TpccDb, MemSystem) {
+    let mem = MemSystem::dimm();
+    let db = TpccDb::build(&DbConfig::small(), &mem).expect("build");
+    (db, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Read-your-writes at the engine level: after updating a customer's
+    /// balance, a read at a later timestamp returns it; a read at an
+    /// earlier timestamp returns the previous value.
+    #[test]
+    fn mvcc_read_your_writes(ops in arb_ops()) {
+        let (mut db, mut mem) = build();
+        let meter = *db.meter();
+        let bal = Table::Customer
+            .schema()
+            .index_of("c_balance")
+            .expect("c_balance");
+        // Shadow model: row → (ts, balance) history.
+        let mut shadow: std::collections::HashMap<u64, Vec<(u64, u64)>> = Default::default();
+        let mut ts = 0u64;
+        for op in &ops {
+            match op {
+                Op::UpdateBalance { row, amount } => {
+                    ts += 1;
+                    let t = db.table_mut(Table::Customer);
+                    t.timed_update(
+                        &mut mem,
+                        &meter,
+                        *row,
+                        Ts(ts),
+                        &[(bal, enc_u64(*amount, 8))],
+                        Ps::ZERO,
+                    )
+                    .expect("arena headroom");
+                    shadow.entry(*row).or_default().push((ts, *amount));
+                }
+                Op::Read { row } => {
+                    let t = db.table_mut(Table::Customer);
+                    let (values, _) = t.timed_read(&mut mem, &meter, *row, Ts(ts), Ps::ZERO);
+                    let got = dec_u64(&values[bal as usize]);
+                    match shadow.get(row).and_then(|h| h.iter().rev().find(|(w, _)| *w <= ts)) {
+                        Some((_, expect)) => prop_assert_eq!(got, *expect),
+                        None => {
+                            // Untouched: must equal the generator's value.
+                            let gen = pushtap_chbench::RowGen::new(
+                                Table::Customer,
+                                t.n_rows(),
+                            );
+                            prop_assert_eq!(got, dec_u64(&gen.value(*row, bal)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Version accounting: live delta slots equal the number of updates,
+    /// and a full defragmentation returns the count to zero while folding
+    /// the newest values into the data region.
+    #[test]
+    fn version_accounting_and_defrag(ops in arb_ops()) {
+        let (mut db, mut mem) = build();
+        let meter = *db.meter();
+        let bal = Table::Customer.schema().index_of("c_balance").expect("col");
+        let mut updates = 0u64;
+        let mut newest: std::collections::HashMap<u64, u64> = Default::default();
+        let mut ts = 0u64;
+        for op in &ops {
+            if let Op::UpdateBalance { row, amount } = op {
+                ts += 1;
+                db.table_mut(Table::Customer)
+                    .timed_update(
+                        &mut mem,
+                        &meter,
+                        *row,
+                        Ts(ts),
+                        &[(bal, enc_u64(*amount, 8))],
+                        Ps::ZERO,
+                    )
+                    .expect("arena headroom");
+                updates += 1;
+                newest.insert(*row, *amount);
+            }
+        }
+        let t = db.table_mut(Table::Customer);
+        prop_assert_eq!(t.live_delta_rows(), updates);
+        let model = pushtap_mvcc::DefragCostModel::new(16.0, 1e9, 3e9);
+        let (stats, _) = t.defragment(&model, pushtap_mvcc::DefragStrategy::Hybrid, Ts(ts));
+        prop_assert_eq!(stats.slots_reclaimed, updates);
+        prop_assert_eq!(stats.rows_copied as usize, newest.len());
+        prop_assert_eq!(t.live_delta_rows(), 0);
+        for (row, amount) in newest {
+            let values = t.store().read_row(RowSlot::Data { row });
+            prop_assert_eq!(dec_u64(&values[bal as usize]), amount);
+        }
+    }
+
+    /// Snapshot isolation across arbitrary interleavings: whatever the
+    /// update stream, OLAP reads only move when a snapshot is taken.
+    #[test]
+    fn snapshot_isolation(ops in arb_ops()) {
+        let (mut db, mut mem) = build();
+        let meter = *db.meter();
+        let bal = Table::Customer.schema().index_of("c_balance").expect("col");
+        let observed: Vec<u64> = (0..8)
+            .map(|row| dec_u64(&db.table(Table::Customer).snapshot_read(row)[bal as usize]))
+            .collect();
+        let mut ts = 0u64;
+        for op in &ops {
+            if let Op::UpdateBalance { row, amount } = op {
+                ts += 1;
+                db.table_mut(Table::Customer)
+                    .timed_update(
+                        &mut mem,
+                        &meter,
+                        *row,
+                        Ts(ts),
+                        &[(bal, enc_u64(*amount, 8))],
+                        Ps::ZERO,
+                    )
+                    .expect("arena headroom");
+            }
+            // Without snapshotting, OLAP-visible values never change.
+            for (row, before) in observed.iter().enumerate() {
+                let now = dec_u64(
+                    &db.table(Table::Customer).snapshot_read(row as u64)[bal as usize],
+                );
+                prop_assert_eq!(now, *before, "row {} moved without a snapshot", row);
+            }
+        }
+    }
+}

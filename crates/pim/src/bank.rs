@@ -1,0 +1,114 @@
+//! Per-bank DRAM state tracking.
+
+use crate::time::Ps;
+
+/// Row-buffer outcome of an access, for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowOutcome {
+    /// The target row was already open.
+    Hit,
+    /// The bank was idle; an activate was required.
+    Miss,
+    /// Another row was open; precharge + activate were required.
+    Conflict,
+}
+
+/// Timing state of one CPU-visible bank (lockstep across the devices of a
+/// rank).
+///
+/// The controller mutates this as it schedules commands; all fields are
+/// earliest-allowed command times derived from the JEDEC-style constraints
+/// in [`crate::TimingParams`].
+#[derive(Debug, Clone, Copy)]
+pub struct BankState {
+    /// Currently open row, if any.
+    pub open_row: Option<u32>,
+    /// Time of the most recent ACT.
+    pub act_time: Ps,
+    /// Earliest time the next column command (RD/WR) may issue.
+    pub ready_rw: Ps,
+    /// Earliest time a PRE may issue.
+    pub ready_pre: Ps,
+    /// Earliest time the next ACT may issue.
+    pub ready_act: Ps,
+    /// CPU accesses are stalled until this time while the bank is handed to
+    /// its PIM unit (PIM mode, §2.1 / §6.2 load phases).
+    pub locked_until: Ps,
+}
+
+impl Default for BankState {
+    fn default() -> BankState {
+        BankState {
+            open_row: None,
+            act_time: Ps::ZERO,
+            ready_rw: Ps::ZERO,
+            ready_pre: Ps::ZERO,
+            ready_act: Ps::ZERO,
+            locked_until: Ps::ZERO,
+        }
+    }
+}
+
+impl BankState {
+    /// Classifies what servicing `row` requires right now.
+    pub fn outcome(&self, row: u32) -> RowOutcome {
+        match self.open_row {
+            Some(r) if r == row => RowOutcome::Hit,
+            Some(_) => RowOutcome::Conflict,
+            None => RowOutcome::Miss,
+        }
+    }
+
+    /// Pushes every readiness horizon to at least `t` (used for refresh
+    /// stalls, which occupy the whole rank).
+    pub fn stall_until(&mut self, t: Ps) {
+        self.ready_rw = self.ready_rw.max(t);
+        self.ready_pre = self.ready_pre.max(t);
+        self.ready_act = self.ready_act.max(t);
+    }
+
+    /// Locks the bank for PIM-mode access until `t`.
+    pub fn lock_until(&mut self, t: Ps) {
+        self.locked_until = self.locked_until.max(t);
+        // Handing the bank to the PIM unit closes the CPU-visible row.
+        self.open_row = None;
+        self.stall_until(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        let mut b = BankState::default();
+        assert_eq!(b.outcome(5), RowOutcome::Miss);
+        b.open_row = Some(5);
+        assert_eq!(b.outcome(5), RowOutcome::Hit);
+        assert_eq!(b.outcome(6), RowOutcome::Conflict);
+    }
+
+    #[test]
+    fn stall_is_monotone() {
+        let mut b = BankState::default();
+        b.ready_rw = Ps::new(100);
+        b.stall_until(Ps::new(50));
+        assert_eq!(b.ready_rw, Ps::new(100));
+        b.stall_until(Ps::new(200));
+        assert_eq!(b.ready_rw, Ps::new(200));
+        assert_eq!(b.ready_act, Ps::new(200));
+    }
+
+    #[test]
+    fn locking_closes_row() {
+        let mut b = BankState::default();
+        b.open_row = Some(3);
+        b.lock_until(Ps::new(1000));
+        assert_eq!(b.open_row, None);
+        assert_eq!(b.locked_until, Ps::new(1000));
+        // Locks never shrink.
+        b.lock_until(Ps::new(500));
+        assert_eq!(b.locked_until, Ps::new(1000));
+    }
+}

@@ -1,0 +1,188 @@
+//! Functional (value-carrying) device memory.
+//!
+//! The timing simulator models *when* data moves; these buffers hold the
+//! bytes themselves so the database built on top is value-correct. One
+//! [`DeviceMem`] is the byte stream of one device's share of a table
+//! region; a [`DeviceArray`] groups the lockstep devices of a rank (the
+//! ADE dimension of the unified format).
+
+use std::fmt;
+
+/// A growable device-local byte store.
+#[derive(Clone, Default)]
+pub struct DeviceMem {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for DeviceMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceMem")
+            .field("len", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl DeviceMem {
+    /// Creates an empty device memory.
+    pub fn new() -> DeviceMem {
+        DeviceMem::default()
+    }
+
+    /// Current allocated length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been allocated yet.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Grows (zero-filled) so that `end` bytes are addressable.
+    pub fn ensure(&mut self, end: usize) {
+        if self.bytes.len() < end {
+            self.bytes.resize(end, 0);
+        }
+    }
+
+    /// Reads `len` bytes at `offset`. Bytes beyond the written extent read
+    /// as zero, like fresh DRAM.
+    pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        if offset < self.bytes.len() {
+            let n = len.min(self.bytes.len() - offset);
+            out[..n].copy_from_slice(&self.bytes[offset..offset + n]);
+        }
+        out
+    }
+
+    /// Writes `data` at `offset`, growing the store as needed.
+    pub fn write(&mut self, offset: usize, data: &[u8]) {
+        self.ensure(offset + data.len());
+        self.bytes[offset..offset + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads a single byte (zero beyond the written extent).
+    pub fn byte(&self, offset: usize) -> u8 {
+        self.bytes.get(offset).copied().unwrap_or(0)
+    }
+
+    /// Writes a single byte, growing the store as needed.
+    pub fn set_byte(&mut self, offset: usize, value: u8) {
+        self.ensure(offset + 1);
+        self.bytes[offset] = value;
+    }
+
+    /// Copies `len` bytes from `src` to `dst` within this device (used by
+    /// PIM-side defragmentation: the copy never crosses devices because new
+    /// versions share their origin row's rotation, §5.1).
+    pub fn copy_within(&mut self, src: usize, dst: usize, len: usize) {
+        self.ensure(src + len);
+        self.ensure(dst + len);
+        self.bytes.copy_within(src..src + len, dst);
+    }
+}
+
+/// The lockstep devices of one rank (the ADE dimension).
+#[derive(Debug, Clone)]
+pub struct DeviceArray {
+    devices: Vec<DeviceMem>,
+}
+
+impl DeviceArray {
+    /// Creates an array of `n` empty devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32) -> DeviceArray {
+        assert!(n > 0, "device array needs at least one device");
+        DeviceArray {
+            devices: (0..n).map(|_| DeviceMem::new()).collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn width(&self) -> u32 {
+        self.devices.len() as u32
+    }
+
+    /// Immutable access to device `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn device(&self, i: u32) -> &DeviceMem {
+        &self.devices[i as usize]
+    }
+
+    /// Mutable access to device `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn device_mut(&mut self, i: u32) -> &mut DeviceMem {
+        &mut self.devices[i as usize]
+    }
+
+    /// Iterates over all devices.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceMem> {
+        self.devices.iter()
+    }
+
+    /// Largest allocated length across devices.
+    pub fn max_len(&self) -> usize {
+        self.devices.iter().map(DeviceMem::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = DeviceMem::new();
+        m.write(10, &[1, 2, 3]);
+        assert_eq!(m.read(10, 3), vec![1, 2, 3]);
+        assert_eq!(m.len(), 13);
+        // Unwritten bytes are zero, even past the extent.
+        assert_eq!(m.read(0, 10), vec![0u8; 10]);
+        assert_eq!(m.read(1000, 4), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn byte_accessors() {
+        let mut m = DeviceMem::new();
+        m.set_byte(5, 0xAB);
+        assert_eq!(m.byte(5), 0xAB);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn copy_within_moves_versions() {
+        let mut m = DeviceMem::new();
+        m.write(0, &[9, 9, 9, 9]);
+        m.write(100, &[1, 2, 3, 4]);
+        m.copy_within(100, 0, 4);
+        assert_eq!(m.read(0, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn device_array_is_independent() {
+        let mut a = DeviceArray::new(4);
+        a.device_mut(0).write(0, &[7]);
+        a.device_mut(3).write(0, &[8]);
+        assert_eq!(a.device(0).byte(0), 7);
+        assert_eq!(a.device(3).byte(0), 8);
+        assert_eq!(a.device(1).len(), 0);
+        assert_eq!(a.width(), 4);
+        assert_eq!(a.max_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_array_panics() {
+        let _ = DeviceArray::new(0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Whole-memory-system facade: the timing front door for the engine crates.
+//!
+//! A [`MemSystem`] owns one controller per channel on both the PIM side and
+//! the host (conventional DRAM) side, accumulates traffic/energy statistics,
+//! and offers streaming helpers used by scans.
+
+use crate::config::{MemKind, SystemConfig};
+use crate::controller::{ChannelController, Completion, Op};
+use crate::energy::EnergyStats;
+use crate::geometry::BankAddr;
+use crate::time::Ps;
+
+/// Which memory a request targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The PIM-attached memory (holds the unified-format instance).
+    Pim,
+    /// The host's conventional DRAM (holds metadata; the MI baseline's
+    /// row-store instance lives here).
+    Host,
+}
+
+/// Traffic statistics, the basis of effective-bandwidth measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SysStats {
+    /// Bytes fetched over the CPU bus (whole cache lines).
+    pub cpu_fetched: u64,
+    /// Bytes of those that carried live data.
+    pub cpu_useful: u64,
+    /// Bytes DMAed by PIM units from their banks.
+    pub pim_loaded: u64,
+    /// Bytes of those that carried live data.
+    pub pim_useful: u64,
+    /// Energy accounting.
+    pub energy: EnergyStats,
+}
+
+impl SysStats {
+    /// CPU effective bandwidth: useful / fetched.
+    pub fn cpu_effective(&self) -> f64 {
+        if self.cpu_fetched == 0 {
+            1.0
+        } else {
+            self.cpu_useful as f64 / self.cpu_fetched as f64
+        }
+    }
+
+    /// PIM effective bandwidth: useful / loaded.
+    pub fn pim_effective(&self) -> f64 {
+        if self.pim_loaded == 0 {
+            1.0
+        } else {
+            self.pim_useful as f64 / self.pim_loaded as f64
+        }
+    }
+}
+
+/// The memory system: timing controllers plus traffic accounting.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    cfg: SystemConfig,
+    pim_ctrl: Vec<ChannelController>,
+    host_ctrl: Vec<ChannelController>,
+    stats: SysStats,
+}
+
+impl MemSystem {
+    /// Builds the system described by `cfg`.
+    pub fn new(cfg: SystemConfig) -> MemSystem {
+        let pg = &cfg.pim_geometry;
+        let hg = &cfg.cpu_geometry;
+        MemSystem {
+            pim_ctrl: (0..pg.channels)
+                .map(|_| {
+                    ChannelController::new(cfg.pim_timing, pg.ranks_per_channel, pg.banks_per_device)
+                })
+                .collect(),
+            host_ctrl: (0..hg.channels)
+                .map(|_| {
+                    ChannelController::new(cfg.cpu_timing, hg.ranks_per_channel, hg.banks_per_device)
+                })
+                .collect(),
+            cfg,
+            stats: SysStats::default(),
+        }
+    }
+
+    /// Convenience constructor for the paper's default DIMM system.
+    pub fn dimm() -> MemSystem {
+        MemSystem::new(SystemConfig::dimm())
+    }
+
+    /// Convenience constructor for the HBM comparison system.
+    pub fn hbm() -> MemSystem {
+        MemSystem::new(SystemConfig::hbm())
+    }
+
+    /// The system configuration.
+    pub fn cfg(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Memory technology label of the PIM side.
+    pub fn kind(&self) -> MemKind {
+        self.cfg.kind
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SysStats {
+        &self.stats
+    }
+
+    /// Clears accumulated statistics (controllers keep their timing state).
+    pub fn reset_stats(&mut self) {
+        self.stats = SysStats::default();
+    }
+
+    /// Cache-line bytes delivered per CPU access on `side`.
+    pub fn line_bytes(&self, side: Side) -> u32 {
+        match side {
+            Side::Pim => self.cfg.pim_geometry.cpu_line_bytes(),
+            Side::Host => self.cfg.cpu_geometry.cpu_line_bytes(),
+        }
+    }
+
+    fn ctrl_mut(&mut self, side: Side, channel: u32) -> &mut ChannelController {
+        let ctrls = match side {
+            Side::Pim => &mut self.pim_ctrl,
+            Side::Host => &mut self.host_ctrl,
+        };
+        &mut ctrls[channel as usize]
+    }
+
+    /// One CPU cache-line access. `useful` is how many of the line's bytes
+    /// carry live data (for effective-bandwidth accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank address is outside the configured geometry or
+    /// `useful` exceeds the line size.
+    pub fn access(
+        &mut self,
+        side: Side,
+        bank: BankAddr,
+        row: u32,
+        op: Op,
+        useful: u32,
+        at: Ps,
+    ) -> Completion {
+        let line = self.line_bytes(side) as u64;
+        assert!(
+            useful as u64 <= line,
+            "useful bytes {useful} exceed line size {line}"
+        );
+        let c = self.ctrl_mut(side, bank.channel);
+        let completion = c.access(bank.rank, bank.bank, row, op, at);
+        self.stats.cpu_fetched += line;
+        self.stats.cpu_useful += useful as u64;
+        self.stats.energy.add_cpu_bytes(line);
+        completion
+    }
+
+    /// Streams `bursts` sequential cache-line accesses starting at
+    /// `(bank, row0)`, `bursts_per_row` to each row before moving to the
+    /// next. Returns the completion time of the last burst.
+    ///
+    /// Bursts are issued *open-loop* (all arrive at `at`): independent scan
+    /// accesses pipeline through the bank/bus constraints, matching a
+    /// prefetching streamer rather than pointer chasing. Use
+    /// [`MemSystem::access`] with dependent arrival times for the latter.
+    pub fn stream(
+        &mut self,
+        side: Side,
+        bank: BankAddr,
+        row0: u32,
+        bursts: u64,
+        bursts_per_row: u32,
+        op: Op,
+        useful_per_burst: u32,
+        at: Ps,
+    ) -> Ps {
+        assert!(bursts_per_row > 0, "bursts_per_row must be positive");
+        let mut t = at;
+        for i in 0..bursts {
+            let row = row0 + (i / bursts_per_row as u64) as u32;
+            t = self.access(side, bank, row, op, useful_per_burst, at).done;
+        }
+        t.max(at)
+    }
+
+    /// Like [`MemSystem::stream`], but simulates only a sample window and
+    /// linearly extrapolates for very long streams. Statistics are scaled to
+    /// the full stream. Use for sweeps whose burst counts reach the
+    /// hundreds of millions; the result matches `stream` asymptotically
+    /// because warm sequential streams reach a steady rate.
+    pub fn stream_sampled(
+        &mut self,
+        side: Side,
+        bank: BankAddr,
+        row0: u32,
+        bursts: u64,
+        bursts_per_row: u32,
+        op: Op,
+        useful_per_burst: u32,
+        at: Ps,
+    ) -> Ps {
+        const SAMPLE: u64 = 1 << 16;
+        if bursts <= 2 * SAMPLE {
+            return self.stream(side, bank, row0, bursts, bursts_per_row, op, useful_per_burst, at);
+        }
+        // Warm up (excluded from the measured rate), then measure.
+        let warm = self.stream(side, bank, row0, SAMPLE, bursts_per_row, op, useful_per_burst, at);
+        let row1 = row0 + (SAMPLE / bursts_per_row as u64) as u32;
+        let measured =
+            self.stream(side, bank, row1, SAMPLE, bursts_per_row, op, useful_per_burst, warm);
+        let rate = (measured - warm) / SAMPLE; // per burst
+        let remaining = bursts - 2 * SAMPLE;
+        let line = self.line_bytes(side) as u64;
+        self.stats.cpu_fetched += line * remaining;
+        self.stats.cpu_useful += useful_per_burst as u64 * remaining;
+        self.stats.energy.add_cpu_bytes(line * remaining);
+        measured + rate * remaining
+    }
+
+    /// Records a PIM-side DMA of `loaded` bytes (of which `useful` carry
+    /// live data) without timing it — the caller owns the phase timing via
+    /// [`crate::PimUnit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `useful > loaded`.
+    pub fn charge_pim_dma(&mut self, loaded: u64, useful: u64) {
+        assert!(useful <= loaded, "useful {useful} > loaded {loaded}");
+        self.stats.pim_loaded += loaded;
+        self.stats.pim_useful += useful;
+        self.stats.energy.add_pim_bytes(loaded);
+    }
+
+    /// Locks one PIM-side bank against CPU access until `until`.
+    pub fn lock_bank(&mut self, bank: BankAddr, until: Ps) {
+        self.ctrl_mut(Side::Pim, bank.channel)
+            .lock_bank(bank.rank, bank.bank, until);
+    }
+
+    /// Locks every bank of every PIM-side rank until `until` (whole-memory
+    /// handover, as in the original architecture's offload).
+    pub fn lock_all_pim(&mut self, until: Ps) {
+        let g = self.cfg.pim_geometry;
+        for ch in 0..g.channels {
+            for rk in 0..g.ranks_per_channel {
+                self.pim_ctrl[ch as usize].lock_rank(rk, until);
+            }
+        }
+    }
+
+    /// Read-only controller statistics for a PIM-side channel.
+    pub fn pim_channel_stats(&self, channel: u32) -> &crate::controller::CtrlStats {
+        self.pim_ctrl[channel as usize].stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_bandwidth_tracks_useful_bytes() {
+        let mut m = MemSystem::dimm();
+        let bank = BankAddr::new(0, 0, 0);
+        m.access(Side::Pim, bank, 0, Op::Read, 17, Ps::ZERO);
+        // 17 useful of a 64-byte line.
+        assert!((m.stats().cpu_effective() - 17.0 / 64.0).abs() < 1e-12);
+        m.charge_pim_dma(8, 2);
+        assert!((m.stats().pim_effective() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sides_are_independent() {
+        let mut m = MemSystem::dimm();
+        let bank = BankAddr::new(0, 0, 0);
+        let a = m.access(Side::Pim, bank, 0, Op::Read, 64, Ps::ZERO);
+        // The same bank address on the host side is a distinct bank: it
+        // also sees a cold miss.
+        let b = m.access(Side::Host, bank, 0, Op::Read, 64, Ps::ZERO);
+        assert_eq!(a.outcome, b.outcome);
+    }
+
+    #[test]
+    fn stream_matches_manual_loop() {
+        let mut a = MemSystem::dimm();
+        let mut b = MemSystem::dimm();
+        let bank = BankAddr::new(1, 2, 3);
+        let end = a.stream(Side::Pim, bank, 0, 512, 128, Op::Read, 64, Ps::ZERO);
+        let mut t = Ps::ZERO;
+        for i in 0..512u64 {
+            t = b
+                .access(Side::Pim, bank, (i / 128) as u32, Op::Read, 64, Ps::ZERO)
+                .done;
+        }
+        assert_eq!(end, t);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn sampled_stream_approximates_exact() {
+        let mut exact = MemSystem::dimm();
+        let mut sampled = MemSystem::dimm();
+        let bank = BankAddr::new(0, 0, 0);
+        let bursts = 300_000u64;
+        let t_exact = exact.stream(Side::Pim, bank, 0, bursts, 128, Op::Read, 64, Ps::ZERO);
+        let t_sampled =
+            sampled.stream_sampled(Side::Pim, bank, 0, bursts, 128, Op::Read, 64, Ps::ZERO);
+        let err = (t_exact.as_us() - t_sampled.as_us()).abs() / t_exact.as_us();
+        assert!(err < 0.02, "extrapolation error {err}");
+        assert_eq!(exact.stats().cpu_fetched, sampled.stats().cpu_fetched);
+    }
+
+    #[test]
+    fn lock_all_pim_blocks_every_bank() {
+        let mut m = MemSystem::dimm();
+        m.lock_all_pim(Ps::from_us(3.0));
+        let r = m.access(
+            Side::Pim,
+            BankAddr::new(3, 3, 7),
+            0,
+            Op::Read,
+            64,
+            Ps::ZERO,
+        );
+        assert!(r.issue >= Ps::from_us(3.0));
+        // Host side is never locked by PIM handover.
+        let h = m.access(
+            Side::Host,
+            BankAddr::new(0, 0, 0),
+            0,
+            Op::Read,
+            64,
+            Ps::ZERO,
+        );
+        assert!(h.issue < Ps::from_us(1.0));
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut m = MemSystem::dimm();
+        m.access(Side::Pim, BankAddr::new(0, 0, 0), 0, Op::Read, 64, Ps::ZERO);
+        m.reset_stats();
+        assert_eq!(m.stats().cpu_fetched, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed line size")]
+    fn oversized_useful_panics() {
+        let mut m = MemSystem::dimm();
+        m.access(Side::Pim, BankAddr::new(0, 0, 0), 0, Op::Read, 65, Ps::ZERO);
+    }
+}

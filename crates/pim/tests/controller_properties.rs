@@ -1,0 +1,131 @@
+//! Property-based tests of the DRAM controller timing model: for
+//! arbitrary request streams, completions respect the protocol's
+//! fundamental invariants.
+
+use proptest::prelude::*;
+use pushtap_pim::{ChannelController, Op, Ps, TimingParams};
+
+#[derive(Debug, Clone)]
+struct Req {
+    rank: u32,
+    bank: u32,
+    row: u32,
+    write: bool,
+    gap_ps: u64,
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<Req>> {
+    prop::collection::vec(
+        (0u32..4, 0u32..8, 0u32..64, any::<bool>(), 0u64..20_000).prop_map(
+            |(rank, bank, row, write, gap_ps)| Req {
+                rank,
+                bank,
+                row,
+                write,
+                gap_ps,
+            },
+        ),
+        1..300,
+    )
+}
+
+proptest! {
+    /// Data never starts before the command issues; a burst always lasts
+    /// exactly tBURST; the shared bus never overlaps two bursts.
+    #[test]
+    fn protocol_invariants(stream in arb_stream()) {
+        let t = TimingParams::ddr5_3200();
+        let mut ctrl = ChannelController::new(t, 4, 8);
+        let mut at = Ps::ZERO;
+        let mut last_data_end = Ps::ZERO;
+        for r in &stream {
+            at += Ps::new(r.gap_ps);
+            let op = if r.write { Op::Write } else { Op::Read };
+            let c = ctrl.access(r.rank, r.bank, r.row, op, at);
+            prop_assert!(c.issue >= at, "issued before arrival");
+            prop_assert!(c.data_start >= c.issue + t.t_cl, "CAS latency violated");
+            prop_assert_eq!(c.done - c.data_start, t.t_burst);
+            prop_assert!(c.data_start >= last_data_end, "bus overlap");
+            last_data_end = c.done;
+        }
+    }
+
+    /// Latency ordering: an isolated hit is never slower than an isolated
+    /// miss, which is never slower than an isolated conflict.
+    #[test]
+    fn outcome_latency_ordering(rank in 0u32..4, bank in 0u32..8, row in 0u32..1000) {
+        let t = TimingParams::ddr5_3200();
+        // Far enough apart that no constraint couples the accesses.
+        let gap = Ps::from_us(1.0);
+        let mut ctrl = ChannelController::new(t, 4, 8);
+        let miss = ctrl.access(rank, bank, row, Op::Read, gap);
+        let hit = ctrl.access(rank, bank, row, Op::Read, gap * 2);
+        let conflict = ctrl.access(rank, bank, row + 1, Op::Read, gap * 3);
+        let lat = |c: pushtap_pim::Completion, at: Ps| c.done - at;
+        prop_assert!(lat(hit, gap * 2) <= lat(miss, gap));
+        prop_assert!(lat(miss, gap) <= lat(conflict, gap * 3));
+    }
+
+    /// Aggregate bounds: a stream of n bursts takes at least n×tBURST and
+    /// at most n×(conflict + refresh slack) when issued open-loop.
+    #[test]
+    fn stream_time_bounds(stream in arb_stream()) {
+        let t = TimingParams::ddr5_3200();
+        let mut ctrl = ChannelController::new(t, 4, 8);
+        let mut last = Ps::ZERO;
+        for r in &stream {
+            let op = if r.write { Op::Write } else { Op::Read };
+            last = last.max(ctrl.access(r.rank, r.bank, r.row, op, Ps::ZERO).done);
+        }
+        let n = stream.len() as u64;
+        prop_assert!(last >= t.t_burst * n);
+        // Worst case per burst: write-recovery + conflict + turnarounds,
+        // plus refresh interruptions (bounded by one tRFC per tREFI of
+        // elapsed time).
+        let per = t.conflict_latency() + t.t_wr + t.t_wtr + t.t_cs;
+        let refresh_slack = Ps::new(
+            (last.ps() / t.t_refi.ps() + 1) * t.t_rfc.ps(),
+        );
+        prop_assert!(
+            last <= per * n + refresh_slack + t.miss_latency(),
+            "stream of {} took {}",
+            n,
+            last
+        );
+    }
+
+    /// Determinism: replaying the same stream gives identical timings.
+    #[test]
+    fn deterministic_replay(stream in arb_stream()) {
+        let t = TimingParams::ddr5_3200();
+        let run = || {
+            let mut ctrl = ChannelController::new(t, 4, 8);
+            let mut at = Ps::ZERO;
+            let mut out = Vec::new();
+            for r in &stream {
+                at += Ps::new(r.gap_ps);
+                let op = if r.write { Op::Write } else { Op::Read };
+                out.push(ctrl.access(r.rank, r.bank, r.row, op, at).done);
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Row-buffer accounting: hits + misses + conflicts equals requests,
+    /// and a single-row stream has exactly one non-hit.
+    #[test]
+    fn outcome_accounting(rows in prop::collection::vec(0u32..4, 1..100)) {
+        let t = TimingParams::ddr5_3200();
+        let mut ctrl = ChannelController::new(t, 1, 1);
+        for &row in &rows {
+            ctrl.access(0, 0, row, Op::Read, Ps::ZERO);
+        }
+        let s = ctrl.stats();
+        prop_assert_eq!(s.accesses(), rows.len() as u64);
+        // Row transitions lower-bound the non-hit count (refresh may close
+        // rows and add misses, never hits).
+        let transitions = rows.windows(2).filter(|w| w[0] != w[1]).count() as u64 + 1;
+        prop_assert!(s.misses + s.conflicts >= transitions.min(rows.len() as u64));
+    }
+}

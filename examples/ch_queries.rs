@@ -1,0 +1,50 @@
+//! The full CH-benCHmark analytical sweep: run all 22 queries against a
+//! freshly transacted database and report per-query time plus aggregate
+//! QphH — the workload behind the paper's throughput numbers.
+//!
+//! Run with: `cargo run --release --example ch_queries`
+
+use pushtap::core::{qphh, Pushtap, PushtapConfig};
+use pushtap::olap::run_all_queries;
+use pushtap::pim::Ps;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut system = Pushtap::new(PushtapConfig::small())?;
+    let mut txns = system.txn_gen(77);
+    system.run_txns(&mut txns, 300);
+
+    // Fresh snapshots for every table the queries touch.
+    for q in pushtap::olap::Query::ALL {
+        system.snapshot_for(q);
+    }
+
+    println!(
+        "{:<5} {:>7} {:>9} {:>9} {:>14} {:>12} {:>12}",
+        "query", "tables", "PIM cols", "CPU cols", "time", "PIM load", "CPU coord"
+    );
+    let reports = {
+        // Split borrows: queries need &db and &mut mem.
+        let engine = system.engine().clone();
+        let (db, mem) = system.db_and_mem_mut();
+        run_all_queries(db, &engine, mem, Ps::ZERO)
+    };
+    let mut total = Ps::ZERO;
+    for r in &reports {
+        total += r.timing.end;
+        println!(
+            "Q{:<4} {:>7} {:>9} {:>9} {:>14} {:>12} {:>12}",
+            r.query,
+            r.tables,
+            r.pim_columns,
+            r.cpu_columns,
+            r.timing.end.to_string(),
+            r.timing.pim_load.to_string(),
+            r.timing.cpu_compute.to_string(),
+        );
+    }
+    println!(
+        "\nfull sweep: {total}  →  {:.1} kQphH (22-query streams/hour basis)",
+        qphh(22, total) / 1e3
+    );
+    Ok(())
+}

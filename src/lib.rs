@@ -1,0 +1,45 @@
+//! # PUSHtap — PIM-based In-Memory HTAP with a Unified Data Storage Format
+//!
+//! A from-scratch Rust reproduction of the ASPLOS'25 paper *PUSHtap:
+//! PIM-based In-Memory HTAP with Unified Data Storage Format* (Zhao et
+//! al.): a hybrid transactional/analytical database that stores every
+//! table once, in a format that is simultaneously row-friendly for the
+//! CPU (interleaved access across devices) and column-friendly for
+//! in-memory PIM units (local access inside devices).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`pim`] | `pushtap-pim` | DRAM + PIM timing simulator (Table 1 systems) |
+//! | [`format`] | `pushtap-format` | unified data format (§4) |
+//! | [`mvcc`] | `pushtap-mvcc` | version chains, bitmap snapshots, defrag (§5) |
+//! | [`oltp`] | `pushtap-oltp` | DBx1000-style TPC-C executor |
+//! | [`olap`] | `pushtap-olap` | two-phase PIM analytics, Q1/Q6/Q9 (§6) |
+//! | [`chbench`] | `pushtap-chbench` | CH-benCHmark + HTAPBench workloads |
+//! | [`core`] | `pushtap-core` | the assembled system + all baselines (§7) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pushtap::core::{Pushtap, PushtapConfig};
+//! use pushtap::olap::Query;
+//!
+//! // Build a small DIMM-based instance and run a mixed workload.
+//! let mut system = Pushtap::new(PushtapConfig::small())?;
+//! let mut txns = system.txn_gen(7);
+//! system.run_txns(&mut txns, 100);
+//! let report = system.run_query(Query::Q6);
+//! println!("Q6 took {} (consistency {})", report.total(), report.consistency);
+//! # Ok::<(), pushtap::format::LayoutError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pushtap_chbench as chbench;
+pub use pushtap_core as core;
+pub use pushtap_format as format;
+pub use pushtap_mvcc as mvcc;
+pub use pushtap_olap as olap;
+pub use pushtap_oltp as oltp;
+pub use pushtap_pim as pim;
