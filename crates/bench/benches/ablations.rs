@@ -3,8 +3,8 @@
 //! two-phase execution split, and the defragmentation period.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use pushtap_core::{Pushtap, PushtapConfig};
 use pushtap_format::Placement;

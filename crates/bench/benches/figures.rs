@@ -6,8 +6,8 @@
 //! binaries.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 
 use pushtap_bench::{fig10, fig11, fig12, fig8, fig9};
 use pushtap_olap::Query;
@@ -22,7 +22,9 @@ fn bench_fig8(c: &mut Criterion) {
     g.bench_function("threshold_sweep", |b| {
         b.iter(|| black_box(fig8::threshold_sweep(10)))
     });
-    g.bench_function("subset_sweep", |b| b.iter(|| black_box(fig8::subset_sweep())));
+    g.bench_function("subset_sweep", |b| {
+        b.iter(|| black_box(fig8::subset_sweep()))
+    });
     g.bench_function("htapbench", |b| {
         b.iter(|| black_box(fig8::htapbench_effectiveness(0.55)))
     });

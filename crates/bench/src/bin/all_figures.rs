@@ -16,4 +16,6 @@ fn main() {
     pushtap_bench::fig11::print_all(scale);
     println!();
     pushtap_bench::fig12::print_all(scale);
+    println!();
+    pushtap_bench::shard_scale::print_all();
 }

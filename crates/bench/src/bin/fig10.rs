@@ -5,6 +5,6 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.001);
-    
+
     pushtap_bench::fig10::print_all(scale);
 }

@@ -1,0 +1,4 @@
+//! Prints the shard-scaling throughput table (1 → 4 shards).
+fn main() {
+    pushtap_bench::shard_scale::print_all();
+}

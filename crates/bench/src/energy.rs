@@ -80,12 +80,18 @@ pub fn compare(rows: u64) -> EnergyComparison {
 /// Prints the comparison across scan sizes.
 pub fn print_all() {
     println!("== Energy extension: column scan via PIM vs CPU ==");
-    println!("{:>12} {:>12} {:>12} {:>8}", "rows", "PIM (mJ)", "CPU (mJ)", "ratio");
+    println!(
+        "{:>12} {:>12} {:>12} {:>8}",
+        "rows", "PIM (mJ)", "CPU (mJ)", "ratio"
+    );
     for rows in [100_000u64, 1_000_000, 10_000_000] {
         let c = compare(rows);
         println!(
             "{:>12} {:>12.4} {:>12.4} {:>7.1}x",
-            c.rows, c.pim_mj, c.cpu_mj, c.ratio()
+            c.rows,
+            c.pim_mj,
+            c.cpu_mj,
+            c.ratio()
         );
     }
     println!(

@@ -47,8 +47,7 @@ pub fn measure(scale: f64) -> MeasuredParams {
     // Consistency per txn: snapshotting plus the amortised per-period
     // defragmentation pause (estimated at the paper's 10 k period).
     let snap = p.run_query(Query::Q6).consistency;
-    let defrag_amortised =
-        p.estimate_defrag_pause(pushtap_mvcc::DefragStrategy::Hybrid) / 10_000;
+    let defrag_amortised = p.estimate_defrag_pause(pushtap_mvcc::DefragStrategy::Hybrid) / 10_000;
     let per_txn_consistency = report.defrag_time / 2_000 + snap / 2_000 + defrag_amortised;
     // Query time: mean of the three queries, scan only.
     let fetched1 = p.mem().stats().cpu_fetched;
@@ -58,8 +57,7 @@ pub fn measure(scale: f64) -> MeasuredParams {
         q_total += r.timing.end.saturating_sub(r.consistency);
     }
     let query_time = q_total / 3;
-    let query_bus_bytes =
-        ((p.mem().stats().cpu_fetched - fetched1) as f64 / 3.0).max(1.0);
+    let query_bus_bytes = ((p.mem().stats().cpu_fetched - fetched1) as f64 / 3.0).max(1.0);
 
     let pushtap = FrontierParams {
         txn_time,
@@ -156,10 +154,7 @@ pub fn print_all(scale: f64) {
         );
     }
     println!("\nfrontier points (tpmC_M, QphH_k):");
-    for (label, pts) in [
-        ("PUSHtap", m.pushtap.sweep(12)),
-        ("MI", m.mi.sweep(12)),
-    ] {
+    for (label, pts) in [("PUSHtap", m.pushtap.sweep(12)), ("MI", m.mi.sweep(12))] {
         let s: Vec<String> = pts
             .iter()
             .map(|p| {
@@ -175,8 +170,8 @@ pub fn print_all(scale: f64) {
     // The paper's headline ratios.
     let ratio_oltp = m.pushtap.peak_tpmc() / m.mi.peak_tpmc().max(1e-9);
     let mi_peak_x = m.mi.peak_txn_rate();
-    let ratio_olap_at_mi_peak = m.pushtap.max_query_rate(mi_peak_x)
-        / m.mi.max_query_rate(mi_peak_x * 0.999).max(1e-9);
+    let ratio_olap_at_mi_peak =
+        m.pushtap.max_query_rate(mi_peak_x) / m.mi.max_query_rate(mi_peak_x * 0.999).max(1e-9);
     println!(
         "\npeak-OLTP ratio (paper 3.4x): {ratio_oltp:.1}x; OLAP at MI's peak OLTP (paper 4.4x): {ratio_olap_at_mi_peak:.1}x"
     );
@@ -200,10 +195,7 @@ mod tests {
         // …but at mid frontier PUSHtap retains much more OLAP throughput.
         let p_mid = push[4].qphh / p0;
         let m_mid = mi[4].qphh / m0;
-        assert!(
-            p_mid > m_mid,
-            "PUSHtap retention {p_mid} vs MI {m_mid}"
-        );
+        assert!(p_mid > m_mid, "PUSHtap retention {p_mid} vs MI {m_mid}");
     }
 
     #[test]

@@ -134,7 +134,10 @@ pub fn defrag_breakdown(scale: f64, txns: u64) -> (f64, f64) {
 pub fn print_all(scale: f64) {
     println!("== Fig. 11(a): defrag overhead on OLTP ==");
     let pts = oltp_overhead(scale, 500, &[500, 1_000, 2_000, 4_000]);
-    println!("{:>8} {:>14} {:>14} {:>10}", "txns", "txn time", "defrag", "overhead");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "txns", "txn time", "defrag", "overhead"
+    );
     for p in &pts {
         println!(
             "{:>8} {:>14} {:>14} {:>9.2}%",

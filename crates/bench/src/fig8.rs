@@ -6,9 +6,7 @@
 //! plus the §7.2 HTAPBench generality check.
 
 use pushtap_chbench::{key_columns_upto, scan_weight, schema_with_keys, Table, ALL_TABLES};
-use pushtap_format::{
-    compact_layout, cpu_effective, storage_breakdown, TableSchema,
-};
+use pushtap_format::{compact_layout, cpu_effective, storage_breakdown, TableSchema};
 
 /// One point of the Fig. 8(a) sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,7 +69,11 @@ pub fn database_effectiveness(
     }
     (
         cpu_num / cpu_den,
-        if pim_den == 0.0 { 1.0 } else { pim_num / pim_den },
+        if pim_den == 0.0 {
+            1.0
+        } else {
+            pim_num / pim_den
+        },
     )
 }
 
@@ -147,7 +149,10 @@ pub fn subset_sweep() -> Vec<SubsetPoint> {
         .into_iter()
         .map(|(label, upto)| {
             let (schemas, queries): (Vec<_>, Vec<u8>) = match upto {
-                Some(n) => ((keyed_schemas(&(1..=n).collect::<Vec<_>>())), (1..=n).collect()),
+                Some(n) => (
+                    (keyed_schemas(&(1..=n).collect::<Vec<_>>())),
+                    (1..=n).collect(),
+                ),
                 None => (all_key_schemas(), (1..=22).collect()),
             };
             let key_columns = match upto {
@@ -221,7 +226,11 @@ pub fn htapbench_effectiveness(th: f64) -> (f64, f64) {
     }
     (
         cpu_num / cpu_den,
-        if pim_den == 0.0 { 1.0 } else { pim_num / pim_den },
+        if pim_den == 0.0 {
+            1.0
+        } else {
+            pim_num / pim_den
+        },
     )
 }
 
@@ -261,7 +270,11 @@ pub fn print_all() {
     }
     let (c, p) = htapbench_effectiveness(0.55);
     println!("\n== §7.2 generality: HTAPBench at th=0.55 ==");
-    println!("CPU {:.0}%  PIM {:.0}%  (paper: 57%/98%)", c * 100.0, p * 100.0);
+    println!(
+        "CPU {:.0}%  PIM {:.0}%  (paper: 57%/98%)",
+        c * 100.0,
+        p * 100.0
+    );
 }
 
 #[cfg(test)]

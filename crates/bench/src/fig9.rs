@@ -33,7 +33,11 @@ pub fn oltp_formats(scale: f64, checkpoints: &[u64]) -> Vec<OltpPoint> {
     let max = *checkpoints.iter().max().expect("checkpoints");
     let mut out = Vec::new();
     let systems: Vec<(String, SystemConfig, DbFormat)> = vec![
-        ("RS (ideal)".into(), SystemConfig::dimm(), DbFormat::RowStore),
+        (
+            "RS (ideal)".into(),
+            SystemConfig::dimm(),
+            DbFormat::RowStore,
+        ),
         ("CS".into(), SystemConfig::dimm(), DbFormat::ColumnStore),
         (
             "PUSHtap".into(),
@@ -246,9 +250,7 @@ mod tests {
     #[test]
     fn consistency_scaling() {
         let pts = olap_consistency(0.0005, &[200, 2000], Query::Q6);
-        let series = |l: &str| -> Vec<&OlapPoint> {
-            pts.iter().filter(|p| p.label == l).collect()
-        };
+        let series = |l: &str| -> Vec<&OlapPoint> { pts.iter().filter(|p| p.label == l).collect() };
         let ideal = series("ideal");
         assert_eq!(ideal[0].total(), ideal[1].total());
         let mi = series("MI");

@@ -16,4 +16,5 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig8;
 pub mod fig9;
+pub mod shard_scale;
 pub mod table1;

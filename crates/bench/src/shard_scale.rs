@@ -1,0 +1,119 @@
+//! Shard-scaling experiment: aggregate OLTP throughput (tpmC) and
+//! scatter-gather query latency as the deployment grows from 1 to N
+//! warehouse-partitioned shards over one fixed global population.
+//!
+//! Two load shapes are measured:
+//!
+//! * **routed** — one global transaction stream routed by home
+//!   warehouse, so NewOrder stock lines and Payment customers cross
+//!   shards at the workload's natural rate and pay the coordination hop;
+//! * **local** — per-shard warehouse-local streams (the perfectly
+//!   partitionable upper bound).
+//!
+//! The interesting gap is between the two: it is the price of
+//! cross-shard coordination at this hop latency, the scale-out analogue
+//! of the paper's single-instance consistency costs.
+
+use pushtap_olap::Query;
+use pushtap_pim::Ps;
+use pushtap_shard::{ShardConfig, ShardedHtap};
+
+/// One row of the shard-scaling table.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardPoint {
+    /// Shard count.
+    pub shards: u32,
+    /// Transactions committed (whole deployment).
+    pub committed: u64,
+    /// Aggregate tpmC of the routed global stream.
+    pub routed_tpmc: f64,
+    /// Aggregate tpmC of perfectly-partitioned local streams.
+    pub local_tpmc: f64,
+    /// Fraction of routed transactions touching a remote shard.
+    pub cross_shard_fraction: f64,
+    /// Realised parallel speedup of the routed batch (≤ shards).
+    pub parallel_efficiency: f64,
+    /// End-to-end scatter-gather Q6 latency.
+    pub q6_latency: Ps,
+    /// End-to-end scatter-gather Q1 latency.
+    pub q1_latency: Ps,
+    /// End-to-end scatter-gather Q9 latency.
+    pub q9_latency: Ps,
+}
+
+/// Runs the sweep: `txns` routed transactions (and the same count again
+/// as local streams) per shard count, then one scatter-gather pass of
+/// each query.
+pub fn sweep(shard_counts: &[u32], txns: u64, cores: u32) -> Vec<ShardPoint> {
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let mut service = ShardedHtap::new(ShardConfig::small(shards)).expect("build shards");
+            let mut gen = service.global_txn_gen(42);
+            let routed = service.run_txns(&mut gen, txns);
+            let local = service.run_local_txns(43, txns / shards as u64);
+            let q1 = service.run_query(Query::Q1);
+            let q6 = service.run_query(Query::Q6);
+            let q9 = service.run_query(Query::Q9);
+            ShardPoint {
+                shards,
+                committed: routed.committed() + local.committed(),
+                routed_tpmc: routed.tpmc(cores),
+                local_tpmc: local.tpmc(cores),
+                cross_shard_fraction: routed.remote.cross_shard_fraction(),
+                parallel_efficiency: routed.parallel_efficiency(),
+                q6_latency: q6.total(),
+                q1_latency: q1.total(),
+                q9_latency: q9.total(),
+            }
+        })
+        .collect()
+}
+
+/// Prints the shard-scaling table.
+pub fn print_all() {
+    println!("== Shard scaling: aggregate tpmC and scatter-gather latency ==");
+    println!("(small population, 8 warehouses, 400 routed txns per point)");
+    println!(
+        "{:>6} {:>14} {:>14} {:>8} {:>8} {:>12} {:>12} {:>12}",
+        "shards", "routed tpmC", "local tpmC", "x-shard", "par.eff", "Q1", "Q6", "Q9"
+    );
+    for p in sweep(&[1, 2, 4], 400, 16) {
+        println!(
+            "{:>6} {:>14.0} {:>14.0} {:>7.1}% {:>8.2} {:>12} {:>12} {:>12}",
+            p.shards,
+            p.routed_tpmc,
+            p.local_tpmc,
+            p.cross_shard_fraction * 100.0,
+            p.parallel_efficiency,
+            p.q1_latency,
+            p.q6_latency,
+            p.q9_latency,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_throughput_scales_with_shards() {
+        let points = sweep(&[1, 4], 120, 16);
+        assert_eq!(points.len(), 2);
+        let (one, four) = (points[0], points[1]);
+        assert_eq!(one.shards, 1);
+        assert!(one.committed > 0 && four.committed > 0);
+        // Perfectly-partitioned load on 4 engines must beat 1 engine by
+        // a clear margin (4× minus skew; accept > 2×).
+        assert!(
+            four.local_tpmc > one.local_tpmc * 2.0,
+            "local tpmC {} vs {}",
+            four.local_tpmc,
+            one.local_tpmc
+        );
+        // A single shard sees no cross-shard traffic; four shards must.
+        assert_eq!(one.cross_shard_fraction, 0.0);
+        assert!(four.cross_shard_fraction > 0.5);
+    }
+}

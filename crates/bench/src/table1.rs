@@ -16,8 +16,12 @@ pub fn print_system(label: &str, cfg: &SystemConfig) {
     );
     println!(
         "PIM memory: {} channels x {} ranks, {} devices x {} banks, {} rows x {} B rows",
-        g.channels, g.ranks_per_channel, g.devices_per_rank, g.banks_per_device,
-        g.rows_per_bank, g.row_bytes
+        g.channels,
+        g.ranks_per_channel,
+        g.devices_per_rank,
+        g.banks_per_device,
+        g.rows_per_bank,
+        g.row_bytes
     );
     println!(
         "interleave granularity {} B, {} PIM units ({} per rank), capacity {} GiB",

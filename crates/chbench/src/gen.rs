@@ -116,8 +116,12 @@ impl RowGen {
             enc_u64(1_167_600_000 + h % 63_072_000, c.width)
         } else if name.contains("quantity") || name.contains("cnt") {
             enc_u64(1 + h % 50, c.width)
-        } else if name.contains("amount") || name.contains("price") || name.contains("bal")
-            || name.contains("ytd") || name.contains("tax") || name.contains("discount")
+        } else if name.contains("amount")
+            || name.contains("price")
+            || name.contains("bal")
+            || name.contains("ytd")
+            || name.contains("tax")
+            || name.contains("discount")
             || name.contains("credit_lim")
         {
             // Money in cents.

@@ -55,7 +55,12 @@ pub fn tables() -> Vec<TableSchema> {
         ),
         TableSchema::new(
             "ht_store",
-            vec![n("st_id", 2), n("st_region", 1), n("st_sqft", 4), n("st_name", 24)],
+            vec![
+                n("st_id", 2),
+                n("st_region", 1),
+                n("st_sqft", 4),
+                n("st_name", 24),
+            ],
         ),
     ]
 }
@@ -66,9 +71,22 @@ pub fn query_footprints() -> Vec<Vec<&'static str>> {
         // Revenue by channel over a time window.
         vec!["sa_channel", "sa_total", "sa_ts"],
         // Product-category margins.
-        vec!["sa_prod_id", "sa_qty", "sa_price", "pr_id", "pr_cat_id", "pr_cost"],
+        vec![
+            "sa_prod_id",
+            "sa_qty",
+            "sa_price",
+            "pr_id",
+            "pr_cat_id",
+            "pr_cost",
+        ],
         // Customer-segment spend.
-        vec!["sa_cust_id", "sa_total", "cu_id", "cu_segment", "cu_balance"],
+        vec![
+            "sa_cust_id",
+            "sa_total",
+            "cu_id",
+            "cu_segment",
+            "cu_balance",
+        ],
         // Store/region rollup.
         vec!["sa_store_id", "sa_total", "sa_ts", "st_id", "st_region"],
         // Repeat-purchase frequency.

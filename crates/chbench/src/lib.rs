@@ -38,6 +38,10 @@ mod schema;
 mod txgen;
 
 pub use gen::{dec_u64, enc_text, enc_u64, RowGen};
-pub use queries::{key_columns_of, key_columns_upto, query_footprints, scan_weight, QueryFootprint};
-pub use schema::{database_bytes, schema_with_keys, Table, ALL_TABLES, MAX_KEY_WIDTH};
+pub use queries::{
+    key_columns_of, key_columns_upto, query_footprints, scan_weight, QueryFootprint,
+};
+pub use schema::{
+    database_bytes, schema_with_keys, Partitioning, Table, ALL_TABLES, MAX_KEY_WIDTH,
+};
 pub use txgen::{NewOrder, Payment, Txn, TxnGen};

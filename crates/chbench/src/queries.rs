@@ -28,35 +28,98 @@ pub fn query_footprints() -> Vec<QueryFootprint> {
     let q = |query: u8, columns: Vec<&'static str>| QueryFootprint { query, columns };
     vec![
         // Q1: pricing summary over ORDERLINE (aggregation-heavy).
-        q(1, vec!["ol_number", "ol_quantity", "ol_amount", "ol_delivery_d"]),
+        q(
+            1,
+            vec!["ol_number", "ol_quantity", "ol_amount", "ol_delivery_d"],
+        ),
         // Q2: minimum-cost supplier join over ITEM/STOCK/SUPPLIER/NATION/REGION.
         q(
             2,
             vec![
-                "i_id", "i_name", "i_data", "su_suppkey", "su_name", "su_address", "su_phone",
-                "su_comment", "su_nationkey", "s_i_id", "s_w_id", "s_quantity", "n_nationkey",
-                "n_name", "n_regionkey", "r_regionkey", "r_name",
+                "i_id",
+                "i_name",
+                "i_data",
+                "su_suppkey",
+                "su_name",
+                "su_address",
+                "su_phone",
+                "su_comment",
+                "su_nationkey",
+                "s_i_id",
+                "s_w_id",
+                "s_quantity",
+                "n_nationkey",
+                "n_name",
+                "n_regionkey",
+                "r_regionkey",
+                "r_name",
             ],
         ),
         // Q3: unshipped orders of high-value customers.
         q(
             3,
             vec![
-                "c_state", "c_id", "c_w_id", "c_d_id", "no_w_id", "no_d_id", "no_o_id", "o_id",
-                "o_c_id", "o_w_id", "o_d_id", "o_entry_d", "ol_o_id", "ol_w_id", "ol_d_id",
+                "c_state",
+                "c_id",
+                "c_w_id",
+                "c_d_id",
+                "no_w_id",
+                "no_d_id",
+                "no_o_id",
+                "o_id",
+                "o_c_id",
+                "o_w_id",
+                "o_d_id",
+                "o_entry_d",
+                "ol_o_id",
+                "ol_w_id",
+                "ol_d_id",
                 "ol_amount",
             ],
         ),
         // Q4: order priority counting.
-        q(4, vec!["o_id", "o_d_id", "o_w_id", "o_entry_d", "o_ol_cnt", "ol_o_id", "ol_d_id", "ol_w_id", "ol_delivery_d"]),
+        q(
+            4,
+            vec![
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_entry_d",
+                "o_ol_cnt",
+                "ol_o_id",
+                "ol_d_id",
+                "ol_w_id",
+                "ol_delivery_d",
+            ],
+        ),
         // Q5: local supplier revenue by nation.
         q(
             5,
             vec![
-                "c_id", "c_d_id", "c_w_id", "c_state", "o_id", "o_d_id", "o_w_id", "o_c_id",
-                "o_entry_d", "ol_o_id", "ol_d_id", "ol_w_id", "ol_amount", "ol_supply_w_id",
-                "ol_i_id", "s_i_id", "s_w_id", "su_suppkey", "su_nationkey", "n_nationkey",
-                "n_name", "n_regionkey", "r_regionkey", "r_name",
+                "c_id",
+                "c_d_id",
+                "c_w_id",
+                "c_state",
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_c_id",
+                "o_entry_d",
+                "ol_o_id",
+                "ol_d_id",
+                "ol_w_id",
+                "ol_amount",
+                "ol_supply_w_id",
+                "ol_i_id",
+                "s_i_id",
+                "s_w_id",
+                "su_suppkey",
+                "su_nationkey",
+                "n_nationkey",
+                "n_name",
+                "n_regionkey",
+                "r_regionkey",
+                "r_name",
             ],
         ),
         // Q6: forecast revenue change (selection-heavy).
@@ -65,9 +128,26 @@ pub fn query_footprints() -> Vec<QueryFootprint> {
         q(
             7,
             vec![
-                "su_suppkey", "su_nationkey", "s_i_id", "s_w_id", "ol_supply_w_id", "ol_i_id",
-                "ol_o_id", "ol_d_id", "ol_w_id", "ol_delivery_d", "ol_amount", "o_id", "o_d_id",
-                "o_w_id", "o_c_id", "c_id", "c_d_id", "c_w_id", "c_state", "n_nationkey",
+                "su_suppkey",
+                "su_nationkey",
+                "s_i_id",
+                "s_w_id",
+                "ol_supply_w_id",
+                "ol_i_id",
+                "ol_o_id",
+                "ol_d_id",
+                "ol_w_id",
+                "ol_delivery_d",
+                "ol_amount",
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_c_id",
+                "c_id",
+                "c_d_id",
+                "c_w_id",
+                "c_state",
+                "n_nationkey",
                 "n_name",
             ],
         ),
@@ -75,35 +155,92 @@ pub fn query_footprints() -> Vec<QueryFootprint> {
         q(
             8,
             vec![
-                "i_id", "i_data", "su_suppkey", "su_nationkey", "s_i_id", "s_w_id", "ol_i_id",
-                "ol_supply_w_id", "ol_o_id", "ol_d_id", "ol_w_id", "ol_amount", "o_id", "o_d_id",
-                "o_w_id", "o_entry_d", "o_c_id", "c_id", "c_d_id", "c_w_id", "n_nationkey",
-                "n_regionkey", "n_name", "r_regionkey", "r_name",
+                "i_id",
+                "i_data",
+                "su_suppkey",
+                "su_nationkey",
+                "s_i_id",
+                "s_w_id",
+                "ol_i_id",
+                "ol_supply_w_id",
+                "ol_o_id",
+                "ol_d_id",
+                "ol_w_id",
+                "ol_amount",
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_entry_d",
+                "o_c_id",
+                "c_id",
+                "c_d_id",
+                "c_w_id",
+                "n_nationkey",
+                "n_regionkey",
+                "n_name",
+                "r_regionkey",
+                "r_name",
             ],
         ),
         // Q9: product-type profit (join-heavy).
         q(
             9,
             vec![
-                "i_id", "i_data", "su_suppkey", "su_nationkey", "s_i_id", "s_w_id", "ol_i_id",
-                "ol_supply_w_id", "ol_o_id", "ol_d_id", "ol_w_id", "ol_amount", "o_id", "o_d_id",
-                "o_w_id", "o_entry_d", "n_nationkey", "n_name",
+                "i_id",
+                "i_data",
+                "su_suppkey",
+                "su_nationkey",
+                "s_i_id",
+                "s_w_id",
+                "ol_i_id",
+                "ol_supply_w_id",
+                "ol_o_id",
+                "ol_d_id",
+                "ol_w_id",
+                "ol_amount",
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_entry_d",
+                "n_nationkey",
+                "n_name",
             ],
         ),
         // Q10: returned-item reporting.
         q(
             10,
             vec![
-                "c_id", "c_d_id", "c_w_id", "c_last", "c_city", "c_phone", "o_id", "o_d_id",
-                "o_w_id", "o_c_id", "o_entry_d", "o_carrier_id", "ol_o_id", "ol_d_id", "ol_w_id",
-                "ol_amount", "ol_delivery_d", "n_nationkey", "n_name",
+                "c_id",
+                "c_d_id",
+                "c_w_id",
+                "c_last",
+                "c_city",
+                "c_phone",
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_c_id",
+                "o_entry_d",
+                "o_carrier_id",
+                "ol_o_id",
+                "ol_d_id",
+                "ol_w_id",
+                "ol_amount",
+                "ol_delivery_d",
+                "n_nationkey",
+                "n_name",
             ],
         ),
         // Q11: important stock identification.
         q(
             11,
             vec![
-                "s_i_id", "s_w_id", "s_order_cnt", "su_suppkey", "su_nationkey", "n_nationkey",
+                "s_i_id",
+                "s_w_id",
+                "s_order_cnt",
+                "su_suppkey",
+                "su_nationkey",
+                "n_nationkey",
                 "n_name",
             ],
         ),
@@ -111,14 +248,31 @@ pub fn query_footprints() -> Vec<QueryFootprint> {
         q(
             12,
             vec![
-                "o_id", "o_d_id", "o_w_id", "o_entry_d", "o_carrier_id", "o_ol_cnt", "ol_o_id",
-                "ol_d_id", "ol_w_id", "ol_delivery_d",
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_entry_d",
+                "o_carrier_id",
+                "o_ol_cnt",
+                "ol_o_id",
+                "ol_d_id",
+                "ol_w_id",
+                "ol_delivery_d",
             ],
         ),
         // Q13: customer order-count distribution.
         q(
             13,
-            vec!["c_id", "c_d_id", "c_w_id", "o_id", "o_d_id", "o_w_id", "o_c_id", "o_carrier_id"],
+            vec![
+                "c_id",
+                "c_d_id",
+                "c_w_id",
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_c_id",
+                "o_carrier_id",
+            ],
         ),
         // Q14: promotion-effect revenue share.
         q(
@@ -129,59 +283,126 @@ pub fn query_footprints() -> Vec<QueryFootprint> {
         q(
             15,
             vec![
-                "s_i_id", "s_w_id", "ol_i_id", "ol_supply_w_id", "ol_amount", "ol_delivery_d",
-                "su_suppkey", "su_name", "su_address", "su_phone",
+                "s_i_id",
+                "s_w_id",
+                "ol_i_id",
+                "ol_supply_w_id",
+                "ol_amount",
+                "ol_delivery_d",
+                "su_suppkey",
+                "su_name",
+                "su_address",
+                "su_phone",
             ],
         ),
         // Q16: parts/supplier relationship counting.
         q(
             16,
             vec![
-                "i_id", "i_data", "i_name", "i_price", "s_i_id", "s_w_id", "su_suppkey",
+                "i_id",
+                "i_data",
+                "i_name",
+                "i_price",
+                "s_i_id",
+                "s_w_id",
+                "su_suppkey",
                 "su_comment",
             ],
         ),
         // Q17: small-quantity-order revenue.
-        q(17, vec!["i_id", "i_data", "ol_i_id", "ol_quantity", "ol_amount"]),
+        q(
+            17,
+            vec!["i_id", "i_data", "ol_i_id", "ol_quantity", "ol_amount"],
+        ),
         // Q18: large-volume customers.
         q(
             18,
             vec![
-                "c_id", "c_d_id", "c_w_id", "c_last", "o_id", "o_d_id", "o_w_id", "o_c_id",
-                "o_entry_d", "o_ol_cnt", "ol_o_id", "ol_d_id", "ol_w_id", "ol_amount",
+                "c_id",
+                "c_d_id",
+                "c_w_id",
+                "c_last",
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_c_id",
+                "o_entry_d",
+                "o_ol_cnt",
+                "ol_o_id",
+                "ol_d_id",
+                "ol_w_id",
+                "ol_amount",
             ],
         ),
         // Q19: discounted-revenue (brand/quantity filter).
         q(
             19,
             vec![
-                "i_id", "i_data", "i_price", "ol_i_id", "ol_quantity", "ol_amount", "ol_w_id",
+                "i_id",
+                "i_data",
+                "i_price",
+                "ol_i_id",
+                "ol_quantity",
+                "ol_amount",
+                "ol_w_id",
             ],
         ),
         // Q20: potential part promotion.
         q(
             20,
             vec![
-                "i_id", "i_data", "s_i_id", "s_w_id", "s_quantity", "ol_i_id", "ol_delivery_d",
-                "ol_quantity", "su_suppkey", "su_name", "su_address", "su_nationkey",
-                "n_nationkey", "n_name",
+                "i_id",
+                "i_data",
+                "s_i_id",
+                "s_w_id",
+                "s_quantity",
+                "ol_i_id",
+                "ol_delivery_d",
+                "ol_quantity",
+                "su_suppkey",
+                "su_name",
+                "su_address",
+                "su_nationkey",
+                "n_nationkey",
+                "n_name",
             ],
         ),
         // Q21: late-delivery suppliers.
         q(
             21,
             vec![
-                "su_suppkey", "su_name", "su_nationkey", "s_i_id", "s_w_id", "ol_o_id", "ol_d_id",
-                "ol_w_id", "ol_i_id", "ol_delivery_d", "o_id", "o_d_id", "o_w_id", "o_entry_d",
-                "n_nationkey", "n_name",
+                "su_suppkey",
+                "su_name",
+                "su_nationkey",
+                "s_i_id",
+                "s_w_id",
+                "ol_o_id",
+                "ol_d_id",
+                "ol_w_id",
+                "ol_i_id",
+                "ol_delivery_d",
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_entry_d",
+                "n_nationkey",
+                "n_name",
             ],
         ),
         // Q22: global sales opportunity.
         q(
             22,
             vec![
-                "c_id", "c_d_id", "c_w_id", "c_state", "c_phone", "c_balance", "o_id", "o_d_id",
-                "o_w_id", "o_c_id",
+                "c_id",
+                "c_d_id",
+                "c_w_id",
+                "c_state",
+                "c_phone",
+                "c_balance",
+                "o_id",
+                "o_d_id",
+                "o_w_id",
+                "o_c_id",
             ],
         ),
     ]

@@ -14,6 +14,17 @@
 
 use pushtap_format::{Column, TableSchema};
 
+/// How a table is distributed across the shards of a scale-out
+/// deployment (see [`Table::partitioning`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partitioning {
+    /// Partitioned by home warehouse: each shard owns a contiguous
+    /// warehouse range and the corresponding slice of the table.
+    ByWarehouse,
+    /// Replicated in full on every shard (read-mostly dimension data).
+    Replicated,
+}
+
 /// Table identifiers of the CH-benCHmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Table {
@@ -102,6 +113,26 @@ impl Table {
     pub fn rows_at_scale(self, scale: f64) -> u64 {
         assert!(scale > 0.0, "scale must be positive");
         ((self.rows_full_scale() as f64 * scale).round() as u64).max(1)
+    }
+
+    /// How a sharded deployment distributes this table (the classic
+    /// TPC-C/CH split): warehouse-anchored fact tables are partitioned
+    /// across shards, read-mostly dimension tables are replicated to
+    /// every shard so joins stay shard-local.
+    pub fn partitioning(self) -> Partitioning {
+        match self {
+            Table::Warehouse
+            | Table::District
+            | Table::Customer
+            | Table::History
+            | Table::NewOrder
+            | Table::Order
+            | Table::OrderLine
+            | Table::Stock => Partitioning::ByWarehouse,
+            Table::Item | Table::Supplier | Table::Nation | Table::Region => {
+                Partitioning::Replicated
+            }
+        }
     }
 
     /// The schema of this table, with every column initially Normal.
@@ -315,7 +346,13 @@ mod tests {
     fn width_range_matches_paper() {
         let widths: Vec<u32> = ALL_TABLES
             .into_iter()
-            .flat_map(|t| t.schema().columns().iter().map(|c| c.width).collect::<Vec<_>>())
+            .flat_map(|t| {
+                t.schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.width)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         assert_eq!(widths.iter().copied().max(), Some(152));
         assert_eq!(widths.iter().copied().min(), Some(1));

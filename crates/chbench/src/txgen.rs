@@ -51,6 +51,15 @@ impl Txn {
             Txn::NewOrder(_) => "neworder",
         }
     }
+
+    /// The transaction's home warehouse — the routing key of a sharded
+    /// deployment.
+    pub fn home_warehouse(&self) -> u64 {
+        match self {
+            Txn::Payment(p) => p.w_id,
+            Txn::NewOrder(no) => no.w_id,
+        }
+    }
 }
 
 /// Deterministic transaction-mix generator.
@@ -60,6 +69,7 @@ impl Txn {
 #[derive(Debug)]
 pub struct TxnGen {
     rng: StdRng,
+    wh_start: u64,
     warehouses: u64,
     customers: u64,
     items: u64,
@@ -76,24 +86,48 @@ impl TxnGen {
     ///
     /// Panics if any population is zero.
     pub fn new(seed: u64, warehouses: u64, customers: u64, items: u64, stocks: u64) -> TxnGen {
+        TxnGen::with_warehouse_range(seed, 0..warehouses, customers, items, stocks)
+    }
+
+    /// Creates a generator whose home warehouses fall in `warehouses` —
+    /// the shard-local load of a warehouse-range-partitioned deployment.
+    /// Customer/item/stock indices still span the given (global or
+    /// shard-local) populations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any population (or the warehouse range) is empty.
+    pub fn with_warehouse_range(
+        seed: u64,
+        warehouses: std::ops::Range<u64>,
+        customers: u64,
+        items: u64,
+        stocks: u64,
+    ) -> TxnGen {
         assert!(
-            warehouses > 0 && customers > 0 && items > 0 && stocks > 0,
+            warehouses.start < warehouses.end && customers > 0 && items > 0 && stocks > 0,
             "empty population"
         );
         TxnGen {
             rng: StdRng::seed_from_u64(seed),
-            warehouses,
+            wh_start: warehouses.start,
+            warehouses: warehouses.end - warehouses.start,
             customers,
             items,
             stocks,
         }
     }
 
+    /// The half-open home-warehouse range this generator draws from.
+    pub fn warehouse_range(&self) -> std::ops::Range<u64> {
+        self.wh_start..self.wh_start + self.warehouses
+    }
+
     /// Generates the next transaction of the mix.
     pub fn next_txn(&mut self) -> Txn {
         if self.rng.random_bool(Self::PAYMENT_SHARE) {
             Txn::Payment(Payment {
-                w_id: self.rng.random_range(0..self.warehouses),
+                w_id: self.wh_start + self.rng.random_range(0..self.warehouses),
                 d_id: self.rng.random_range(0..10),
                 c_row: self.rng.random_range(0..self.customers),
                 amount: self.rng.random_range(100..500_000),
@@ -111,7 +145,7 @@ impl TxnGen {
                 }
             }
             Txn::NewOrder(NewOrder {
-                w_id: self.rng.random_range(0..self.warehouses),
+                w_id: self.wh_start + self.rng.random_range(0..self.warehouses),
                 d_id: self.rng.random_range(0..10),
                 c_row: self.rng.random_range(0..self.customers),
                 items: (0..ol_cnt)
@@ -185,5 +219,21 @@ mod tests {
     #[should_panic(expected = "empty population")]
     fn zero_population_panics() {
         let _ = TxnGen::new(0, 0, 1, 1, 1);
+    }
+
+    #[test]
+    fn warehouse_range_bounds_home_warehouses() {
+        let mut g = TxnGen::with_warehouse_range(3, 4..6, 1000, 5000, 5000);
+        assert_eq!(g.warehouse_range(), 4..6);
+        for t in g.batch(300) {
+            assert!((4..6).contains(&t.home_warehouse()), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn full_range_equals_plain_constructor() {
+        let a = TxnGen::new(9, 4, 1000, 5000, 5000).batch(100);
+        let b = TxnGen::with_warehouse_range(9, 0..4, 1000, 5000, 5000).batch(100);
+        assert_eq!(a, b);
     }
 }

@@ -111,7 +111,7 @@ impl IdealModel {
                 t = self.column_scan(ol, 4, PimOpKind::Hash, mem, t);
                 // Hash fetch + bucket partition + transfer back (§6.3).
                 t = self.transfer(mem, 2 * (it + ol) * 4, t);
-                t = t + self.cpu.cycles((it + ol) * 6);
+                t += self.cpu.cycles((it + ol) * 6);
                 t = self.column_scan(it + ol, 4, PimOpKind::Join, mem, t);
                 t = self.column_scan(ol, 8, PimOpKind::Aggregate, mem, t);
                 self.transfer(mem, units * 7 * 8, t) + self.cpu.cycles(units * 7 * 4)
@@ -181,8 +181,7 @@ impl MultiInstance {
             .into_iter()
             .map(|t| {
                 let table = self.row_db.table(t);
-                table.live_delta_rows() as f64
-                    * (table.layout().schema().row_width() as f64 + 16.0)
+                table.live_delta_rows() as f64 * (table.layout().schema().row_width() as f64 + 16.0)
             })
             .sum()
     }
@@ -257,7 +256,9 @@ impl MultiInstance {
             }
         }
         let start = self.now + rebuild;
-        let end = self.ideal.query_time(query, self.scale, &mut self.mem, start);
+        let end = self
+            .ideal
+            .query_time(query, self.scale, &mut self.mem, start);
         self.now = end;
         (end.saturating_sub(start) + rebuild, rebuild)
     }

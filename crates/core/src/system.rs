@@ -8,7 +8,7 @@ use pushtap_chbench::{Table, Txn, TxnGen};
 use pushtap_format::LayoutError;
 use pushtap_mvcc::{DefragCostModel, DefragStats, DefragStrategy};
 use pushtap_olap::{Query, QueryResult, QueryTiming, ScanEngine};
-use pushtap_oltp::{Breakdown, DbConfig, TpccDb, TxnResult};
+use pushtap_oltp::{Breakdown, DbConfig, Partition, TpccDb, TxnResult};
 use pushtap_pim::{ControlArch, MemSystem, Ps, SystemConfig};
 
 /// Fixed overhead of one defragmentation pass: worker-thread creation and
@@ -117,8 +117,23 @@ impl Pushtap {
     ///
     /// Propagates layout-generation errors.
     pub fn new(cfg: PushtapConfig) -> Result<Pushtap, LayoutError> {
+        Pushtap::new_partitioned(cfg, Partition::single())
+    }
+
+    /// Builds one shard of a warehouse-partitioned deployment: an
+    /// otherwise complete PUSHtap instance (own memory system, scan
+    /// engine, clock) whose fact tables hold `partition`'s slice of the
+    /// global population. See [`pushtap_oltp::TpccDb::build_partitioned`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-generation errors.
+    pub fn new_partitioned(
+        cfg: PushtapConfig,
+        partition: Partition,
+    ) -> Result<Pushtap, LayoutError> {
         let mem = MemSystem::new(cfg.system);
-        let db = TpccDb::build(&cfg.db, &mem)?;
+        let db = TpccDb::build_partitioned(&cfg.db, &mem, partition)?;
         let engine = ScanEngine::new(cfg.arch, &cfg.system);
         // Defragmentation moves scattered row-granule versions, which
         // achieves a fraction of peak bandwidth on either path (short
@@ -142,6 +157,18 @@ impl Pushtap {
     /// The simulated clock.
     pub fn now(&self) -> Ps {
         self.now
+    }
+
+    /// Advances the simulated clock by `d` — externally imposed latency
+    /// (e.g. a shard layer charging cross-shard coordination hops).
+    pub fn advance(&mut self, d: Ps) {
+        self.now += d;
+    }
+
+    /// Which slice of the global population this instance holds
+    /// ([`Partition::single`] for a standalone instance).
+    pub fn partition(&self) -> Partition {
+        self.db.partition()
     }
 
     /// The database.
@@ -180,14 +207,26 @@ impl Pushtap {
         &self.defrag_cost
     }
 
-    /// A transaction generator sized to this instance's population.
+    /// A transaction generator for this instance: home warehouses drawn
+    /// from the warehouse range the instance *owns*, customer/item/stock
+    /// indices from the global populations. On an unpartitioned instance
+    /// this is the whole population; on a shard it is the shard's own
+    /// load (foreign home warehouses never appear).
     pub fn txn_gen(&self, seed: u64) -> TxnGen {
-        TxnGen::new(
+        let wh = self.db.warehouse_range();
+        let wh = if wh.is_empty() {
+            // Degenerate shard owning no warehouse (more shards than
+            // warehouses): fall back to its single clamped row.
+            0..self.db.table(Table::Warehouse).n_rows()
+        } else {
+            wh
+        };
+        TxnGen::with_warehouse_range(
             seed,
-            self.db.table(Table::Warehouse).n_rows(),
-            self.db.table(Table::Customer).n_rows(),
-            self.db.table(Table::Item).n_rows(),
-            self.db.table(Table::Stock).n_rows(),
+            wh,
+            self.db.global_rows_of(Table::Customer),
+            self.db.global_rows_of(Table::Item),
+            self.db.global_rows_of(Table::Stock),
         )
     }
 
@@ -257,9 +296,7 @@ impl Pushtap {
             .meter()
             .cpu
             .cycles(total.chain_steps * self.db.meter().costs.chain_step_cycles);
-        let pause = DEFRAG_FIXED_OVERHEAD
-            + Ps::new((seconds * 1e12).round() as u64)
-            + traverse;
+        let pause = DEFRAG_FIXED_OVERHEAD + Ps::new((seconds * 1e12).round() as u64) + traverse;
         self.now += pause;
         self.txns_since_defrag = 0;
         (total, pause)
@@ -311,10 +348,10 @@ impl Pushtap {
         let start = self.now;
         let meter = *self.db.meter();
         for &t in tables {
-            let (_, end) = self
-                .db
-                .table_mut(t)
-                .timed_snapshot_update(&mut self.mem, &meter, upto, self.now);
+            let (_, end) =
+                self.db
+                    .table_mut(t)
+                    .timed_snapshot_update(&mut self.mem, &meter, upto, self.now);
             self.now = self.now.max(end);
         }
         self.now - start

@@ -63,8 +63,7 @@ pub fn cpu_lines_per_row(layout: &TableLayout, granularity: u32) -> f64 {
 /// fetched byte.
 pub fn cpu_effective(layout: &TableLayout, granularity: u32) -> f64 {
     let useful = layout.schema().row_width() as f64;
-    let fetched =
-        cpu_lines_per_row(layout, granularity) * (layout.devices() * granularity) as f64;
+    let fetched = cpu_lines_per_row(layout, granularity) * (layout.devices() * granularity) as f64;
     useful / fetched
 }
 

@@ -234,7 +234,11 @@ mod tests {
     fn all_normal_schema_packs_compactly() {
         let s = TableSchema::new(
             "n",
-            vec![Column::normal("a", 5), Column::normal("b", 6), Column::normal("c", 2)],
+            vec![
+                Column::normal("a", 5),
+                Column::normal("b", 6),
+                Column::normal("c", 2),
+            ],
         );
         let l = compact_layout(&s, 4, 0.6).unwrap();
         assert_eq!(l.parts().len(), 1);
@@ -247,7 +251,11 @@ mod tests {
     fn all_key_schema_never_splits() {
         let s = TableSchema::new(
             "k",
-            vec![Column::key("a", 3), Column::key("b", 3), Column::key("c", 3)],
+            vec![
+                Column::key("a", 3),
+                Column::key("b", 3),
+                Column::key("c", 3),
+            ],
         );
         let l = compact_layout(&s, 2, 0.5).unwrap();
         for c in 0..3 {

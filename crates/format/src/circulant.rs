@@ -159,8 +159,7 @@ mod tests {
     fn perfect_balance_over_d_blocks() {
         let p = Placement::new(4, 8);
         for slot in 0..4 {
-            let mut devices: Vec<u32> =
-                (0..4u64).map(|blk| p.device_of(slot, blk * 8)).collect();
+            let mut devices: Vec<u32> = (0..4u64).map(|blk| p.device_of(slot, blk * 8)).collect();
             devices.sort_unstable();
             assert_eq!(devices, vec![0, 1, 2, 3]);
         }

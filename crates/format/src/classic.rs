@@ -33,8 +33,7 @@ pub fn rowstore_cpu_effective(schema: &TableSchema, line_bytes: u32) -> f64 {
 
 /// CPU effective bandwidth of a full-row read on a column-store.
 pub fn colstore_cpu_effective(schema: &TableSchema, line_bytes: u32) -> f64 {
-    schema.row_width() as f64
-        / (colstore_lines_per_row(schema, line_bytes) * line_bytes as f64)
+    schema.row_width() as f64 / (colstore_lines_per_row(schema, line_bytes) * line_bytes as f64)
 }
 
 #[cfg(test)]
@@ -63,7 +62,7 @@ mod tests {
     fn rowstore_21_bytes_fits_mostly_one_line() {
         let s = paper_example_schema();
         let lines = rowstore_lines_per_row(s.row_width(), 64);
-        assert!(lines >= 1.0 && lines < 1.5, "{lines}");
+        assert!((1.0..1.5).contains(&lines), "{lines}");
     }
 
     #[test]

@@ -222,12 +222,11 @@ impl TableLayout {
         for (ci, col) in schema.columns().iter().enumerate() {
             let mut col_frags: Vec<Fragment> = Vec::new();
             for b in 0..col.width {
-                let (part, device, offset) = seen[ci][b as usize].ok_or(
-                    LayoutError::MissingByte {
+                let (part, device, offset) =
+                    seen[ci][b as usize].ok_or(LayoutError::MissingByte {
                         col: ci as u32,
                         byte: b,
-                    },
-                )?;
+                    })?;
                 match col_frags.last_mut() {
                     Some(f)
                         if f.part == part

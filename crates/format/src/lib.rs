@@ -56,8 +56,7 @@ pub use bandwidth::{
 pub use binpack::{compact_layout, naive_layout};
 pub use circulant::{Placement, DEFAULT_BLOCK_ROWS};
 pub use classic::{
-    colstore_cpu_effective, colstore_lines_per_row, rowstore_cpu_effective,
-    rowstore_lines_per_row,
+    colstore_cpu_effective, colstore_lines_per_row, rowstore_cpu_effective, rowstore_lines_per_row,
 };
 pub use layout::{ByteSource, Fragment, LayoutError, PartLayout, Slot, TableLayout};
 pub use region::{PartRegion, RegionPlan};

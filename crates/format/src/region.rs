@@ -143,7 +143,10 @@ impl RegionPlan {
         let p = &self.parts[part as usize];
         let start = self.data_offset(part, row);
         let end = start + p.width as u64;
-        (start / granularity as u64, (end - 1) / granularity as u64 + 1)
+        (
+            start / granularity as u64,
+            (end - 1) / granularity as u64 + 1,
+        )
     }
 }
 

@@ -138,7 +138,10 @@ impl TableSchema {
 
     /// Index of the column named `name`, if any.
     pub fn index_of(&self, name: &str) -> Option<u32> {
-        self.columns.iter().position(|c| c.name == name).map(|i| i as u32)
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| i as u32)
     }
 
     /// Total data bytes per row.

@@ -251,7 +251,10 @@ mod tests {
         let row = 10u64; // block 1 → rotation 1
         let rot = s.arena_for_row(row);
         assert_eq!(rot, 1);
-        let slot = RowSlot::Delta { rotation: rot, idx: 2 };
+        let slot = RowSlot::Delta {
+            rotation: rot,
+            idx: 2,
+        };
         let vals = row_values(42);
         s.write_row(slot, &vals);
         assert_eq!(s.read_row(slot), vals);
@@ -263,7 +266,10 @@ mod tests {
         let row = 10u64;
         let rot = s.arena_for_row(row);
         s.write_row(RowSlot::Data { row }, &row_values(1));
-        let slot = RowSlot::Delta { rotation: rot, idx: 0 };
+        let slot = RowSlot::Delta {
+            rotation: rot,
+            idx: 0,
+        };
         s.write_row(slot, &row_values(2));
         s.copy_back(row, rot, 0);
         assert_eq!(s.read_row(RowSlot::Data { row }), row_values(2));

@@ -82,7 +82,11 @@ fn customer_wide_text_stays_normal_and_splits() {
     let l = compact_layout(&s, 8, 0.6).unwrap();
     let c_data = s.index_of("c_data").unwrap();
     // Spread over several devices (fragments), not device-local.
-    assert!(l.fragments(c_data).len() >= 8, "{}", l.fragments(c_data).len());
+    assert!(
+        l.fragments(c_data).len() >= 8,
+        "{}",
+        l.fragments(c_data).len()
+    );
     assert_eq!(l.key_location(c_data), None);
     // Key columns unharmed.
     for c in s.key_indices() {

@@ -77,8 +77,7 @@ impl DefragCostModel {
     /// and move the rows at internal bandwidth.
     pub fn comm_pim(&self, n: u64, p: f64, d: u32, w: u32) -> f64 {
         let (m, n, d) = (self.meta_bytes, n as f64, d as f64);
-        (m * n + d * m * n) / self.cpu_bw
-            + (d * m * n + 2.0 * n * p * d * w as f64) / self.pim_bw
+        (m * n + d * m * n) / self.cpu_bw + (d * m * n + 2.0 * n * p * d * w as f64) / self.pim_bw
     }
 
     /// Equation 3: the row width above which the PIM strategy beats the
@@ -89,8 +88,7 @@ impl DefragCostModel {
             return None;
         }
         Some(
-            (self.pim_bw + self.cpu_bw) / (2.0 * p * (self.pim_bw - self.cpu_bw))
-                * self.meta_bytes,
+            (self.pim_bw + self.cpu_bw) / (2.0 * p * (self.pim_bw - self.cpu_bw)) * self.meta_bytes,
         )
     }
 

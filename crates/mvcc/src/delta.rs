@@ -126,6 +126,9 @@ mod tests {
 
     #[test]
     fn error_formats() {
-        assert_eq!(DeltaFull { rotation: 2 }.to_string(), "delta arena 2 is full");
+        assert_eq!(
+            DeltaFull { rotation: 2 }.to_string(),
+            "delta arena 2 is full"
+        );
     }
 }

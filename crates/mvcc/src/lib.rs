@@ -38,13 +38,13 @@
 #![warn(missing_debug_implementations)]
 
 mod chain;
-mod delta;
 mod defrag;
+mod delta;
 mod snapshot;
 mod timestamp;
 
 pub use chain::{LogEntry, VersionChains, VersionMeta};
-pub use delta::{DeltaAllocator, DeltaFull};
 pub use defrag::{DefragCostModel, DefragStats, DefragStrategy};
+pub use delta::{DeltaAllocator, DeltaFull};
 pub use snapshot::{Bitmap, Snapshot, SnapshotUpdate};
 pub use timestamp::{Ts, TsAllocator};

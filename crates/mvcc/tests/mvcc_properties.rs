@@ -17,9 +17,7 @@ fn arb_history() -> impl Strategy<Value = Vec<u64>> {
     prop::collection::vec(0u64..ROWS, 0..200)
 }
 
-fn apply(
-    history: &[u64],
-) -> (VersionChains, DeltaAllocator, Vec<(Ts, u64, RowSlot)>) {
+fn apply(history: &[u64]) -> (VersionChains, DeltaAllocator, Vec<(Ts, u64, RowSlot)>) {
     let mut chains = VersionChains::new();
     let mut alloc = DeltaAllocator::new(ARENAS, ARENA_ROWS);
     let mut committed = Vec::new();

@@ -93,7 +93,14 @@ impl ScanEngine {
         let scanned_rows = table.n_rows() + table.live_delta_rows();
         let total_bytes = self.unit.round_to_wire(scanned_rows * w);
         let bytes_per_unit = total_bytes.div_ceil(self.units);
-        self.timed_phases(op, bytes_per_unit, total_bytes, cw as f64 / w as f64, mem, at)
+        self.timed_phases(
+            op,
+            bytes_per_unit,
+            total_bytes,
+            cw as f64 / w as f64,
+            mem,
+            at,
+        )
     }
 
     /// The raw two-phase timing for `bytes_per_unit` of operand data per
@@ -158,13 +165,7 @@ impl ScanEngine {
     /// streams every part containing fragments of the column (§4.1.2's
     /// "we can still perform analytical queries on normal columns ...
     /// through the CPU, albeit with a performance loss").
-    pub fn cpu_scan_column(
-        &self,
-        table: &HtapTable,
-        col: u32,
-        mem: &mut MemSystem,
-        at: Ps,
-    ) -> Ps {
+    pub fn cpu_scan_column(&self, table: &HtapTable, col: u32, mem: &mut MemSystem, at: Ps) -> Ps {
         let layout = table.layout();
         let mut parts: Vec<u32> = layout.fragments(col).iter().map(|f| f.part).collect();
         parts.sort_unstable();
@@ -237,10 +238,21 @@ mod tests {
         let schema = pushtap_format::paper_example_schema();
         let col = schema.index_of("w_id").unwrap();
         let mut mem = MemSystem::dimm();
-        let small = push.scan_column(&test_table(100_000), col, PimOpKind::Filter, &mut mem, Ps::ZERO);
+        let small = push.scan_column(
+            &test_table(100_000),
+            col,
+            PimOpKind::Filter,
+            &mut mem,
+            Ps::ZERO,
+        );
         let mut mem2 = MemSystem::dimm();
-        let large =
-            push.scan_column(&test_table(10_000_000), col, PimOpKind::Filter, &mut mem2, Ps::ZERO);
+        let large = push.scan_column(
+            &test_table(10_000_000),
+            col,
+            PimOpKind::Filter,
+            &mut mem2,
+            Ps::ZERO,
+        );
         assert!(large.end > small.end);
         assert!(large.phases >= small.phases);
     }
@@ -273,8 +285,10 @@ mod tests {
         let clean = test_table(500_000);
         let mut fragged = test_table(500_000);
         let mut mem = MemSystem::dimm();
-        let meter = pushtap_oltp::Meter::new(pushtap_oltp::CostModel::default(),
-            pushtap_pim::CpuSpec::xeon_like());
+        let meter = pushtap_oltp::Meter::new(
+            pushtap_oltp::CostModel::default(),
+            pushtap_pim::CpuSpec::xeon_like(),
+        );
         for i in 0..100u64 {
             fragged
                 .timed_update(

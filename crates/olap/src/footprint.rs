@@ -117,7 +117,9 @@ pub fn run_footprint_query(
             mid,
         );
         timing.cpu_compute += now.saturating_sub(mid);
-        let probe = engine.unit().round_to_wire(small * 4 / engine.units().max(1));
+        let probe = engine
+            .unit()
+            .round_to_wire(small * 4 / engine.units().max(1));
         let join = engine.timed_phases(
             PimOpKind::Join,
             probe.max(8),
@@ -179,7 +181,11 @@ mod tests {
         assert_eq!(reports.len(), 22);
         for r in &reports {
             assert!(r.timing.end > Ps::ZERO, "Q{} took no time", r.query);
-            assert!(r.pim_columns + r.cpu_columns > 0, "Q{} scanned nothing", r.query);
+            assert!(
+                r.pim_columns + r.cpu_columns > 0,
+                "Q{} scanned nothing",
+                r.query
+            );
         }
     }
 

@@ -453,7 +453,10 @@ mod tests {
     fn op_kind_mapping() {
         use PimOpKind::*;
         let kinds: Vec<PimOpKind> = all_requests().iter().map(LaunchRequest::op_kind).collect();
-        assert_eq!(kinds, vec![Ls, Filter, Group, Aggregate, Hash, Join, Defragment]);
+        assert_eq!(
+            kinds,
+            vec![Ls, Filter, Group, Aggregate, Hash, Join, Defragment]
+        );
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub fn ref_q9(db: &TpccDb, ts: Ts) -> QueryResult {
     let ol = db.table(Table::OrderLine);
     let mut matching: HashSet<u64> = HashSet::new();
     for row in 0..it.n_rows() {
-        if value(it, row, "i_price", ts) % PRICE_MODULUS == 0 {
+        if value(it, row, "i_price", ts).is_multiple_of(PRICE_MODULUS) {
             matching.insert(value(it, row, "i_id", ts));
         }
     }
@@ -131,7 +131,8 @@ mod tests {
         // Snapshot every table the queries touch.
         let meter = *db.meter();
         for t in [Table::OrderLine, Table::Item] {
-            db.table_mut(t).timed_snapshot_update(&mut mem, &meter, ts, now);
+            db.table_mut(t)
+                .timed_snapshot_update(&mut mem, &meter, ts, now);
         }
         for q in Query::ALL {
             let (engine_result, _) = q.execute(&db, &engine, &mut mem, now);

@@ -32,10 +32,7 @@ fn same_answers_on_both_geometries() {
 fn equal_unit_counts_equal_scan_volume() {
     let dimm = SystemConfig::dimm();
     let hbm = SystemConfig::hbm();
-    assert_eq!(
-        dimm.pim_geometry.pim_units(),
-        hbm.pim_geometry.pim_units()
-    );
+    assert_eq!(dimm.pim_geometry.pim_units(), hbm.pim_geometry.pim_units());
     let (db_d, mut mem_d, eng_d) = build(dimm);
     let (db_h, mut mem_h, eng_h) = build(hbm);
     let ol = pushtap_chbench::Table::OrderLine;
@@ -53,7 +50,13 @@ fn equal_unit_counts_equal_scan_volume() {
         .schema()
         .index_of("ol_amount")
         .unwrap();
-    let out_h = eng_h.scan_column(db_h.table(ol), col_h, PimOpKind::Filter, &mut mem_h, Ps::ZERO);
+    let out_h = eng_h.scan_column(
+        db_h.table(ol),
+        col_h,
+        PimOpKind::Filter,
+        &mut mem_h,
+        Ps::ZERO,
+    );
     // Same unit count and same WRAM ⇒ the same number of phases per unit
     // up to layout-width differences.
     assert!(out_d.phases > 0 && out_h.phases > 0);
@@ -66,7 +69,12 @@ fn equal_unit_counts_equal_scan_volume() {
 fn hbm_layout_is_fully_pim_effective() {
     let (db, mut mem, engine) = build(SystemConfig::hbm());
     let ol = pushtap_chbench::Table::OrderLine;
-    let col = db.table(ol).layout().schema().index_of("ol_amount").unwrap();
+    let col = db
+        .table(ol)
+        .layout()
+        .schema()
+        .index_of("ol_amount")
+        .unwrap();
     engine.scan_column(db.table(ol), col, PimOpKind::Filter, &mut mem, Ps::ZERO);
     assert!(mem.stats().pim_effective() > 0.99);
 }

@@ -18,7 +18,16 @@ fn arb_request() -> impl Strategy<Value = LaunchRequest> {
             any::<u16>(),
         )
             .prop_map(
-                |(result_addr, result_len, result_offset, result_stride, op0_addr, op0_len, op0_offset, op0_stride)| {
+                |(
+                    result_addr,
+                    result_len,
+                    result_offset,
+                    result_stride,
+                    op0_addr,
+                    op0_len,
+                    op0_offset,
+                    op0_stride,
+                )| {
                     LaunchRequest::Ls {
                         result_addr,
                         result_len,
@@ -31,50 +40,78 @@ fn arb_request() -> impl Strategy<Value = LaunchRequest> {
                     }
                 }
             ),
-        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u8>(), any::<u64>()).prop_map(
-            |(bitmap_offset, data_offset, result_offset, data_width, condition)| {
-                LaunchRequest::Filter {
-                    bitmap_offset,
-                    data_offset,
-                    result_offset,
-                    data_width,
-                    condition,
+        (
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u8>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(bitmap_offset, data_offset, result_offset, data_width, condition)| {
+                    LaunchRequest::Filter {
+                        bitmap_offset,
+                        data_offset,
+                        result_offset,
+                        data_width,
+                        condition,
+                    }
                 }
-            }
-        ),
-        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
-            |(bitmap_offset, data_offset, dict_offset, result_offset, data_width)| {
-                LaunchRequest::Group {
-                    bitmap_offset,
-                    data_offset,
-                    dict_offset,
-                    result_offset,
-                    data_width,
+            ),
+        (
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u8>()
+        )
+            .prop_map(
+                |(bitmap_offset, data_offset, dict_offset, result_offset, data_width)| {
+                    LaunchRequest::Group {
+                        bitmap_offset,
+                        data_offset,
+                        dict_offset,
+                        result_offset,
+                        data_width,
+                    }
                 }
-            }
-        ),
-        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
-            |(bitmap_offset, data_offset, index_offset, result_offset, data_width)| {
-                LaunchRequest::Aggregation {
-                    bitmap_offset,
-                    data_offset,
-                    index_offset,
-                    result_offset,
-                    data_width,
+            ),
+        (
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u8>()
+        )
+            .prop_map(
+                |(bitmap_offset, data_offset, index_offset, result_offset, data_width)| {
+                    LaunchRequest::Aggregation {
+                        bitmap_offset,
+                        data_offset,
+                        index_offset,
+                        result_offset,
+                        data_width,
+                    }
                 }
-            }
-        ),
-        (any::<u16>(), any::<u16>(), any::<u16>(), any::<u32>(), any::<u8>()).prop_map(
-            |(bitmap_offset, data_offset, result_offset, hash_function, data_width)| {
-                LaunchRequest::Hash {
-                    bitmap_offset,
-                    data_offset,
-                    result_offset,
-                    hash_function,
-                    data_width,
+            ),
+        (
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u32>(),
+            any::<u8>()
+        )
+            .prop_map(
+                |(bitmap_offset, data_offset, result_offset, hash_function, data_width)| {
+                    LaunchRequest::Hash {
+                        bitmap_offset,
+                        data_offset,
+                        result_offset,
+                        hash_function,
+                        data_width,
+                    }
                 }
-            }
-        ),
+            ),
         (any::<u16>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
             |(hash1_offset, hash2_offset, result_offset, data_width)| {
                 LaunchRequest::Join {
@@ -85,17 +122,24 @@ fn arb_request() -> impl Strategy<Value = LaunchRequest> {
                 }
             }
         ),
-        (0u32..1 << 24, 0u32..1 << 24, any::<u16>(), 0u32..1 << 24, any::<u16>()).prop_map(
-            |(meta_addr, data_addr, data_stride, delta_addr, delta_stride)| {
-                LaunchRequest::Defragment {
-                    meta_addr,
-                    data_addr,
-                    data_stride,
-                    delta_addr,
-                    delta_stride,
+        (
+            0u32..1 << 24,
+            0u32..1 << 24,
+            any::<u16>(),
+            0u32..1 << 24,
+            any::<u16>()
+        )
+            .prop_map(
+                |(meta_addr, data_addr, data_stride, delta_addr, delta_stride)| {
+                    LaunchRequest::Defragment {
+                        meta_addr,
+                        data_addr,
+                        data_stride,
+                        delta_addr,
+                        delta_stride,
+                    }
                 }
-            }
-        ),
+            ),
     ]
 }
 

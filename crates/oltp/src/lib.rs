@@ -38,4 +38,6 @@ mod tpcc;
 pub use cost::{Breakdown, CostModel, Meter};
 pub use index::HashIndex;
 pub use table::{AccessModel, HtapTable, LineRef, OpResult, TableConfig};
-pub use tpcc::{DbConfig, DbFormat, TpccDb, TxnResult};
+pub use tpcc::{
+    global_rows, stripe_start, warehouse_of_row, DbConfig, DbFormat, Partition, TpccDb, TxnResult,
+};

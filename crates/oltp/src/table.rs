@@ -202,8 +202,7 @@ impl HtapTable {
                     let c0 = start / g;
                     let c1 = (start + width - 1) / g + 1;
                     let chunks = c1 - c0;
-                    let useful_total =
-                        self.store.layout().parts()[p as usize].data_bytes() as u64;
+                    let useful_total = self.store.layout().parts()[p].data_bytes() as u64;
                     for c in c0..c1 {
                         lines.push(LineRef {
                             bank,
@@ -365,11 +364,39 @@ impl HtapTable {
         ts: Ts,
         at: Ps,
     ) -> Result<(u64, OpResult), DeltaFull> {
-        let mut b = Breakdown::default();
         let row = self.insert_cursor % self.cfg.n_rows;
+        // Advance the ring only once the slot allocation succeeded, so a
+        // DeltaFull retry (after defragmentation) reuses the same slot.
+        let r = self.timed_insert_at(mem, meter, row, values, ts, at)?;
+        self.insert_cursor += 1;
+        Ok((row, r))
+    }
+
+    /// [`HtapTable::timed_insert`] with an explicitly chosen target row —
+    /// used by executors that stripe the insert ring deterministically
+    /// (e.g. by home warehouse) so partitioned shards land each insert on
+    /// the same global row an unpartitioned instance would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeltaFull`] when the target rotation arena is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn timed_insert_at(
+        &mut self,
+        mem: &mut MemSystem,
+        meter: &Meter,
+        row: u64,
+        values: &[Vec<u8>],
+        ts: Ts,
+        at: Ps,
+    ) -> Result<OpResult, DeltaFull> {
+        assert!(row < self.cfg.n_rows, "insert row {row} out of range");
+        let mut b = Breakdown::default();
         let rotation = self.store.arena_for_row(row);
         let idx = self.alloc.alloc(rotation)?;
-        self.insert_cursor += 1;
         b.alloc += meter.alloc(1);
         b.indexing += meter.indexing(1);
         self.index.insert(row, row);
@@ -382,7 +409,7 @@ impl HtapTable {
         let end = self.issue_lines(mem, &lines, Op::Write, cpu_ready)
             + meter.line_issue(lines.len() as u64);
         b.memory += end.saturating_sub(cpu_ready);
-        Ok((row, OpResult { end, breakdown: b }))
+        Ok(OpResult { end, breakdown: b })
     }
 
     /// Loads a row functionally (no timing) — used for population.
@@ -495,7 +522,13 @@ impl HtapTable {
         // part (Hybrid picks per part width, §7.4).
         let n = stats.slots_reclaimed.max(1);
         let p = stats.rows_copied as f64 / n as f64;
-        let widths: Vec<u32> = self.store.layout().parts().iter().map(|pt| pt.width()).collect();
+        let widths: Vec<u32> = self
+            .store
+            .layout()
+            .parts()
+            .iter()
+            .map(|pt| pt.width())
+            .collect();
         let seconds = model.comm_parts(strategy, n, p, d, &widths);
         self.chains.clear_after_defrag();
         self.snapshot.reset_after_defrag(upto);

@@ -7,8 +7,9 @@
 //! every memory access and CPU component to the simulator.
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 
-use pushtap_chbench::{enc_u64, NewOrder, Payment, RowGen, Table, Txn};
+use pushtap_chbench::{enc_u64, NewOrder, Partitioning, Payment, RowGen, Table, Txn};
 use pushtap_format::{compact_layout, naive_layout, LayoutError, TableLayout, TableSchema};
 use pushtap_mvcc::{DeltaFull, Ts, TsAllocator};
 use pushtap_pim::{BankAddr, Geometry, MemSystem, Ps, Side};
@@ -44,11 +45,73 @@ pub enum DbFormat {
     ColumnStore,
 }
 
+/// One shard's slice of a partitioned deployment: shard `index` of
+/// `count`. The single-instance case is `Partition::single()`.
+///
+/// Warehouse-anchored tables are split into contiguous row ranges
+/// ([`Partition::range`], the floor split `[⌊i·n/k⌋, ⌊(i+1)·n/k⌋)`);
+/// replicated dimension tables are built in full on every shard. Row
+/// *content* is generated from the global row index, so the union of the
+/// shards' partitioned tables is byte-identical to the unpartitioned
+/// build — the property scatter-gather analytics relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// This shard's index, `0 <= index < count`.
+    pub index: u32,
+    /// Total number of shards.
+    pub count: u32,
+}
+
+impl Partition {
+    /// The unpartitioned (single-instance) build.
+    pub fn single() -> Partition {
+        Partition { index: 0, count: 1 }
+    }
+
+    /// Shard `index` of `count`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count`.
+    pub fn of(index: u32, count: u32) -> Partition {
+        assert!(index < count, "shard {index} out of {count}");
+        Partition { index, count }
+    }
+
+    /// Whether this is the unpartitioned build.
+    pub fn is_single(&self) -> bool {
+        self.count == 1
+    }
+
+    /// This shard's contiguous slice of `rows` global rows (floor split;
+    /// possibly empty when `rows < count`).
+    pub fn range(&self, rows: u64) -> Range<u64> {
+        let start = (self.index as u64 * rows) / self.count as u64;
+        let end = ((self.index as u64 + 1) * rows) / self.count as u64;
+        start..end
+    }
+
+    /// The shard owning global row `row` of a `rows`-row table under the
+    /// floor split (the inverse of [`Partition::range`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn owner_of(row: u64, rows: u64, count: u32) -> u32 {
+        assert!(row < rows, "row {row} out of {rows}");
+        (((row + 1) * count as u64 - 1) / rows) as u32
+    }
+}
+
 /// Build-time parameters of a database instance.
 #[derive(Debug, Clone)]
 pub struct DbConfig {
     /// Population scale (1.0 = the paper's 20 GB).
     pub scale: f64,
+    /// Floor on the warehouse population, whatever `scale` says. Sharded
+    /// deployments need at least one warehouse per shard without paying
+    /// for scale-proportional growth of the big fact tables.
+    pub min_warehouses: u64,
     /// Storage format.
     pub format: DbFormat,
     /// Which memory the instance lives in.
@@ -72,6 +135,7 @@ impl DbConfig {
     pub fn small() -> DbConfig {
         DbConfig {
             scale: 0.0005,
+            min_warehouses: 1,
             format: DbFormat::Unified { th: 0.6 },
             side: Side::Pim,
             key_queries: (1..=22).collect(),
@@ -96,9 +160,53 @@ pub struct TpccDb {
     meter: Meter,
     ts: TsAllocator,
     committed: u64,
+    partition: Partition,
+    /// Global warehouse population (before partitioning).
+    warehouses_global: u64,
+    /// The contiguous warehouse range this instance owns.
+    wh_range: Range<u64>,
+    /// Per-table global row count and this instance's first global row.
+    table_global: BTreeMap<Table, (u64, u64)>,
+    /// Per-(table, warehouse) insert cursors: inserts cycle inside the
+    /// home warehouse's stripe, deterministically across deployments.
+    insert_cursors: BTreeMap<(Table, u64), u64>,
 }
 
-fn layout_for(schema: &TableSchema, format: DbFormat, devices: u32) -> Result<TableLayout, LayoutError> {
+/// Global (pre-partitioning) row count of `table` under `cfg`.
+pub fn global_rows(cfg: &DbConfig, table: Table) -> u64 {
+    let n = table.rows_at_scale(cfg.scale);
+    if table == Table::Warehouse {
+        n.max(cfg.min_warehouses)
+    } else {
+        n
+    }
+}
+
+/// First global row of warehouse `w`'s stripe of a `rows`-row fact table
+/// (floor split into `warehouses` stripes). Inserts anchored to a home
+/// warehouse cycle inside its stripe, so a partitioned shard and an
+/// unpartitioned instance land the same logical insert on the same
+/// global row.
+pub fn stripe_start(w: u64, rows: u64, warehouses: u64) -> u64 {
+    (w * rows) / warehouses
+}
+
+/// The warehouse whose stripe holds global fact row `row` — the inverse
+/// of [`stripe_start`].
+///
+/// # Panics
+///
+/// Panics if `row >= rows`.
+pub fn warehouse_of_row(row: u64, rows: u64, warehouses: u64) -> u64 {
+    assert!(row < rows, "row {row} out of {rows}");
+    ((row + 1) * warehouses - 1) / rows
+}
+
+fn layout_for(
+    schema: &TableSchema,
+    format: DbFormat,
+    devices: u32,
+) -> Result<TableLayout, LayoutError> {
     match format {
         DbFormat::Unified { th } => compact_layout(schema, devices, th),
         // The classic baselines keep a validated (naïve) layout for
@@ -125,21 +233,61 @@ impl TpccDb {
     ///
     /// Propagates [`LayoutError`] from layout generation.
     pub fn build(cfg: &DbConfig, mem: &MemSystem) -> Result<TpccDb, LayoutError> {
+        TpccDb::build_partitioned(cfg, mem, Partition::single())
+    }
+
+    /// Builds one shard of a warehouse-partitioned deployment: fact
+    /// tables hold this shard's contiguous slice of the global rows
+    /// (byte-identical to the corresponding rows of the unpartitioned
+    /// build), dimension tables are replicated in full.
+    ///
+    /// A shard whose slice of a fact table would be empty (fewer global
+    /// rows than shards — only ever the tiny warehouse-anchored tables)
+    /// keeps one clamped row so modular row addressing stays defined;
+    /// such tables are too small to partition meaningfully and are never
+    /// scanned by the analytical queries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LayoutError`] from layout generation.
+    pub fn build_partitioned(
+        cfg: &DbConfig,
+        mem: &MemSystem,
+        partition: Partition,
+    ) -> Result<TpccDb, LayoutError> {
         let geometry: Geometry = match cfg.side {
             Side::Pim => mem.cfg().pim_geometry,
             Side::Host => mem.cfg().cpu_geometry,
         };
         let shards: Vec<BankAddr> = geometry.bank_addrs().collect();
         let key_map = pushtap_chbench::key_columns_of(&cfg.key_queries);
+        let warehouses_global = global_rows(cfg, Table::Warehouse);
+        let wh_range = partition.range(warehouses_global);
         let mut tables = BTreeMap::new();
+        let mut table_global = BTreeMap::new();
         let mut base_dram_row = 0u32;
         for table in pushtap_chbench::ALL_TABLES {
             let keys: Vec<&str> = key_map.get(&table).cloned().unwrap_or_default();
             let schema = pushtap_chbench::schema_with_keys(table, &keys);
             let layout = layout_for(&schema, cfg.format, geometry.devices_per_rank)?;
-            let n_rows = table.rows_at_scale(cfg.scale);
-            let delta_rows =
-                ((n_rows as f64 * cfg.delta_frac) as u64).max(cfg.min_delta_rows);
+            let global = global_rows(cfg, table);
+            let (row_base, n_rows) = match table.partitioning() {
+                Partitioning::Replicated => (0, global),
+                Partitioning::ByWarehouse => {
+                    // Split along warehouse-stripe boundaries so each
+                    // warehouse's rows (and insert stripe) live wholly on
+                    // the shard that owns the warehouse.
+                    let start = stripe_start(wh_range.start, global, warehouses_global);
+                    let end = stripe_start(wh_range.end, global, warehouses_global);
+                    if start == end {
+                        (start.min(global - 1), 1)
+                    } else {
+                        (start, end - start)
+                    }
+                }
+            };
+            table_global.insert(table, (global, row_base));
+            let delta_rows = ((n_rows as f64 * cfg.delta_frac) as u64).max(cfg.min_delta_rows);
             let mut t = HtapTable::new(
                 layout,
                 TableConfig {
@@ -155,14 +303,14 @@ impl TpccDb {
                     rows_per_bank: geometry.rows_per_bank,
                 },
             );
-            // Functional population.
-            let gen = RowGen::new(table, n_rows);
+            // Functional population from *global* row indices, so every
+            // shard's slice matches the unpartitioned build byte for byte.
+            let gen = RowGen::new(table, global);
             for row in 0..n_rows {
-                t.load_row(row, &gen.row(row));
+                t.load_row(row, &gen.row(row_base + row));
             }
             // Advance the placement cursor: tables get disjoint DRAM rows.
-            let rows_used =
-                (t.region().bytes_per_device() / geometry.row_bytes as u64) as u32 + 1;
+            let rows_used = (t.region().bytes_per_device() / geometry.row_bytes as u64) as u32 + 1;
             base_dram_row = (base_dram_row + rows_used) % geometry.rows_per_bank;
             tables.insert(table, t);
         }
@@ -171,7 +319,106 @@ impl TpccDb {
             meter: Meter::new(cfg.costs, mem.cfg().cpu),
             ts: TsAllocator::new(),
             committed: 0,
+            partition,
+            warehouses_global,
+            wh_range,
+            table_global,
+            insert_cursors: BTreeMap::new(),
         })
+    }
+
+    /// Which slice of the global population this instance holds.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// The contiguous warehouse range this instance owns (the full
+    /// population for an unpartitioned build).
+    pub fn warehouse_range(&self) -> Range<u64> {
+        self.wh_range.clone()
+    }
+
+    /// Global warehouse population (before partitioning).
+    pub fn warehouses_global(&self) -> u64 {
+        self.warehouses_global
+    }
+
+    /// Global (pre-partitioning) row count of `table`.
+    pub fn global_rows_of(&self, table: Table) -> u64 {
+        self.table_global[&table].0
+    }
+
+    /// Picks the *global* target row for the next insert into `table`
+    /// homed at warehouse `w_id` — the current slot of the warehouse's
+    /// stripe ring — without consuming it. Foreign warehouses (only
+    /// reachable when a caller bypasses the router) are clamped into the
+    /// owned range; an empty owned range (more shards than warehouses)
+    /// clamps to the nearest owned warehouse.
+    fn insert_target(&self, table: Table, w_id: u64) -> (u64, u64) {
+        let (global, row_base) = self.table_global[&table];
+        let local_rows = self.tables[&table].n_rows();
+        let w = if self.wh_range.contains(&w_id) {
+            w_id
+        } else if self.wh_range.is_empty() {
+            self.wh_range.start.min(self.warehouses_global - 1)
+        } else {
+            self.wh_range.start + w_id % (self.wh_range.end - self.wh_range.start)
+        };
+        let start = stripe_start(w, global, self.warehouses_global);
+        let end = stripe_start(w + 1, global, self.warehouses_global);
+        let c = self.insert_cursors.get(&(table, w)).copied().unwrap_or(0);
+        let row = if !self.wh_range.is_empty() && end > start {
+            start + c % (end - start)
+        } else {
+            // Degenerate cases (fewer rows than warehouses, or a shard
+            // owning no warehouse at all): fall back to a local ring;
+            // cross-deployment row identity is moot for configurations
+            // this small.
+            row_base + c % local_rows
+        };
+        (row, w)
+    }
+
+    /// The local row of `table` backing *global* row `g`: the exact
+    /// translation when this instance owns `g`, otherwise a
+    /// deterministic local proxy row (remote-owned state is modeled on
+    /// local rows until multi-shard writes gain a real forwarding
+    /// path — see ROADMAP). On an unpartitioned instance this is the
+    /// seed's `g % n_rows` addressing, unchanged.
+    fn local_row(&self, table: Table, g: u64) -> u64 {
+        let (global, row_base) = self.table_global[&table];
+        let n = self.tables[&table].n_rows();
+        let g = g % global.max(1);
+        if (row_base..row_base + n).contains(&g) {
+            g - row_base
+        } else {
+            g % n
+        }
+    }
+
+    /// Inserts into `table` at the stripe slot of home warehouse `w_id`,
+    /// returning the *global* row index (identical on a partitioned
+    /// shard and an unpartitioned instance for the same logical stream).
+    /// The stripe cursor advances only on success, so a `DeltaFull`
+    /// retry after defragmentation reuses the same slot.
+    #[allow(clippy::too_many_arguments)]
+    fn timed_insert_for(
+        &mut self,
+        table: Table,
+        w_id: u64,
+        values: &[Vec<u8>],
+        ts: Ts,
+        mem: &mut MemSystem,
+        meter: &Meter,
+        at: Ps,
+    ) -> Result<(u64, crate::table::OpResult), DeltaFull> {
+        let (global_row, w) = self.insert_target(table, w_id);
+        let (_, row_base) = self.table_global[&table];
+        let local = global_row - row_base;
+        let t = self.tables.get_mut(&table).expect("table not built");
+        let r = t.timed_insert_at(mem, meter, local, values, ts, at)?;
+        *self.insert_cursors.entry((table, w)).or_insert(0) += 1;
+        Ok((global_row, r))
     }
 
     /// The table instance for `table`.
@@ -254,9 +501,11 @@ impl TpccDb {
         now: &mut Ps,
     ) -> Result<(), DeltaFull> {
         // Warehouse YTD.
+        let w_row = self.local_row(Table::Warehouse, p.w_id);
         let w = self.tables.get_mut(&Table::Warehouse).expect("warehouse");
-        let w_row = p.w_id % w.n_rows();
-        let ytd = w.store().read_row(pushtap_format::RowSlot::Data { row: w_row });
+        let ytd = w
+            .store()
+            .read_row(pushtap_format::RowSlot::Data { row: w_row });
         let w_ytd_col = w.layout().schema().index_of("w_ytd").expect("w_ytd");
         let new_ytd = enc_u64(
             pushtap_chbench::dec_u64(&ytd[w_ytd_col as usize]).wrapping_add(p.amount),
@@ -267,16 +516,23 @@ impl TpccDb {
         *now = r.end;
 
         // District YTD.
+        let d_row = self.local_row(Table::District, p.w_id * 10 + p.d_id);
         let d = self.tables.get_mut(&Table::District).expect("district");
-        let d_row = (p.w_id * 10 + p.d_id) % d.n_rows();
         let d_ytd_col = d.layout().schema().index_of("d_ytd").expect("d_ytd");
-        let r = d.timed_update(mem, meter, d_row, ts, &[(d_ytd_col, enc_u64(p.amount, 8))], *now)?;
+        let r = d.timed_update(
+            mem,
+            meter,
+            d_row,
+            ts,
+            &[(d_ytd_col, enc_u64(p.amount, 8))],
+            *now,
+        )?;
         b.merge(&r.breakdown);
         *now = r.end;
 
         // Customer balance / ytd / payment count.
+        let c_row = self.local_row(Table::Customer, p.c_row);
         let c = self.tables.get_mut(&Table::Customer).expect("customer");
-        let c_row = p.c_row % c.n_rows();
         let schema = c.layout().schema();
         let bal = schema.index_of("c_balance").expect("c_balance");
         let ytd_p = schema.index_of("c_ytd_payment").expect("c_ytd_payment");
@@ -290,8 +546,7 @@ impl TpccDb {
         b.merge(&r.breakdown);
         *now = r.end;
 
-        // History append.
-        let h = self.tables.get_mut(&Table::History).expect("history");
+        // History append (striped by home warehouse).
         let values = vec![
             enc_u64(p.c_row, 4),
             enc_u64(p.d_id, 1),
@@ -302,7 +557,8 @@ impl TpccDb {
             enc_u64(p.amount, 4),
             pushtap_chbench::enc_text(ts.0, 24),
         ];
-        let (_, r) = h.timed_insert(mem, meter, &values, ts, *now)?;
+        let (_, r) =
+            self.timed_insert_for(Table::History, p.w_id, &values, ts, mem, meter, *now)?;
         b.merge(&r.breakdown);
         *now = r.end;
         Ok(())
@@ -318,22 +574,27 @@ impl TpccDb {
         now: &mut Ps,
     ) -> Result<(), DeltaFull> {
         // Read customer (discount, credit).
+        let c_row = self.local_row(Table::Customer, no.c_row);
         let c = self.tables.get_mut(&Table::Customer).expect("customer");
-        let c_row = no.c_row % c.n_rows();
         let (_, r) = c.timed_read(mem, meter, c_row, ts, *now);
         b.merge(&r.breakdown);
         *now = r.end;
 
         // District: bump next order id.
+        let d_row = self.local_row(Table::District, no.w_id * 10 + no.d_id);
         let d = self.tables.get_mut(&Table::District).expect("district");
-        let d_row = (no.w_id * 10 + no.d_id) % d.n_rows();
-        let next_col = d.layout().schema().index_of("d_next_o_id").expect("d_next_o_id");
+        let next_col = d
+            .layout()
+            .schema()
+            .index_of("d_next_o_id")
+            .expect("d_next_o_id");
         let r = d.timed_update(mem, meter, d_row, ts, &[(next_col, enc_u64(ts.0, 4))], *now)?;
         b.merge(&r.breakdown);
         *now = r.end;
 
-        // Insert ORDER + NEWORDER rows.
-        let o = self.tables.get_mut(&Table::Order).expect("order");
+        // Insert ORDER + NEWORDER rows (striped by home warehouse; the
+        // returned order row is the *global* index, so downstream values
+        // match across partitioned and unpartitioned deployments).
         let o_values = vec![
             enc_u64(ts.0, 4),
             enc_u64(no.d_id, 1),
@@ -344,41 +605,50 @@ impl TpccDb {
             enc_u64(no.items.len() as u64, 1),
             enc_u64(1, 1),
         ];
-        let (o_row, r) = o.timed_insert(mem, meter, &o_values, ts, *now)?;
+        let (o_row, r) =
+            self.timed_insert_for(Table::Order, no.w_id, &o_values, ts, mem, meter, *now)?;
         b.merge(&r.breakdown);
         *now = r.end;
 
-        let n = self.tables.get_mut(&Table::NewOrder).expect("neworder");
         let n_values = vec![enc_u64(o_row, 4), enc_u64(no.d_id, 1), enc_u64(no.w_id, 4)];
-        let (_, r) = n.timed_insert(mem, meter, &n_values, ts, *now)?;
+        let (_, r) =
+            self.timed_insert_for(Table::NewOrder, no.w_id, &n_values, ts, mem, meter, *now)?;
         b.merge(&r.breakdown);
         *now = r.end;
 
         // Per order line: read item, update stock, insert orderline.
+        // Stock rows are distinct in the *global* population, but on a
+        // partitioned shard two global rows can alias the same local row
+        // under the modulo; MVCC forbids two same-timestamp updates of
+        // one row, so an aliased line skips its (already applied) stock
+        // update.
+        let mut touched_stock: Vec<u64> = Vec::with_capacity(no.stock_rows.len());
         for (i, (&item, &stock)) in no.items.iter().zip(&no.stock_rows).enumerate() {
+            let item_row = self.local_row(Table::Item, item);
             let it = self.tables.get_mut(&Table::Item).expect("item");
-            let item_row = item % it.n_rows();
             let (item_vals, r) = it.timed_read(mem, meter, item_row, ts, *now);
             b.merge(&r.breakdown);
             *now = r.end;
             let price = pushtap_chbench::dec_u64(&item_vals[3]);
 
+            let s_row = self.local_row(Table::Stock, stock);
             let s = self.tables.get_mut(&Table::Stock).expect("stock");
-            let s_row = stock % s.n_rows();
-            let schema = s.layout().schema();
-            let qty = schema.index_of("s_quantity").expect("s_quantity");
-            let ytd = schema.index_of("s_ytd").expect("s_ytd");
-            let ocnt = schema.index_of("s_order_cnt").expect("s_order_cnt");
-            let changes = vec![
-                (qty, enc_u64(40, 2)),
-                (ytd, enc_u64(price, 8)),
-                (ocnt, enc_u64(1, 2)),
-            ];
-            let r = s.timed_update(mem, meter, s_row, ts, &changes, *now)?;
-            b.merge(&r.breakdown);
-            *now = r.end;
+            if !touched_stock.contains(&s_row) {
+                touched_stock.push(s_row);
+                let schema = s.layout().schema();
+                let qty = schema.index_of("s_quantity").expect("s_quantity");
+                let ytd = schema.index_of("s_ytd").expect("s_ytd");
+                let ocnt = schema.index_of("s_order_cnt").expect("s_order_cnt");
+                let changes = vec![
+                    (qty, enc_u64(40, 2)),
+                    (ytd, enc_u64(price, 8)),
+                    (ocnt, enc_u64(1, 2)),
+                ];
+                let r = s.timed_update(mem, meter, s_row, ts, &changes, *now)?;
+                b.merge(&r.breakdown);
+                *now = r.end;
+            }
 
-            let ol = self.tables.get_mut(&Table::OrderLine).expect("orderline");
             let ol_values = vec![
                 enc_u64(o_row, 4),
                 enc_u64(no.d_id, 1),
@@ -391,7 +661,8 @@ impl TpccDb {
                 enc_u64(price * 5, 8),
                 pushtap_chbench::enc_text(ts.0 ^ i as u64, 24),
             ];
-            let (_, r) = ol.timed_insert(mem, meter, &ol_values, ts, *now)?;
+            let (_, r) =
+                self.timed_insert_for(Table::OrderLine, no.w_id, &ol_values, ts, mem, meter, *now)?;
             b.merge(&r.breakdown);
             *now = r.end;
         }

@@ -20,8 +20,7 @@ enum Op {
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
         prop_oneof![
-            (0u64..64, 1u64..1_000_000)
-                .prop_map(|(row, amount)| Op::UpdateBalance { row, amount }),
+            (0u64..64, 1u64..1_000_000).prop_map(|(row, amount)| Op::UpdateBalance { row, amount }),
             (0u64..64).prop_map(|row| Op::Read { row }),
         ],
         1..80,

@@ -91,8 +91,10 @@ mod tests {
 
     #[test]
     fn stall_is_monotone() {
-        let mut b = BankState::default();
-        b.ready_rw = Ps::new(100);
+        let mut b = BankState {
+            ready_rw: Ps::new(100),
+            ..BankState::default()
+        };
         b.stall_until(Ps::new(50));
         assert_eq!(b.ready_rw, Ps::new(100));
         b.stall_until(Ps::new(200));
@@ -102,8 +104,10 @@ mod tests {
 
     #[test]
     fn locking_closes_row() {
-        let mut b = BankState::default();
-        b.open_row = Some(3);
+        let mut b = BankState {
+            open_row: Some(3),
+            ..BankState::default()
+        };
         b.lock_until(Ps::new(1000));
         assert_eq!(b.open_row, None);
         assert_eq!(b.locked_until, Ps::new(1000));

@@ -117,7 +117,10 @@ impl ChannelController {
 
     fn bank_index(&self, rank: u32, bank: u32) -> usize {
         let idx = (rank * self.banks_per_rank + bank) as usize;
-        assert!(idx < self.banks.len(), "rank {rank}/bank {bank} out of range");
+        assert!(
+            idx < self.banks.len(),
+            "rank {rank}/bank {bank} out of range"
+        );
         idx
     }
 

@@ -193,6 +193,7 @@ mod tests {
     /// §7.6: 0.115 mm² total, scheduler 0.112, polling 0.003; negligible vs
     /// a ~13 mm² memory controller.
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn area_constants() {
         assert!((AREA_TOTAL_MM2 - 0.115).abs() < 1e-12);
         assert!(AREA_TOTAL_MM2 / AREA_MEMCTRL_MM2 < 0.01);

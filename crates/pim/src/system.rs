@@ -72,12 +72,20 @@ impl MemSystem {
         MemSystem {
             pim_ctrl: (0..pg.channels)
                 .map(|_| {
-                    ChannelController::new(cfg.pim_timing, pg.ranks_per_channel, pg.banks_per_device)
+                    ChannelController::new(
+                        cfg.pim_timing,
+                        pg.ranks_per_channel,
+                        pg.banks_per_device,
+                    )
                 })
                 .collect(),
             host_ctrl: (0..hg.channels)
                 .map(|_| {
-                    ChannelController::new(cfg.cpu_timing, hg.ranks_per_channel, hg.banks_per_device)
+                    ChannelController::new(
+                        cfg.cpu_timing,
+                        hg.ranks_per_channel,
+                        hg.banks_per_device,
+                    )
                 })
                 .collect(),
             cfg,
@@ -168,6 +176,7 @@ impl MemSystem {
     /// accesses pipeline through the bank/bus constraints, matching a
     /// prefetching streamer rather than pointer chasing. Use
     /// [`MemSystem::access`] with dependent arrival times for the latter.
+    #[allow(clippy::too_many_arguments)]
     pub fn stream(
         &mut self,
         side: Side,
@@ -193,6 +202,7 @@ impl MemSystem {
     /// the full stream. Use for sweeps whose burst counts reach the
     /// hundreds of millions; the result matches `stream` asymptotically
     /// because warm sequential streams reach a steady rate.
+    #[allow(clippy::too_many_arguments)]
     pub fn stream_sampled(
         &mut self,
         side: Side,
@@ -206,13 +216,39 @@ impl MemSystem {
     ) -> Ps {
         const SAMPLE: u64 = 1 << 16;
         if bursts <= 2 * SAMPLE {
-            return self.stream(side, bank, row0, bursts, bursts_per_row, op, useful_per_burst, at);
+            return self.stream(
+                side,
+                bank,
+                row0,
+                bursts,
+                bursts_per_row,
+                op,
+                useful_per_burst,
+                at,
+            );
         }
         // Warm up (excluded from the measured rate), then measure.
-        let warm = self.stream(side, bank, row0, SAMPLE, bursts_per_row, op, useful_per_burst, at);
+        let warm = self.stream(
+            side,
+            bank,
+            row0,
+            SAMPLE,
+            bursts_per_row,
+            op,
+            useful_per_burst,
+            at,
+        );
         let row1 = row0 + (SAMPLE / bursts_per_row as u64) as u32;
-        let measured =
-            self.stream(side, bank, row1, SAMPLE, bursts_per_row, op, useful_per_burst, warm);
+        let measured = self.stream(
+            side,
+            bank,
+            row1,
+            SAMPLE,
+            bursts_per_row,
+            op,
+            useful_per_burst,
+            warm,
+        );
         let rate = (measured - warm) / SAMPLE; // per burst
         let remaining = bursts - 2 * SAMPLE;
         let line = self.line_bytes(side) as u64;
@@ -319,14 +355,7 @@ mod tests {
     fn lock_all_pim_blocks_every_bank() {
         let mut m = MemSystem::dimm();
         m.lock_all_pim(Ps::from_us(3.0));
-        let r = m.access(
-            Side::Pim,
-            BankAddr::new(3, 3, 7),
-            0,
-            Op::Read,
-            64,
-            Ps::ZERO,
-        );
+        let r = m.access(Side::Pim, BankAddr::new(3, 3, 7), 0, Op::Read, 64, Ps::ZERO);
         assert!(r.issue >= Ps::from_us(3.0));
         // Host side is never locked by PIM handover.
         let h = m.access(

@@ -1,0 +1,48 @@
+//! Configuration of the sharded service.
+
+use pushtap_core::PushtapConfig;
+use pushtap_pim::Ps;
+
+/// Configuration of a [`crate::ShardedHtap`] deployment.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shards (each a full PUSHtap instance).
+    pub shards: u32,
+    /// Per-shard engine configuration. The warehouse population
+    /// (`base.db.min_warehouses` combined with the scale) must be at
+    /// least `shards` so every shard owns a non-empty warehouse range.
+    pub base: PushtapConfig,
+    /// Latency charged to a shard's clock per remote-warehouse touch
+    /// (a NewOrder stock line or Payment customer owned by another
+    /// shard): one coordination round trip on the inter-shard fabric.
+    pub remote_hop: Ps,
+    /// CPU cycles per gathered partial row spent merging scatter-gather
+    /// results on the coordinator.
+    pub merge_cycles_per_row: u64,
+}
+
+impl ShardConfig {
+    /// A small test/example deployment: the engine's small instance with
+    /// the warehouse floor raised to 8, so shard counts 1–8 all partition
+    /// the *same* global population (results stay comparable across
+    /// shard counts), a 500 ns cross-shard hop, and an 8-cycle-per-row
+    /// merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0 or exceeds the 8-warehouse floor.
+    pub fn small(shards: u32) -> ShardConfig {
+        assert!(
+            (1..=8).contains(&shards),
+            "small config supports 1..=8 shards, got {shards}"
+        );
+        let mut base = PushtapConfig::small();
+        base.db.min_warehouses = 8;
+        ShardConfig {
+            shards,
+            base,
+            remote_hop: Ps::from_ns(500.0),
+            merge_cycles_per_row: 8,
+        }
+    }
+}

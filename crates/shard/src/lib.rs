@@ -1,0 +1,71 @@
+//! Sharded HTAP service layer over PUSHtap (`pushtap-shard`).
+//!
+//! The paper's engine is a *single-instance* HTAP system: one unified
+//! format store, one PIM memory, one clock. This crate scales it out the
+//! way the ROADMAP's production north star (and the HTAP scale-out
+//! literature — Polynesia's isolated islands, the survey's partitioned
+//! fresh-analytics challenge) demands, while keeping the property that
+//! makes PUSHtap special: *per-shard analytics over the unified format
+//! are cheap and fresh*, so cross-shard analytics reduce to
+//! scatter-gather over distributive partials.
+//!
+//! The pieces:
+//!
+//! * [`ShardConfig`] — shard count + the per-shard PUSHtap configuration
+//!   plus the two scale-out cost knobs (cross-shard hop latency, gather
+//!   merge cost);
+//! * [`WarehouseMap`] — the contiguous warehouse-range partitioning and
+//!   its ownership queries (home shard of a warehouse, of a customer
+//!   row, of a stock row);
+//! * [`TxnRouter`] — routes CH-benCHmark transactions to their home
+//!   shard and accounts remote-warehouse touches (the NewOrder stock
+//!   lines and Payment customers that live on other shards);
+//! * [`ShardedHtap`] — the service: N independent [`pushtap_core::Pushtap`]
+//!   engines (fact tables warehouse-partitioned, dimension tables
+//!   replicated), OLTP batches executed concurrently under
+//!   `std::thread::scope`, and Q1/Q6/Q9 answered by scatter-gather with
+//!   [`pushtap_olap::merge_partials`];
+//! * [`ShardOltpReport`] / [`ShardQueryReport`] — per-shard and
+//!   aggregate accounting (routed counts, remote touches, makespan,
+//!   scatter latency, merge cost).
+//!
+//! # Value identity
+//!
+//! The load-time invariant (shards hold byte-identical slices of the
+//! global fact rows, full replicas of dimension rows — see
+//! [`pushtap_oltp::TpccDb::build_partitioned`]) plus the distributivity
+//! of the Q1/Q6/Q9 aggregates make the gathered result *exactly equal*
+//! to what a single unpartitioned instance would answer after the same
+//! transaction stream. The integration tests assert byte equality
+//! against [`pushtap_olap::ref_q1`]/[`ref_q6`](pushtap_olap::ref_q6)/
+//! [`ref_q9`](pushtap_olap::ref_q9) at 1, 2, and 4 shards.
+//!
+//! # Examples
+//!
+//! ```
+//! use pushtap_shard::{ShardConfig, ShardedHtap};
+//! use pushtap_olap::Query;
+//!
+//! let mut service = ShardedHtap::new(ShardConfig::small(2))?;
+//! let mut gen = service.global_txn_gen(7);
+//! let oltp = service.run_txns(&mut gen, 64);
+//! assert_eq!(oltp.committed(), 64);
+//! let q6 = service.run_query(Query::Q6);
+//! assert!(q6.total() > pushtap_pim::Ps::ZERO);
+//! # Ok::<(), pushtap_format::LayoutError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod partition;
+mod report;
+mod router;
+mod service;
+
+pub use config::ShardConfig;
+pub use partition::WarehouseMap;
+pub use report::{RemoteTouches, ShardLoad, ShardOltpReport, ShardQueryReport};
+pub use router::{RoutedTxn, TxnRouter};
+pub use service::ShardedHtap;

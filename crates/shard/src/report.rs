@@ -1,0 +1,128 @@
+//! Per-shard and aggregate accounting of the sharded service.
+
+use pushtap_core::{tpmc, OltpReport, QueryReport};
+use pushtap_olap::QueryResult;
+use pushtap_pim::Ps;
+
+/// Aggregate cross-shard accounting of one routed batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RemoteTouches {
+    /// Transactions routed.
+    pub routed: u64,
+    /// Transactions that touched at least one remote-owned row.
+    pub cross_shard_txns: u64,
+    /// Individual remote row touches (NewOrder stock lines + Payment
+    /// customers owned by other shards).
+    pub remote_touches: u64,
+}
+
+impl RemoteTouches {
+    /// Fraction of transactions that crossed a shard boundary.
+    pub fn cross_shard_fraction(&self) -> f64 {
+        if self.routed == 0 {
+            0.0
+        } else {
+            self.cross_shard_txns as f64 / self.routed as f64
+        }
+    }
+}
+
+/// One shard's outcome for one batch.
+#[derive(Debug, Clone, Default)]
+pub struct ShardLoad {
+    /// The engine-level OLTP report (txn time excludes remote hops).
+    pub report: OltpReport,
+    /// Transactions routed to this shard.
+    pub routed: u64,
+    /// Remote touches charged to this shard.
+    pub remote_touches: u64,
+    /// Time spent on cross-shard coordination hops.
+    pub remote_time: Ps,
+    /// This shard's wall-clock for the batch (txns + defrag + hops).
+    pub elapsed: Ps,
+}
+
+/// The outcome of one batch across all shards.
+#[derive(Debug, Clone)]
+pub struct ShardOltpReport {
+    /// Per-shard loads, indexed by shard.
+    pub per_shard: Vec<ShardLoad>,
+    /// Aggregate routing/remote accounting.
+    pub remote: RemoteTouches,
+}
+
+impl ShardOltpReport {
+    /// Transactions committed across all shards.
+    pub fn committed(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.report.committed).sum()
+    }
+
+    /// The batch's wall-clock: the slowest shard (shards run
+    /// concurrently).
+    pub fn makespan(&self) -> Ps {
+        self.per_shard
+            .iter()
+            .map(|s| s.elapsed)
+            .max()
+            .unwrap_or(Ps::ZERO)
+    }
+
+    /// Aggregate transactions-per-minute over the batch makespan,
+    /// `cores` driving threads per shard.
+    pub fn tpmc(&self, cores: u32) -> f64 {
+        tpmc(self.committed(), self.makespan(), cores)
+    }
+
+    /// Ratio of the summed per-shard busy time to the makespan — the
+    /// parallel speedup actually realised by this batch (≤ shard count;
+    /// lower when routing skews load).
+    pub fn parallel_efficiency(&self) -> f64 {
+        let makespan = self.makespan();
+        if makespan == Ps::ZERO {
+            return 1.0;
+        }
+        let busy: u64 = self.per_shard.iter().map(|s| s.elapsed.ps()).sum();
+        busy as f64 / makespan.ps() as f64
+    }
+
+    /// Total time spent in defragmentation pauses across shards.
+    pub fn defrag_time(&self) -> Ps {
+        self.per_shard.iter().map(|s| s.report.defrag_time).sum()
+    }
+
+    /// Total cross-shard coordination time across shards.
+    pub fn remote_time(&self) -> Ps {
+        self.per_shard.iter().map(|s| s.remote_time).sum()
+    }
+}
+
+/// The outcome of one scatter-gather analytical query.
+#[derive(Debug, Clone)]
+pub struct ShardQueryReport {
+    /// The merged (global) result — value-identical to a single-instance
+    /// execution over the unpartitioned database.
+    pub result: QueryResult,
+    /// Per-shard partial reports (scatter phase), indexed by shard.
+    pub per_shard: Vec<QueryReport>,
+    /// Scatter wall-clock: the slowest shard's snapshot + scan.
+    pub scatter_latency: Ps,
+    /// Coordinator-side gather + merge time.
+    pub merge_time: Ps,
+}
+
+impl ShardQueryReport {
+    /// End-to-end query latency: scatter (parallel) then merge.
+    pub fn total(&self) -> Ps {
+        self.scatter_latency + self.merge_time
+    }
+
+    /// Total consistency (snapshotting) time paid across shards.
+    pub fn consistency(&self) -> Ps {
+        self.per_shard.iter().map(|p| p.consistency).sum()
+    }
+
+    /// Partial result rows gathered from the shards.
+    pub fn gathered_rows(&self) -> u64 {
+        self.per_shard.iter().map(|p| p.result.rows()).sum()
+    }
+}

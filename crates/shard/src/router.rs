@@ -1,0 +1,152 @@
+//! Transaction routing: home-shard selection plus remote-warehouse
+//! accounting.
+
+use pushtap_chbench::Txn;
+
+use crate::partition::WarehouseMap;
+use crate::report::RemoteTouches;
+
+/// One routed transaction: its home shard and how many of its row
+/// touches land on *other* shards (charged as coordination hops by the
+/// service).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedTxn {
+    /// The transaction itself.
+    pub txn: Txn,
+    /// Home shard (by home warehouse).
+    pub shard: u32,
+    /// Touches owned by other shards.
+    pub remote: u64,
+}
+
+/// Routes transactions by home warehouse and accounts cross-shard
+/// touches, mirroring TPC-C's remote-warehouse semantics: a NewOrder's
+/// order lines may draw stock from other warehouses, and a Payment may
+/// pay a customer homed elsewhere.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnRouter {
+    map: WarehouseMap,
+}
+
+impl TxnRouter {
+    /// A router over `map`.
+    pub fn new(map: WarehouseMap) -> TxnRouter {
+        TxnRouter { map }
+    }
+
+    /// The partitioning map in effect.
+    pub fn map(&self) -> &WarehouseMap {
+        &self.map
+    }
+
+    /// The home shard of `txn`.
+    pub fn home_shard(&self, txn: &Txn) -> u32 {
+        self.map.shard_of_warehouse(txn.home_warehouse())
+    }
+
+    /// Routes one transaction, counting its remote touches.
+    pub fn route(&self, txn: Txn) -> RoutedTxn {
+        let shard = self.map.shard_of_warehouse(txn.home_warehouse());
+        let remote = match &txn {
+            Txn::Payment(p) => u64::from(self.map.shard_of_customer(p.c_row) != shard),
+            Txn::NewOrder(no) => {
+                let stock_remote = no
+                    .stock_rows
+                    .iter()
+                    .filter(|&&s| self.map.shard_of_stock(s) != shard)
+                    .count() as u64;
+                stock_remote + u64::from(self.map.shard_of_customer(no.c_row) != shard)
+            }
+        };
+        RoutedTxn { txn, shard, remote }
+    }
+
+    /// Routes a batch into per-shard buckets (order-preserving within
+    /// each shard), returning the buckets plus the aggregate
+    /// remote-touch accounting.
+    pub fn route_batch(&self, batch: Vec<Txn>) -> (Vec<Vec<RoutedTxn>>, RemoteTouches) {
+        let mut buckets: Vec<Vec<RoutedTxn>> = (0..self.map.shards()).map(|_| Vec::new()).collect();
+        let mut touches = RemoteTouches::default();
+        for txn in batch {
+            let routed = self.route(txn);
+            touches.routed += 1;
+            if routed.remote > 0 {
+                touches.cross_shard_txns += 1;
+                touches.remote_touches += routed.remote;
+            }
+            buckets[routed.shard as usize].push(routed);
+        }
+        (buckets, touches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushtap_chbench::TxnGen;
+    use pushtap_oltp::DbConfig;
+
+    fn router(shards: u32) -> TxnRouter {
+        let mut db = DbConfig::small();
+        db.min_warehouses = 8;
+        TxnRouter::new(WarehouseMap::new(&db, shards))
+    }
+
+    #[test]
+    fn routing_follows_home_warehouse() {
+        let r = router(4);
+        let mut gen = TxnGen::new(5, 8, 3000, 10_000, 10_000);
+        for txn in gen.batch(200) {
+            let routed = r.route(txn.clone());
+            assert_eq!(
+                routed.shard,
+                r.map().shard_of_warehouse(txn.home_warehouse())
+            );
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_remote_touches() {
+        let r = router(1);
+        let mut gen = TxnGen::new(5, 8, 3000, 10_000, 10_000);
+        let (buckets, touches) = r.route_batch(gen.batch(300));
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].len(), 300);
+        assert_eq!(touches.remote_touches, 0);
+        assert_eq!(touches.cross_shard_txns, 0);
+    }
+
+    #[test]
+    fn multi_shard_sees_remote_stock_touches() {
+        // Stock rows are drawn uniformly over all warehouses, so with 4
+        // shards ~3/4 of every NewOrder's lines are remote.
+        let r = router(4);
+        let mut gen = TxnGen::new(5, 8, 3000, 10_000, 10_000);
+        let (buckets, touches) = r.route_batch(gen.batch(400));
+        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 400);
+        assert!(touches.cross_shard_txns > 0);
+        assert!(touches.remote_touches > touches.cross_shard_txns);
+        // Every bucket gets a fair share of a uniform 8-warehouse load.
+        for b in &buckets {
+            assert!(!b.is_empty(), "a shard received no transactions");
+        }
+    }
+
+    #[test]
+    fn route_batch_preserves_per_shard_order() {
+        let r = router(2);
+        let mut gen = TxnGen::new(11, 8, 3000, 10_000, 10_000);
+        let batch = gen.batch(100);
+        let (buckets, _) = r.route_batch(batch.clone());
+        let mut replayed: Vec<Vec<Txn>> = vec![Vec::new(); 2];
+        for txn in batch {
+            let s = r.home_shard(&txn);
+            replayed[s as usize].push(txn);
+        }
+        for (bucket, expect) in buckets.iter().zip(&replayed) {
+            let got: Vec<&Txn> = bucket.iter().map(|r| &r.txn).collect();
+            let want: Vec<&Txn> = expect.iter().collect();
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The sharded HTAP service: N PUSHtap engines behind one router and one
+//! scatter-gather coordinator.
+
+use std::thread;
+
+use pushtap_chbench::TxnGen;
+use pushtap_core::{Pushtap, QueryReport};
+use pushtap_format::LayoutError;
+use pushtap_olap::{merge_partials, Query};
+use pushtap_oltp::Partition;
+use pushtap_pim::Ps;
+
+use crate::config::ShardConfig;
+use crate::partition::WarehouseMap;
+use crate::report::{ShardLoad, ShardOltpReport, ShardQueryReport};
+use crate::router::{RoutedTxn, TxnRouter};
+
+/// A warehouse-partitioned deployment of PUSHtap engines.
+///
+/// Each shard is a complete [`Pushtap`] instance — its own simulated
+/// memory system, PIM scan engine, MVCC state, and clock — holding the
+/// shard's slice of the fact tables and a full replica of the dimension
+/// tables. Transactions route by home warehouse; analytical queries
+/// scatter to every shard (each runs its snapshot + two-phase PIM scan
+/// concurrently) and gather by merging distributive partials.
+#[derive(Debug)]
+pub struct ShardedHtap {
+    cfg: ShardConfig,
+    router: TxnRouter,
+    shards: Vec<Pushtap>,
+}
+
+impl ShardedHtap {
+    /// Builds and populates all shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-generation errors from any shard build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero shards or fewer warehouses
+    /// than shards.
+    pub fn new(cfg: ShardConfig) -> Result<ShardedHtap, LayoutError> {
+        assert!(cfg.shards > 0, "need at least one shard");
+        let map = WarehouseMap::new(&cfg.base.db, cfg.shards);
+        let shards = (0..cfg.shards)
+            .map(|i| Pushtap::new_partitioned(cfg.base.clone(), Partition::of(i, cfg.shards)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedHtap {
+            router: TxnRouter::new(map),
+            cfg,
+            shards,
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn cfg(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// The partitioning map.
+    pub fn map(&self) -> &WarehouseMap {
+        self.router.map()
+    }
+
+    /// The router.
+    pub fn router(&self) -> &TxnRouter {
+        &self.router
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The shard engines.
+    pub fn shards(&self) -> &[Pushtap] {
+        &self.shards
+    }
+
+    /// One shard engine.
+    pub fn shard(&self, i: u32) -> &Pushtap {
+        &self.shards[i as usize]
+    }
+
+    /// A transaction generator over the *global* population (home
+    /// warehouses across every shard) — the stream a front-end would
+    /// hand the router.
+    pub fn global_txn_gen(&self, seed: u64) -> TxnGen {
+        let m = self.map();
+        TxnGen::new(seed, m.warehouses(), m.customers(), m.items(), m.stocks())
+    }
+
+    /// Per-shard generators whose home warehouses stay inside each
+    /// shard's range — the perfectly-partitionable load used to measure
+    /// peak scale-out throughput.
+    pub fn local_txn_gens(&self, seed: u64) -> Vec<TxnGen> {
+        let m = *self.map();
+        (0..self.shard_count())
+            .map(|i| {
+                TxnGen::with_warehouse_range(
+                    seed.wrapping_add(i as u64),
+                    m.warehouse_range(i),
+                    m.customers(),
+                    m.items(),
+                    m.stocks(),
+                )
+            })
+            .collect()
+    }
+
+    /// Routes `n` transactions from a global stream to their home shards
+    /// and executes the per-shard batches concurrently.
+    pub fn run_txns(&mut self, gen: &mut TxnGen, n: u64) -> ShardOltpReport {
+        let batch = gen.batch(n as usize);
+        let (buckets, remote) = self.router.route_batch(batch);
+        let per_shard = self.execute_buckets(buckets);
+        ShardOltpReport { per_shard, remote }
+    }
+
+    /// Executes `per_shard` transactions on every shard from that
+    /// shard's own warehouse-local stream (all shards run concurrently).
+    pub fn run_local_txns(&mut self, seed: u64, per_shard: u64) -> ShardOltpReport {
+        // Each generator's home warehouses lie inside its own shard's
+        // range, so routing the concatenated streams re-creates exactly
+        // the per-shard batches (order preserved within each shard).
+        let batch: Vec<_> = self
+            .local_txn_gens(seed)
+            .iter_mut()
+            .flat_map(|g| g.batch(per_shard as usize))
+            .collect();
+        let (buckets, remote) = self.router.route_batch(batch);
+        let per_shard = self.execute_buckets(buckets);
+        ShardOltpReport { per_shard, remote }
+    }
+
+    /// Runs each shard's bucket on its engine, one OS thread per shard.
+    fn execute_buckets(&mut self, buckets: Vec<Vec<RoutedTxn>>) -> Vec<ShardLoad> {
+        assert_eq!(buckets.len(), self.shards.len(), "bucket per shard");
+        let hop = self.cfg.remote_hop;
+        thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(buckets)
+                .map(|(shard, bucket)| scope.spawn(move || run_bucket(shard, bucket, hop)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Defragments every shard concurrently (each pauses its own OLTP,
+    /// §5.3). Returns the deployment-wide pause: the slowest shard's.
+    pub fn defragment_all(&mut self) -> Ps {
+        thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| scope.spawn(move || shard.defragment_all().1))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .max()
+                .unwrap_or(Ps::ZERO)
+        })
+    }
+
+    /// Answers `query` by scatter-gather: every shard snapshots and runs
+    /// its partial concurrently (two-phase PIM scan over its slice), the
+    /// coordinator merges the distributive partials.
+    ///
+    /// The merged result is value-identical to running the query on a
+    /// single unpartitioned instance that executed the same committed
+    /// transaction stream.
+    pub fn run_query(&mut self, query: Query) -> ShardQueryReport {
+        let partials: Vec<QueryReport> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| scope.spawn(move || shard.run_query(query)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+        let scatter_latency = partials.iter().map(|p| p.total()).max().unwrap_or(Ps::ZERO);
+        let gathered: u64 = partials.iter().map(|p| p.result.rows()).sum();
+        let merge_time = self.shards[0]
+            .db()
+            .meter()
+            .cpu
+            .cycles(gathered * self.cfg.merge_cycles_per_row);
+        let result =
+            merge_partials(partials.iter().map(|p| p.result.clone())).expect("at least one shard");
+        ShardQueryReport {
+            result,
+            per_shard: partials,
+            scatter_latency,
+            merge_time,
+        }
+    }
+}
+
+/// Executes one shard's routed bucket, charging a coordination hop per
+/// remote touch on top of the engine's own transaction timing.
+fn run_bucket(shard: &mut Pushtap, bucket: Vec<RoutedTxn>, hop: Ps) -> ShardLoad {
+    let start = shard.now();
+    let mut load = ShardLoad::default();
+    for routed in bucket {
+        let before = shard.now();
+        let (result, pause) = shard.execute_txn(&routed.txn);
+        let remote_time = hop * routed.remote;
+        if routed.remote > 0 {
+            shard.advance(remote_time);
+            load.remote_touches += routed.remote;
+            load.remote_time += remote_time;
+        }
+        load.routed += 1;
+        load.report.committed += 1;
+        if pause > Ps::ZERO {
+            load.report.defrag_passes += 1;
+        }
+        load.report.defrag_time += pause;
+        load.report.txn_time += shard
+            .now()
+            .saturating_sub(before)
+            .saturating_sub(pause)
+            .saturating_sub(remote_time);
+        load.report.breakdown.merge(&result.breakdown);
+    }
+    load.elapsed = shard.now().saturating_sub(start);
+    load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pushtap_olap::QueryResult;
+
+    fn service(shards: u32) -> ShardedHtap {
+        ShardedHtap::new(ShardConfig::small(shards)).expect("build")
+    }
+
+    #[test]
+    fn build_partitions_fact_tables_and_replicates_dimensions() {
+        use pushtap_chbench::Table;
+        let s = service(4);
+        let ol_total: u64 = (0..4)
+            .map(|i| s.shard(i).db().table(Table::OrderLine).n_rows())
+            .sum();
+        let single = service(1);
+        assert_eq!(
+            ol_total,
+            single.shard(0).db().table(Table::OrderLine).n_rows(),
+            "ORDERLINE must partition without loss"
+        );
+        for i in 0..4 {
+            assert_eq!(
+                s.shard(i).db().table(Table::Item).n_rows(),
+                single.shard(0).db().table(Table::Item).n_rows(),
+                "ITEM must be replicated"
+            );
+        }
+    }
+
+    #[test]
+    fn routed_batch_commits_everything() {
+        let mut s = service(2);
+        let mut gen = s.global_txn_gen(3);
+        let report = s.run_txns(&mut gen, 120);
+        assert_eq!(report.committed(), 120);
+        assert_eq!(report.remote.routed, 120);
+        assert!(report.makespan() > Ps::ZERO);
+        let routed: u64 = report.per_shard.iter().map(|l| l.routed).sum();
+        assert_eq!(routed, 120);
+    }
+
+    #[test]
+    fn local_load_scales_across_shards() {
+        let mut s = service(4);
+        let report = s.run_local_txns(9, 40);
+        assert_eq!(report.committed(), 160);
+        // Four engines running concurrently: the makespan must sit well
+        // below the summed busy time.
+        assert!(report.parallel_efficiency() > 2.0);
+    }
+
+    #[test]
+    fn remote_touches_cost_time() {
+        let mut cheap = ShardConfig::small(4);
+        cheap.remote_hop = Ps::ZERO;
+        let mut dear = ShardConfig::small(4);
+        dear.remote_hop = Ps::from_us(5.0);
+        let mut a = ShardedHtap::new(cheap).expect("build");
+        let mut b = ShardedHtap::new(dear).expect("build");
+        let mut ga = a.global_txn_gen(7);
+        let mut gb = b.global_txn_gen(7);
+        let ra = a.run_txns(&mut ga, 100);
+        let rb = b.run_txns(&mut gb, 100);
+        assert_eq!(ra.remote.remote_touches, rb.remote.remote_touches);
+        assert!(rb.remote_time() > ra.remote_time());
+        assert!(rb.makespan() > ra.makespan());
+    }
+
+    #[test]
+    fn scatter_gather_merges_all_shards() {
+        let mut s = service(2);
+        let mut gen = s.global_txn_gen(5);
+        s.run_txns(&mut gen, 80);
+        let q6 = s.run_query(Query::Q6);
+        assert_eq!(q6.per_shard.len(), 2);
+        let QueryResult::Q6 { revenue } = q6.result else {
+            panic!("wrong kind")
+        };
+        let partials: u64 = q6
+            .per_shard
+            .iter()
+            .map(|p| {
+                let QueryResult::Q6 { revenue } = p.result else {
+                    panic!("wrong kind")
+                };
+                revenue
+            })
+            .sum();
+        assert_eq!(revenue, partials);
+        assert!(q6.merge_time > Ps::ZERO);
+        assert!(q6.total() >= q6.scatter_latency);
+    }
+
+    #[test]
+    fn queries_see_fresh_cross_shard_data() {
+        let mut s = service(2);
+        let before = s.run_query(Query::Q9);
+        let mut gen = s.global_txn_gen(21);
+        s.run_txns(&mut gen, 100);
+        let after = s.run_query(Query::Q9);
+        assert_ne!(before.result, after.result, "Q9 must see new order lines");
+    }
+}

@@ -1,0 +1,111 @@
+//! The acceptance property of the shard layer: scatter-gather Q1/Q6/Q9
+//! over 1, 2, and 4 warehouse-partitioned shards produce results
+//! *exactly equal* to the reference executor on one unpartitioned
+//! instance that committed the same global transaction stream.
+//!
+//! The reference answers come from `ref_q1`/`ref_q6`/`ref_q9` — the
+//! naive chain-walking executor that validates the PIM path itself — so
+//! this closes the loop: sharded PIM scatter-gather ≡ single-instance
+//! PIM scan ≡ naive reference.
+
+use pushtap_core::Pushtap;
+use pushtap_olap::{ref_q1, ref_q6, ref_q9, Query, QueryResult};
+use pushtap_shard::{ShardConfig, ShardedHtap};
+
+const SEED: u64 = 2025;
+const TXNS: u64 = 150;
+
+/// Builds the unpartitioned reference, commits the stream, and returns
+/// the expected answers at its final timestamp.
+fn reference_answers() -> Vec<(Query, QueryResult)> {
+    // ShardConfig::small(k) uses the same base configuration for every
+    // k, so one reference serves all shard counts.
+    let cfg = ShardConfig::small(1);
+    let mut reference = Pushtap::new(cfg.base).expect("build reference");
+    let mut gen = reference.txn_gen(SEED);
+    reference.run_txns(&mut gen, TXNS);
+    let ts = reference.db().last_ts();
+    Query::ALL
+        .iter()
+        .map(|&q| {
+            let expect = match q {
+                Query::Q1 => ref_q1(reference.db(), ts),
+                Query::Q6 => ref_q6(reference.db(), ts),
+                Query::Q9 => ref_q9(reference.db(), ts),
+            };
+            (q, expect)
+        })
+        .collect()
+}
+
+#[test]
+fn merged_results_equal_unpartitioned_reference_at_1_2_4_shards() {
+    // 3 shards over 8 warehouses exercises the non-divisible floor
+    // split (warehouse ranges [0,2), [2,5), [5,8)) on top of the
+    // required 1/2/4 sweep.
+    let expected = reference_answers();
+    for shards in [1u32, 2, 3, 4] {
+        let mut service = ShardedHtap::new(ShardConfig::small(shards)).expect("build shards");
+        let mut gen = service.global_txn_gen(SEED);
+        let oltp = service.run_txns(&mut gen, TXNS);
+        assert_eq!(oltp.committed(), TXNS, "{shards} shards");
+        for (q, expect) in &expected {
+            let report = service.run_query(*q);
+            assert_eq!(
+                &report.result,
+                expect,
+                "{} diverged from the unpartitioned reference at {shards} shards",
+                q.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_results_survive_defragmentation() {
+    // Defragmentation moves delta versions into the data region on every
+    // shard concurrently; the merged scatter-gather answer must not move.
+    let mut service = ShardedHtap::new(ShardConfig::small(4)).expect("build");
+    let mut gen = service.global_txn_gen(SEED);
+    service.run_txns(&mut gen, 100);
+    assert!(
+        service
+            .shards()
+            .iter()
+            .any(|s| s.db().live_delta_rows() > 0),
+        "the batch must leave delta versions to defragment"
+    );
+    let before_q9 = service.run_query(Query::Q9).result;
+    let before_q1 = service.run_query(Query::Q1).result;
+    let pause = service.defragment_all();
+    assert!(pause > pushtap_pim::Ps::ZERO);
+    assert!(
+        service
+            .shards()
+            .iter()
+            .all(|s| s.db().live_delta_rows() == 0),
+        "defragmentation must clear every shard's delta regions"
+    );
+    assert_eq!(service.run_query(Query::Q9).result, before_q9);
+    assert_eq!(service.run_query(Query::Q1).result, before_q1);
+}
+
+#[test]
+fn scatter_latency_is_the_slowest_shard_not_the_sum() {
+    let mut service = ShardedHtap::new(ShardConfig::small(4)).expect("build");
+    let mut gen = service.global_txn_gen(7);
+    service.run_txns(&mut gen, 80);
+    let report = service.run_query(Query::Q6);
+    let slowest = report
+        .per_shard
+        .iter()
+        .map(|p| p.total())
+        .max()
+        .expect("4 shards");
+    let sum: u64 = report.per_shard.iter().map(|p| p.total().ps()).sum();
+    assert_eq!(report.scatter_latency, slowest);
+    assert!(
+        report.scatter_latency.ps() < sum,
+        "scatter must parallelise the per-shard scans"
+    );
+}

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example format_advisor [-- th]`
 
-use pushtap::chbench::{key_columns_upto, schema_with_keys, scan_weight, Table};
+use pushtap::chbench::{key_columns_upto, scan_weight, schema_with_keys, Table};
 use pushtap::format::{
     compact_layout, cpu_effective, naive_layout, pim_effective, storage_breakdown,
 };
@@ -33,8 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..=10 {
         let th = i as f64 / 10.0;
         let layout = compact_layout(&schema, devices, th)?;
-        let weight =
-            |c: u32| scan_weight(&schema.column(c).name, &queries);
+        let weight = |c: u32| scan_weight(&schema.column(c).name, &queries);
         let b = storage_breakdown(&layout, 0.5);
         println!(
             "{th:<6} {:<6} {:>6.1}%  {:>6.1}%  {:>6.2}%  {:>6.2}%",

@@ -18,6 +18,7 @@
 //! | [`olap`] | `pushtap-olap` | two-phase PIM analytics, Q1/Q6/Q9 (§6) |
 //! | [`chbench`] | `pushtap-chbench` | CH-benCHmark + HTAPBench workloads |
 //! | [`core`] | `pushtap-core` | the assembled system + all baselines (§7) |
+//! | [`shard`] | `pushtap-shard` | warehouse-partitioned scale-out service (routing + scatter-gather) |
 //!
 //! # Quickstart
 //!
@@ -43,3 +44,4 @@ pub use pushtap_mvcc as mvcc;
 pub use pushtap_olap as olap;
 pub use pushtap_oltp as oltp;
 pub use pushtap_pim as pim;
+pub use pushtap_shard as shard;

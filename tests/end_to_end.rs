@@ -29,7 +29,12 @@ fn freshness_with_value_correctness() {
             Query::Q6 => ref_q6(sys.db(), ts),
             Query::Q9 => ref_q9(sys.db(), ts),
         };
-        assert_eq!(report.result, expect, "{} diverged from reference", q.name());
+        assert_eq!(
+            report.result,
+            expect,
+            "{} diverged from reference",
+            q.name()
+        );
     }
 }
 

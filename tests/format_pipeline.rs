@@ -3,7 +3,9 @@
 //! every table, both memory geometries, and the full threshold range.
 
 use pushtap::chbench::{key_columns_upto, schema_with_keys, Table, ALL_TABLES};
-use pushtap::format::{compact_layout, cpu_effective, naive_layout, pim_effective, RowSlot, TableStore};
+use pushtap::format::{
+    compact_layout, cpu_effective, naive_layout, pim_effective, RowSlot, TableStore,
+};
 use pushtap::pim::Geometry;
 
 /// Every CH table gets a valid compact layout at every threshold on both

@@ -1,0 +1,26 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform choice from a fixed list of values.
+///
+/// # Panics
+///
+/// Panics (on first generation) if `items` is empty.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    Select { items }
+}
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stand-in for `serde`: the workspace derives
+//! `Serialize`/`Deserialize` for API compatibility but never serialises,
+//! so the derives expand to nothing (see `serde_derive` in `vendor/`).
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! workspace. The engine derives `Serialize`/`Deserialize` on its config
+//! and report types for downstream tooling, but nothing in the repo
+//! serialises at runtime, so accepting the attribute and emitting no code
+//! is sufficient (and keeps the derive sites source-compatible with the
+//! real crate).
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
