@@ -1,5 +1,5 @@
 //! Energy extension: the paper motivates PIM with ~10× lower access
-//! energy ([11], §1). This experiment scans the same column once through
+//! energy (ref. \[11\], §1). This experiment scans the same column once through
 //! the PIM units and once over the CPU bus and compares the energy
 //! accounting — an extension beyond the paper's figures, enabled by the
 //! simulator's energy counters.

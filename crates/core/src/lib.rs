@@ -3,7 +3,9 @@
 //! against.
 //!
 //! * [`Pushtap`] — the single-instance HTAP engine: unified-format
-//!   storage, MVCC with bitmap snapshots, periodic hybrid
+//!   storage, MVCC with bitmap snapshots, *atomic* defragment-and-retry
+//!   on delta pressure (aborted attempts roll back completely and are
+//!   counted in [`OltpReport::aborts`]), periodic hybrid
 //!   defragmentation, two-phase PIM analytics, on a DIMM or HBM system;
 //! * [`IdealModel`] — the compact-column lower bound of Fig. 9(b);
 //! * [`MultiInstance`] — the Polynesia-like MI baseline (row instance in

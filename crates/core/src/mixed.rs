@@ -55,6 +55,11 @@ pub struct MixReport {
     pub defrag_time: Ps,
     /// CPU-blocked time during PIM load phases.
     pub cpu_blocked: Ps,
+    /// Transaction attempts rolled back on delta pressure (`DeltaFull`),
+    /// each re-executed atomically after defragmentation.
+    pub aborts: u64,
+    /// Distinct transactions that needed at least one retry.
+    pub retried_txns: u64,
 }
 
 impl MixReport {
@@ -66,6 +71,16 @@ impl MixReport {
     /// OLAP throughput over the whole run.
     pub fn qphh(&self) -> f64 {
         qphh(self.queries, self.elapsed)
+    }
+
+    /// Fraction of committed transactions that needed at least one
+    /// delta-pressure retry.
+    pub fn retry_rate(&self) -> f64 {
+        if self.txns == 0 {
+            0.0
+        } else {
+            self.retried_txns as f64 / self.txns as f64
+        }
     }
 
     /// Share of wall-clock spent on consistency (freshness tax).
@@ -88,6 +103,8 @@ pub fn run_mixed(system: &mut Pushtap, cfg: MixConfig) -> MixReport {
         report.txns += oltp.committed;
         report.txn_time += oltp.txn_time;
         report.defrag_time += oltp.defrag_time;
+        report.aborts += oltp.aborts;
+        report.retried_txns += oltp.retried_txns;
 
         let query = Query::ALL[(i % 3) as usize];
         let q = system.run_query(query);

@@ -57,6 +57,13 @@ pub struct OltpReport {
     pub defrag_time: Ps,
     /// Number of defragmentation passes.
     pub defrag_passes: u64,
+    /// Transaction attempts rolled back on a full delta arena (each is
+    /// re-executed after an on-demand defragmentation, so this is also
+    /// the number of retries).
+    pub aborts: u64,
+    /// Distinct transactions that needed at least one retry before
+    /// committing.
+    pub retried_txns: u64,
     /// Component breakdown across all transactions.
     pub breakdown: Breakdown,
 }
@@ -232,6 +239,14 @@ impl Pushtap {
 
     /// Executes one transaction; defragments and retries on a full delta
     /// arena. Returns the result plus any defragmentation pause incurred.
+    ///
+    /// The retry is *atomic*: [`TpccDb::execute`] rolls back all partial
+    /// effects of the failed attempt (including the timestamp) before
+    /// returning the error, so the post-defragmentation re-execution
+    /// commits exactly what a pressure-free run would have committed.
+    /// Abort counts are tracked on the database
+    /// ([`TpccDb::aborts`](pushtap_oltp::TpccDb::aborts)) and surfaced
+    /// per batch in [`OltpReport`].
     pub fn execute_txn(&mut self, txn: &Txn) -> (TxnResult, Ps) {
         let mut pause = Ps::ZERO;
         if self.cfg.defrag_period > 0 && self.txns_since_defrag >= self.cfg.defrag_period {
@@ -244,6 +259,8 @@ impl Pushtap {
                     self.txns_since_defrag += 1;
                     return (r, pause);
                 }
+                // The failed attempt was rolled back; reclaim the delta
+                // regions and re-execute.
                 Err(_full) => {
                     pause += self.defragment_all().1;
                 }
@@ -258,10 +275,16 @@ impl Pushtap {
         for _ in 0..n {
             let txn = gen.next_txn();
             let before = self.now;
+            let aborts_before = self.db.aborts();
             let (r, pause) = self.execute_txn(&txn);
             report.committed += 1;
             if pause > Ps::ZERO {
                 report.defrag_passes += 1;
+            }
+            let aborted = self.db.aborts() - aborts_before;
+            report.aborts += aborted;
+            if aborted > 0 {
+                report.retried_txns += 1;
             }
             report.defrag_time += pause;
             report.txn_time += self.now.saturating_sub(before).saturating_sub(pause);

@@ -1,0 +1,171 @@
+//! Atomic-retry acceptance tests: under delta arenas deliberately
+//! undersized so transactions keep hitting `DeltaFull`, the committed
+//! state of the engine must be a *pure function of the committed
+//! transaction stream* — byte-identical to a run with ample arenas that
+//! never aborted, with gapless timestamps and untouched insert rings.
+//!
+//! This is the invariant the transaction-level undo log
+//! (`pushtap_mvcc::UndoLog`) exists to provide: before it, a retried
+//! transaction re-applied its earlier inserts at fresh stripe slots and
+//! the final state depended on *when* the arenas filled up.
+
+use proptest::prelude::*;
+use pushtap_chbench::{Table, Txn, ALL_TABLES};
+use pushtap_core::{Pushtap, PushtapConfig};
+use pushtap_format::RowSlot;
+use pushtap_olap::{ref_q1, ref_q6, ref_q9};
+
+const SEED: u64 = 77;
+const TXNS: u64 = 120;
+
+/// The paper-default configuration: arenas sized to the stream, no
+/// pressure.
+fn ample() -> PushtapConfig {
+    PushtapConfig::small()
+}
+
+/// Arenas squeezed proportionally to each table's size. The floor of 8
+/// delta rows gives the hot single-row tables (WAREHOUSE, DISTRICT) a
+/// *one-slot* arena, so the second transaction of any class since the
+/// last defragmentation hits `DeltaFull` — every class aborts
+/// constantly. `delta_frac` keeps the burst tables big enough that one
+/// transaction always fits after defragmentation (a NewOrder writes up
+/// to 15 order lines into a single rotation arena, and in the worst
+/// case all 15 stock updates land in one arena too).
+fn pressured(delta_frac: f64, min_delta_rows: u64) -> PushtapConfig {
+    let mut cfg = PushtapConfig::small();
+    cfg.db.delta_frac = delta_frac;
+    cfg.db.min_delta_rows = min_delta_rows;
+    cfg
+}
+
+/// Runs `txns` transactions from the shared stream, returning per-class
+/// abort counts (payment, neworder).
+fn run_stream(system: &mut Pushtap, seed: u64, txns: u64) -> (u64, u64) {
+    let mut gen = system.txn_gen(seed);
+    let (mut payment_aborts, mut neworder_aborts) = (0, 0);
+    for _ in 0..txns {
+        let txn = gen.next_txn();
+        let before = system.db().aborts();
+        system.execute_txn(&txn);
+        let aborted = system.db().aborts() - before;
+        match txn {
+            Txn::Payment(_) => payment_aborts += aborted,
+            Txn::NewOrder(_) => neworder_aborts += aborted,
+        }
+    }
+    (payment_aborts, neworder_aborts)
+}
+
+/// Byte-compare the full functional state of two engines: every row of
+/// every table's data region (both defragmented first, so all committed
+/// versions are folded in) plus the stripe-ring cursors.
+fn assert_states_identical(a: &mut Pushtap, b: &mut Pushtap, label: &str) {
+    a.defragment_all();
+    b.defragment_all();
+    assert_eq!(a.db().live_delta_rows(), 0, "{label}: leaked slots (a)");
+    assert_eq!(b.db().live_delta_rows(), 0, "{label}: leaked slots (b)");
+    for table in ALL_TABLES {
+        let ta = a.db().table(table);
+        let tb = b.db().table(table);
+        assert_eq!(ta.n_rows(), tb.n_rows(), "{label}: {table:?} size");
+        for row in 0..ta.n_rows() {
+            assert_eq!(
+                ta.store().read_row(RowSlot::Data { row }),
+                tb.store().read_row(RowSlot::Data { row }),
+                "{label}: {table:?} row {row} diverged"
+            );
+        }
+        for w in 0..a.db().warehouses_global() {
+            assert_eq!(
+                a.db().insert_cursor(table, w),
+                b.db().insert_cursor(table, w),
+                "{label}: {table:?} stripe cursor of warehouse {w}"
+            );
+        }
+    }
+}
+
+/// The headline property: a run under heavy delta pressure (every
+/// transaction class aborts at least once) commits exactly the same
+/// state as a pressure-free run of the same stream.
+#[test]
+fn pressure_run_is_byte_identical_to_ample_run() {
+    let mut squeezed = Pushtap::new(pressured(0.012, 8)).expect("build");
+    let mut roomy = Pushtap::new(ample()).expect("build");
+
+    let (pay_aborts, no_aborts) = run_stream(&mut squeezed, SEED, TXNS);
+    let (ample_pay, ample_no) = run_stream(&mut roomy, SEED, TXNS);
+
+    assert!(pay_aborts > 0, "Payment class must hit DeltaFull");
+    assert!(no_aborts > 0, "NewOrder class must hit DeltaFull");
+    assert_eq!(ample_pay + ample_no, 0, "ample arenas must not abort");
+
+    // Gapless timestamps: aborted attempts returned their timestamps.
+    assert_eq!(squeezed.db().committed(), TXNS);
+    assert_eq!(squeezed.db().last_ts(), roomy.db().last_ts());
+
+    // Identical analytical answers at the shared final timestamp…
+    let ts = roomy.db().last_ts();
+    assert_eq!(ref_q1(squeezed.db(), ts), ref_q1(roomy.db(), ts));
+    assert_eq!(ref_q6(squeezed.db(), ts), ref_q6(roomy.db(), ts));
+    assert_eq!(ref_q9(squeezed.db(), ts), ref_q9(roomy.db(), ts));
+
+    // …and identical bytes everywhere.
+    assert_states_identical(&mut squeezed, &mut roomy, "pressure-vs-ample");
+}
+
+/// Abort counters surface through the batch report.
+#[test]
+fn oltp_report_carries_retry_counters() {
+    let mut squeezed = Pushtap::new(pressured(0.012, 8)).expect("build");
+    let mut gen = squeezed.txn_gen(SEED);
+    let report = squeezed.run_txns(&mut gen, 60);
+    assert_eq!(report.committed, 60);
+    assert!(report.aborts > 0, "undersized arenas must abort");
+    assert!(report.retried_txns > 0);
+    assert!(report.retried_txns <= report.aborts);
+    assert_eq!(report.aborts, squeezed.db().aborts());
+
+    let mut roomy = Pushtap::new(ample()).expect("build");
+    let mut gen = roomy.txn_gen(SEED);
+    let report = roomy.run_txns(&mut gen, 60);
+    assert_eq!((report.aborts, report.retried_txns), (0, 0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Pressure-invariance over arbitrary arena sizes: however the
+    /// arenas are squeezed (from "one slot for the hot tables, barely
+    /// one transaction for the burst tables" upward), the committed
+    /// state equals the ample-arena run of the same stream.
+    #[test]
+    fn state_is_invariant_over_arena_size(
+        frac in 0.012f64..0.03,
+        min_delta in 1u64..=4,
+        txns in 30u64..=70,
+        seed in 1u64..=1000,
+    ) {
+        let mut squeezed = Pushtap::new(pressured(frac, min_delta * 8)).expect("build");
+        let mut roomy = Pushtap::new(ample()).expect("build");
+        run_stream(&mut squeezed, seed, txns);
+        run_stream(&mut roomy, seed, txns);
+
+        prop_assert_eq!(squeezed.db().committed(), txns);
+        prop_assert_eq!(squeezed.db().last_ts(), roomy.db().last_ts());
+        let ts = roomy.db().last_ts();
+        prop_assert_eq!(ref_q6(squeezed.db(), ts), ref_q6(roomy.db(), ts));
+        // Stripe rings of every insert-bearing table match exactly.
+        for table in [Table::History, Table::Order, Table::NewOrder, Table::OrderLine] {
+            for w in 0..roomy.db().warehouses_global() {
+                prop_assert_eq!(
+                    squeezed.db().insert_cursor(table, w),
+                    roomy.db().insert_cursor(table, w),
+                    "{:?} cursor of warehouse {}", table, w
+                );
+            }
+        }
+        assert_states_identical(&mut squeezed, &mut roomy, "proptest");
+    }
+}

@@ -140,6 +140,58 @@ impl VersionChains {
         &self.log
     }
 
+    /// Reverses the most recent [`VersionChains::record_update`] — the
+    /// chain half of transaction rollback. Removes the newest version of
+    /// `row` from the chain, the metadata map, and the commit-log tail,
+    /// and returns the removed slot (so the caller can release it back
+    /// to the delta allocator).
+    ///
+    /// Undo must run in reverse commit order within the aborting
+    /// transaction, and only for entries no snapshot has consumed yet —
+    /// both hold for single-writer transactions rolled back before the
+    /// next snapshot update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the commit-log tail is not an update of `row` (undo out
+    /// of order) or the log is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pushtap_format::RowSlot;
+    /// use pushtap_mvcc::{Ts, VersionChains};
+    ///
+    /// let mut chains = VersionChains::new();
+    /// let slot = RowSlot::Delta { rotation: 0, idx: 0 };
+    /// chains.record_update(3, slot, Ts(1));
+    /// assert_eq!(chains.undo_update(3), slot);
+    /// // The row is back to its origin version, the log is empty.
+    /// assert_eq!(chains.newest_slot(3), RowSlot::Data { row: 3 });
+    /// assert!(chains.log().is_empty());
+    /// ```
+    pub fn undo_update(&mut self, row: u64) -> RowSlot {
+        let e = self.log.pop().expect("undo_update on an empty commit log");
+        assert_eq!(e.row, row, "undo_update out of order");
+        let m = self
+            .meta
+            .remove(&e.new_slot)
+            .expect("undone version must have metadata");
+        debug_assert_eq!(m.prev, Some(e.prev_slot), "chain/log disagree");
+        match e.prev_slot {
+            // The row had an older delta version: restore it as newest.
+            RowSlot::Delta { .. } => {
+                self.newest.insert(row, e.prev_slot);
+            }
+            // The undone version superseded the origin: the row has no
+            // delta versions any more.
+            RowSlot::Data { .. } => {
+                self.newest.remove(&row);
+            }
+        }
+        e.new_slot
+    }
+
     /// Walks `row`'s chain collecting every delta slot (newest first), and
     /// the hop count — the traverse component of defragmentation
     /// (Fig. 11(d)).
@@ -254,6 +306,32 @@ mod tests {
         // mark_read never regresses.
         c.mark_read(delta(0, 0), Ts(3));
         assert_eq!(c.meta(delta(0, 0)).unwrap().read_ts, Ts(9));
+    }
+
+    #[test]
+    fn undo_update_restores_previous_newest() {
+        let mut c = VersionChains::new();
+        c.record_update(5, delta(0, 0), Ts(1));
+        c.record_update(5, delta(0, 1), Ts(2));
+        assert_eq!(c.undo_update(5), delta(0, 1));
+        assert_eq!(c.newest_slot(5), delta(0, 0));
+        assert_eq!(c.log().len(), 1);
+        assert_eq!(c.undo_update(5), delta(0, 0));
+        assert_eq!(c.newest_slot(5), RowSlot::Data { row: 5 });
+        assert!(!c.has_versions(5));
+        assert!(c.log().is_empty());
+        // The row is fully reusable: a later commit starts a new chain.
+        c.record_update(5, delta(0, 0), Ts(1));
+        assert_eq!(c.visible_at(5, Ts(1)), (delta(0, 0), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "undo_update out of order")]
+    fn undo_out_of_order_panics() {
+        let mut c = VersionChains::new();
+        c.record_update(1, delta(0, 0), Ts(1));
+        c.record_update(2, delta(0, 1), Ts(2));
+        c.undo_update(1); // tail is row 2
     }
 
     #[test]

@@ -7,12 +7,18 @@
 //! copy versions back locally during defragmentation.
 //!
 //! * [`Ts`]/[`TsAllocator`] — transaction timestamps;
-//! * [`VersionChains`] — per-row version chains plus the commit log;
-//! * [`DeltaAllocator`] — rotation-arena slot allocation;
+//! * [`VersionChains`] — per-row version chains plus the commit log
+//!   (Fig. 6(b));
+//! * [`DeltaAllocator`] — rotation-arena slot allocation (§5.1), raising
+//!   [`DeltaFull`] when an arena is exhausted;
+//! * [`UndoLog`]/[`UndoRecord`] — the in-transaction undo log that makes
+//!   the whole-transaction retry on [`DeltaFull`] *atomic*: partial
+//!   effects (slot allocations, chain growth, row writes, index and
+//!   insert-ring cursor movements) roll back before re-execution;
 //! * [`Snapshot`] — the per-device visibility bitmaps, updated
-//!   incrementally from the log (Fig. 6(c));
+//!   incrementally from the log (§5.2, Fig. 6(c));
 //! * [`DefragCostModel`] — Equations 1–3 and the CPU/PIM/Hybrid strategy
-//!   choice (Fig. 12(a)).
+//!   choice (§5.3, Fig. 12(a)).
 //!
 //! # Examples
 //!
@@ -42,9 +48,11 @@ mod defrag;
 mod delta;
 mod snapshot;
 mod timestamp;
+mod undo;
 
 pub use chain::{LogEntry, VersionChains, VersionMeta};
 pub use defrag::{DefragCostModel, DefragStats, DefragStrategy};
 pub use delta::{DeltaAllocator, DeltaFull};
 pub use snapshot::{Bitmap, Snapshot, SnapshotUpdate};
 pub use timestamp::{Ts, TsAllocator};
+pub use undo::{UndoLog, UndoRecord};

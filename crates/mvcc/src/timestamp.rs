@@ -45,6 +45,40 @@ impl TsAllocator {
     pub fn last(&self) -> Ts {
         Ts(self.next.saturating_sub(1))
     }
+
+    /// Returns `ts` — which must be the most recently allocated
+    /// timestamp — to the allocator, so the next [`TsAllocator::allocate`]
+    /// hands it out again.
+    ///
+    /// Used by transaction abort: a transaction rolled back on
+    /// [`DeltaFull`](crate::DeltaFull) re-executes under the *same*
+    /// timestamp, keeping the committed timestamp sequence gapless and
+    /// identical to a run that never hit delta pressure (timestamps leak
+    /// into stored values, so gaps would break cross-deployment value
+    /// identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `ts` is the most recent allocation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pushtap_mvcc::TsAllocator;
+    ///
+    /// let mut a = TsAllocator::new();
+    /// let t1 = a.allocate();
+    /// a.rollback(t1); // the transaction aborted
+    /// assert_eq!(a.allocate(), t1); // the retry reuses T1
+    /// ```
+    pub fn rollback(&mut self, ts: Ts) {
+        assert!(
+            ts.0 != 0 && ts.0 + 1 == self.next,
+            "rollback of {ts} but last allocation was T{}",
+            self.next.saturating_sub(1)
+        );
+        self.next -= 1;
+    }
 }
 
 #[cfg(test)]
@@ -70,5 +104,24 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Ts(42).to_string(), "T42");
+    }
+
+    #[test]
+    fn rollback_reuses_the_timestamp() {
+        let mut a = TsAllocator::new();
+        let t1 = a.allocate();
+        let t2 = a.allocate();
+        a.rollback(t2);
+        assert_eq!(a.last(), t1);
+        assert_eq!(a.allocate(), t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback of T1")]
+    fn rollback_of_stale_ts_panics() {
+        let mut a = TsAllocator::new();
+        let t1 = a.allocate();
+        a.allocate();
+        a.rollback(t1);
     }
 }

@@ -1,0 +1,217 @@
+//! The in-transaction undo log (transaction-atomic delta allocation).
+//!
+//! A transaction executes as a sequence of statements, each of which may
+//! allocate delta slots, write row versions, extend version chains, and
+//! advance insert-ring cursors. When a statement hits [`DeltaFull`], the
+//! engine defragments and re-executes the *whole* transaction — so the
+//! partial effects of the earlier statements must first be rolled back,
+//! or the retry would re-apply them at fresh stripe slots and the
+//! functional state would depend on *when* the arenas filled up (the
+//! divergence the sharded identity proof cannot tolerate).
+//!
+//! [`UndoLog`] records every mutation of a table's transactional state
+//! while a transaction scope is active; applying the records in reverse
+//! restores the table byte-for-byte. The log is purely CPU-side
+//! metadata, like the version chains (§5.1): rollback costs no simulated
+//! memory traffic.
+//!
+//! [`DeltaFull`]: crate::DeltaFull
+//!
+//! # Examples
+//!
+//! ```
+//! use pushtap_format::RowSlot;
+//! use pushtap_mvcc::{UndoLog, UndoRecord};
+//!
+//! let mut undo = UndoLog::new();
+//! undo.begin();
+//! undo.record(UndoRecord::SlotAlloc { rotation: 0, idx: 7 });
+//! undo.record(UndoRecord::VersionLink { row: 3 });
+//!
+//! // Abort: records come back newest-first, ready to apply in reverse.
+//! let records = undo.abort();
+//! assert!(matches!(records[0], UndoRecord::VersionLink { row: 3 }));
+//! assert!(matches!(records[1], UndoRecord::SlotAlloc { rotation: 0, idx: 7 }));
+//! assert!(!undo.is_active());
+//! ```
+
+use pushtap_format::RowSlot;
+
+/// One reversible effect of an in-flight transaction.
+///
+/// The record stores the *pre-state* needed to reverse the effect; the
+/// owning table interprets it during rollback (the log itself does not
+/// hold references into the table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UndoRecord {
+    /// A delta slot was allocated in `rotation`'s arena.
+    /// Reverse: release the slot back to the arena's free list.
+    SlotAlloc {
+        /// The rotation arena the slot came from.
+        rotation: u32,
+        /// The allocated slot index.
+        idx: u64,
+    },
+    /// A version was appended to `row`'s chain (and the commit log).
+    /// Reverse: [`VersionChains::undo_update`](crate::VersionChains::undo_update).
+    VersionLink {
+        /// The data-region row whose chain grew.
+        row: u64,
+    },
+    /// Row bytes were written at `slot`. Reverse: restore `pre_image`.
+    ///
+    /// Versions are written to freshly allocated slots, so the pre-image
+    /// is usually stale garbage — restoring it anyway makes rollback
+    /// byte-exact, which is what the delta-pressure identity tests
+    /// assert.
+    RowWrite {
+        /// The written slot.
+        slot: RowSlot,
+        /// Column values the slot held before the write.
+        pre_image: Vec<Vec<u8>>,
+    },
+    /// `key` was inserted into (or moved within) the hash index.
+    /// Reverse: restore `prev` (remove the key if it was absent).
+    IndexInsert {
+        /// The inserted key.
+        key: u64,
+        /// The row the key previously mapped to, if any.
+        prev: Option<u64>,
+    },
+    /// An insert-ring cursor advanced. Reverse: restore `prev`.
+    RingAdvance {
+        /// The cursor value before the advance.
+        prev: u64,
+    },
+}
+
+/// The undo log of one table: records mutations while a transaction
+/// scope is active, hands them back newest-first on abort.
+///
+/// Inactive by default — tables driven outside a transaction scope (data
+/// loading, single-statement callers) record nothing and pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct UndoLog {
+    records: Vec<UndoRecord>,
+    active: bool,
+}
+
+impl UndoLog {
+    /// Creates an inactive, empty log.
+    pub fn new() -> UndoLog {
+        UndoLog::default()
+    }
+
+    /// Opens a transaction scope. Recording starts; any records from a
+    /// previous scope must have been consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scope is already active (nested transactions are not
+    /// modeled).
+    pub fn begin(&mut self) {
+        assert!(!self.active, "nested transaction scope");
+        debug_assert!(
+            self.records.is_empty(),
+            "records leaked from previous scope"
+        );
+        self.active = true;
+    }
+
+    /// Whether a transaction scope is active.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Number of records in the current scope.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the current scope has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record if a scope is active; drops it otherwise.
+    pub fn record(&mut self, rec: UndoRecord) {
+        if self.active {
+            self.records.push(rec);
+        }
+    }
+
+    /// Closes the scope keeping all effects. Returns the number of
+    /// records discarded.
+    pub fn commit(&mut self) -> usize {
+        self.active = false;
+        let n = self.records.len();
+        self.records.clear();
+        n
+    }
+
+    /// Closes the scope for rollback: returns the records newest-first
+    /// (the order they must be applied in) and deactivates the log.
+    pub fn abort(&mut self) -> Vec<UndoRecord> {
+        self.active = false;
+        let mut records = std::mem::take(&mut self.records);
+        records.reverse();
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_log_records_nothing() {
+        let mut u = UndoLog::new();
+        u.record(UndoRecord::VersionLink { row: 1 });
+        assert!(u.is_empty());
+        assert!(!u.is_active());
+    }
+
+    #[test]
+    fn active_log_records_and_commit_clears() {
+        let mut u = UndoLog::new();
+        u.begin();
+        assert!(u.is_active());
+        u.record(UndoRecord::SlotAlloc {
+            rotation: 1,
+            idx: 2,
+        });
+        u.record(UndoRecord::RingAdvance { prev: 9 });
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.commit(), 2);
+        assert!(u.is_empty());
+        assert!(!u.is_active());
+    }
+
+    #[test]
+    fn abort_returns_newest_first() {
+        let mut u = UndoLog::new();
+        u.begin();
+        u.record(UndoRecord::VersionLink { row: 1 });
+        u.record(UndoRecord::VersionLink { row: 2 });
+        let r = u.abort();
+        assert_eq!(
+            r,
+            vec![
+                UndoRecord::VersionLink { row: 2 },
+                UndoRecord::VersionLink { row: 1 }
+            ]
+        );
+        assert!(!u.is_active());
+        // The log is reusable for the next scope.
+        u.begin();
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nested transaction scope")]
+    fn nested_begin_panics() {
+        let mut u = UndoLog::new();
+        u.begin();
+        u.begin();
+    }
+}

@@ -52,6 +52,18 @@ impl HashIndex {
         None
     }
 
+    /// Removes `key`, returning the row it mapped to. Preserves the
+    /// insertion order of the surviving chain entries, so probe counts
+    /// stay deterministic across an insert/remove/insert cycle —
+    /// transaction rollback depends on this to leave the index exactly
+    /// as it was before the aborted transaction.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let b = self.bucket_of(key);
+        let pos = self.buckets[b].iter().position(|e| e.0 == key)?;
+        self.len -= 1;
+        Some(self.buckets[b].remove(pos).1)
+    }
+
     /// Looks up `key`, counting chain probes.
     pub fn get(&mut self, key: u64) -> Option<u64> {
         let b = self.bucket_of(key);
@@ -101,6 +113,16 @@ mod tests {
         assert_eq!(ix.insert(5, 2), Some(1));
         assert_eq!(ix.len(), 1);
         assert_eq!(ix.get(5), Some(2));
+    }
+
+    #[test]
+    fn remove_undoes_insert() {
+        let mut ix = HashIndex::with_capacity(10);
+        ix.insert(5, 1);
+        assert_eq!(ix.remove(5), Some(1));
+        assert_eq!(ix.len(), 0);
+        assert_eq!(ix.get(5), None);
+        assert_eq!(ix.remove(5), None);
     }
 
     #[test]

@@ -8,8 +8,17 @@
 //! * [`HtapTable`] — one table: functional unified-format storage + MVCC +
 //!   snapshot + timing glue, with [`AccessModel`] selecting whether the
 //!   traffic is timed as the unified format, a row-store, or a
-//!   column-store (the Fig. 9(a) comparison);
+//!   column-store (the Fig. 9(a) comparison), plus the
+//!   begin/commit/abort transaction scope
+//!   ([`HtapTable::begin_txn`]/[`HtapTable::abort_txn`]) backing atomic
+//!   retry;
 //! * [`TpccDb`] — the Payment/NewOrder executor over the CH schema.
+//!   [`TpccDb::execute`] is *transaction-atomic*: a mid-transaction
+//!   [`pushtap_mvcc::DeltaFull`] rolls back every partial effect (delta
+//!   slots, chains, row bytes, index entries, stripe cursors, the
+//!   timestamp) before the error reaches the caller, so the
+//!   defragment-and-retry loop re-executes on pristine state and
+//!   committed state never depends on *when* arenas filled up.
 //!
 //! # Examples
 //!

@@ -11,7 +11,7 @@
 use pushtap_format::{RegionPlan, RowSlot, TableLayout, TableStore};
 use pushtap_mvcc::{
     DefragCostModel, DefragStats, DefragStrategy, DeltaAllocator, DeltaFull, Snapshot,
-    SnapshotUpdate, Ts, VersionChains,
+    SnapshotUpdate, Ts, UndoLog, UndoRecord, VersionChains,
 };
 use pushtap_pim::{BankAddr, MemSystem, Op, Ps, Side};
 
@@ -84,6 +84,7 @@ pub struct HtapTable {
     index: HashIndex,
     cfg: TableConfig,
     insert_cursor: u64,
+    undo: UndoLog,
 }
 
 impl HtapTable {
@@ -105,7 +106,105 @@ impl HtapTable {
             store,
             cfg,
             insert_cursor: 0,
+            undo: UndoLog::new(),
         }
+    }
+
+    /// Opens a transaction scope: every subsequent mutation (delta-slot
+    /// allocation, row-version write, chain growth, index insert,
+    /// insert-ring advance) is recorded in the table's [`UndoLog`] until
+    /// [`HtapTable::commit_txn`] or [`HtapTable::abort_txn`] closes the
+    /// scope. Outside a scope, mutations are unrecorded (statement-level
+    /// atomicity only), which is the pre-existing behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nested scopes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pushtap_format::{compact_layout, paper_example_schema};
+    /// use pushtap_oltp::{AccessModel, HtapTable, TableConfig};
+    /// use pushtap_pim::{BankAddr, Geometry, MemSystem, Ps, Side};
+    /// use pushtap_oltp::{CostModel, Meter};
+    /// use pushtap_pim::CpuSpec;
+    /// use pushtap_mvcc::Ts;
+    ///
+    /// let layout = compact_layout(&paper_example_schema(), 8, 0.6)?;
+    /// let g = Geometry::dimm();
+    /// let mut table = HtapTable::new(layout, TableConfig {
+    ///     n_rows: 64, delta_rows: 16, block_rows: 16,
+    ///     shards: vec![BankAddr::new(0, 0, 0)], base_dram_row: 0,
+    ///     model: AccessModel::Unified, side: Side::Pim,
+    ///     granularity: g.granularity, bank_row_bytes: g.row_bytes,
+    ///     rows_per_bank: g.rows_per_bank,
+    /// });
+    /// let mut mem = MemSystem::dimm();
+    /// let meter = Meter::new(CostModel::default(), CpuSpec::xeon_like());
+    /// let values: Vec<Vec<u8>> = vec![
+    ///     vec![1, 1], vec![1, 2], vec![1, 3, 3, 3],
+    ///     vec![1, 4, 4, 4, 4, 4, 4, 4, 4], vec![1, 5], vec![1, 6],
+    /// ];
+    ///
+    /// // A transaction inserts a row, then aborts: every effect unwinds.
+    /// table.begin_txn();
+    /// table.timed_insert(&mut mem, &meter, &values, Ts(1), Ps::ZERO)?;
+    /// assert_eq!(table.live_delta_rows(), 1);
+    /// table.abort_txn();
+    /// assert_eq!(table.live_delta_rows(), 0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn begin_txn(&mut self) {
+        self.undo.begin();
+    }
+
+    /// Whether a transaction scope is active.
+    pub fn in_txn(&self) -> bool {
+        self.undo.is_active()
+    }
+
+    /// Closes the transaction scope keeping all effects. Returns the
+    /// number of undo records discarded.
+    pub fn commit_txn(&mut self) -> usize {
+        self.undo.commit()
+    }
+
+    /// Rolls back every effect recorded since [`HtapTable::begin_txn`]
+    /// and closes the scope: released delta slots return to their
+    /// arenas' free lists, version chains and the commit log shrink back,
+    /// row bytes are restored, index entries and the insert-ring cursor
+    /// revert. Returns the number of records applied.
+    ///
+    /// Rollback is CPU-side metadata work (like the version chains,
+    /// §5.1) and charges no simulated memory traffic; the caller
+    /// accounts the retry's cost by re-executing the transaction.
+    pub fn abort_txn(&mut self) -> usize {
+        let records = self.undo.abort();
+        let n = records.len();
+        for rec in records {
+            match rec {
+                UndoRecord::VersionLink { row } => {
+                    self.chains.undo_update(row);
+                }
+                UndoRecord::RowWrite { slot, pre_image } => {
+                    self.store.write_row(slot, &pre_image);
+                }
+                UndoRecord::SlotAlloc { rotation, idx } => {
+                    self.alloc.release(rotation, idx);
+                }
+                UndoRecord::IndexInsert { key, prev } => match prev {
+                    Some(row) => {
+                        self.index.insert(key, row);
+                    }
+                    None => {
+                        self.index.remove(key);
+                    }
+                },
+                UndoRecord::RingAdvance { prev } => self.insert_cursor = prev,
+            }
+        }
+        n
     }
 
     /// The table's layout.
@@ -324,6 +423,7 @@ impl HtapTable {
         // Allocate the new version in the origin row's rotation arena.
         let rotation = self.store.arena_for_row(row);
         let idx = self.alloc.alloc(rotation)?;
+        self.undo.record(UndoRecord::SlotAlloc { rotation, idx });
         b.alloc += meter.alloc(1);
 
         for (col, v) in changes {
@@ -331,8 +431,15 @@ impl HtapTable {
         }
         b.compute += meter.compute(changes.len() as u64 * 2);
         let new_slot = RowSlot::Delta { rotation, idx };
+        if self.undo.is_active() {
+            self.undo.record(UndoRecord::RowWrite {
+                slot: new_slot,
+                pre_image: self.store.read_row(new_slot),
+            });
+        }
         self.store.write_row(new_slot, &values);
         self.chains.record_update(row, new_slot, ts);
+        self.undo.record(UndoRecord::VersionLink { row });
 
         // Commit write-back: clflush the new version's lines (§6.3).
         let write_lines = self.lines_for(new_slot);
@@ -368,6 +475,9 @@ impl HtapTable {
         // Advance the ring only once the slot allocation succeeded, so a
         // DeltaFull retry (after defragmentation) reuses the same slot.
         let r = self.timed_insert_at(mem, meter, row, values, ts, at)?;
+        self.undo.record(UndoRecord::RingAdvance {
+            prev: self.insert_cursor,
+        });
         self.insert_cursor += 1;
         Ok((row, r))
     }
@@ -397,12 +507,21 @@ impl HtapTable {
         let mut b = Breakdown::default();
         let rotation = self.store.arena_for_row(row);
         let idx = self.alloc.alloc(rotation)?;
+        self.undo.record(UndoRecord::SlotAlloc { rotation, idx });
         b.alloc += meter.alloc(1);
         b.indexing += meter.indexing(1);
-        self.index.insert(row, row);
+        let prev = self.index.insert(row, row);
+        self.undo.record(UndoRecord::IndexInsert { key: row, prev });
         let new_slot = RowSlot::Delta { rotation, idx };
+        if self.undo.is_active() {
+            self.undo.record(UndoRecord::RowWrite {
+                slot: new_slot,
+                pre_image: self.store.read_row(new_slot),
+            });
+        }
         self.store.write_row(new_slot, values);
         self.chains.record_update(row, new_slot, ts);
+        self.undo.record(UndoRecord::VersionLink { row });
         b.compute += meter.compute(values.len() as u64);
         let cpu_ready = at + b.cpu_total();
         let lines = self.lines_for(new_slot);
@@ -692,6 +811,54 @@ mod tests {
         assert_ne!(t.snapshot_read(1), values(2));
         t.timed_snapshot_update(&mut mem, &meter(), Ts(2), Ps::ZERO);
         assert_eq!(t.snapshot_read(1), values(2));
+    }
+
+    #[test]
+    fn abort_restores_table_byte_for_byte() {
+        let mut t = table(AccessModel::Unified);
+        let mut mem = MemSystem::dimm();
+        t.load_row(5, &values(1));
+        // A committed update from an earlier transaction.
+        t.begin_txn();
+        t.timed_update(&mut mem, &meter(), 5, Ts(2), &[(0, vec![7, 7])], Ps::ZERO)
+            .unwrap();
+        assert!(t.commit_txn() > 0);
+        let live_before = t.live_delta_rows();
+        let snap_before = t.snapshot_read(5);
+        let log_before = t.chains().log().len();
+
+        // The aborting transaction: an update and two inserts.
+        t.begin_txn();
+        t.timed_update(&mut mem, &meter(), 5, Ts(3), &[(1, vec![9, 9])], Ps::ZERO)
+            .unwrap();
+        t.timed_insert(&mut mem, &meter(), &values(3), Ts(3), Ps::ZERO)
+            .unwrap();
+        t.timed_insert(&mut mem, &meter(), &values(4), Ts(3), Ps::ZERO)
+            .unwrap();
+        assert_eq!(t.live_delta_rows(), live_before + 3);
+        assert!(t.abort_txn() > 0);
+
+        // Every effect is unwound.
+        assert!(!t.in_txn());
+        assert_eq!(t.live_delta_rows(), live_before);
+        assert_eq!(t.chains().log().len(), log_before);
+        assert_eq!(t.snapshot_read(5), snap_before);
+        let (vals, _) = t.timed_read(&mut mem, &meter(), 5, Ts(9), Ps::ZERO);
+        assert_eq!(vals[0], vec![7, 7], "committed update survives");
+        assert_ne!(vals[1], vec![9, 9], "aborted update is gone");
+
+        // A retry under the same timestamps reuses the released slots and
+        // lands on the same ring rows.
+        t.begin_txn();
+        t.timed_update(&mut mem, &meter(), 5, Ts(3), &[(1, vec![9, 9])], Ps::ZERO)
+            .unwrap();
+        let (r0, _) = t
+            .timed_insert(&mut mem, &meter(), &values(3), Ts(3), Ps::ZERO)
+            .unwrap();
+        assert_eq!(r0, 0, "ring cursor was rolled back");
+        t.commit_txn();
+        let (vals, _) = t.timed_read(&mut mem, &meter(), 5, Ts(9), Ps::ZERO);
+        assert_eq!(vals[1], vec![9, 9]);
     }
 
     #[test]

@@ -170,6 +170,13 @@ pub struct TpccDb {
     /// Per-(table, warehouse) insert cursors: inserts cycle inside the
     /// home warehouse's stripe, deterministically across deployments.
     insert_cursors: BTreeMap<(Table, u64), u64>,
+    /// Stripe cursors bumped by the in-flight transaction, in order —
+    /// the executor-level half of the undo log (the table-level half
+    /// lives in each [`HtapTable`]'s [`pushtap_mvcc::UndoLog`]).
+    txn_cursor_log: Vec<(Table, u64)>,
+    /// Transactions rolled back on [`DeltaFull`] (each is retried by the
+    /// caller after defragmentation, so this is also the retry count).
+    aborts: u64,
 }
 
 /// Global (pre-partitioning) row count of `table` under `cfg`.
@@ -324,6 +331,8 @@ impl TpccDb {
             wh_range,
             table_global,
             insert_cursors: BTreeMap::new(),
+            txn_cursor_log: Vec::new(),
+            aborts: 0,
         })
     }
 
@@ -418,6 +427,7 @@ impl TpccDb {
         let t = self.tables.get_mut(&table).expect("table not built");
         let r = t.timed_insert_at(mem, meter, local, values, ts, at)?;
         *self.insert_cursors.entry((table, w)).or_insert(0) += 1;
+        self.txn_cursor_log.push((table, w));
         Ok((global_row, r))
     }
 
@@ -450,6 +460,22 @@ impl TpccDb {
         self.committed
     }
 
+    /// Transactions rolled back on [`DeltaFull`] so far. Every abort is
+    /// followed by a caller-driven defragmentation and a retry of the
+    /// whole transaction, so this doubles as the retry count.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// The current stripe-ring cursor of `table` for home warehouse `w`
+    /// (the number of inserts this warehouse has committed into its
+    /// stripe). Transaction-atomic: an aborted transaction leaves every
+    /// cursor untouched, which is the invariant the cross-deployment
+    /// identity tests assert.
+    pub fn insert_cursor(&self, table: Table, w: u64) -> u64 {
+        self.insert_cursors.get(&(table, w)).copied().unwrap_or(0)
+    }
+
     /// The most recent commit timestamp.
     pub fn last_ts(&self) -> Ts {
         self.ts.last()
@@ -460,13 +486,24 @@ impl TpccDb {
         self.tables.values().map(HtapTable::live_delta_rows).sum()
     }
 
-    /// Executes one transaction, serially dependent on its own operations
-    /// (commit at the end, §6.3).
+    /// Executes one transaction *atomically*, serially dependent on its
+    /// own operations (commit at the end, §6.3).
+    ///
+    /// The transaction runs inside a begin/commit/abort scope: every
+    /// statement records its effects in the tables' undo logs, and a
+    /// mid-transaction [`DeltaFull`] rolls the whole transaction back —
+    /// delta slots, version chains, row bytes, index entries, stripe
+    /// cursors, and the allocated timestamp all revert — before the
+    /// error is surfaced. The caller defragments and re-executes; the
+    /// retry re-runs under the *same* timestamp on the *same* stripe
+    /// slots, so committed state is a pure function of the committed
+    /// transaction stream, independent of when delta arenas filled up.
     ///
     /// # Errors
     ///
-    /// Returns [`DeltaFull`] if a delta arena filled up mid-transaction;
-    /// the caller should defragment and retry.
+    /// Returns [`DeltaFull`] if a delta arena filled up mid-transaction
+    /// (all partial effects already rolled back); the caller should
+    /// defragment and retry.
     pub fn execute(
         &mut self,
         txn: &Txn,
@@ -474,21 +511,61 @@ impl TpccDb {
         at: Ps,
     ) -> Result<TxnResult, DeltaFull> {
         let ts = self.ts.allocate();
+        self.begin_txn();
         let meter = self.meter;
         let mut b = Breakdown::default();
         let mut now = at;
-        match txn {
-            Txn::Payment(p) => self.exec_payment(p, ts, mem, &meter, &mut b, &mut now)?,
-            Txn::NewOrder(no) => self.exec_neworder(no, ts, mem, &meter, &mut b, &mut now)?,
+        let body = match txn {
+            Txn::Payment(p) => self.exec_payment(p, ts, mem, &meter, &mut b, &mut now),
+            Txn::NewOrder(no) => self.exec_neworder(no, ts, mem, &meter, &mut b, &mut now),
+        };
+        if let Err(full) = body {
+            self.abort_txn(ts);
+            return Err(full);
         }
         now += meter.commit_barrier();
         b.compute += meter.commit_barrier();
         self.committed += 1;
+        self.commit_txn();
         Ok(TxnResult {
             commit_ts: ts,
             end: now,
             breakdown: b,
         })
+    }
+
+    /// Opens the transaction scope on every table and the cursor log.
+    fn begin_txn(&mut self) {
+        debug_assert!(self.txn_cursor_log.is_empty(), "cursor log leaked");
+        for t in self.tables.values_mut() {
+            t.begin_txn();
+        }
+    }
+
+    /// Closes the scope keeping all effects.
+    fn commit_txn(&mut self) {
+        for t in self.tables.values_mut() {
+            t.commit_txn();
+        }
+        self.txn_cursor_log.clear();
+    }
+
+    /// Rolls back the in-flight transaction: every table unwinds its
+    /// undo log, stripe cursors step back, and `ts` returns to the
+    /// allocator for the retry.
+    fn abort_txn(&mut self, ts: Ts) {
+        for t in self.tables.values_mut() {
+            t.abort_txn();
+        }
+        while let Some((table, w)) = self.txn_cursor_log.pop() {
+            let c = self
+                .insert_cursors
+                .get_mut(&(table, w))
+                .expect("cursor bumped by the aborting transaction");
+            *c -= 1;
+        }
+        self.ts.rollback(ts);
+        self.aborts += 1;
     }
 
     fn exec_payment(
@@ -500,12 +577,13 @@ impl TpccDb {
         b: &mut Breakdown,
         now: &mut Ps,
     ) -> Result<(), DeltaFull> {
-        // Warehouse YTD.
+        // Warehouse YTD: read-modify-write over the *newest committed
+        // version* (not the data-region origin), so the accumulated value
+        // is a pure function of the committed stream — independent of
+        // when defragmentation folded versions back into the data region.
         let w_row = self.local_row(Table::Warehouse, p.w_id);
         let w = self.tables.get_mut(&Table::Warehouse).expect("warehouse");
-        let ytd = w
-            .store()
-            .read_row(pushtap_format::RowSlot::Data { row: w_row });
+        let ytd = w.store().read_row(w.chains().newest_slot(w_row));
         let w_ytd_col = w.layout().schema().index_of("w_ytd").expect("w_ytd");
         let new_ytd = enc_u64(
             pushtap_chbench::dec_u64(&ytd[w_ytd_col as usize]).wrapping_add(p.amount),
@@ -756,6 +834,66 @@ mod tests {
         let cs_overhead = cs.ps() as f64 / rs.ps() as f64 - 1.0;
         assert!(uni_overhead < 0.20, "unified overhead {uni_overhead}");
         assert!(cs_overhead > 0.10, "CS overhead {cs_overhead}");
+    }
+
+    /// With delta arenas undersized to a handful of slots, transactions
+    /// hit `DeltaFull` mid-execution; the abort must leave no trace and
+    /// the post-defragmentation retry must commit under the same
+    /// timestamp.
+    #[test]
+    fn delta_full_abort_is_atomic_and_retry_commits() {
+        use pushtap_mvcc::{DefragCostModel, DefragStrategy};
+        let mem = MemSystem::dimm();
+        let mut cfg = DbConfig::small();
+        cfg.min_delta_rows = 16; // two slots per rotation arena
+        let mut db = TpccDb::build(&cfg, &mem).unwrap();
+        let mut mem = MemSystem::dimm();
+        let mut tg = TxnGen::new(
+            1,
+            db.table(Table::Warehouse).n_rows(),
+            db.table(Table::Customer).n_rows(),
+            db.table(Table::Item).n_rows(),
+            db.table(Table::Stock).n_rows(),
+        );
+        let cost = DefragCostModel::new(16.0, 1e9, 3e9);
+        let mut saw_abort = false;
+        for _ in 0..40 {
+            let txn = tg.next_txn();
+            let live = db.live_delta_rows();
+            let ts = db.last_ts();
+            let committed = db.committed();
+            let cursors: Vec<u64> = (0..db.warehouses_global())
+                .map(|w| db.insert_cursor(Table::OrderLine, w))
+                .collect();
+            match db.execute(&txn, &mut mem, Ps::ZERO) {
+                Ok(r) => assert_eq!(r.commit_ts.0, ts.0 + 1, "gapless commit timestamps"),
+                Err(_full) => {
+                    saw_abort = true;
+                    // The abort left no trace.
+                    assert_eq!(db.live_delta_rows(), live, "leaked delta slots");
+                    assert_eq!(db.last_ts(), ts, "timestamp not rolled back");
+                    assert_eq!(db.committed(), committed);
+                    let after: Vec<u64> = (0..db.warehouses_global())
+                        .map(|w| db.insert_cursor(Table::OrderLine, w))
+                        .collect();
+                    assert_eq!(after, cursors, "stripe cursors moved");
+                    // Defragment and retry: same txn, same timestamp.
+                    let upto = db.last_ts();
+                    for table in pushtap_chbench::ALL_TABLES {
+                        if db.table(table).chains().updated_row_count() > 0 {
+                            db.table_mut(table)
+                                .defragment(&cost, DefragStrategy::Hybrid, upto);
+                        }
+                    }
+                    let r = db
+                        .execute(&txn, &mut mem, Ps::ZERO)
+                        .expect("retry after defrag");
+                    assert_eq!(r.commit_ts.0, ts.0 + 1, "retry reuses the timestamp");
+                }
+            }
+        }
+        assert!(saw_abort, "arenas this small must trigger DeltaFull");
+        assert!(db.aborts() > 0);
     }
 
     #[test]

@@ -37,9 +37,9 @@ pub struct PimUnitSpec {
     pub wram_bytes: u32,
     /// Instruction RAM in bytes.
     pub iram_bytes: u32,
-    /// DRAM↔WRAM DMA bandwidth in bytes/second (1 GB/s per unit, [11]).
+    /// DRAM↔WRAM DMA bandwidth in bytes/second (1 GB/s per unit, \[11\]).
     pub dma_bytes_per_sec: u64,
-    /// Width of the PIM-to-DRAM data wire in bytes (64-bit in [11]); also
+    /// Width of the PIM-to-DRAM data wire in bytes (64-bit in \[11\]); also
     /// the minimum access granularity of a PIM unit.
     pub wire_bytes: u32,
 }

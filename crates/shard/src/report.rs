@@ -90,6 +90,18 @@ impl ShardOltpReport {
         self.per_shard.iter().map(|s| s.report.defrag_time).sum()
     }
 
+    /// Delta-pressure aborts (rolled-back attempts, each retried
+    /// atomically) across all shards.
+    pub fn aborts(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.report.aborts).sum()
+    }
+
+    /// Distinct transactions across all shards that needed at least one
+    /// retry before committing.
+    pub fn retried_txns(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.report.retried_txns).sum()
+    }
+
     /// Total cross-shard coordination time across shards.
     pub fn remote_time(&self) -> Ps {
         self.per_shard.iter().map(|s| s.remote_time).sum()

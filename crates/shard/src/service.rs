@@ -214,6 +214,7 @@ fn run_bucket(shard: &mut Pushtap, bucket: Vec<RoutedTxn>, hop: Ps) -> ShardLoad
     let mut load = ShardLoad::default();
     for routed in bucket {
         let before = shard.now();
+        let aborts_before = shard.db().aborts();
         let (result, pause) = shard.execute_txn(&routed.txn);
         let remote_time = hop * routed.remote;
         if routed.remote > 0 {
@@ -223,6 +224,11 @@ fn run_bucket(shard: &mut Pushtap, bucket: Vec<RoutedTxn>, hop: Ps) -> ShardLoad
         }
         load.routed += 1;
         load.report.committed += 1;
+        let aborted = shard.db().aborts() - aborts_before;
+        load.report.aborts += aborted;
+        if aborted > 0 {
+            load.report.retried_txns += 1;
+        }
         if pause > Ps::ZERO {
             load.report.defrag_passes += 1;
         }

@@ -1,0 +1,170 @@
+//! The upgraded shard acceptance property: scatter-gather results stay
+//! *exactly equal* to the unpartitioned reference even when delta arenas
+//! are deliberately undersized, so that every shard keeps hitting
+//! `DeltaFull` and retrying transactions mid-batch.
+//!
+//! PR 1 proved value identity for arenas sized to the stream; the
+//! transaction-level undo log extends it to arbitrary delta pressure:
+//! an aborted transaction rolls back completely (slots, chains, bytes,
+//! index, stripe cursors, timestamp), so *when* a deployment's arenas
+//! fill up can no longer influence *what* it commits.
+//!
+//! Timestamps are per-engine, so a shard's encoded timestamp columns
+//! legitimately differ from the unpartitioned instance's; byte-level
+//! ring identity is therefore asserted within a topology
+//! (pressure vs ample), while cross-topology identity is asserted on
+//! the query values and the stripe-ring cursors.
+
+use pushtap_chbench::Table;
+use pushtap_core::Pushtap;
+use pushtap_format::RowSlot;
+use pushtap_olap::{ref_q1, ref_q6, ref_q9, Query, QueryResult};
+use pushtap_pim::Ps;
+use pushtap_shard::{ShardConfig, ShardedHtap};
+
+const SEED: u64 = 2025;
+const TXNS: u64 = 120;
+
+/// Insert-bearing fact tables whose stripe rings the identity proof
+/// tracks.
+const RING_TABLES: [Table; 4] = [
+    Table::History,
+    Table::Order,
+    Table::NewOrder,
+    Table::OrderLine,
+];
+
+/// The shard configuration with delta arenas squeezed proportionally:
+/// the single-row hot tables (WAREHOUSE, DISTRICT) get one-slot arenas —
+/// the second transaction of any class since the last defragmentation
+/// aborts — while the burst tables keep just enough room that one
+/// transaction always fits after defragmentation. The fraction is
+/// calibrated to the *smallest* partitioned slice (STOCK at 4 shards is
+/// 2500 rows → 18-slot arenas ≥ the 15 worst-case stock updates of one
+/// NewOrder); any tighter and a single transaction could exceed an
+/// empty arena and retry forever.
+fn squeezed_cfg(shards: u32) -> ShardConfig {
+    let mut cfg = ShardConfig::small(shards);
+    cfg.base.db.delta_frac = 0.06;
+    cfg.base.db.min_delta_rows = 8;
+    cfg
+}
+
+/// Reference answers from an unpartitioned engine under the *same*
+/// delta pressure, plus its per-warehouse stripe cursors.
+fn reference(seed: u64, txns: u64) -> (Pushtap, Vec<(Query, QueryResult)>) {
+    let mut reference = Pushtap::new(squeezed_cfg(1).base).expect("build reference");
+    let mut gen = reference.txn_gen(seed);
+    let report = reference.run_txns(&mut gen, txns);
+    assert!(
+        report.aborts > 0,
+        "the reference must feel the delta pressure too"
+    );
+    let ts = reference.db().last_ts();
+    let answers = Query::ALL
+        .iter()
+        .map(|&q| {
+            let expect = match q {
+                Query::Q1 => ref_q1(reference.db(), ts),
+                Query::Q6 => ref_q6(reference.db(), ts),
+                Query::Q9 => ref_q9(reference.db(), ts),
+            };
+            (q, expect)
+        })
+        .collect();
+    (reference, answers)
+}
+
+#[test]
+fn pressured_shards_match_pressured_reference_at_1_2_4_shards() {
+    let (reference, expected) = reference(SEED, TXNS);
+    for shards in [1u32, 2, 4] {
+        let mut service = ShardedHtap::new(squeezed_cfg(shards)).expect("build shards");
+        let mut gen = service.global_txn_gen(SEED);
+        let oltp = service.run_txns(&mut gen, TXNS);
+        assert_eq!(oltp.committed(), TXNS, "{shards} shards");
+        assert!(
+            oltp.aborts() > 0,
+            "{shards} shards: undersized arenas must force retries"
+        );
+        assert!(oltp.retried_txns() > 0 && oltp.retried_txns() <= oltp.aborts());
+
+        // Merged analytical answers equal the unpartitioned reference.
+        for (q, expect) in &expected {
+            let report = service.run_query(*q);
+            assert_eq!(
+                &report.result,
+                expect,
+                "{} diverged from the reference at {shards} shards under pressure",
+                q.name()
+            );
+        }
+
+        // The insert rings stayed aligned: every warehouse's stripe
+        // cursor matches the reference on the shard that owns it.
+        for w in 0..reference.db().warehouses_global() {
+            let owner = service
+                .shards()
+                .iter()
+                .find(|s| s.db().warehouse_range().contains(&w))
+                .expect("every warehouse has an owner");
+            for table in RING_TABLES {
+                assert_eq!(
+                    owner.db().insert_cursor(table, w),
+                    reference.db().insert_cursor(table, w),
+                    "{table:?} stripe cursor of warehouse {w} at {shards} shards"
+                );
+            }
+        }
+
+        // No leaked stripe slots: defragmentation reclaims everything —
+        // aborted attempts left no versions behind.
+        let pause = service.defragment_all();
+        assert!(pause >= Ps::ZERO);
+        for (i, s) in service.shards().iter().enumerate() {
+            assert_eq!(
+                s.db().live_delta_rows(),
+                0,
+                "shard {i} of {shards} leaked delta slots"
+            );
+        }
+    }
+}
+
+/// Within one topology, delta pressure must not change a single byte:
+/// each pressured shard's tables (data regions after defragmentation,
+/// i.e. the full committed state including the insert rings) equal the
+/// ample-arena deployment's, at every shard count.
+#[test]
+fn pressure_leaves_ring_contents_byte_identical_per_topology() {
+    for shards in [1u32, 2, 4] {
+        let mut squeezed = ShardedHtap::new(squeezed_cfg(shards)).expect("build");
+        let mut roomy = ShardedHtap::new(ShardConfig::small(shards)).expect("build");
+        let mut gen_a = squeezed.global_txn_gen(SEED);
+        let mut gen_b = roomy.global_txn_gen(SEED);
+        let a = squeezed.run_txns(&mut gen_a, TXNS);
+        let b = roomy.run_txns(&mut gen_b, TXNS);
+        assert!(a.aborts() > 0, "{shards} shards: pressure expected");
+        assert_eq!(b.aborts(), 0, "{shards} shards: ample arenas abort-free");
+
+        squeezed.defragment_all();
+        roomy.defragment_all();
+        for i in 0..shards {
+            let da = squeezed.shard(i).db();
+            let db = roomy.shard(i).db();
+            assert_eq!(da.last_ts(), db.last_ts(), "shard {i} timestamps");
+            for table in pushtap_chbench::ALL_TABLES {
+                let ta = da.table(table);
+                let tb = db.table(table);
+                assert_eq!(ta.n_rows(), tb.n_rows());
+                for row in 0..ta.n_rows() {
+                    assert_eq!(
+                        ta.store().read_row(RowSlot::Data { row }),
+                        tb.store().read_row(RowSlot::Data { row }),
+                        "shard {i}/{shards}: {table:?} row {row} diverged under pressure"
+                    );
+                }
+            }
+        }
+    }
+}

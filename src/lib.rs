@@ -12,9 +12,9 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`pim`] | `pushtap-pim` | DRAM + PIM timing simulator (Table 1 systems) |
-//! | [`format`] | `pushtap-format` | unified data format (§4) |
-//! | [`mvcc`] | `pushtap-mvcc` | version chains, bitmap snapshots, defrag (§5) |
-//! | [`oltp`] | `pushtap-oltp` | DBx1000-style TPC-C executor |
+//! | [`mod@format`] | `pushtap-format` | unified data format (§4) |
+//! | [`mvcc`] | `pushtap-mvcc` | version chains, bitmap snapshots, undo log, defrag (§5) |
+//! | [`oltp`] | `pushtap-oltp` | DBx1000-style TPC-C executor with atomic retry |
 //! | [`olap`] | `pushtap-olap` | two-phase PIM analytics, Q1/Q6/Q9 (§6) |
 //! | [`chbench`] | `pushtap-chbench` | CH-benCHmark + HTAPBench workloads |
 //! | [`core`] | `pushtap-core` | the assembled system + all baselines (§7) |
