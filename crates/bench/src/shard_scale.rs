@@ -6,14 +6,19 @@
 //!
 //! * **routed** — one global transaction stream routed by home
 //!   warehouse, so NewOrder stock lines and Payment customers cross
-//!   shards at the workload's natural rate and pay the coordination hop;
+//!   shards and pay the coordination hop;
 //! * **local** — per-shard warehouse-local streams (the perfectly
 //!   partitionable upper bound).
 //!
 //! The interesting gap is between the two: it is the price of
 //! cross-shard coordination at this hop latency, the scale-out analogue
-//! of the paper's single-instance consistency costs.
+//! of the paper's single-instance consistency costs. How wide the gap is
+//! depends on the workload's remote-warehouse rate, so the sweep takes a
+//! [`RemoteMix`]: the uniform draw (≈ (k−1)/k of touches remote at k
+//! shards — a worst case) versus TPC-C's specified 1 % (NewOrder) /
+//! 15 % (Payment) remote probabilities.
 
+use pushtap_chbench::RemoteMix;
 use pushtap_olap::Query;
 use pushtap_pim::Ps;
 use pushtap_shard::{ShardConfig, ShardedHtap};
@@ -41,15 +46,16 @@ pub struct ShardPoint {
     pub q9_latency: Ps,
 }
 
-/// Runs the sweep: `txns` routed transactions (and the same count again
-/// as local streams) per shard count, then one scatter-gather pass of
-/// each query.
-pub fn sweep(shard_counts: &[u32], txns: u64, cores: u32) -> Vec<ShardPoint> {
+/// Runs the sweep under the given remote-warehouse mix: `txns` routed
+/// transactions (and the same count again as local streams) per shard
+/// count, then one scatter-gather pass of each query.
+pub fn sweep(shard_counts: &[u32], txns: u64, cores: u32, mix: RemoteMix) -> Vec<ShardPoint> {
     shard_counts
         .iter()
         .map(|&shards| {
             let mut service = ShardedHtap::new(ShardConfig::small(shards)).expect("build shards");
-            let mut gen = service.global_txn_gen(42);
+            let warehouses = service.map().warehouses();
+            let mut gen = service.global_txn_gen(42).with_remote_mix(mix, warehouses);
             let routed = service.run_txns(&mut gen, txns);
             let local = service.run_local_txns(43, txns / shards as u64);
             let q1 = service.run_query(Query::Q1);
@@ -70,15 +76,13 @@ pub fn sweep(shard_counts: &[u32], txns: u64, cores: u32) -> Vec<ShardPoint> {
         .collect()
 }
 
-/// Prints the shard-scaling table.
-pub fn print_all() {
-    println!("== Shard scaling: aggregate tpmC and scatter-gather latency ==");
-    println!("(small population, 8 warehouses, 400 routed txns per point)");
+fn print_table(mix: RemoteMix, label: &str) {
+    println!("-- remote-warehouse mix: {label} --");
     println!(
         "{:>6} {:>14} {:>14} {:>8} {:>8} {:>12} {:>12} {:>12}",
         "shards", "routed tpmC", "local tpmC", "x-shard", "par.eff", "Q1", "Q6", "Q9"
     );
-    for p in sweep(&[1, 2, 4], 400, 16) {
+    for p in sweep(&[1, 2, 4], 400, 16, mix) {
         println!(
             "{:>6} {:>14.0} {:>14.0} {:>7.1}% {:>8.2} {:>12} {:>12} {:>12}",
             p.shards,
@@ -93,13 +97,21 @@ pub fn print_all() {
     }
 }
 
+/// Prints the shard-scaling tables, one per remote-warehouse mix.
+pub fn print_all() {
+    println!("== Shard scaling: aggregate tpmC and scatter-gather latency ==");
+    println!("(small population, 8 warehouses, 400 routed txns per point)");
+    print_table(RemoteMix::Uniform, "uniform (worst case)");
+    print_table(RemoteMix::TPCC, "TPC-C 1% NewOrder / 15% Payment");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn local_throughput_scales_with_shards() {
-        let points = sweep(&[1, 4], 120, 16);
+        let points = sweep(&[1, 4], 120, 16, RemoteMix::Uniform);
         assert_eq!(points.len(), 2);
         let (one, four) = (points[0], points[1]);
         assert_eq!(one.shards, 1);
@@ -115,5 +127,23 @@ mod tests {
         // A single shard sees no cross-shard traffic; four shards must.
         assert_eq!(one.cross_shard_fraction, 0.0);
         assert!(four.cross_shard_fraction > 0.5);
+    }
+
+    /// The TPC-C remote rates cut cross-shard coordination by an order
+    /// of magnitude against the uniform worst case.
+    #[test]
+    fn tpcc_mix_coordinates_far_less_than_uniform() {
+        let uniform = sweep(&[4], 150, 16, RemoteMix::Uniform);
+        let tpcc = sweep(&[4], 150, 16, RemoteMix::TPCC);
+        assert!(
+            tpcc[0].cross_shard_fraction < uniform[0].cross_shard_fraction * 0.5,
+            "TPC-C {} vs uniform {}",
+            tpcc[0].cross_shard_fraction,
+            uniform[0].cross_shard_fraction
+        );
+        // ~48.9% of txns are Payments at 15% remote, plus NewOrders with
+        // ≥5 lines at 1%: expect a low-but-nonzero cross-shard rate.
+        assert!(tpcc[0].cross_shard_fraction > 0.0);
+        assert!(tpcc[0].cross_shard_fraction < 0.35);
     }
 }

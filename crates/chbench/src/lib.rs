@@ -44,4 +44,4 @@ pub use queries::{
 pub use schema::{
     database_bytes, schema_with_keys, Partitioning, Table, ALL_TABLES, MAX_KEY_WIDTH,
 };
-pub use txgen::{NewOrder, Payment, Txn, TxnGen};
+pub use txgen::{NewOrder, Payment, RemoteMix, Txn, TxnGen};

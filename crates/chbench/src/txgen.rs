@@ -62,6 +62,52 @@ impl Txn {
     }
 }
 
+/// How a transaction's customer and stock rows are drawn relative to its
+/// home warehouse.
+///
+/// The default, [`RemoteMix::Uniform`], draws them uniformly over the
+/// whole population — at `k` equal shards that makes ≈ `(k−1)/k` of the
+/// touches remote, wildly overstating cross-shard coordination compared
+/// to the TPC-C specification. [`RemoteMix::Tpcc`] implements the
+/// standard's remote-warehouse probabilities (§2.4.1.5 / §2.5.1.2): each
+/// NewOrder line's supplying warehouse is remote with probability 1 %,
+/// and a Payment's customer is homed at a remote warehouse with
+/// probability 15 %; otherwise rows come from the home warehouse's
+/// stripe of the population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RemoteMix {
+    /// Customer/stock rows uniform over the global population (the
+    /// original behavior; streams generated this way are bit-identical
+    /// to those of earlier revisions).
+    Uniform,
+    /// TPC-C remote-warehouse probabilities.
+    Tpcc {
+        /// Probability a Payment pays a customer of a remote warehouse
+        /// (the spec's 15 %).
+        payment: f64,
+        /// Probability an order line's supplying warehouse is remote
+        /// (the spec's 1 %).
+        neworder: f64,
+    },
+}
+
+impl RemoteMix {
+    /// The TPC-C specification values: 15 % remote Payment customers,
+    /// 1 % remote NewOrder supply warehouses.
+    pub const TPCC: RemoteMix = RemoteMix::Tpcc {
+        payment: 0.15,
+        neworder: 0.01,
+    };
+
+    /// A fully warehouse-local mix (0 % remote everywhere): every
+    /// customer and stock row comes from the home warehouse's stripe, so
+    /// a warehouse-partitioned deployment never touches a foreign shard.
+    pub const LOCAL: RemoteMix = RemoteMix::Tpcc {
+        payment: 0.0,
+        neworder: 0.0,
+    };
+}
+
 /// Deterministic transaction-mix generator.
 ///
 /// The mix follows TPC-C's relative frequencies for the two simulated
@@ -74,6 +120,12 @@ pub struct TxnGen {
     customers: u64,
     items: u64,
     stocks: u64,
+    /// Remote-warehouse behavior; [`RemoteMix::Uniform`] by default.
+    mix: RemoteMix,
+    /// Global warehouse population the customer/stock stripes divide
+    /// into (set alongside a non-uniform `mix`; equals the home range by
+    /// default).
+    wh_global: u64,
 }
 
 impl TxnGen {
@@ -108,6 +160,7 @@ impl TxnGen {
             warehouses.start < warehouses.end && customers > 0 && items > 0 && stocks > 0,
             "empty population"
         );
+        let wh_global = warehouses.end;
         TxnGen {
             rng: StdRng::seed_from_u64(seed),
             wh_start: warehouses.start,
@@ -115,7 +168,54 @@ impl TxnGen {
             customers,
             items,
             stocks,
+            mix: RemoteMix::Uniform,
+            wh_global,
         }
+    }
+
+    /// Switches the generator to `mix` over a global population of
+    /// `global_warehouses` (the stripe count customer/stock rows divide
+    /// into — a warehouse-range generator of a sharded deployment must
+    /// pass the *deployment-wide* count, not its own range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_warehouses` does not cover the home range, if a
+    /// `Tpcc` probability is outside `[0, 1]`, or — for a `Tpcc` mix —
+    /// if the customer or stock population is smaller than
+    /// `global_warehouses` (an empty warehouse stripe would make the
+    /// "home" guarantee unsatisfiable: there would be no home row to
+    /// draw).
+    pub fn with_remote_mix(mut self, mix: RemoteMix, global_warehouses: u64) -> TxnGen {
+        assert!(
+            global_warehouses >= self.wh_start + self.warehouses,
+            "{global_warehouses} global warehouses cannot cover home range {:?}",
+            self.warehouse_range()
+        );
+        if let RemoteMix::Tpcc { payment, neworder } = mix {
+            assert!(
+                (0.0..=1.0).contains(&payment) && (0.0..=1.0).contains(&neworder),
+                "remote probabilities must be in [0, 1]"
+            );
+            // The floor split gives every warehouse a non-empty stripe
+            // iff the population covers the warehouse count; anything
+            // smaller would silently break the home/remote guarantee.
+            assert!(
+                self.customers >= global_warehouses && self.stocks >= global_warehouses,
+                "populations ({} customers, {} stocks) must cover {global_warehouses} \
+                 warehouse stripes",
+                self.customers,
+                self.stocks
+            );
+        }
+        self.mix = mix;
+        self.wh_global = global_warehouses;
+        self
+    }
+
+    /// The remote-warehouse mix in effect.
+    pub fn remote_mix(&self) -> RemoteMix {
+        self.mix
     }
 
     /// The half-open home-warehouse range this generator draws from.
@@ -123,36 +223,129 @@ impl TxnGen {
         self.wh_start..self.wh_start + self.warehouses
     }
 
+    /// Warehouse `w`'s stripe of an `n`-row population under the floor
+    /// split into `wh_global` stripes (the split `build_partitioned`
+    /// uses, so "the home warehouse's rows" means the same rows on every
+    /// deployment).
+    fn stripe(&self, w: u64, n: u64) -> std::ops::Range<u64> {
+        let start = (w * n) / self.wh_global;
+        let end = ((w + 1) * n) / self.wh_global;
+        start..end
+    }
+
+    /// A row of `n`-row population anchored at warehouse `home`, remote
+    /// with probability `p` (drawn from a uniformly-chosen *other*
+    /// warehouse's stripe). Stripes are non-empty by the
+    /// [`TxnGen::with_remote_mix`] population assertion, so a `p = 0`
+    /// draw *never* leaves the home warehouse.
+    fn striped_row(&mut self, home: u64, n: u64, p: f64) -> u64 {
+        let w = if self.wh_global > 1 && p > 0.0 && self.rng.random_bool(p) {
+            // Uniform over the other warehouses.
+            let other = self.rng.random_range(0..self.wh_global - 1);
+            other + u64::from(other >= home)
+        } else {
+            home
+        };
+        let stripe = self.stripe(w, n);
+        debug_assert!(!stripe.is_empty(), "population below warehouse count");
+        stripe.start + self.rng.random_range(0..stripe.end - stripe.start)
+    }
+
     /// Generates the next transaction of the mix.
+    ///
+    /// The [`RemoteMix::Uniform`] paths draw random values in exactly the
+    /// original order, so uniform streams are bit-identical per seed to
+    /// those of earlier revisions; the [`RemoteMix::Tpcc`] paths are a
+    /// separate (also deterministic) draw sequence.
     pub fn next_txn(&mut self) -> Txn {
         if self.rng.random_bool(Self::PAYMENT_SHARE) {
-            Txn::Payment(Payment {
-                w_id: self.wh_start + self.rng.random_range(0..self.warehouses),
-                d_id: self.rng.random_range(0..10),
-                c_row: self.rng.random_range(0..self.customers),
-                amount: self.rng.random_range(100..500_000),
-            })
-        } else {
-            let ol_cnt = (self.rng.random_range(5..=15) as u64).min(self.stocks) as usize;
-            // Stock rows must be distinct within one order (TPC-C orders
-            // distinct items): a repeated row would be updated twice at
-            // one timestamp.
-            let mut stock_rows = Vec::with_capacity(ol_cnt);
-            while stock_rows.len() < ol_cnt {
-                let s = self.rng.random_range(0..self.stocks);
-                if !stock_rows.contains(&s) {
-                    stock_rows.push(s);
+            match self.mix {
+                RemoteMix::Uniform => Txn::Payment(Payment {
+                    w_id: self.wh_start + self.rng.random_range(0..self.warehouses),
+                    d_id: self.rng.random_range(0..10),
+                    c_row: self.rng.random_range(0..self.customers),
+                    amount: self.rng.random_range(100..500_000),
+                }),
+                RemoteMix::Tpcc { payment, .. } => {
+                    let w_id = self.wh_start + self.rng.random_range(0..self.warehouses);
+                    let d_id = self.rng.random_range(0..10);
+                    let c_row = self.striped_row(w_id, self.customers, payment);
+                    Txn::Payment(Payment {
+                        w_id,
+                        d_id,
+                        c_row,
+                        amount: self.rng.random_range(100..500_000),
+                    })
                 }
             }
-            Txn::NewOrder(NewOrder {
-                w_id: self.wh_start + self.rng.random_range(0..self.warehouses),
-                d_id: self.rng.random_range(0..10),
-                c_row: self.rng.random_range(0..self.customers),
-                items: (0..ol_cnt)
-                    .map(|_| self.rng.random_range(0..self.items))
-                    .collect(),
-                stock_rows,
-            })
+        } else {
+            match self.mix {
+                RemoteMix::Uniform => {
+                    let ol_cnt = (self.rng.random_range(5..=15) as u64).min(self.stocks) as usize;
+                    // Stock rows must be distinct within one order (TPC-C
+                    // orders distinct items): a repeated row would be
+                    // updated twice at one timestamp.
+                    let mut stock_rows = Vec::with_capacity(ol_cnt);
+                    while stock_rows.len() < ol_cnt {
+                        let s = self.rng.random_range(0..self.stocks);
+                        if !stock_rows.contains(&s) {
+                            stock_rows.push(s);
+                        }
+                    }
+                    Txn::NewOrder(NewOrder {
+                        w_id: self.wh_start + self.rng.random_range(0..self.warehouses),
+                        d_id: self.rng.random_range(0..10),
+                        c_row: self.rng.random_range(0..self.customers),
+                        items: (0..ol_cnt)
+                            .map(|_| self.rng.random_range(0..self.items))
+                            .collect(),
+                        stock_rows,
+                    })
+                }
+                RemoteMix::Tpcc { neworder, .. } => {
+                    let w_id = self.wh_start + self.rng.random_range(0..self.warehouses);
+                    let d_id = self.rng.random_range(0..10);
+                    // TPC-C NewOrder customers are always home; the
+                    // remote probability applies per order line to the
+                    // supplying warehouse only (§2.4.1.5).
+                    let c_row = self.striped_row(w_id, self.customers, 0.0);
+                    // The distinct-row loop below must be able to find
+                    // `ol_cnt` rows among those the mix can actually
+                    // reach: only the home stripe at probability 0, only
+                    // the remote stripes at probability 1, everything in
+                    // between (stripes are non-empty by the
+                    // `with_remote_mix` population assertion).
+                    let home_stocks = {
+                        let s = self.stripe(w_id, self.stocks);
+                        s.end - s.start
+                    };
+                    let reachable = if self.wh_global <= 1 || neworder <= 0.0 {
+                        home_stocks
+                    } else if neworder >= 1.0 {
+                        self.stocks - home_stocks
+                    } else {
+                        self.stocks
+                    };
+                    let ol_cnt =
+                        (self.rng.random_range(5..=15) as u64).min(reachable.max(1)) as usize;
+                    let mut stock_rows = Vec::with_capacity(ol_cnt);
+                    while stock_rows.len() < ol_cnt {
+                        let s = self.striped_row(w_id, self.stocks, neworder);
+                        if !stock_rows.contains(&s) {
+                            stock_rows.push(s);
+                        }
+                    }
+                    Txn::NewOrder(NewOrder {
+                        w_id,
+                        d_id,
+                        c_row,
+                        items: (0..ol_cnt)
+                            .map(|_| self.rng.random_range(0..self.items))
+                            .collect(),
+                        stock_rows,
+                    })
+                }
+            }
         }
     }
 
@@ -235,5 +428,128 @@ mod tests {
         let a = TxnGen::new(9, 4, 1000, 5000, 5000).batch(100);
         let b = TxnGen::with_warehouse_range(9, 0..4, 1000, 5000, 5000).batch(100);
         assert_eq!(a, b);
+    }
+
+    /// The stripe of a warehouse under the floor split, for asserting
+    /// where TPC-C-mix rows land.
+    fn stripe(w: u64, n: u64, wh: u64) -> std::ops::Range<u64> {
+        (w * n) / wh..((w + 1) * n) / wh
+    }
+
+    #[test]
+    fn tpcc_mix_is_deterministic_per_seed() {
+        let mk = || {
+            TxnGen::new(7, 8, 4000, 5000, 10_000)
+                .with_remote_mix(RemoteMix::TPCC, 8)
+                .batch(200)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn tpcc_mix_hits_the_spec_remote_rates() {
+        let mut g = TxnGen::new(3, 8, 4000, 5000, 10_000).with_remote_mix(RemoteMix::TPCC, 8);
+        let (mut pay, mut pay_remote) = (0u64, 0u64);
+        let (mut lines, mut line_remote) = (0u64, 0u64);
+        for t in g.batch(20_000) {
+            match t {
+                Txn::Payment(p) => {
+                    pay += 1;
+                    if !stripe(p.w_id, 4000, 8).contains(&p.c_row) {
+                        pay_remote += 1;
+                    }
+                }
+                Txn::NewOrder(no) => {
+                    for s in &no.stock_rows {
+                        lines += 1;
+                        if !stripe(no.w_id, 10_000, 8).contains(s) {
+                            line_remote += 1;
+                        }
+                    }
+                    // Customers are always home in NewOrder.
+                    assert!(
+                        stripe(no.w_id, 4000, 8).contains(&no.c_row),
+                        "NewOrder customer left the home warehouse"
+                    );
+                }
+            }
+        }
+        let pay_rate = pay_remote as f64 / pay as f64;
+        let line_rate = line_remote as f64 / lines as f64;
+        assert!((pay_rate - 0.15).abs() < 0.02, "payment remote {pay_rate}");
+        assert!((line_rate - 0.01).abs() < 0.005, "line remote {line_rate}");
+    }
+
+    #[test]
+    fn local_mix_never_leaves_the_home_warehouse() {
+        let mut g = TxnGen::new(5, 8, 4000, 5000, 10_000).with_remote_mix(RemoteMix::LOCAL, 8);
+        for t in g.batch(2000) {
+            match t {
+                Txn::Payment(p) => {
+                    assert!(stripe(p.w_id, 4000, 8).contains(&p.c_row));
+                }
+                Txn::NewOrder(no) => {
+                    assert!(stripe(no.w_id, 4000, 8).contains(&no.c_row));
+                    for s in &no.stock_rows {
+                        assert!(stripe(no.w_id, 10_000, 8).contains(s));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_mix_is_the_default_and_unchanged() {
+        // `with_remote_mix(Uniform, ..)` must not perturb the draw
+        // sequence: the knob's default is bit-compatible.
+        let a = TxnGen::new(9, 4, 1000, 5000, 5000).batch(100);
+        let b = TxnGen::new(9, 4, 1000, 5000, 5000)
+            .with_remote_mix(RemoteMix::Uniform, 4)
+            .batch(100);
+        assert_eq!(a, b);
+        assert_eq!(
+            TxnGen::new(9, 4, 1000, 5000, 5000).remote_mix(),
+            RemoteMix::Uniform
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn global_warehouses_must_cover_home_range() {
+        let _ = TxnGen::with_warehouse_range(3, 4..6, 1000, 5000, 5000)
+            .with_remote_mix(RemoteMix::TPCC, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover")]
+    fn tpcc_mix_rejects_populations_below_the_warehouse_count() {
+        // 4 customers over 8 warehouses would leave empty stripes: the
+        // "home" guarantee would be unsatisfiable.
+        let _ = TxnGen::new(3, 8, 4, 5000, 10_000).with_remote_mix(RemoteMix::TPCC, 8);
+    }
+
+    /// The `p = 1.0` boundary: every stock draw is remote, so the
+    /// distinct-row loop is capped by the *remote* pool — it must
+    /// terminate even when that pool is tiny.
+    #[test]
+    fn all_remote_neworder_with_tiny_remote_pool_terminates() {
+        let mix = RemoteMix::Tpcc {
+            payment: 1.0,
+            neworder: 1.0,
+        };
+        let mut g = TxnGen::new(11, 2, 4, 50, 3).with_remote_mix(mix, 2);
+        for t in g.batch(200) {
+            if let Txn::NewOrder(no) = t {
+                // Warehouse 1's stripe of 3 stocks is [1, 3): the remote
+                // pool of a warehouse-1 order is the single row 0.
+                assert!(!no.stock_rows.is_empty());
+                for s in &no.stock_rows {
+                    assert!(
+                        !stripe(no.w_id, 3, 2).contains(s),
+                        "p=1 must draw only remote stock"
+                    );
+                }
+            }
+        }
     }
 }

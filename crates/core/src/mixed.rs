@@ -60,6 +60,10 @@ pub struct MixReport {
     pub aborts: u64,
     /// Distinct transactions that needed at least one retry.
     pub retried_txns: u64,
+    /// Latency consumed by the rolled-back attempts — included in
+    /// [`MixReport::txn_time`] (a retry charges its failed attempt to the
+    /// transaction's completion time).
+    pub wasted_retry_time: Ps,
 }
 
 impl MixReport {
@@ -105,6 +109,7 @@ pub fn run_mixed(system: &mut Pushtap, cfg: MixConfig) -> MixReport {
         report.defrag_time += oltp.defrag_time;
         report.aborts += oltp.aborts;
         report.retried_txns += oltp.retried_txns;
+        report.wasted_retry_time += oltp.wasted_retry_time;
 
         let query = Query::ALL[(i % 3) as usize];
         let q = system.run_query(query);

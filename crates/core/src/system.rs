@@ -4,9 +4,11 @@
 //! snapshotting, and periodic defragmentation on one simulated memory
 //! system. This is the object the experiments drive.
 
+use std::sync::Arc;
+
 use pushtap_chbench::{Table, Txn, TxnGen};
 use pushtap_format::LayoutError;
-use pushtap_mvcc::{DefragCostModel, DefragStats, DefragStrategy};
+use pushtap_mvcc::{DefragCostModel, DefragStats, DefragStrategy, Ts, TsOracle};
 use pushtap_olap::{Query, QueryResult, QueryTiming, ScanEngine};
 use pushtap_oltp::{Breakdown, DbConfig, Partition, TpccDb, TxnResult};
 use pushtap_pim::{ControlArch, MemSystem, Ps, SystemConfig};
@@ -51,7 +53,9 @@ impl PushtapConfig {
 pub struct OltpReport {
     /// Transactions committed.
     pub committed: u64,
-    /// Pure transaction time (excludes defragmentation pauses).
+    /// Pure transaction time (excludes defragmentation pauses; includes
+    /// the latency of rolled-back attempts — see
+    /// [`OltpReport::wasted_retry_time`]).
     pub txn_time: Ps,
     /// Time spent in defragmentation pauses (OLTP is paused, §5.3).
     pub defrag_time: Ps,
@@ -64,6 +68,12 @@ pub struct OltpReport {
     /// Distinct transactions that needed at least one retry before
     /// committing.
     pub retried_txns: u64,
+    /// Latency consumed by rolled-back attempts (statements executed
+    /// before a mid-transaction [`DeltaFull`](pushtap_mvcc::DeltaFull)).
+    /// Their memory traffic hits the simulated memory system, so their
+    /// time is charged to the transaction's completion latency too: this
+    /// is the share of [`OltpReport::txn_time`] that retries wasted.
+    pub wasted_retry_time: Ps,
     /// Component breakdown across all transactions.
     pub breakdown: Breakdown,
 }
@@ -95,6 +105,11 @@ pub struct QueryReport {
     /// Consistency time paid before the scan (snapshotting; plus any
     /// defragmentation folded into this query).
     pub consistency: Ps,
+    /// The snapshot cut: the query observes exactly the versions with
+    /// commit timestamp `<= cut`. A standalone instance cuts at its own
+    /// watermark; a sharded deployment hands every shard one agreed
+    /// global cut (see `ShardedHtap::run_query` in `pushtap-shard`).
+    pub cut: Ts,
 }
 
 impl QueryReport {
@@ -178,6 +193,19 @@ impl Pushtap {
         self.db.partition()
     }
 
+    /// Swaps the instance's private timestamp counter for a shared
+    /// deployment-wide [`TsOracle`] (see
+    /// [`TpccDb::share_timestamps`](pushtap_oltp::TpccDb::share_timestamps)).
+    /// Must be called before any transaction executes; `ShardedHtap::new`
+    /// hands every shard the same oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if transactions have already committed on this instance.
+    pub fn share_timestamps(&mut self, oracle: Arc<TsOracle>) {
+        self.db.share_timestamps(oracle);
+    }
+
     /// The database.
     pub fn db(&self) -> &TpccDb {
         &self.db
@@ -248,20 +276,45 @@ impl Pushtap {
     /// ([`TpccDb::aborts`](pushtap_oltp::TpccDb::aborts)) and surfaced
     /// per batch in [`OltpReport`].
     pub fn execute_txn(&mut self, txn: &Txn) -> (TxnResult, Ps) {
+        self.execute_with(txn, None)
+    }
+
+    /// Executes one transaction under a caller-assigned (pinned) commit
+    /// timestamp (see [`TpccDb::execute_at`](pushtap_oltp::TpccDb::execute_at)),
+    /// with the same defragment-and-retry loop as
+    /// [`Pushtap::execute_txn`]. The retry re-runs under the *same*
+    /// pinned timestamp. This is how a sharded coordinator drives each
+    /// shard: timestamps are drawn from the shared [`TsOracle`] in global
+    /// stream order, so concurrent shards commit exactly the timestamps a
+    /// single-instance reference would.
+    pub fn execute_txn_at(&mut self, txn: &Txn, ts: Ts) -> (TxnResult, Ps) {
+        self.execute_with(txn, Some(ts))
+    }
+
+    fn execute_with(&mut self, txn: &Txn, pinned: Option<Ts>) -> (TxnResult, Ps) {
         let mut pause = Ps::ZERO;
         if self.cfg.defrag_period > 0 && self.txns_since_defrag >= self.cfg.defrag_period {
             pause += self.defragment_all().1;
         }
         loop {
-            match self.db.execute(txn, &mut self.mem, self.now) {
+            let wasted_before = self.db.wasted_retry_time();
+            let r = match pinned {
+                Some(ts) => self.db.execute_at(txn, ts, &mut self.mem, self.now),
+                None => self.db.execute(txn, &mut self.mem, self.now),
+            };
+            match r {
                 Ok(r) => {
                     self.now = r.end;
                     self.txns_since_defrag += 1;
                     return (r, pause);
                 }
-                // The failed attempt was rolled back; reclaim the delta
-                // regions and re-execute.
+                // The failed attempt was rolled back, but its statements
+                // consumed real time (their memory traffic is charged to
+                // the simulated memory system): advance the clock by the
+                // attempt's latency, then reclaim the delta regions and
+                // re-execute.
                 Err(_full) => {
+                    self.now += self.db.wasted_retry_time().saturating_sub(wasted_before);
                     pause += self.defragment_all().1;
                 }
             }
@@ -276,6 +329,7 @@ impl Pushtap {
             let txn = gen.next_txn();
             let before = self.now;
             let aborts_before = self.db.aborts();
+            let wasted_before = self.db.wasted_retry_time();
             let (r, pause) = self.execute_txn(&txn);
             report.committed += 1;
             if pause > Ps::ZERO {
@@ -287,6 +341,7 @@ impl Pushtap {
                 report.retried_txns += 1;
             }
             report.defrag_time += pause;
+            report.wasted_retry_time += self.db.wasted_retry_time().saturating_sub(wasted_before);
             report.txn_time += self.now.saturating_sub(before).saturating_sub(pause);
             report.breakdown.merge(&r.breakdown);
         }
@@ -360,17 +415,26 @@ impl Pushtap {
         DEFRAG_FIXED_OVERHEAD + Ps::new((seconds * 1e12).round() as u64) + traverse
     }
 
-    /// Snapshots the tables a query touches (the §5.2 consistency step).
-    /// Returns the snapshotting duration.
+    /// Snapshots the tables a query touches (the §5.2 consistency step)
+    /// at this instance's own watermark. Returns the snapshotting
+    /// duration.
     pub fn snapshot_for(&mut self, query: Query) -> Ps {
         let upto = self.db.last_ts();
-        let tables: &[Table] = match query {
-            Query::Q1 | Query::Q6 => &[Table::OrderLine],
-            Query::Q9 => &[Table::OrderLine, Table::Item],
-        };
+        self.snapshot_for_at(query, upto)
+    }
+
+    /// Snapshots the tables `query` touches at the *given* cut: the
+    /// visibility bitmaps advance to cover exactly the versions with
+    /// commit timestamp `<= upto`. A sharded coordinator passes one
+    /// agreed global cut to every shard so the scattered query observes a
+    /// single consistent snapshot. Cuts must be non-decreasing across
+    /// calls — snapshots advance monotonically (§5.2), so a cut below a
+    /// previous one leaves the fresher snapshot in place. Returns the
+    /// snapshotting duration.
+    pub fn snapshot_for_at(&mut self, query: Query, upto: Ts) -> Ps {
         let start = self.now;
         let meter = *self.db.meter();
-        for &t in tables {
+        for &t in Self::query_tables(query) {
             let (_, end) =
                 self.db
                     .table_mut(t)
@@ -380,9 +444,38 @@ impl Pushtap {
         self.now - start
     }
 
-    /// Runs one analytical query with fresh data: snapshot, then scan.
+    /// The tables `query` scans (and therefore snapshots).
+    fn query_tables(query: Query) -> &'static [Table] {
+        match query {
+            Query::Q1 | Query::Q6 => &[Table::OrderLine],
+            Query::Q9 => &[Table::OrderLine, Table::Item],
+        }
+    }
+
+    /// Runs one analytical query with fresh data: snapshot at this
+    /// instance's own watermark, then scan.
     pub fn run_query(&mut self, query: Query) -> QueryReport {
-        let consistency = self.snapshot_for(query);
+        let cut = self.db.last_ts();
+        self.run_query_at(query, cut)
+    }
+
+    /// Runs one analytical query snapshotted at the given `cut`
+    /// timestamp: the scan observes exactly the committed versions with
+    /// timestamp `<= cut`. This is the per-shard half of the global-cut
+    /// scatter protocol (`ShardedHtap::run_query` in `pushtap-shard`
+    /// agrees on one cut and passes it to every shard).
+    ///
+    /// Snapshots are forward-only, so if a touched table's snapshot
+    /// already sits *past* `cut` (an earlier query cut fresher), the
+    /// scan observes that fresher position; the returned
+    /// [`QueryReport::cut`] reports the cut the query actually observed,
+    /// never a stale request.
+    pub fn run_query_at(&mut self, query: Query, cut: Ts) -> QueryReport {
+        let consistency = self.snapshot_for_at(query, cut);
+        // The effective cut: what the forward-only snapshots now hold.
+        let cut = Self::query_tables(query)
+            .iter()
+            .fold(cut, |c, &t| c.max(self.db.table(t).snapshot().ts()));
         let start = self.now;
         let (result, mut timing) = query.execute(&self.db, &self.engine, &mut self.mem, start);
         self.now = timing.end.max(start);
@@ -391,6 +484,7 @@ impl Pushtap {
             result,
             timing,
             consistency,
+            cut,
         }
     }
 }
@@ -414,6 +508,21 @@ mod tests {
         // changes (ORDERLINE grew).
         assert_ne!(before.result, after.result, "query must see fresh data");
         assert!(after.consistency > Ps::ZERO);
+    }
+
+    #[test]
+    fn stale_cut_reports_the_effective_snapshot_position() {
+        let mut p = small();
+        let mut gen = p.txn_gen(3);
+        p.run_txns(&mut gen, 40);
+        let fresh = p.run_query_at(Query::Q6, Ts(40));
+        assert_eq!(fresh.cut, Ts(40));
+        p.run_txns(&mut gen, 20);
+        // Request an older cut: the forward-only snapshot stays at T40,
+        // and the report must say so rather than echo the stale request.
+        let stale = p.run_query_at(Query::Q6, Ts(10));
+        assert_eq!(stale.cut, Ts(40), "report the observed cut");
+        assert_eq!(stale.result, fresh.result);
     }
 
     #[test]

@@ -6,7 +6,12 @@
 //! unified format, rotation-aligned with the origin rows so PIM units can
 //! copy versions back locally during defragmentation.
 //!
-//! * [`Ts`]/[`TsAllocator`] — transaction timestamps;
+//! * [`Ts`]/[`TsAllocator`]/[`TsOracle`] — transaction timestamps; the
+//!   oracle is the shared (`Arc`) deployment-wide source a sharded
+//!   topology uses so every engine commits under one global timestamp
+//!   sequence (timestamps are encoded in stored bytes, so a shared
+//!   sequence is what makes sharded state byte-identical to a
+//!   single-instance reference);
 //! * [`VersionChains`] — per-row version chains plus the commit log
 //!   (Fig. 6(b));
 //! * [`DeltaAllocator`] — rotation-arena slot allocation (§5.1), raising
@@ -54,5 +59,5 @@ pub use chain::{LogEntry, VersionChains, VersionMeta};
 pub use defrag::{DefragCostModel, DefragStats, DefragStrategy};
 pub use delta::{DeltaAllocator, DeltaFull};
 pub use snapshot::{Bitmap, Snapshot, SnapshotUpdate};
-pub use timestamp::{Ts, TsAllocator};
+pub use timestamp::{Ts, TsAllocator, TsOracle};
 pub use undo::{UndoLog, UndoRecord};

@@ -8,10 +8,11 @@
 
 use std::collections::BTreeMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 use pushtap_chbench::{enc_u64, NewOrder, Partitioning, Payment, RowGen, Table, Txn};
 use pushtap_format::{compact_layout, naive_layout, LayoutError, TableLayout, TableSchema};
-use pushtap_mvcc::{DeltaFull, Ts, TsAllocator};
+use pushtap_mvcc::{DeltaFull, Ts, TsAllocator, TsOracle};
 use pushtap_pim::{BankAddr, Geometry, MemSystem, Ps, Side};
 
 use crate::cost::{Breakdown, CostModel, Meter};
@@ -177,15 +178,29 @@ pub struct TpccDb {
     /// Transactions rolled back on [`DeltaFull`] (each is retried by the
     /// caller after defragmentation, so this is also the retry count).
     aborts: u64,
+    /// Cumulative simulated time consumed by rolled-back attempts: the
+    /// statements a transaction executed before hitting [`DeltaFull`].
+    /// The memory traffic of those statements is charged to the simulated
+    /// memory system, so their latency belongs in the transaction's
+    /// completion time too (see `Pushtap::execute_txn`).
+    wasted_retry_time: Ps,
 }
 
 /// Global (pre-partitioning) row count of `table` under `cfg`.
+///
+/// WAREHOUSE is floored at `cfg.min_warehouses`; DISTRICT is *derived*
+/// as exactly 10 rows per warehouse (its TPC-C definition). The executor
+/// addresses district rows as `w_id * 10 + d_id`, so any other district
+/// population would alias districts of different warehouses onto one
+/// row — across warehouse-stripe (and therefore shard) boundaries, which
+/// breaks the byte identity between a partitioned deployment and the
+/// unpartitioned reference. Independent rounding of the two scales used
+/// to allow exactly that (at small scales DISTRICT rounded to one row).
 pub fn global_rows(cfg: &DbConfig, table: Table) -> u64 {
-    let n = table.rows_at_scale(cfg.scale);
-    if table == Table::Warehouse {
-        n.max(cfg.min_warehouses)
-    } else {
-        n
+    match table {
+        Table::Warehouse => table.rows_at_scale(cfg.scale).max(cfg.min_warehouses),
+        Table::District => global_rows(cfg, Table::Warehouse) * 10,
+        _ => table.rows_at_scale(cfg.scale),
     }
 }
 
@@ -333,7 +348,38 @@ impl TpccDb {
             insert_cursors: BTreeMap::new(),
             txn_cursor_log: Vec::new(),
             aborts: 0,
+            wasted_retry_time: Ps::ZERO,
         })
+    }
+
+    /// Swaps the instance's private timestamp counter for a shared
+    /// deployment-wide [`TsOracle`].
+    ///
+    /// Every engine of a sharded deployment is handed the *same* oracle,
+    /// so all of them draw from one global timestamp sequence. Commit
+    /// timestamps are encoded into stored bytes, which makes this the
+    /// precondition for a sharded deployment's committed state being
+    /// byte-identical to a single-instance reference that executed the
+    /// same stream (the coordinator additionally assigns the draws in
+    /// global stream order — see `pushtap-shard`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has already executed transactions (the two
+    /// sequences could no longer be reconciled).
+    pub fn share_timestamps(&mut self, oracle: Arc<TsOracle>) {
+        assert_eq!(
+            self.committed, 0,
+            "cannot share timestamps after transactions have committed"
+        );
+        assert_eq!(self.aborts, 0, "cannot share timestamps mid-retry");
+        self.ts = TsAllocator::shared(oracle);
+    }
+
+    /// The shared timestamp oracle, if [`TpccDb::share_timestamps`] was
+    /// called.
+    pub fn ts_oracle(&self) -> Option<&Arc<TsOracle>> {
+        self.ts.oracle()
     }
 
     /// Which slice of the global population this instance holds.
@@ -476,9 +522,19 @@ impl TpccDb {
         self.insert_cursors.get(&(table, w)).copied().unwrap_or(0)
     }
 
-    /// The most recent commit timestamp.
+    /// The most recent commit timestamp. With a shared [`TsOracle`]
+    /// ([`TpccDb::share_timestamps`]) this is the deployment-wide
+    /// watermark — an upper bound on every timestamp committed anywhere,
+    /// including on this instance.
     pub fn last_ts(&self) -> Ts {
         self.ts.last()
+    }
+
+    /// Cumulative time consumed by attempts that were rolled back on
+    /// [`DeltaFull`] (statements executed before the abort). Callers fold
+    /// the per-attempt delta into the transaction's completion latency.
+    pub fn wasted_retry_time(&self) -> Ps {
+        self.wasted_retry_time
     }
 
     /// Total live delta versions across tables.
@@ -511,6 +567,61 @@ impl TpccDb {
         at: Ps,
     ) -> Result<TxnResult, DeltaFull> {
         let ts = self.ts.allocate();
+        let r = self.run_txn(txn, ts, mem, at);
+        if r.is_err() {
+            // Keep the committed sequence gapless: the retry re-allocates
+            // the same timestamp.
+            self.ts.rollback(ts);
+        }
+        r
+    }
+
+    /// Executes one transaction under a caller-assigned (*pinned*) commit
+    /// timestamp, with the same atomic begin/commit/abort scope as
+    /// [`TpccDb::execute`].
+    ///
+    /// This is the sharded execution path: a coordinator draws timestamps
+    /// from the shared [`TsOracle`] in *global stream order* (the order a
+    /// single-instance reference would allocate them in) and pins each
+    /// routed transaction to its draw, so concurrent shards commit the
+    /// exact timestamps the reference commits. A pinned abort does *not*
+    /// return the timestamp to any allocator — the retry simply re-runs
+    /// under the same pinned timestamp; on commit the engine's watermark
+    /// advances to cover it.
+    ///
+    /// Pinned timestamps must arrive in increasing order per instance
+    /// (MVCC version chains require per-row monotone timestamps), which
+    /// stream-order assignment guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeltaFull`] if a delta arena filled up mid-transaction
+    /// (all partial effects already rolled back); the caller should
+    /// defragment and retry under the same timestamp.
+    pub fn execute_at(
+        &mut self,
+        txn: &Txn,
+        ts: Ts,
+        mem: &mut MemSystem,
+        at: Ps,
+    ) -> Result<TxnResult, DeltaFull> {
+        let r = self.run_txn(txn, ts, mem, at);
+        if r.is_ok() {
+            self.ts.advance_to(ts);
+        }
+        r
+    }
+
+    /// The shared transaction body: begin, execute, commit-or-abort.
+    /// Timestamp bookkeeping (allocation, rollback, watermark advance) is
+    /// the caller's job.
+    fn run_txn(
+        &mut self,
+        txn: &Txn,
+        ts: Ts,
+        mem: &mut MemSystem,
+        at: Ps,
+    ) -> Result<TxnResult, DeltaFull> {
         self.begin_txn();
         let meter = self.meter;
         let mut b = Breakdown::default();
@@ -520,7 +631,11 @@ impl TpccDb {
             Txn::NewOrder(no) => self.exec_neworder(no, ts, mem, &meter, &mut b, &mut now),
         };
         if let Err(full) = body {
-            self.abort_txn(ts);
+            // The statements up to the failure consumed real simulated
+            // time (their memory traffic is already charged to `mem`);
+            // account it so callers can fold it into completion latency.
+            self.wasted_retry_time += now.saturating_sub(at);
+            self.abort_txn();
             return Err(full);
         }
         now += meter.commit_barrier();
@@ -551,9 +666,10 @@ impl TpccDb {
     }
 
     /// Rolls back the in-flight transaction: every table unwinds its
-    /// undo log, stripe cursors step back, and `ts` returns to the
-    /// allocator for the retry.
-    fn abort_txn(&mut self, ts: Ts) {
+    /// undo log and stripe cursors step back. Timestamp rollback is the
+    /// caller's job ([`TpccDb::execute`] returns the allocation;
+    /// [`TpccDb::execute_at`] keeps the pinned timestamp for the retry).
+    fn abort_txn(&mut self) {
         for t in self.tables.values_mut() {
             t.abort_txn();
         }
@@ -564,7 +680,6 @@ impl TpccDb {
                 .expect("cursor bumped by the aborting transaction");
             *c -= 1;
         }
-        self.ts.rollback(ts);
         self.aborts += 1;
     }
 
@@ -894,6 +1009,112 @@ mod tests {
         }
         assert!(saw_abort, "arenas this small must trigger DeltaFull");
         assert!(db.aborts() > 0);
+    }
+
+    #[test]
+    fn pinned_execution_commits_at_the_given_timestamp() {
+        let (mut db, mut mem, mut tg) = setup();
+        let txn = tg.next_txn();
+        let r = db
+            .execute_at(&txn, Ts(5), &mut mem, Ps::ZERO)
+            .expect("commit");
+        assert_eq!(r.commit_ts, Ts(5));
+        // The watermark covers the pinned commit without handing out the
+        // intermediate timestamps.
+        assert_eq!(db.last_ts(), Ts(5));
+        let txn = tg.next_txn();
+        let r = db
+            .execute_at(&txn, Ts(9), &mut mem, Ps::ZERO)
+            .expect("commit");
+        assert_eq!(r.commit_ts, Ts(9));
+        assert_eq!(db.last_ts(), Ts(9));
+        assert_eq!(db.committed(), 2);
+    }
+
+    #[test]
+    fn shared_oracle_drives_two_instances_through_one_sequence() {
+        use std::sync::Arc;
+        let mem0 = MemSystem::dimm();
+        let cfg = DbConfig::small();
+        let oracle = Arc::new(TsOracle::new());
+        let mut a = TpccDb::build(&cfg, &mem0).unwrap();
+        let mut b = TpccDb::build(&cfg, &mem0).unwrap();
+        a.share_timestamps(oracle.clone());
+        b.share_timestamps(oracle.clone());
+        let mut mem = MemSystem::dimm();
+        let mut tg = TxnGen::new(
+            1,
+            a.table(Table::Warehouse).n_rows(),
+            a.table(Table::Customer).n_rows(),
+            a.table(Table::Item).n_rows(),
+            a.table(Table::Stock).n_rows(),
+        );
+        let t1 = a
+            .execute(&tg.next_txn(), &mut mem, Ps::ZERO)
+            .expect("commit");
+        let t2 = b
+            .execute(&tg.next_txn(), &mut mem, Ps::ZERO)
+            .expect("commit");
+        assert_eq!((t1.commit_ts, t2.commit_ts), (Ts(1), Ts(2)));
+        assert_eq!(a.last_ts(), Ts(2), "both see the global watermark");
+        assert_eq!(b.last_ts(), Ts(2));
+        assert_eq!(oracle.watermark(), Ts(2));
+    }
+
+    /// The latency a failed attempt consumed is tracked so callers can
+    /// charge it to the transaction's completion time (its memory traffic
+    /// already hit the simulated memory system).
+    #[test]
+    fn failed_attempts_accumulate_wasted_time() {
+        use pushtap_mvcc::{DefragCostModel, DefragStrategy};
+        let mem = MemSystem::dimm();
+        let mut cfg = DbConfig::small();
+        cfg.min_delta_rows = 16;
+        let mut db = TpccDb::build(&cfg, &mem).unwrap();
+        let mut mem = MemSystem::dimm();
+        let mut tg = TxnGen::new(
+            1,
+            db.table(Table::Warehouse).n_rows(),
+            db.table(Table::Customer).n_rows(),
+            db.table(Table::Item).n_rows(),
+            db.table(Table::Stock).n_rows(),
+        );
+        assert_eq!(db.wasted_retry_time(), Ps::ZERO);
+        let cost = DefragCostModel::new(16.0, 1e9, 3e9);
+        let mut last_wasted = Ps::ZERO;
+        let mut saw_abort = false;
+        for _ in 0..40 {
+            let txn = tg.next_txn();
+            match db.execute(&txn, &mut mem, Ps::ZERO) {
+                Ok(_) => assert_eq!(
+                    db.wasted_retry_time(),
+                    last_wasted,
+                    "a clean commit must not add wasted time"
+                ),
+                Err(_full) => {
+                    saw_abort = true;
+                    // Monotone: aborts only ever add wasted time (zero is
+                    // possible when the very first statement hits the
+                    // full arena before any time is charged).
+                    assert!(db.wasted_retry_time() >= last_wasted);
+                    last_wasted = db.wasted_retry_time();
+                    let upto = db.last_ts();
+                    for table in pushtap_chbench::ALL_TABLES {
+                        if db.table(table).chains().updated_row_count() > 0 {
+                            db.table_mut(table)
+                                .defragment(&cost, DefragStrategy::Hybrid, upto);
+                        }
+                    }
+                    db.execute(&txn, &mut mem, Ps::ZERO)
+                        .expect("retry after defrag");
+                }
+            }
+        }
+        assert!(saw_abort, "arenas this small must trigger DeltaFull");
+        assert!(
+            db.wasted_retry_time() > Ps::ZERO,
+            "mid-transaction aborts must have consumed time"
+        );
     }
 
     #[test]

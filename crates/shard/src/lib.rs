@@ -18,18 +18,22 @@
 //!   its ownership queries (home shard of a warehouse, of a customer
 //!   row, of a stock row);
 //! * [`TxnRouter`] — routes CH-benCHmark transactions to their home
-//!   shard and accounts remote-warehouse touches (the NewOrder stock
-//!   lines and Payment customers that live on other shards);
+//!   shard, accounts remote-warehouse touches (the NewOrder stock
+//!   lines and Payment customers that live on other shards), and stamps
+//!   every transaction's commit timestamp from the deployment's shared
+//!   [`pushtap_mvcc::TsOracle`] in *global stream order*;
 //! * [`ShardedHtap`] — the service: N independent [`pushtap_core::Pushtap`]
 //!   engines (fact tables warehouse-partitioned, dimension tables
-//!   replicated), OLTP batches executed concurrently under
-//!   `std::thread::scope`, and Q1/Q6/Q9 answered by scatter-gather with
+//!   replicated, all drawing timestamps from one oracle), OLTP batches
+//!   executed concurrently under `std::thread::scope`, and Q1/Q6/Q9
+//!   answered by global-cut scatter-gather with
 //!   [`pushtap_olap::merge_partials`];
 //! * [`ShardOltpReport`] / [`ShardQueryReport`] — per-shard and
 //!   aggregate accounting (routed counts, remote touches, makespan,
-//!   scatter latency, merge cost).
+//!   scatter latency, merge cost, wasted retry latency, the agreed
+//!   snapshot cut).
 //!
-//! # Value identity
+//! # Byte identity
 //!
 //! The load-time invariant (shards hold byte-identical slices of the
 //! global fact rows, full replicas of dimension rows — see
@@ -48,6 +52,18 @@
 //! all transaction classes abort and re-asserts the equality, and the
 //! shard reports surface the retry/abort counts
 //! ([`ShardOltpReport::aborts`]).
+//!
+//! The shared timestamp oracle lifts the invariant from values to raw
+//! bytes: commit timestamps are encoded into stored rows, and every
+//! shard commits under the globally-stream-ordered timestamps the
+//! router stamped, so a shard's committed table bytes — timestamp
+//! columns included — equal the corresponding rows of the unpartitioned
+//! reference (fully, for every table, under a warehouse-local mix;
+//! remote-owned CUSTOMER/STOCK touches are still modeled on local proxy
+//! rows pending two-phase commit). Scattered queries first agree on one
+//! cut — the oracle's watermark — and every shard snapshots at it, so a
+//! cross-shard answer reflects a single global snapshot
+//! ([`ShardQueryReport::global_cut`]) rather than per-shard clocks.
 //!
 //! # Examples
 //!

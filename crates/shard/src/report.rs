@@ -1,6 +1,7 @@
 //! Per-shard and aggregate accounting of the sharded service.
 
 use pushtap_core::{tpmc, OltpReport, QueryReport};
+use pushtap_mvcc::Ts;
 use pushtap_olap::QueryResult;
 use pushtap_pim::Ps;
 
@@ -106,6 +107,17 @@ impl ShardOltpReport {
     pub fn remote_time(&self) -> Ps {
         self.per_shard.iter().map(|s| s.remote_time).sum()
     }
+
+    /// Latency consumed by rolled-back attempts across all shards —
+    /// already included in each shard's transaction time (a retry
+    /// charges its failed attempt to the transaction's completion
+    /// latency).
+    pub fn wasted_retry_time(&self) -> Ps {
+        self.per_shard
+            .iter()
+            .map(|s| s.report.wasted_retry_time)
+            .sum()
+    }
 }
 
 /// The outcome of one scatter-gather analytical query.
@@ -120,12 +132,32 @@ pub struct ShardQueryReport {
     pub scatter_latency: Ps,
     /// Coordinator-side gather + merge time.
     pub merge_time: Ps,
+    /// The snapshot cut the coordinator agreed on (the shared oracle's
+    /// watermark) before scattering: every shard snapshot its slice at
+    /// this timestamp. The cut each shard *actually* observed is
+    /// recorded per shard in [`QueryReport::cut`] (`per_shard[i].cut`);
+    /// [`ShardQueryReport::global_cut`] cross-checks the two.
+    pub cut: Ts,
 }
 
 impl ShardQueryReport {
     /// End-to-end query latency: scatter (parallel) then merge.
     pub fn total(&self) -> Ps {
         self.scatter_latency + self.merge_time
+    }
+
+    /// The single global cut timestamp this query observed, if the cut
+    /// every shard actually snapshot at ([`QueryReport::cut`] in
+    /// `per_shard`) equals the coordinator's agreed cut — always true
+    /// for queries issued through `ShardedHtap::run_query`. `None` if
+    /// any shard disagrees (e.g. its forward-only snapshot sat past the
+    /// requested cut), so a consumer can never mistake coordinator
+    /// *intent* for what the shards observed.
+    pub fn global_cut(&self) -> Option<Ts> {
+        self.per_shard
+            .iter()
+            .all(|p| p.cut == self.cut)
+            .then_some(self.cut)
     }
 
     /// Total consistency (snapshotting) time paid across shards.

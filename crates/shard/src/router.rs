@@ -2,13 +2,14 @@
 //! accounting.
 
 use pushtap_chbench::Txn;
+use pushtap_mvcc::{Ts, TsOracle};
 
 use crate::partition::WarehouseMap;
 use crate::report::RemoteTouches;
 
-/// One routed transaction: its home shard and how many of its row
-/// touches land on *other* shards (charged as coordination hops by the
-/// service).
+/// One routed transaction: its home shard, how many of its row touches
+/// land on *other* shards (charged as coordination hops by the service),
+/// and its globally-ordered commit timestamp.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutedTxn {
     /// The transaction itself.
@@ -17,6 +18,14 @@ pub struct RoutedTxn {
     pub shard: u32,
     /// Touches owned by other shards.
     pub remote: u64,
+    /// The commit timestamp the home shard executes this transaction
+    /// under, drawn from the deployment's shared [`TsOracle`] in global
+    /// stream order by [`TxnRouter::route_batch`] ([`Ts::ZERO`] until
+    /// stamped). Stream-order assignment is what makes the sharded
+    /// deployment commit the exact timestamps a single-instance
+    /// reference would — and therefore byte-identical state, since
+    /// timestamps are encoded into stored rows.
+    pub ts: Ts,
 }
 
 /// Routes transactions by home warehouse and accounts cross-shard
@@ -44,7 +53,9 @@ impl TxnRouter {
         self.map.shard_of_warehouse(txn.home_warehouse())
     }
 
-    /// Routes one transaction, counting its remote touches.
+    /// Routes one transaction, counting its remote touches. The commit
+    /// timestamp is left unstamped ([`Ts::ZERO`]) — batch routing stamps
+    /// it from the deployment's oracle in stream order.
     pub fn route(&self, txn: Txn) -> RoutedTxn {
         let shard = self.map.shard_of_warehouse(txn.home_warehouse());
         let remote = match &txn {
@@ -58,17 +69,35 @@ impl TxnRouter {
                 stock_remote + u64::from(self.map.shard_of_customer(no.c_row) != shard)
             }
         };
-        RoutedTxn { txn, shard, remote }
+        RoutedTxn {
+            txn,
+            shard,
+            remote,
+            ts: Ts::ZERO,
+        }
     }
 
     /// Routes a batch into per-shard buckets (order-preserving within
-    /// each shard), returning the buckets plus the aggregate
-    /// remote-touch accounting.
-    pub fn route_batch(&self, batch: Vec<Txn>) -> (Vec<Vec<RoutedTxn>>, RemoteTouches) {
+    /// each shard), stamping every transaction's commit timestamp from
+    /// `oracle` in *global stream order* — transaction `i` of the batch
+    /// draws the `i`-th timestamp, exactly as a single unpartitioned
+    /// instance executing the same stream would allocate them. Returns
+    /// the buckets plus the aggregate remote-touch accounting.
+    ///
+    /// Stamping must happen here, before the buckets scatter to
+    /// concurrent shard threads: once execution interleaves across
+    /// threads, the stream order (the only order that matches the
+    /// single-instance reference) is gone.
+    pub fn route_batch(
+        &self,
+        batch: Vec<Txn>,
+        oracle: &TsOracle,
+    ) -> (Vec<Vec<RoutedTxn>>, RemoteTouches) {
         let mut buckets: Vec<Vec<RoutedTxn>> = (0..self.map.shards()).map(|_| Vec::new()).collect();
         let mut touches = RemoteTouches::default();
         for txn in batch {
-            let routed = self.route(txn);
+            let mut routed = self.route(txn);
+            routed.ts = oracle.allocate();
             touches.routed += 1;
             if routed.remote > 0 {
                 touches.cross_shard_txns += 1;
@@ -109,7 +138,7 @@ mod tests {
     fn single_shard_has_no_remote_touches() {
         let r = router(1);
         let mut gen = TxnGen::new(5, 8, 3000, 10_000, 10_000);
-        let (buckets, touches) = r.route_batch(gen.batch(300));
+        let (buckets, touches) = r.route_batch(gen.batch(300), &TsOracle::new());
         assert_eq!(buckets.len(), 1);
         assert_eq!(buckets[0].len(), 300);
         assert_eq!(touches.remote_touches, 0);
@@ -122,7 +151,7 @@ mod tests {
         // shards ~3/4 of every NewOrder's lines are remote.
         let r = router(4);
         let mut gen = TxnGen::new(5, 8, 3000, 10_000, 10_000);
-        let (buckets, touches) = r.route_batch(gen.batch(400));
+        let (buckets, touches) = r.route_batch(gen.batch(400), &TsOracle::new());
         assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 400);
         assert!(touches.cross_shard_txns > 0);
         assert!(touches.remote_touches > touches.cross_shard_txns);
@@ -137,7 +166,7 @@ mod tests {
         let r = router(2);
         let mut gen = TxnGen::new(11, 8, 3000, 10_000, 10_000);
         let batch = gen.batch(100);
-        let (buckets, _) = r.route_batch(batch.clone());
+        let (buckets, _) = r.route_batch(batch.clone(), &TsOracle::new());
         let mut replayed: Vec<Vec<Txn>> = vec![Vec::new(); 2];
         for txn in batch {
             let s = r.home_shard(&txn);
@@ -147,6 +176,38 @@ mod tests {
             let got: Vec<&Txn> = bucket.iter().map(|r| &r.txn).collect();
             let want: Vec<&Txn> = expect.iter().collect();
             assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn route_batch_stamps_timestamps_in_stream_order() {
+        let r = router(4);
+        let mut gen = TxnGen::new(5, 8, 3000, 10_000, 10_000);
+        let batch = gen.batch(200);
+        let oracle = TsOracle::new();
+        let (buckets, _) = r.route_batch(batch.clone(), &oracle);
+        assert_eq!(oracle.watermark(), Ts(200));
+        // Reconstruct the global order: timestamp i+1 must belong to the
+        // i-th transaction of the stream, whatever bucket it landed in.
+        let mut by_ts: Vec<Option<&Txn>> = vec![None; 201];
+        for routed in buckets.iter().flatten() {
+            assert!(routed.ts > Ts::ZERO, "unstamped transaction");
+            assert!(
+                by_ts[routed.ts.0 as usize].is_none(),
+                "duplicate {}",
+                routed.ts
+            );
+            by_ts[routed.ts.0 as usize] = Some(&routed.txn);
+        }
+        for (i, txn) in batch.iter().enumerate() {
+            assert_eq!(by_ts[i + 1], Some(txn), "stream position {i}");
+        }
+        // Within each bucket, stamped timestamps are strictly increasing
+        // (the per-engine MVCC monotonicity precondition).
+        for bucket in &buckets {
+            for w in bucket.windows(2) {
+                assert!(w[0].ts < w[1].ts);
+            }
         }
     }
 }

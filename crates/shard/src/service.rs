@@ -1,11 +1,13 @@
 //! The sharded HTAP service: N PUSHtap engines behind one router and one
 //! scatter-gather coordinator.
 
+use std::sync::Arc;
 use std::thread;
 
 use pushtap_chbench::TxnGen;
 use pushtap_core::{Pushtap, QueryReport};
 use pushtap_format::LayoutError;
+use pushtap_mvcc::TsOracle;
 use pushtap_olap::{merge_partials, Query};
 use pushtap_oltp::Partition;
 use pushtap_pim::Ps;
@@ -23,11 +25,21 @@ use crate::router::{RoutedTxn, TxnRouter};
 /// tables. Transactions route by home warehouse; analytical queries
 /// scatter to every shard (each runs its snapshot + two-phase PIM scan
 /// concurrently) and gather by merging distributive partials.
+///
+/// All shards share one [`TsOracle`]: the coordinator stamps every
+/// routed transaction with a timestamp drawn in global stream order, so
+/// the deployment commits the *exact* timestamp sequence a single
+/// unpartitioned instance would — and, timestamps being encoded into
+/// stored rows, holds byte-identical committed state. Analytical queries
+/// agree on the oracle's watermark as a global snapshot cut before
+/// scattering, so a cross-shard answer reflects one consistent cut
+/// rather than per-shard clocks.
 #[derive(Debug)]
 pub struct ShardedHtap {
     cfg: ShardConfig,
     router: TxnRouter,
     shards: Vec<Pushtap>,
+    oracle: Arc<TsOracle>,
 }
 
 impl ShardedHtap {
@@ -44,14 +56,29 @@ impl ShardedHtap {
     pub fn new(cfg: ShardConfig) -> Result<ShardedHtap, LayoutError> {
         assert!(cfg.shards > 0, "need at least one shard");
         let map = WarehouseMap::new(&cfg.base.db, cfg.shards);
+        let oracle = Arc::new(TsOracle::new());
         let shards = (0..cfg.shards)
-            .map(|i| Pushtap::new_partitioned(cfg.base.clone(), Partition::of(i, cfg.shards)))
-            .collect::<Result<Vec<_>, _>>()?;
+            .map(|i| {
+                let mut shard =
+                    Pushtap::new_partitioned(cfg.base.clone(), Partition::of(i, cfg.shards))?;
+                // One timestamp sequence for the whole deployment: the
+                // precondition for byte identity with the single-instance
+                // reference and for global-cut snapshots.
+                shard.share_timestamps(Arc::clone(&oracle));
+                Ok(shard)
+            })
+            .collect::<Result<Vec<_>, LayoutError>>()?;
         Ok(ShardedHtap {
             router: TxnRouter::new(map),
             cfg,
             shards,
+            oracle,
         })
+    }
+
+    /// The deployment-wide timestamp oracle all shards draw from.
+    pub fn ts_oracle(&self) -> &Arc<TsOracle> {
+        &self.oracle
     }
 
     /// The configuration in effect.
@@ -111,10 +138,14 @@ impl ShardedHtap {
     }
 
     /// Routes `n` transactions from a global stream to their home shards
-    /// and executes the per-shard batches concurrently.
+    /// and executes the per-shard batches concurrently. Every transaction
+    /// is stamped with its stream-order timestamp from the shared oracle
+    /// at routing time, so the concurrent shards commit exactly the
+    /// timestamps a single unpartitioned instance executing the same
+    /// stream would.
     pub fn run_txns(&mut self, gen: &mut TxnGen, n: u64) -> ShardOltpReport {
         let batch = gen.batch(n as usize);
-        let (buckets, remote) = self.router.route_batch(batch);
+        let (buckets, remote) = self.router.route_batch(batch, &self.oracle);
         let per_shard = self.execute_buckets(buckets);
         ShardOltpReport { per_shard, remote }
     }
@@ -130,7 +161,7 @@ impl ShardedHtap {
             .iter_mut()
             .flat_map(|g| g.batch(per_shard as usize))
             .collect();
-        let (buckets, remote) = self.router.route_batch(batch);
+        let (buckets, remote) = self.router.route_batch(batch, &self.oracle);
         let per_shard = self.execute_buckets(buckets);
         ShardOltpReport { per_shard, remote }
     }
@@ -170,19 +201,28 @@ impl ShardedHtap {
         })
     }
 
-    /// Answers `query` by scatter-gather: every shard snapshots and runs
-    /// its partial concurrently (two-phase PIM scan over its slice), the
+    /// Answers `query` by global-cut scatter-gather: the coordinator
+    /// first agrees on the snapshot cut — the shared oracle's current
+    /// watermark — then every shard snapshots *at that cut* and runs its
+    /// partial concurrently (two-phase PIM scan over its slice), and the
     /// coordinator merges the distributive partials.
     ///
-    /// The merged result is value-identical to running the query on a
-    /// single unpartitioned instance that executed the same committed
-    /// transaction stream.
+    /// Because every shard cuts at the same timestamp, the merged answer
+    /// reflects one consistent global snapshot (every transaction with a
+    /// timestamp at or below the cut, nothing newer) rather than each
+    /// shard's own clock, and is value-identical to running the query on
+    /// a single unpartitioned instance that executed the same committed
+    /// transaction stream up to the cut. The agreed cut is recorded in
+    /// [`ShardQueryReport::cut`].
     pub fn run_query(&mut self, query: Query) -> ShardQueryReport {
+        // Agree on the cut before scattering: the oracle's watermark
+        // bounds every committed timestamp on every shard.
+        let cut = self.oracle.watermark();
         let partials: Vec<QueryReport> = thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter_mut()
-                .map(|shard| scope.spawn(move || shard.run_query(query)))
+                .map(|shard| scope.spawn(move || shard.run_query_at(query, cut)))
                 .collect();
             handles
                 .into_iter()
@@ -203,19 +243,25 @@ impl ShardedHtap {
             per_shard: partials,
             scatter_latency,
             merge_time,
+            cut,
         }
     }
 }
 
 /// Executes one shard's routed bucket, charging a coordination hop per
-/// remote touch on top of the engine's own transaction timing.
+/// remote touch on top of the engine's own transaction timing. Every
+/// transaction executes under the globally-ordered timestamp the router
+/// stamped it with from the shared oracle (`RoutedTxn::ts`), so this
+/// shard commits exactly the timestamps the single-instance reference
+/// would — a `DeltaFull` retry re-runs under the same pinned timestamp.
 fn run_bucket(shard: &mut Pushtap, bucket: Vec<RoutedTxn>, hop: Ps) -> ShardLoad {
     let start = shard.now();
     let mut load = ShardLoad::default();
     for routed in bucket {
         let before = shard.now();
         let aborts_before = shard.db().aborts();
-        let (result, pause) = shard.execute_txn(&routed.txn);
+        let wasted_before = shard.db().wasted_retry_time();
+        let (result, pause) = shard.execute_txn_at(&routed.txn, routed.ts);
         let remote_time = hop * routed.remote;
         if routed.remote > 0 {
             shard.advance(remote_time);
@@ -233,6 +279,8 @@ fn run_bucket(shard: &mut Pushtap, bucket: Vec<RoutedTxn>, hop: Ps) -> ShardLoad
             load.report.defrag_passes += 1;
         }
         load.report.defrag_time += pause;
+        load.report.wasted_retry_time +=
+            shard.db().wasted_retry_time().saturating_sub(wasted_before);
         load.report.txn_time += shard
             .now()
             .saturating_sub(before)
@@ -337,6 +385,27 @@ mod tests {
         assert_eq!(revenue, partials);
         assert!(q6.merge_time > Ps::ZERO);
         assert!(q6.total() >= q6.scatter_latency);
+    }
+
+    #[test]
+    fn one_oracle_drives_all_shards_and_queries_record_the_cut() {
+        let mut s = service(4);
+        let mut gen = s.global_txn_gen(13);
+        s.run_txns(&mut gen, 96);
+        // Stream-order stamping: the oracle handed out exactly one
+        // timestamp per routed transaction, and every shard sees the
+        // deployment watermark.
+        assert_eq!(s.ts_oracle().watermark().0, 96);
+        for shard in s.shards() {
+            assert_eq!(shard.db().last_ts().0, 96);
+        }
+        // The scattered query agrees on one cut and records it.
+        let q = s.run_query(Query::Q6);
+        assert_eq!(q.cut, pushtap_mvcc::Ts(96));
+        assert_eq!(q.global_cut(), Some(pushtap_mvcc::Ts(96)));
+        for p in &q.per_shard {
+            assert_eq!(p.cut.0, 96, "every shard snapshot at the agreed cut");
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Sharded HTAP: scale PUSHtap out to N warehouse-partitioned engines,
-//! route a global TPC-C stream, and answer Q1/Q6/Q9 by scatter-gather —
-//! with merged results value-identical to a single-instance execution.
+//! route a global TPC-C stream (timestamps drawn from one shared oracle
+//! in stream order, so committed state is byte-identical to a
+//! single-instance execution), and answer Q1/Q6/Q9 by global-cut
+//! scatter-gather.
 //!
 //! Run with: `cargo run --release --example sharded_htap [shards]`
 
@@ -32,6 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         oltp.parallel_efficiency(),
     );
     println!(
+        "global timestamp oracle at {} ({} delta-pressure retries, {} wasted attempt time)",
+        service.ts_oracle().watermark(),
+        oltp.aborts(),
+        oltp.wasted_retry_time(),
+    );
+    println!(
         "cross-shard: {:.1}% of txns touched a remote shard ({} remote row touches, {} coordination time)",
         oltp.remote.cross_shard_fraction() * 100.0,
         oltp.remote.remote_touches,
@@ -53,8 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             QueryResult::Q6 { revenue } => format!("revenue {revenue}"),
             QueryResult::Q9(rows) => format!("{} join groups", rows.len()),
         };
+        let cut = report.global_cut().expect("one agreed cut");
         println!(
-            "{}: {:>12}  scatter {} (slowest shard) + merge {} = {}  [{} partial rows gathered]",
+            "{}: {:>12}  cut {cut}  scatter {} (slowest shard) + merge {} = {}  [{} partial rows gathered]",
             q.name(),
             summary,
             report.scatter_latency,
