@@ -1,22 +1,29 @@
-//! Shard-scaling experiment: aggregate OLTP throughput (tpmC) and
-//! scatter-gather query latency as the deployment grows from 1 to N
-//! warehouse-partitioned shards over one fixed global population.
+//! Shard-scaling experiment: aggregate OLTP throughput (tpmC),
+//! two-phase-commit cost, and scatter-gather query latency as the
+//! deployment grows from 1 to N warehouse-partitioned shards over one
+//! fixed global population.
 //!
 //! Two load shapes are measured:
 //!
 //! * **routed** — one global transaction stream routed by home
-//!   warehouse, so NewOrder stock lines and Payment customers cross
-//!   shards and pay the coordination hop;
+//!   warehouse; transactions whose NewOrder stock lines or Payment
+//!   customers live on other shards run as coordinator-driven two-phase
+//!   commits (effects forwarded to their owners, prepare/commit rounds
+//!   charged per [`pushtap_shard::CommitConfig`]);
 //! * **local** — per-shard warehouse-local streams (the perfectly
 //!   partitionable upper bound).
 //!
 //! The interesting gap is between the two: it is the price of
-//! cross-shard coordination at this hop latency, the scale-out analogue
-//! of the paper's single-instance consistency costs. How wide the gap is
-//! depends on the workload's remote-warehouse rate, so the sweep takes a
-//! [`RemoteMix`]: the uniform draw (≈ (k−1)/k of touches remote at k
-//! shards — a worst case) versus TPC-C's specified 1 % (NewOrder) /
-//! 15 % (Payment) remote probabilities.
+//! cross-shard atomic commitment at these hop latencies, the scale-out
+//! analogue of the paper's single-instance consistency costs. How wide
+//! the gap is depends on the workload's remote-warehouse rate, so the
+//! sweep covers three [`RemoteMix`]es: the fully local mix (0 % remote —
+//! 2PC never fires), TPC-C's specified 1 % (NewOrder) / 15 % (Payment)
+//! remote probabilities, and the uniform draw (≈ (k−1)/k of touches
+//! remote at k shards — a worst case). The 2PC columns report the
+//! cross-shard transaction fraction, the effects forwarded to remote
+//! owners, and the share of deployment busy time spent on commit
+//! rounds.
 
 use pushtap_chbench::RemoteMix;
 use pushtap_olap::Query;
@@ -34,8 +41,20 @@ pub struct ShardPoint {
     pub routed_tpmc: f64,
     /// Aggregate tpmC of perfectly-partitioned local streams.
     pub local_tpmc: f64,
-    /// Fraction of routed transactions touching a remote shard.
+    /// Fraction of routed transactions touching a remote shard (each
+    /// runs as a two-phase commit).
     pub cross_shard_fraction: f64,
+    /// Effects applied on non-home shards on behalf of forwarded
+    /// transactions during the routed batch.
+    pub forwarded_effects: u64,
+    /// Two-phase-commit message rounds charged during the routed batch.
+    pub commit_rounds: u64,
+    /// Share of the deployment's summed busy time spent on 2PC message
+    /// rounds during the routed batch.
+    pub two_pc_time_share: f64,
+    /// Prepared scopes aborted by coordinator decisions (participant
+    /// `DeltaFull` votes) during the routed batch.
+    pub participant_aborts: u64,
     /// Realised parallel speedup of the routed batch (≤ shards).
     pub parallel_efficiency: f64,
     /// End-to-end scatter-gather Q6 latency.
@@ -67,6 +86,10 @@ pub fn sweep(shard_counts: &[u32], txns: u64, cores: u32, mix: RemoteMix) -> Vec
                 routed_tpmc: routed.tpmc(cores),
                 local_tpmc: local.tpmc(cores),
                 cross_shard_fraction: routed.remote.cross_shard_fraction(),
+                forwarded_effects: routed.forwarded_effects(),
+                commit_rounds: routed.commit_rounds(),
+                two_pc_time_share: routed.two_pc_time_share(),
+                participant_aborts: routed.participant_aborts(),
                 parallel_efficiency: routed.parallel_efficiency(),
                 q6_latency: q6.total(),
                 q1_latency: q1.total(),
@@ -79,16 +102,31 @@ pub fn sweep(shard_counts: &[u32], txns: u64, cores: u32, mix: RemoteMix) -> Vec
 fn print_table(mix: RemoteMix, label: &str) {
     println!("-- remote-warehouse mix: {label} --");
     println!(
-        "{:>6} {:>14} {:>14} {:>8} {:>8} {:>12} {:>12} {:>12}",
-        "shards", "routed tpmC", "local tpmC", "x-shard", "par.eff", "Q1", "Q6", "Q9"
+        "{:>6} {:>12} {:>12} {:>8} {:>9} {:>8} {:>9} {:>8} {:>8} {:>10} {:>10} {:>10}",
+        "shards",
+        "routed tpmC",
+        "local tpmC",
+        "x-shard",
+        "fwd.eff",
+        "rounds",
+        "2pc time",
+        "p.abort",
+        "par.eff",
+        "Q1",
+        "Q6",
+        "Q9"
     );
-    for p in sweep(&[1, 2, 4], 400, 16, mix) {
+    for p in sweep(&[1, 2, 4, 8], 400, 16, mix) {
         println!(
-            "{:>6} {:>14.0} {:>14.0} {:>7.1}% {:>8.2} {:>12} {:>12} {:>12}",
+            "{:>6} {:>12.0} {:>12.0} {:>7.1}% {:>9} {:>8} {:>8.2}% {:>8} {:>8.2} {:>10} {:>10} {:>10}",
             p.shards,
             p.routed_tpmc,
             p.local_tpmc,
             p.cross_shard_fraction * 100.0,
+            p.forwarded_effects,
+            p.commit_rounds,
+            p.two_pc_time_share * 100.0,
+            p.participant_aborts,
             p.parallel_efficiency,
             p.q1_latency,
             p.q6_latency,
@@ -99,10 +137,11 @@ fn print_table(mix: RemoteMix, label: &str) {
 
 /// Prints the shard-scaling tables, one per remote-warehouse mix.
 pub fn print_all() {
-    println!("== Shard scaling: aggregate tpmC and scatter-gather latency ==");
+    println!("== Shard scaling: aggregate tpmC, 2PC cost, scatter-gather latency ==");
     println!("(small population, 8 warehouses, 400 routed txns per point)");
-    print_table(RemoteMix::Uniform, "uniform (worst case)");
+    print_table(RemoteMix::LOCAL, "warehouse-local (0% remote, no 2PC)");
     print_table(RemoteMix::TPCC, "TPC-C 1% NewOrder / 15% Payment");
+    print_table(RemoteMix::Uniform, "uniform (worst case)");
 }
 
 #[cfg(test)]
@@ -124,17 +163,28 @@ mod tests {
             four.local_tpmc,
             one.local_tpmc
         );
-        // A single shard sees no cross-shard traffic; four shards must.
+        // A single shard sees no cross-shard traffic and runs no 2PC;
+        // four shards must do both.
         assert_eq!(one.cross_shard_fraction, 0.0);
+        assert_eq!(one.forwarded_effects, 0);
+        assert_eq!(one.commit_rounds, 0);
         assert!(four.cross_shard_fraction > 0.5);
+        assert!(four.forwarded_effects > 0);
+        assert!(four.commit_rounds > 0);
+        assert!(four.two_pc_time_share > 0.0);
     }
 
     /// The TPC-C remote rates cut cross-shard coordination by an order
-    /// of magnitude against the uniform worst case.
+    /// of magnitude against the uniform worst case, and the fully local
+    /// mix never fires 2PC at all.
     #[test]
-    fn tpcc_mix_coordinates_far_less_than_uniform() {
-        let uniform = sweep(&[4], 150, 16, RemoteMix::Uniform);
+    fn remote_mixes_order_two_pc_cost() {
+        let local = sweep(&[4], 150, 16, RemoteMix::LOCAL);
         let tpcc = sweep(&[4], 150, 16, RemoteMix::TPCC);
+        let uniform = sweep(&[4], 150, 16, RemoteMix::Uniform);
+        assert_eq!(local[0].cross_shard_fraction, 0.0);
+        assert_eq!(local[0].forwarded_effects, 0);
+        assert_eq!(local[0].two_pc_time_share, 0.0);
         assert!(
             tpcc[0].cross_shard_fraction < uniform[0].cross_shard_fraction * 0.5,
             "TPC-C {} vs uniform {}",
@@ -145,5 +195,8 @@ mod tests {
         // ≥5 lines at 1%: expect a low-but-nonzero cross-shard rate.
         assert!(tpcc[0].cross_shard_fraction > 0.0);
         assert!(tpcc[0].cross_shard_fraction < 0.35);
+        assert!(tpcc[0].forwarded_effects > 0);
+        assert!(tpcc[0].forwarded_effects < uniform[0].forwarded_effects);
+        assert!(tpcc[0].commit_rounds < uniform[0].commit_rounds);
     }
 }

@@ -8,9 +8,9 @@ use std::sync::Arc;
 
 use pushtap_chbench::{Table, Txn, TxnGen};
 use pushtap_format::LayoutError;
-use pushtap_mvcc::{DefragCostModel, DefragStats, DefragStrategy, Ts, TsOracle};
+use pushtap_mvcc::{DefragCostModel, DefragStats, DefragStrategy, DeltaFull, Ts, TsOracle};
 use pushtap_olap::{Query, QueryResult, QueryTiming, ScanEngine};
-use pushtap_oltp::{Breakdown, DbConfig, Partition, TpccDb, TxnResult};
+use pushtap_oltp::{Breakdown, DbConfig, Partition, TaggedEffect, TpccDb, TxnResult, TxnRole};
 use pushtap_pim::{ControlArch, MemSystem, Ps, SystemConfig};
 
 /// Fixed overhead of one defragmentation pass: worker-thread creation and
@@ -69,11 +69,33 @@ pub struct OltpReport {
     /// committing.
     pub retried_txns: u64,
     /// Latency consumed by rolled-back attempts (statements executed
-    /// before a mid-transaction [`DeltaFull`](pushtap_mvcc::DeltaFull)).
+    /// before a mid-transaction [`DeltaFull`](pushtap_mvcc::DeltaFull),
+    /// plus prepared work a two-phase-commit coordinator aborted).
     /// Their memory traffic hits the simulated memory system, so their
     /// time is charged to the transaction's completion latency too: this
     /// is the share of [`OltpReport::txn_time`] that retries wasted.
     pub wasted_retry_time: Ps,
+    /// Two-phase commit: transactions on this engine that went through a
+    /// prepare phase — as coordinator of a cross-shard transaction or as
+    /// a remote participant holding a forwarded effect set. Zero on a
+    /// single-instance run (one-phase commit pays no prepare round).
+    pub prepared_txns: u64,
+    /// Prepared scopes this engine rolled back on a coordinator's abort
+    /// decision (some participant of the transaction hit
+    /// [`DeltaFull`](pushtap_mvcc::DeltaFull) and the whole transaction
+    /// aborted everywhere before its retry).
+    pub participant_aborts: u64,
+    /// Effects this engine applied on behalf of transactions *homed on
+    /// other shards* (forwarded remote-owned writes and reads).
+    pub forwarded_effects: u64,
+    /// Two-phase-commit message rounds charged to this engine's clock
+    /// (prepare deliveries, commit/abort deliveries, and — on the
+    /// coordinator — the decision round-trip).
+    pub commit_rounds: u64,
+    /// Latency those message rounds cost this engine (not included in
+    /// [`OltpReport::txn_time`], mirroring how the shard layer separates
+    /// coordination time from engine time).
+    pub two_pc_time: Ps,
     /// Component breakdown across all transactions.
     pub breakdown: Breakdown,
 }
@@ -92,6 +114,37 @@ impl OltpReport {
         } else {
             self.defrag_time.ps() as f64 / self.total_time().ps() as f64
         }
+    }
+
+    /// Share of this engine's wall-clock (transactions + pauses + 2PC
+    /// rounds) spent on two-phase-commit messaging — the scale-out
+    /// analogue of the paper's single-instance consistency costs.
+    pub fn two_pc_time_share(&self) -> f64 {
+        let total = self.total_time() + self.two_pc_time;
+        if total == Ps::ZERO {
+            0.0
+        } else {
+            self.two_pc_time.ps() as f64 / total.ps() as f64
+        }
+    }
+
+    /// Accumulates `other` into this report (all counters and times sum;
+    /// breakdowns merge). Used by the shard coordinator to fold
+    /// per-flush partial reports into each shard's batch report.
+    pub fn merge(&mut self, other: &OltpReport) {
+        self.committed += other.committed;
+        self.txn_time += other.txn_time;
+        self.defrag_time += other.defrag_time;
+        self.defrag_passes += other.defrag_passes;
+        self.aborts += other.aborts;
+        self.retried_txns += other.retried_txns;
+        self.wasted_retry_time += other.wasted_retry_time;
+        self.prepared_txns += other.prepared_txns;
+        self.participant_aborts += other.participant_aborts;
+        self.forwarded_effects += other.forwarded_effects;
+        self.commit_rounds += other.commit_rounds;
+        self.two_pc_time += other.two_pc_time;
+        self.breakdown.merge(&other.breakdown);
     }
 }
 
@@ -291,11 +344,76 @@ impl Pushtap {
         self.execute_with(txn, Some(ts))
     }
 
-    fn execute_with(&mut self, txn: &Txn, pinned: Option<Ts>) -> (TxnResult, Ps) {
-        let mut pause = Ps::ZERO;
+    /// Runs the periodic defragmentation check: if the configured period
+    /// has elapsed since the last pass, defragments every table and
+    /// returns the pause (zero otherwise). [`Pushtap::execute_txn`] runs
+    /// this automatically; the shard coordinator calls it explicitly
+    /// before starting a two-phase-commit transaction, because
+    /// defragmentation must never run while a transaction scope is open.
+    pub fn defrag_if_due(&mut self) -> Ps {
         if self.cfg.defrag_period > 0 && self.txns_since_defrag >= self.cfg.defrag_period {
-            pause += self.defragment_all().1;
+            self.defragment_all().1
+        } else {
+            Ps::ZERO
         }
+    }
+
+    /// Applies an effect set at pinned timestamp `ts` and parks the
+    /// engine's scope *prepared* (see
+    /// [`TpccDb::prepare_effects`](pushtap_oltp::TpccDb::prepare_effects)),
+    /// advancing this engine's clock by the prepare's latency. On
+    /// [`DeltaFull`] the partial effects are already rolled back and the
+    /// clock advances by the failed attempt's latency (its memory
+    /// traffic hit the simulated memory system); the caller — the shard
+    /// coordinator — decides where to defragment and when to retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeltaFull`] when a delta arena filled mid-prepare: this
+    /// engine votes "no" holding no state.
+    pub fn prepare_effects_at(
+        &mut self,
+        effects: &[TaggedEffect],
+        ts: Ts,
+    ) -> Result<TxnResult, DeltaFull> {
+        let wasted_before = self.db.wasted_retry_time();
+        match self
+            .db
+            .prepare_effects(effects, ts, &mut self.mem, self.now)
+        {
+            Ok(r) => {
+                self.now = r.end;
+                Ok(r)
+            }
+            Err(full) => {
+                self.now += self.db.wasted_retry_time().saturating_sub(wasted_before);
+                Err(full)
+            }
+        }
+    }
+
+    /// Delivers the coordinator's commit decision for the prepared scope
+    /// (see [`TpccDb::commit_prepared`](pushtap_oltp::TpccDb::commit_prepared)).
+    /// The prepare already flushed the write set, so the decision is
+    /// metadata-only and costs no engine time; message-round latency is
+    /// charged separately by the coordinator.
+    pub fn commit_prepared(&mut self, ts: Ts, role: TxnRole) {
+        self.db.commit_prepared(ts, role);
+        if role == TxnRole::Coordinator {
+            self.txns_since_defrag += 1;
+        }
+    }
+
+    /// Delivers the coordinator's abort decision for the prepared scope:
+    /// every pinned effect rolls back and the prepare's latency is
+    /// charged to wasted retry time (the clock already covered it — the
+    /// work really happened before it was thrown away).
+    pub fn abort_prepared(&mut self) {
+        self.db.abort_prepared();
+    }
+
+    fn execute_with(&mut self, txn: &Txn, pinned: Option<Ts>) -> (TxnResult, Ps) {
+        let mut pause = self.defrag_if_due();
         loop {
             let wasted_before = self.db.wasted_retry_time();
             let r = match pinned {

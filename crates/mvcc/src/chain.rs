@@ -5,7 +5,7 @@
 //! metadata is not required by PIM units", §5.1); the versions' *data*
 //! lives in the delta region of the unified format.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use pushtap_format::RowSlot;
 
@@ -43,6 +43,12 @@ pub struct VersionChains {
     meta: HashMap<RowSlot, VersionMeta>,
     log: Vec<LogEntry>,
     traverse_steps: u64,
+    /// Versions written by a prepared-but-uncommitted two-phase-commit
+    /// participant scope. They sit on the chains (the scope's writes are
+    /// applied in place) but the coordinator has not yet decided their
+    /// fate: commit clears the marks, abort removes the versions via
+    /// [`VersionChains::undo_update`].
+    prepared: HashSet<RowSlot>,
 }
 
 impl VersionChains {
@@ -140,6 +146,36 @@ impl VersionChains {
         &self.log
     }
 
+    /// Marks the newest version of `row` as prepared-but-uncommitted:
+    /// written by a two-phase-commit scope whose coordinator decision is
+    /// still pending. Called when a participant parks its scope after
+    /// applying a forwarded effect set.
+    pub fn mark_prepared(&mut self, row: u64) {
+        let slot = self.newest_slot(row);
+        debug_assert!(
+            matches!(slot, RowSlot::Delta { .. }),
+            "prepared mark on an origin version of row {row}"
+        );
+        self.prepared.insert(slot);
+    }
+
+    /// Resolves every prepared mark as committed (the coordinator's
+    /// commit decision arrived). Returns the number of versions promoted.
+    pub fn commit_prepared(&mut self) -> usize {
+        let n = self.prepared.len();
+        self.prepared.clear();
+        n
+    }
+
+    /// Number of prepared-but-uncommitted versions currently sitting on
+    /// the chains. Zero whenever no two-phase commit is in flight — the
+    /// invariant the participant-abort tests assert, and a precondition
+    /// for snapshotting (a snapshot must never publish an undecided
+    /// version).
+    pub fn prepared_count(&self) -> usize {
+        self.prepared.len()
+    }
+
     /// Reverses the most recent [`VersionChains::record_update`] — the
     /// chain half of transaction rollback. Removes the newest version of
     /// `row` from the chain, the metadata map, and the commit-log tail,
@@ -178,6 +214,7 @@ impl VersionChains {
             .remove(&e.new_slot)
             .expect("undone version must have metadata");
         debug_assert_eq!(m.prev, Some(e.prev_slot), "chain/log disagree");
+        self.prepared.remove(&e.new_slot);
         match e.prev_slot {
             // The row had an older delta version: restore it as newest.
             RowSlot::Delta { .. } => {
@@ -214,7 +251,17 @@ impl VersionChains {
     /// Clears all chains and the log after defragmentation moved every
     /// newest version back to the data region. Returns the number of
     /// versions discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any version is still prepared-but-uncommitted:
+    /// defragmenting would fold an undecided write into the data region.
     pub fn clear_after_defrag(&mut self) -> usize {
+        assert!(
+            self.prepared.is_empty(),
+            "defragmentation with {} prepared-but-uncommitted versions",
+            self.prepared.len()
+        );
         let versions = self.meta.len();
         self.newest.clear();
         self.meta.clear();
@@ -340,5 +387,30 @@ mod tests {
         let mut c = VersionChains::new();
         c.record_update(1, delta(0, 0), Ts(5));
         c.record_update(1, delta(0, 1), Ts(5));
+    }
+
+    #[test]
+    fn prepared_marks_resolve_on_commit_and_abort() {
+        let mut c = VersionChains::new();
+        c.record_update(3, delta(0, 0), Ts(1));
+        c.mark_prepared(3);
+        c.record_update(7, delta(0, 1), Ts(1));
+        c.mark_prepared(7);
+        assert_eq!(c.prepared_count(), 2);
+        // Abort decision: undoing the write clears its mark.
+        assert_eq!(c.undo_update(7), delta(0, 1));
+        assert_eq!(c.prepared_count(), 1);
+        // Commit decision: the surviving mark is promoted.
+        assert_eq!(c.commit_prepared(), 1);
+        assert_eq!(c.prepared_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prepared-but-uncommitted")]
+    fn defrag_with_prepared_versions_panics() {
+        let mut c = VersionChains::new();
+        c.record_update(3, delta(0, 0), Ts(1));
+        c.mark_prepared(3);
+        c.clear_after_defrag();
     }
 }

@@ -19,7 +19,13 @@
 //! * [`UndoLog`]/[`UndoRecord`] — the in-transaction undo log that makes
 //!   the whole-transaction retry on [`DeltaFull`] *atomic*: partial
 //!   effects (slot allocations, chain growth, row writes, index and
-//!   insert-ring cursor movements) roll back before re-execution;
+//!   insert-ring cursor movements) roll back before re-execution. A
+//!   scope can also be parked *prepared* ([`UndoLog::prepare`]) — the
+//!   participant half of the shard layer's simulated two-phase commit
+//!   pins the records until the coordinator's commit/abort decision,
+//!   and [`VersionChains`] tracks the corresponding
+//!   prepared-but-uncommitted versions
+//!   ([`VersionChains::prepared_count`]);
 //! * [`Snapshot`] — the per-device visibility bitmaps, updated
 //!   incrementally from the log (§5.2, Fig. 6(c));
 //! * [`DefragCostModel`] — Equations 1–3 and the CPU/PIM/Hybrid strategy

@@ -15,6 +15,16 @@
 //! metadata, like the version chains (§5.1): rollback costs no simulated
 //! memory traffic.
 //!
+//! # The prepared state (two-phase commit)
+//!
+//! A scope can additionally be *prepared* ([`UndoLog::prepare`]): the
+//! participant half of a simulated two-phase commit applies a forwarded
+//! effect set, then parks the scope with its undo records pinned while
+//! the coordinator collects votes. A prepared scope accepts no further
+//! records; the coordinator's decision resolves it through the ordinary
+//! [`UndoLog::commit`] (keep everything) or [`UndoLog::abort`] (hand the
+//! pinned records back for reverse replay).
+//!
 //! [`DeltaFull`]: crate::DeltaFull
 //!
 //! # Examples
@@ -85,6 +95,19 @@ pub enum UndoRecord {
     },
 }
 
+/// The lifecycle of one transaction scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum ScopeState {
+    /// No scope open: mutations are unrecorded.
+    #[default]
+    Inactive,
+    /// A scope is open and recording.
+    Active,
+    /// The scope is prepared: records are pinned awaiting the
+    /// coordinator's commit/abort decision; no further records accepted.
+    Prepared,
+}
+
 /// The undo log of one table: records mutations while a transaction
 /// scope is active, hands them back newest-first on abort.
 ///
@@ -93,7 +116,7 @@ pub enum UndoRecord {
 #[derive(Debug, Clone, Default)]
 pub struct UndoLog {
     records: Vec<UndoRecord>,
-    active: bool,
+    state: ScopeState,
 }
 
 impl UndoLog {
@@ -107,25 +130,56 @@ impl UndoLog {
     ///
     /// # Panics
     ///
-    /// Panics if a scope is already active (nested transactions are not
-    /// modeled).
+    /// Panics if a scope is already open (nested transactions are not
+    /// modeled), including a prepared one awaiting its decision.
     pub fn begin(&mut self) {
-        assert!(!self.active, "nested transaction scope");
+        assert!(
+            self.state == ScopeState::Inactive,
+            "nested transaction scope"
+        );
         debug_assert!(
             self.records.is_empty(),
             "records leaked from previous scope"
         );
-        self.active = true;
+        self.state = ScopeState::Active;
     }
 
-    /// Whether a transaction scope is active.
+    /// Whether a transaction scope is open (active or prepared).
     pub fn is_active(&self) -> bool {
-        self.active
+        self.state != ScopeState::Inactive
+    }
+
+    /// Whether the scope is prepared (pinned, awaiting the coordinator's
+    /// decision).
+    pub fn is_prepared(&self) -> bool {
+        self.state == ScopeState::Prepared
+    }
+
+    /// Parks the open scope in the prepared state: the records so far are
+    /// pinned for the coordinator's decision, and any further
+    /// [`UndoLog::record`] is a protocol violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless a scope is active (and not already prepared).
+    pub fn prepare(&mut self) {
+        assert!(
+            self.state == ScopeState::Active,
+            "prepare outside an active scope"
+        );
+        self.state = ScopeState::Prepared;
     }
 
     /// Number of records in the current scope.
     pub fn len(&self) -> usize {
         self.records.len()
+    }
+
+    /// The records of the current scope, oldest first. Used by the
+    /// prepare step to find the versions the scope wrote (so they can be
+    /// marked prepared on the version chains) without closing the scope.
+    pub fn records(&self) -> &[UndoRecord] {
+        &self.records
     }
 
     /// Whether the current scope has no records.
@@ -134,16 +188,23 @@ impl UndoLog {
     }
 
     /// Appends a record if a scope is active; drops it otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scope is prepared: a prepared participant holds its
+    /// write set fixed until the coordinator decides.
     pub fn record(&mut self, rec: UndoRecord) {
-        if self.active {
-            self.records.push(rec);
+        match self.state {
+            ScopeState::Inactive => {}
+            ScopeState::Active => self.records.push(rec),
+            ScopeState::Prepared => panic!("mutation recorded in a prepared scope"),
         }
     }
 
     /// Closes the scope keeping all effects. Returns the number of
     /// records discarded.
     pub fn commit(&mut self) -> usize {
-        self.active = false;
+        self.state = ScopeState::Inactive;
         let n = self.records.len();
         self.records.clear();
         n
@@ -152,7 +213,7 @@ impl UndoLog {
     /// Closes the scope for rollback: returns the records newest-first
     /// (the order they must be applied in) and deactivates the log.
     pub fn abort(&mut self) -> Vec<UndoRecord> {
-        self.active = false;
+        self.state = ScopeState::Inactive;
         let mut records = std::mem::take(&mut self.records);
         records.reverse();
         records
@@ -212,6 +273,54 @@ mod tests {
     fn nested_begin_panics() {
         let mut u = UndoLog::new();
         u.begin();
+        u.begin();
+    }
+
+    #[test]
+    fn prepared_scope_pins_records_until_the_decision() {
+        let mut u = UndoLog::new();
+        u.begin();
+        u.record(UndoRecord::VersionLink { row: 4 });
+        u.prepare();
+        assert!(u.is_active() && u.is_prepared());
+        assert_eq!(u.len(), 1);
+        // Commit decision: records discarded, scope closed.
+        assert_eq!(u.commit(), 1);
+        assert!(!u.is_active() && !u.is_prepared());
+
+        // Abort decision: records come back newest-first.
+        u.begin();
+        u.record(UndoRecord::VersionLink { row: 1 });
+        u.record(UndoRecord::VersionLink { row: 2 });
+        u.prepare();
+        let r = u.abort();
+        assert_eq!(r.len(), 2);
+        assert!(matches!(r[0], UndoRecord::VersionLink { row: 2 }));
+        assert!(!u.is_prepared());
+    }
+
+    #[test]
+    #[should_panic(expected = "mutation recorded in a prepared scope")]
+    fn recording_into_a_prepared_scope_panics() {
+        let mut u = UndoLog::new();
+        u.begin();
+        u.prepare();
+        u.record(UndoRecord::VersionLink { row: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "prepare outside an active scope")]
+    fn prepare_without_scope_panics() {
+        let mut u = UndoLog::new();
+        u.prepare();
+    }
+
+    #[test]
+    #[should_panic(expected = "nested transaction scope")]
+    fn begin_over_prepared_scope_panics() {
+        let mut u = UndoLog::new();
+        u.begin();
+        u.prepare();
         u.begin();
     }
 }

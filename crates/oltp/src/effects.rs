@@ -1,0 +1,96 @@
+//! Statement-effect decomposition of TPC-C transactions.
+//!
+//! A [`Txn`](pushtap_chbench::Txn) is a *logical* transaction; executing
+//! it means applying a fixed sequence of row-level effects — reads,
+//! column updates, stripe-ring inserts. [`TpccDb::decompose`] makes that
+//! sequence explicit: every effect is materialised as an [`Effect`] and
+//! tagged ([`TaggedEffect`]) with the warehouse that *owns* the touched
+//! row under the deployment's warehouse-stripe partitioning.
+//!
+//! The decomposition is what lets a sharded deployment execute one
+//! transaction across several engines: the home shard applies the
+//! effects it owns, forwards the rest to the owning shards, and a
+//! simulated two-phase commit (`pushtap-shard`'s coordinator) makes the
+//! split atomic. The unpartitioned engine runs the *same* pipeline —
+//! decompose, apply in order, commit — so a sharded deployment's
+//! committed bytes equal the single-instance reference's by
+//! construction: same effects, same values, same pinned timestamps.
+//!
+//! Effects reference rows by their **global** index; the applying engine
+//! translates to its local slice and asserts ownership — an effect
+//! handed to a non-owning engine is a routing bug, not a fallback path.
+//!
+//! [`TpccDb::decompose`]: crate::TpccDb::decompose
+
+use pushtap_chbench::Table;
+
+/// How one column of an updated row changes.
+///
+/// Most TPC-C column updates in the simulated mix are *blind* writes of
+/// values the decomposition can compute up front ([`ColumnWrite::Set`]);
+/// the warehouse year-to-date accumulation is a read-modify-write over
+/// the newest committed version and must be resolved by the engine that
+/// owns the row at apply time ([`ColumnWrite::Add`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnWrite {
+    /// Replace the column with these bytes.
+    Set(Vec<u8>),
+    /// Add `amount` to the column's current u64 value (read from the
+    /// newest committed version at apply time), re-encoded at `width`
+    /// bytes.
+    Add {
+        /// The addend.
+        amount: u64,
+        /// Encoded width of the result in bytes.
+        width: u32,
+    },
+}
+
+/// One row-level effect of a transaction, in global row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// A timed read of the version visible at the transaction timestamp
+    /// (no bytes change; it costs memory traffic and advances the
+    /// version's read timestamp).
+    Read {
+        /// The table read.
+        table: Table,
+        /// Global row index.
+        row: u64,
+    },
+    /// An MVCC column update: read the newest version, apply the writes,
+    /// chain a new version at the transaction timestamp.
+    Update {
+        /// The table updated.
+        table: Table,
+        /// Global row index.
+        row: u64,
+        /// Per-column changes.
+        writes: Vec<(u32, ColumnWrite)>,
+    },
+    /// A stripe-ring insert homed at warehouse `w_id`: the applying
+    /// engine picks the warehouse's current stripe slot (identical on a
+    /// partitioned shard and the unpartitioned reference) and writes the
+    /// row as a delta version.
+    Insert {
+        /// The table inserted into.
+        table: Table,
+        /// Home warehouse anchoring the stripe ring.
+        w_id: u64,
+        /// Column values of the new row.
+        values: Vec<Vec<u8>>,
+    },
+}
+
+/// An [`Effect`] tagged with the warehouse owning the touched row — the
+/// routing key a sharded deployment maps to the owning shard. Effects on
+/// replicated tables (ITEM) are tagged with the transaction's home
+/// warehouse: every shard holds the full replica, so they execute at
+/// home.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedEffect {
+    /// The effect itself.
+    pub effect: Effect,
+    /// The owning warehouse (home warehouse for replicated tables).
+    pub warehouse: u64,
+}

@@ -12,13 +12,20 @@
 //!   begin/commit/abort transaction scope
 //!   ([`HtapTable::begin_txn`]/[`HtapTable::abort_txn`]) backing atomic
 //!   retry;
-//! * [`TpccDb`] — the Payment/NewOrder executor over the CH schema.
-//!   [`TpccDb::execute`] is *transaction-atomic*: a mid-transaction
-//!   [`pushtap_mvcc::DeltaFull`] rolls back every partial effect (delta
-//!   slots, chains, row bytes, index entries, stripe cursors, the
-//!   timestamp) before the error reaches the caller, so the
-//!   defragment-and-retry loop re-executes on pristine state and
-//!   committed state never depends on *when* arenas filled up.
+//! * [`TpccDb`] — the Payment/NewOrder executor over the CH schema,
+//!   built as a *statement-effect pipeline*: [`TpccDb::decompose`] turns
+//!   a transaction into ordered row-level effects tagged with their
+//!   owning warehouse ([`effects`]), and execution applies them inside a
+//!   prepare/commit scope. [`TpccDb::execute`] is *transaction-atomic*:
+//!   a mid-transaction [`pushtap_mvcc::DeltaFull`] rolls back every
+//!   partial effect (delta slots, chains, row bytes, index entries,
+//!   stripe cursors, the timestamp) before the error reaches the caller,
+//!   so the defragment-and-retry loop re-executes on pristine state and
+//!   committed state never depends on *when* arenas filled up. The
+//!   participant API ([`TpccDb::prepare_effects`] /
+//!   [`TpccDb::commit_prepared`] / [`TpccDb::abort_prepared`]) lets a
+//!   sharded coordinator apply, hold, and roll back *forwarded* effect
+//!   sets under a simulated two-phase commit.
 //!
 //! # Examples
 //!
@@ -40,13 +47,16 @@
 #![warn(missing_debug_implementations)]
 
 mod cost;
+pub mod effects;
 mod index;
 mod table;
 mod tpcc;
 
 pub use cost::{Breakdown, CostModel, Meter};
+pub use effects::{ColumnWrite, Effect, TaggedEffect};
 pub use index::HashIndex;
 pub use table::{AccessModel, HtapTable, LineRef, OpResult, TableConfig};
 pub use tpcc::{
     global_rows, stripe_start, warehouse_of_row, DbConfig, DbFormat, Partition, TpccDb, TxnResult,
+    TxnRole,
 };

@@ -164,9 +164,43 @@ impl HtapTable {
         self.undo.is_active()
     }
 
-    /// Closes the transaction scope keeping all effects. Returns the
-    /// number of undo records discarded.
+    /// Whether the open scope is parked in the prepared state (two-phase
+    /// commit participant awaiting the coordinator's decision).
+    pub fn in_prepared_txn(&self) -> bool {
+        self.undo.is_prepared()
+    }
+
+    /// Parks the open transaction scope in the *prepared* state: the
+    /// undo records are pinned for the coordinator's decision, every
+    /// version the scope wrote is marked prepared-but-uncommitted on the
+    /// version chains, and no further mutations are accepted until
+    /// [`HtapTable::commit_txn`] or [`HtapTable::abort_txn`] resolves the
+    /// scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless a scope is active (and not already prepared).
+    pub fn prepare_txn(&mut self) {
+        for rec in self.undo.records() {
+            if let UndoRecord::VersionLink { row } = rec {
+                self.chains.mark_prepared(*row);
+            }
+        }
+        self.undo.prepare();
+    }
+
+    /// Versions written by a prepared-but-uncommitted scope (zero when no
+    /// two-phase commit is in flight on this table).
+    pub fn prepared_versions(&self) -> usize {
+        self.chains.prepared_count()
+    }
+
+    /// Closes the transaction scope keeping all effects (this is also the
+    /// commit decision for a prepared scope — its prepared version marks
+    /// resolve as committed). Returns the number of undo records
+    /// discarded.
     pub fn commit_txn(&mut self) -> usize {
+        self.chains.commit_prepared();
         self.undo.commit()
     }
 
@@ -574,6 +608,14 @@ impl HtapTable {
         upto: Ts,
         at: Ps,
     ) -> (SnapshotUpdate, Ps) {
+        // A snapshot must never publish a version whose two-phase-commit
+        // decision is still pending; coordinators resolve every prepared
+        // scope before letting queries in.
+        assert_eq!(
+            self.chains.prepared_count(),
+            0,
+            "snapshot with prepared-but-uncommitted versions"
+        );
         let stats = self.snapshot.update(self.chains.log(), upto);
         // Metadata reads: 16 B per entry from host DRAM, 4 entries/line.
         let meta_lines = stats.entries_applied.div_ceil(4);
@@ -859,6 +901,39 @@ mod tests {
         t.commit_txn();
         let (vals, _) = t.timed_read(&mut mem, &meter(), 5, Ts(9), Ps::ZERO);
         assert_eq!(vals[1], vec![9, 9]);
+    }
+
+    #[test]
+    fn prepared_scope_resolves_by_commit_or_abort() {
+        let mut t = table(AccessModel::Unified);
+        let mut mem = MemSystem::dimm();
+        t.load_row(5, &values(1));
+
+        // Prepare-then-commit: the version survives and the marks clear.
+        t.begin_txn();
+        t.timed_update(&mut mem, &meter(), 5, Ts(2), &[(0, vec![7, 7])], Ps::ZERO)
+            .unwrap();
+        t.prepare_txn();
+        assert!(t.in_prepared_txn());
+        assert_eq!(t.prepared_versions(), 1);
+        t.commit_txn();
+        assert!(!t.in_txn());
+        assert_eq!(t.prepared_versions(), 0);
+        let (vals, _) = t.timed_read(&mut mem, &meter(), 5, Ts(9), Ps::ZERO);
+        assert_eq!(vals[0], vec![7, 7]);
+
+        // Prepare-then-abort: the version unwinds byte-for-byte.
+        let live = t.live_delta_rows();
+        t.begin_txn();
+        t.timed_update(&mut mem, &meter(), 5, Ts(3), &[(1, vec![9, 9])], Ps::ZERO)
+            .unwrap();
+        t.prepare_txn();
+        assert_eq!(t.prepared_versions(), 1);
+        t.abort_txn();
+        assert_eq!(t.prepared_versions(), 0);
+        assert_eq!(t.live_delta_rows(), live);
+        let (vals, _) = t.timed_read(&mut mem, &meter(), 5, Ts(9), Ps::ZERO);
+        assert_ne!(vals[1], vec![9, 9], "aborted prepared write is gone");
     }
 
     #[test]

@@ -5,17 +5,34 @@
 //! executor with MVCC. [`TpccDb`] owns one [`HtapTable`] per CH table and
 //! executes the [`Txn`] stream from [`pushtap_chbench::TxnGen`], charging
 //! every memory access and CPU component to the simulator.
+//!
+//! Execution is a *statement-effect pipeline*: [`TpccDb::decompose`]
+//! turns a transaction into its ordered row-level effects (each tagged
+//! with the owning warehouse — see [`crate::effects`]), and the engine
+//! applies them inside a prepare/commit scope. The single-instance path
+//! ([`TpccDb::execute`]) is a one-phase specialisation — prepare the
+//! whole effect set locally, commit immediately — while a sharded
+//! deployment splits the same effect set across owning engines through
+//! the participant API ([`TpccDb::prepare_effects`] /
+//! [`TpccDb::commit_prepared`] / [`TpccDb::abort_prepared`]) under a
+//! simulated two-phase commit (`pushtap-shard`'s coordinator). Both
+//! paths apply identical effects at identical pinned timestamps, which
+//! is what makes sharded committed bytes equal the unpartitioned
+//! reference's for *every* table, remote-owned rows included.
 
 use std::collections::BTreeMap;
 use std::ops::Range;
 use std::sync::Arc;
 
-use pushtap_chbench::{enc_u64, NewOrder, Partitioning, Payment, RowGen, Table, Txn};
-use pushtap_format::{compact_layout, naive_layout, LayoutError, TableLayout, TableSchema};
+use pushtap_chbench::{dec_u64, enc_u64, NewOrder, Partitioning, Payment, RowGen, Table, Txn};
+use pushtap_format::{
+    compact_layout, naive_layout, LayoutError, RowSlot, TableLayout, TableSchema,
+};
 use pushtap_mvcc::{DeltaFull, Ts, TsAllocator, TsOracle};
 use pushtap_pim::{BankAddr, Geometry, MemSystem, Ps, Side};
 
 use crate::cost::{Breakdown, CostModel, Meter};
+use crate::effects::{ColumnWrite, Effect, TaggedEffect};
 use crate::table::{AccessModel, HtapTable, TableConfig};
 
 /// The outcome of one committed transaction.
@@ -27,6 +44,27 @@ pub struct TxnResult {
     pub end: Ps,
     /// Component breakdown.
     pub breakdown: Breakdown,
+}
+
+/// Which role an engine plays when a prepared scope commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnRole {
+    /// The engine executing the transaction's home half: committing
+    /// counts the *transaction* as committed on this engine.
+    Coordinator,
+    /// A remote participant committing a forwarded effect set: the
+    /// transaction is counted at its home engine, not here.
+    Participant,
+}
+
+/// A prepared-but-undecided transaction scope held by the engine.
+#[derive(Debug, Clone, Copy)]
+struct PreparedScope {
+    /// The pinned commit timestamp the effects were applied under.
+    ts: Ts,
+    /// Simulated time the prepare consumed (charged to
+    /// `wasted_retry_time` if the coordinator aborts).
+    elapsed: Ps,
 }
 
 /// Which layout the database instance uses (drives both the generated
@@ -178,6 +216,9 @@ pub struct TpccDb {
     /// Transactions rolled back on [`DeltaFull`] (each is retried by the
     /// caller after defragmentation, so this is also the retry count).
     aborts: u64,
+    /// The prepared-but-undecided scope, if a two-phase commit is in
+    /// flight on this engine.
+    prepared: Option<PreparedScope>,
     /// Cumulative simulated time consumed by rolled-back attempts: the
     /// statements a transaction executed before hitting [`DeltaFull`].
     /// The memory traffic of those statements is charged to the simulated
@@ -348,6 +389,7 @@ impl TpccDb {
             insert_cursors: BTreeMap::new(),
             txn_cursor_log: Vec::new(),
             aborts: 0,
+            prepared: None,
             wasted_retry_time: Ps::ZERO,
         })
     }
@@ -405,10 +447,11 @@ impl TpccDb {
 
     /// Picks the *global* target row for the next insert into `table`
     /// homed at warehouse `w_id` — the current slot of the warehouse's
-    /// stripe ring — without consuming it. Foreign warehouses (only
-    /// reachable when a caller bypasses the router) are clamped into the
-    /// owned range; an empty owned range (more shards than warehouses)
-    /// clamps to the nearest owned warehouse.
+    /// stripe ring — without consuming it. Inserts are always anchored to
+    /// the transaction's home warehouse, which this engine must own (the
+    /// router guarantees it; a foreign warehouse here is a routing bug).
+    /// A degenerate shard with an empty owned range (more shards than
+    /// warehouses) clamps to its single kept row.
     fn insert_target(&self, table: Table, w_id: u64) -> (u64, u64) {
         let (global, row_base) = self.table_global[&table];
         let local_rows = self.tables[&table].n_rows();
@@ -417,7 +460,10 @@ impl TpccDb {
         } else if self.wh_range.is_empty() {
             self.wh_range.start.min(self.warehouses_global - 1)
         } else {
-            self.wh_range.start + w_id % (self.wh_range.end - self.wh_range.start)
+            panic!(
+                "insert homed at foreign warehouse {w_id} (this engine owns {:?})",
+                self.wh_range
+            );
         };
         let start = stripe_start(w, global, self.warehouses_global);
         let end = stripe_start(w + 1, global, self.warehouses_global);
@@ -434,21 +480,27 @@ impl TpccDb {
         (row, w)
     }
 
-    /// The local row of `table` backing *global* row `g`: the exact
-    /// translation when this instance owns `g`, otherwise a
-    /// deterministic local proxy row (remote-owned state is modeled on
-    /// local rows until multi-shard writes gain a real forwarding
-    /// path — see ROADMAP). On an unpartitioned instance this is the
-    /// seed's `g % n_rows` addressing, unchanged.
-    fn local_row(&self, table: Table, g: u64) -> u64 {
+    /// The local row of `table` backing *global* row `g`.
+    ///
+    /// Replicated tables hold the full population, so the translation is
+    /// the identity. Partitioned tables must *own* the row: remote-owned
+    /// effects are forwarded to and applied at their owning shard, so an
+    /// unowned row here is a routing bug and panics — there is no
+    /// fallback addressing of any kind.
+    fn own_row(&self, table: Table, g: u64) -> u64 {
         let (global, row_base) = self.table_global[&table];
         let n = self.tables[&table].n_rows();
-        let g = g % global.max(1);
-        if (row_base..row_base + n).contains(&g) {
-            g - row_base
-        } else {
-            g % n
-        }
+        assert!(
+            g < global,
+            "{table:?} row {g} out of the {global} global rows"
+        );
+        assert!(
+            (row_base..row_base + n).contains(&g),
+            "effect on {table:?} global row {g} reached a non-owning shard \
+             (owns {row_base}..{})",
+            row_base + n
+        );
+        g - row_base
     }
 
     /// Inserts into `table` at the stripe slot of home warehouse `w_id`,
@@ -605,16 +657,13 @@ impl TpccDb {
         mem: &mut MemSystem,
         at: Ps,
     ) -> Result<TxnResult, DeltaFull> {
-        let r = self.run_txn(txn, ts, mem, at);
-        if r.is_ok() {
-            self.ts.advance_to(ts);
-        }
-        r
+        self.run_txn(txn, ts, mem, at)
     }
 
-    /// The shared transaction body: begin, execute, commit-or-abort.
-    /// Timestamp bookkeeping (allocation, rollback, watermark advance) is
-    /// the caller's job.
+    /// The shared transaction body — the one-phase specialisation of the
+    /// effect pipeline: decompose, prepare the whole effect set locally,
+    /// commit immediately. Timestamp bookkeeping (allocation, rollback)
+    /// is the caller's job; the commit advances the watermark to `ts`.
     fn run_txn(
         &mut self,
         txn: &Txn,
@@ -622,31 +671,10 @@ impl TpccDb {
         mem: &mut MemSystem,
         at: Ps,
     ) -> Result<TxnResult, DeltaFull> {
-        self.begin_txn();
-        let meter = self.meter;
-        let mut b = Breakdown::default();
-        let mut now = at;
-        let body = match txn {
-            Txn::Payment(p) => self.exec_payment(p, ts, mem, &meter, &mut b, &mut now),
-            Txn::NewOrder(no) => self.exec_neworder(no, ts, mem, &meter, &mut b, &mut now),
-        };
-        if let Err(full) = body {
-            // The statements up to the failure consumed real simulated
-            // time (their memory traffic is already charged to `mem`);
-            // account it so callers can fold it into completion latency.
-            self.wasted_retry_time += now.saturating_sub(at);
-            self.abort_txn();
-            return Err(full);
-        }
-        now += meter.commit_barrier();
-        b.compute += meter.commit_barrier();
-        self.committed += 1;
-        self.commit_txn();
-        Ok(TxnResult {
-            commit_ts: ts,
-            end: now,
-            breakdown: b,
-        })
+        let effects = self.decompose(txn, ts);
+        let r = self.prepare_effects(&effects, ts, mem, at)?;
+        self.commit_prepared(ts, TxnRole::Coordinator);
+        Ok(r)
     }
 
     /// Opens the transaction scope on every table and the cursor log.
@@ -655,14 +683,6 @@ impl TpccDb {
         for t in self.tables.values_mut() {
             t.begin_txn();
         }
-    }
-
-    /// Closes the scope keeping all effects.
-    fn commit_txn(&mut self) {
-        for t in self.tables.values_mut() {
-            t.commit_txn();
-        }
-        self.txn_cursor_log.clear();
     }
 
     /// Rolls back the in-flight transaction: every table unwinds its
@@ -683,183 +703,473 @@ impl TpccDb {
         self.aborts += 1;
     }
 
-    fn exec_payment(
-        &mut self,
-        p: &Payment,
-        ts: Ts,
-        mem: &mut MemSystem,
-        meter: &Meter,
-        b: &mut Breakdown,
-        now: &mut Ps,
-    ) -> Result<(), DeltaFull> {
-        // Warehouse YTD: read-modify-write over the *newest committed
-        // version* (not the data-region origin), so the accumulated value
-        // is a pure function of the committed stream — independent of
-        // when defragmentation folded versions back into the data region.
-        let w_row = self.local_row(Table::Warehouse, p.w_id);
-        let w = self.tables.get_mut(&Table::Warehouse).expect("warehouse");
-        let ytd = w.store().read_row(w.chains().newest_slot(w_row));
-        let w_ytd_col = w.layout().schema().index_of("w_ytd").expect("w_ytd");
-        let new_ytd = enc_u64(
-            pushtap_chbench::dec_u64(&ytd[w_ytd_col as usize]).wrapping_add(p.amount),
-            8,
-        );
-        let r = w.timed_update(mem, meter, w_row, ts, &[(w_ytd_col, new_ytd)], *now)?;
-        b.merge(&r.breakdown);
-        *now = r.end;
-
-        // District YTD.
-        let d_row = self.local_row(Table::District, p.w_id * 10 + p.d_id);
-        let d = self.tables.get_mut(&Table::District).expect("district");
-        let d_ytd_col = d.layout().schema().index_of("d_ytd").expect("d_ytd");
-        let r = d.timed_update(
-            mem,
-            meter,
-            d_row,
-            ts,
-            &[(d_ytd_col, enc_u64(p.amount, 8))],
-            *now,
-        )?;
-        b.merge(&r.breakdown);
-        *now = r.end;
-
-        // Customer balance / ytd / payment count.
-        let c_row = self.local_row(Table::Customer, p.c_row);
-        let c = self.tables.get_mut(&Table::Customer).expect("customer");
-        let schema = c.layout().schema();
-        let bal = schema.index_of("c_balance").expect("c_balance");
-        let ytd_p = schema.index_of("c_ytd_payment").expect("c_ytd_payment");
-        let cnt = schema.index_of("c_payment_cnt").expect("c_payment_cnt");
-        let changes = vec![
-            (bal, enc_u64(p.amount, 8)),
-            (ytd_p, enc_u64(p.amount, 8)),
-            (cnt, enc_u64(1, 2)),
-        ];
-        let r = c.timed_update(mem, meter, c_row, ts, &changes, *now)?;
-        b.merge(&r.breakdown);
-        *now = r.end;
-
-        // History append (striped by home warehouse).
-        let values = vec![
-            enc_u64(p.c_row, 4),
-            enc_u64(p.d_id, 1),
-            enc_u64(p.w_id, 4),
-            enc_u64(p.d_id, 1),
-            enc_u64(p.w_id, 4),
-            enc_u64(ts.0, 8),
-            enc_u64(p.amount, 4),
-            pushtap_chbench::enc_text(ts.0, 24),
-        ];
-        let (_, r) =
-            self.timed_insert_for(Table::History, p.w_id, &values, ts, mem, meter, *now)?;
-        b.merge(&r.breakdown);
-        *now = r.end;
-        Ok(())
+    /// Decomposes `txn` into its ordered row-level effects, each tagged
+    /// with the owning warehouse (see [`crate::effects`]). The effect
+    /// order is exactly the statement order the executor applies, so
+    /// applying the decomposition reproduces monolithic execution —
+    /// values, timing, and bytes.
+    ///
+    /// Decomposition is read-only: stripe cursors and version chains are
+    /// untouched, so a transaction retried after a [`DeltaFull`] abort
+    /// decomposes to the identical effect set.
+    pub fn decompose(&self, txn: &Txn, ts: Ts) -> Vec<TaggedEffect> {
+        match txn {
+            Txn::Payment(p) => self.decompose_payment(p, ts),
+            Txn::NewOrder(no) => self.decompose_neworder(no, ts),
+        }
     }
 
-    fn exec_neworder(
+    /// The warehouse whose stripe owns global `row` of partitioned
+    /// `table` — the ownership tag of a forwarded effect.
+    fn warehouse_of(&self, table: Table, row: u64) -> u64 {
+        let (global, _) = self.table_global[&table];
+        warehouse_of_row(row, global, self.warehouses_global)
+    }
+
+    /// Column index of `name` in `table`'s schema.
+    fn col(&self, table: Table, name: &str) -> u32 {
+        self.tables[&table]
+            .layout()
+            .schema()
+            .index_of(name)
+            .unwrap_or_else(|| panic!("{table:?} has no column {name}"))
+    }
+
+    fn decompose_payment(&self, p: &Payment, ts: Ts) -> Vec<TaggedEffect> {
+        vec![
+            // Warehouse YTD: a read-modify-write accumulation over the
+            // newest committed version, resolved at apply time by the
+            // owning engine (always the home shard).
+            TaggedEffect {
+                warehouse: p.w_id,
+                effect: Effect::Update {
+                    table: Table::Warehouse,
+                    row: p.w_id,
+                    writes: vec![(
+                        self.col(Table::Warehouse, "w_ytd"),
+                        ColumnWrite::Add {
+                            amount: p.amount,
+                            width: 8,
+                        },
+                    )],
+                },
+            },
+            // District YTD.
+            TaggedEffect {
+                warehouse: p.w_id,
+                effect: Effect::Update {
+                    table: Table::District,
+                    row: p.w_id * 10 + p.d_id,
+                    writes: vec![(
+                        self.col(Table::District, "d_ytd"),
+                        ColumnWrite::Set(enc_u64(p.amount, 8)),
+                    )],
+                },
+            },
+            // Customer balance / ytd / payment count — the one Payment
+            // effect that can be owned by a *remote* warehouse (TPC-C's
+            // 15 % remote-customer rate).
+            TaggedEffect {
+                warehouse: self.warehouse_of(Table::Customer, p.c_row),
+                effect: Effect::Update {
+                    table: Table::Customer,
+                    row: p.c_row,
+                    writes: vec![
+                        (
+                            self.col(Table::Customer, "c_balance"),
+                            ColumnWrite::Set(enc_u64(p.amount, 8)),
+                        ),
+                        (
+                            self.col(Table::Customer, "c_ytd_payment"),
+                            ColumnWrite::Set(enc_u64(p.amount, 8)),
+                        ),
+                        (
+                            self.col(Table::Customer, "c_payment_cnt"),
+                            ColumnWrite::Set(enc_u64(1, 2)),
+                        ),
+                    ],
+                },
+            },
+            // History append (striped by home warehouse).
+            TaggedEffect {
+                warehouse: p.w_id,
+                effect: Effect::Insert {
+                    table: Table::History,
+                    w_id: p.w_id,
+                    values: vec![
+                        enc_u64(p.c_row, 4),
+                        enc_u64(p.d_id, 1),
+                        enc_u64(p.w_id, 4),
+                        enc_u64(p.d_id, 1),
+                        enc_u64(p.w_id, 4),
+                        enc_u64(ts.0, 8),
+                        enc_u64(p.amount, 4),
+                        pushtap_chbench::enc_text(ts.0, 24),
+                    ],
+                },
+            },
+        ]
+    }
+
+    fn decompose_neworder(&self, no: &NewOrder, ts: Ts) -> Vec<TaggedEffect> {
+        let mut effects = Vec::with_capacity(4 + 3 * no.items.len());
+        // Read customer (discount, credit) at its owning warehouse.
+        effects.push(TaggedEffect {
+            warehouse: self.warehouse_of(Table::Customer, no.c_row),
+            effect: Effect::Read {
+                table: Table::Customer,
+                row: no.c_row,
+            },
+        });
+        // District: bump next order id.
+        effects.push(TaggedEffect {
+            warehouse: no.w_id,
+            effect: Effect::Update {
+                table: Table::District,
+                row: no.w_id * 10 + no.d_id,
+                writes: vec![(
+                    self.col(Table::District, "d_next_o_id"),
+                    ColumnWrite::Set(enc_u64(ts.0, 4)),
+                )],
+            },
+        });
+        // Insert ORDER + NEWORDER rows (striped by home warehouse). The
+        // order's global row is the warehouse's current stripe slot —
+        // peeked here without consuming it; applying the insert advances
+        // the cursor to exactly this slot.
+        let (o_row, _) = self.insert_target(Table::Order, no.w_id);
+        effects.push(TaggedEffect {
+            warehouse: no.w_id,
+            effect: Effect::Insert {
+                table: Table::Order,
+                w_id: no.w_id,
+                values: vec![
+                    enc_u64(ts.0, 4),
+                    enc_u64(no.d_id, 1),
+                    enc_u64(no.w_id, 4),
+                    enc_u64(no.c_row, 4),
+                    enc_u64(ts.0, 8),
+                    enc_u64(0, 1),
+                    enc_u64(no.items.len() as u64, 1),
+                    enc_u64(1, 1),
+                ],
+            },
+        });
+        effects.push(TaggedEffect {
+            warehouse: no.w_id,
+            effect: Effect::Insert {
+                table: Table::NewOrder,
+                w_id: no.w_id,
+                values: vec![enc_u64(o_row, 4), enc_u64(no.d_id, 1), enc_u64(no.w_id, 4)],
+            },
+        });
+        // Per order line: read item (replicated — always home), update
+        // stock at its owning warehouse, insert the order line at home.
+        // Stock rows are distinct within one order (TxnGen draws them
+        // so), and the dedup below keeps that a hard guarantee — MVCC
+        // forbids two same-timestamp updates of one row.
+        let mut touched_stock: Vec<u64> = Vec::with_capacity(no.stock_rows.len());
+        let item_table = &self.tables[&Table::Item];
+        for (i, (&item, &stock)) in no.items.iter().zip(&no.stock_rows).enumerate() {
+            effects.push(TaggedEffect {
+                warehouse: no.w_id,
+                effect: Effect::Read {
+                    table: Table::Item,
+                    row: item,
+                },
+            });
+            // ITEM is read-only after population, so its data region is
+            // the newest version everywhere — the price the timed read
+            // will observe at apply time.
+            let price = dec_u64(
+                &item_table
+                    .store()
+                    .read_value(RowSlot::Data { row: item }, 3),
+            );
+            if !touched_stock.contains(&stock) {
+                touched_stock.push(stock);
+                effects.push(TaggedEffect {
+                    warehouse: self.warehouse_of(Table::Stock, stock),
+                    effect: Effect::Update {
+                        table: Table::Stock,
+                        row: stock,
+                        writes: vec![
+                            (
+                                self.col(Table::Stock, "s_quantity"),
+                                ColumnWrite::Set(enc_u64(40, 2)),
+                            ),
+                            (
+                                self.col(Table::Stock, "s_ytd"),
+                                ColumnWrite::Set(enc_u64(price, 8)),
+                            ),
+                            (
+                                self.col(Table::Stock, "s_order_cnt"),
+                                ColumnWrite::Set(enc_u64(1, 2)),
+                            ),
+                        ],
+                    },
+                });
+            }
+            effects.push(TaggedEffect {
+                warehouse: no.w_id,
+                effect: Effect::Insert {
+                    table: Table::OrderLine,
+                    w_id: no.w_id,
+                    values: vec![
+                        enc_u64(o_row, 4),
+                        enc_u64(no.d_id, 1),
+                        enc_u64(no.w_id, 4),
+                        enc_u64(i as u64, 1),
+                        enc_u64(item, 4),
+                        enc_u64(no.w_id, 4),
+                        enc_u64(1_167_600_000 + ts.0, 8),
+                        enc_u64(5, 2),
+                        enc_u64(price * 5, 8),
+                        pushtap_chbench::enc_text(ts.0 ^ i as u64, 24),
+                    ],
+                },
+            });
+        }
+        effects
+    }
+
+    /// Applies one effect at pinned timestamp `ts`, charging its memory
+    /// traffic and CPU components. Global rows translate through
+    /// ownership-asserting addressing — this engine must own (or
+    /// replicate) every row it is handed.
+    fn apply_effect(
         &mut self,
-        no: &NewOrder,
+        effect: &Effect,
         ts: Ts,
         mem: &mut MemSystem,
         meter: &Meter,
         b: &mut Breakdown,
         now: &mut Ps,
     ) -> Result<(), DeltaFull> {
-        // Read customer (discount, credit).
-        let c_row = self.local_row(Table::Customer, no.c_row);
-        let c = self.tables.get_mut(&Table::Customer).expect("customer");
-        let (_, r) = c.timed_read(mem, meter, c_row, ts, *now);
-        b.merge(&r.breakdown);
-        *now = r.end;
-
-        // District: bump next order id.
-        let d_row = self.local_row(Table::District, no.w_id * 10 + no.d_id);
-        let d = self.tables.get_mut(&Table::District).expect("district");
-        let next_col = d
-            .layout()
-            .schema()
-            .index_of("d_next_o_id")
-            .expect("d_next_o_id");
-        let r = d.timed_update(mem, meter, d_row, ts, &[(next_col, enc_u64(ts.0, 4))], *now)?;
-        b.merge(&r.breakdown);
-        *now = r.end;
-
-        // Insert ORDER + NEWORDER rows (striped by home warehouse; the
-        // returned order row is the *global* index, so downstream values
-        // match across partitioned and unpartitioned deployments).
-        let o_values = vec![
-            enc_u64(ts.0, 4),
-            enc_u64(no.d_id, 1),
-            enc_u64(no.w_id, 4),
-            enc_u64(no.c_row, 4),
-            enc_u64(ts.0, 8),
-            enc_u64(0, 1),
-            enc_u64(no.items.len() as u64, 1),
-            enc_u64(1, 1),
-        ];
-        let (o_row, r) =
-            self.timed_insert_for(Table::Order, no.w_id, &o_values, ts, mem, meter, *now)?;
-        b.merge(&r.breakdown);
-        *now = r.end;
-
-        let n_values = vec![enc_u64(o_row, 4), enc_u64(no.d_id, 1), enc_u64(no.w_id, 4)];
-        let (_, r) =
-            self.timed_insert_for(Table::NewOrder, no.w_id, &n_values, ts, mem, meter, *now)?;
-        b.merge(&r.breakdown);
-        *now = r.end;
-
-        // Per order line: read item, update stock, insert orderline.
-        // Stock rows are distinct in the *global* population, but on a
-        // partitioned shard two global rows can alias the same local row
-        // under the modulo; MVCC forbids two same-timestamp updates of
-        // one row, so an aliased line skips its (already applied) stock
-        // update.
-        let mut touched_stock: Vec<u64> = Vec::with_capacity(no.stock_rows.len());
-        for (i, (&item, &stock)) in no.items.iter().zip(&no.stock_rows).enumerate() {
-            let item_row = self.local_row(Table::Item, item);
-            let it = self.tables.get_mut(&Table::Item).expect("item");
-            let (item_vals, r) = it.timed_read(mem, meter, item_row, ts, *now);
-            b.merge(&r.breakdown);
-            *now = r.end;
-            let price = pushtap_chbench::dec_u64(&item_vals[3]);
-
-            let s_row = self.local_row(Table::Stock, stock);
-            let s = self.tables.get_mut(&Table::Stock).expect("stock");
-            if !touched_stock.contains(&s_row) {
-                touched_stock.push(s_row);
-                let schema = s.layout().schema();
-                let qty = schema.index_of("s_quantity").expect("s_quantity");
-                let ytd = schema.index_of("s_ytd").expect("s_ytd");
-                let ocnt = schema.index_of("s_order_cnt").expect("s_order_cnt");
-                let changes = vec![
-                    (qty, enc_u64(40, 2)),
-                    (ytd, enc_u64(price, 8)),
-                    (ocnt, enc_u64(1, 2)),
-                ];
-                let r = s.timed_update(mem, meter, s_row, ts, &changes, *now)?;
+        match effect {
+            Effect::Read { table, row } => {
+                let local = self.own_row(*table, *row);
+                let t = self.tables.get_mut(table).expect("table not built");
+                let (_, r) = t.timed_read(mem, meter, local, ts, *now);
                 b.merge(&r.breakdown);
                 *now = r.end;
+                Ok(())
             }
-
-            let ol_values = vec![
-                enc_u64(o_row, 4),
-                enc_u64(no.d_id, 1),
-                enc_u64(no.w_id, 4),
-                enc_u64(i as u64, 1),
-                enc_u64(item, 4),
-                enc_u64(no.w_id, 4),
-                enc_u64(1_167_600_000 + ts.0, 8),
-                enc_u64(5, 2),
-                enc_u64(price * 5, 8),
-                pushtap_chbench::enc_text(ts.0 ^ i as u64, 24),
-            ];
-            let (_, r) =
-                self.timed_insert_for(Table::OrderLine, no.w_id, &ol_values, ts, mem, meter, *now)?;
-            b.merge(&r.breakdown);
-            *now = r.end;
+            Effect::Update { table, row, writes } => {
+                let local = self.own_row(*table, *row);
+                let t = self.tables.get_mut(table).expect("table not built");
+                let changes: Vec<(u32, Vec<u8>)> = writes
+                    .iter()
+                    .map(|(col, w)| match w {
+                        ColumnWrite::Set(v) => (*col, v.clone()),
+                        // Read-modify-write over the newest committed
+                        // version (not the data-region origin), so the
+                        // accumulated value is a pure function of the
+                        // committed stream, independent of when
+                        // defragmentation folded versions back.
+                        ColumnWrite::Add { amount, width } => {
+                            let cur = t.store().read_row(t.chains().newest_slot(local));
+                            (
+                                *col,
+                                enc_u64(dec_u64(&cur[*col as usize]).wrapping_add(*amount), *width),
+                            )
+                        }
+                    })
+                    .collect();
+                let r = t.timed_update(mem, meter, local, ts, &changes, *now)?;
+                b.merge(&r.breakdown);
+                *now = r.end;
+                Ok(())
+            }
+            Effect::Insert {
+                table,
+                w_id,
+                values,
+            } => {
+                let (_, r) = self.timed_insert_for(*table, *w_id, values, ts, mem, meter, *now)?;
+                b.merge(&r.breakdown);
+                *now = r.end;
+                Ok(())
+            }
         }
-        Ok(())
+    }
+
+    /// Applies an effect set at pinned timestamp `ts` and parks the
+    /// engine's transaction scope in the *prepared* state — the
+    /// participant half of a simulated two-phase commit. The undo
+    /// records stay pinned (no further mutations are accepted) until the
+    /// coordinator's decision arrives via [`TpccDb::commit_prepared`] or
+    /// [`TpccDb::abort_prepared`].
+    ///
+    /// The returned [`TxnResult`] carries the prepare's completion time
+    /// and component breakdown; its end includes the §6.3 commit barrier
+    /// (prepare is the force phase — the write set is flushed so the
+    /// commit decision is pure metadata).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeltaFull`] if a delta arena filled mid-prepare. All
+    /// partial effects are already rolled back (this engine votes "no"
+    /// with no state held) and the attempt's latency is accounted to
+    /// [`TpccDb::wasted_retry_time`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prepared transaction is already in flight (one
+    /// prepared scope per engine — the coordinator serialises cross-shard
+    /// transactions in global stream order).
+    ///
+    /// # Examples
+    ///
+    /// A Payment whose customer is owned by a *remote* warehouse: the
+    /// home engine prepares its local effects, the remote owner prepares
+    /// the forwarded customer effect, and both commit at the
+    /// coordinator's pinned timestamp:
+    ///
+    /// ```
+    /// use pushtap_chbench::{Payment, Txn};
+    /// use pushtap_mvcc::Ts;
+    /// use pushtap_oltp::{DbConfig, Partition, TpccDb, TxnRole};
+    /// use pushtap_pim::{MemSystem, Ps};
+    ///
+    /// // Two shards over 8 warehouses: shard 0 owns warehouses 0..4,
+    /// // shard 1 owns 4..8.
+    /// let mut cfg = DbConfig::small();
+    /// cfg.min_warehouses = 8;
+    /// let mem0 = MemSystem::dimm();
+    /// let mut home = TpccDb::build_partitioned(&cfg, &mem0, Partition::of(0, 2))?;
+    /// let mut owner = TpccDb::build_partitioned(&cfg, &mem0, Partition::of(1, 2))?;
+    /// let mut mem = MemSystem::dimm();
+    ///
+    /// // A payment homed at warehouse 0 paying a customer in warehouse
+    /// // 7's stripe (owned by the other shard).
+    /// let customers = home.global_rows_of(pushtap_chbench::Table::Customer);
+    /// let txn = Txn::Payment(Payment { w_id: 0, d_id: 3, c_row: customers - 1, amount: 500 });
+    /// let ts = Ts(1); // the coordinator's pinned global timestamp
+    ///
+    /// let effects = home.decompose(&txn, ts);
+    /// let (local, forwarded): (Vec<_>, Vec<_>) =
+    ///     effects.into_iter().partition(|e| e.warehouse < 4);
+    /// assert_eq!(forwarded.len(), 1, "the remote customer update");
+    ///
+    /// // Phase 1: both participants prepare and vote yes.
+    /// home.prepare_effects(&local, ts, &mut mem, Ps::ZERO)?;
+    /// owner.prepare_effects(&forwarded, ts, &mut mem, Ps::ZERO)?;
+    ///
+    /// // Phase 2: the coordinator commits everywhere at the pinned ts.
+    /// home.commit_prepared(ts, TxnRole::Coordinator);
+    /// owner.commit_prepared(ts, TxnRole::Participant);
+    /// assert_eq!(home.committed(), 1);
+    /// assert_eq!((home.last_ts(), owner.last_ts()), (ts, ts));
+    /// assert_eq!(owner.prepared_versions(), 0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn prepare_effects(
+        &mut self,
+        effects: &[TaggedEffect],
+        ts: Ts,
+        mem: &mut MemSystem,
+        at: Ps,
+    ) -> Result<TxnResult, DeltaFull> {
+        assert!(
+            self.prepared.is_none(),
+            "a prepared transaction is already in flight"
+        );
+        self.begin_txn();
+        let meter = self.meter;
+        let mut b = Breakdown::default();
+        let mut now = at;
+        for e in effects {
+            if let Err(full) = self.apply_effect(&e.effect, ts, mem, &meter, &mut b, &mut now) {
+                // The statements up to the failure consumed real
+                // simulated time (their memory traffic is already
+                // charged to `mem`); account it so callers can fold it
+                // into completion latency.
+                self.wasted_retry_time += now.saturating_sub(at);
+                self.abort_txn();
+                return Err(full);
+            }
+        }
+        // The force phase: flush the write set (§6.3 commit barrier) so
+        // the coordinator's decision is pure metadata.
+        now += meter.commit_barrier();
+        b.compute += meter.commit_barrier();
+        for t in self.tables.values_mut() {
+            t.prepare_txn();
+        }
+        self.prepared = Some(PreparedScope {
+            ts,
+            elapsed: now.saturating_sub(at),
+        });
+        Ok(TxnResult {
+            commit_ts: ts,
+            end: now,
+            breakdown: b,
+        })
+    }
+
+    /// The coordinator's commit decision for the prepared scope: every
+    /// table keeps its effects, the prepared version marks resolve, and
+    /// the engine's watermark advances to cover the pinned `ts`.
+    ///
+    /// `role` says whether this engine executed the transaction's home
+    /// half ([`TxnRole::Coordinator`] — the transaction counts as
+    /// committed here) or a forwarded effect set
+    /// ([`TxnRole::Participant`] — the home engine counts it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is prepared, or if `ts` is not the
+    /// timestamp the scope prepared under.
+    pub fn commit_prepared(&mut self, ts: Ts, role: TxnRole) {
+        let p = self
+            .prepared
+            .take()
+            .expect("commit decision without a prepared transaction");
+        assert_eq!(p.ts, ts, "commit decision for the wrong timestamp");
+        for t in self.tables.values_mut() {
+            t.commit_txn();
+        }
+        self.txn_cursor_log.clear();
+        if role == TxnRole::Coordinator {
+            self.committed += 1;
+        }
+        self.ts.advance_to(ts);
+    }
+
+    /// The coordinator's abort decision for the prepared scope: every
+    /// pinned undo record replays in reverse (delta slots, chains, row
+    /// bytes, index entries, stripe cursors all revert) and the
+    /// prepare's latency is charged to [`TpccDb::wasted_retry_time`] —
+    /// the work was done and rolled back, exactly like a local
+    /// [`DeltaFull`] abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is prepared.
+    pub fn abort_prepared(&mut self) {
+        let p = self
+            .prepared
+            .take()
+            .expect("abort decision without a prepared transaction");
+        self.wasted_retry_time += p.elapsed;
+        self.abort_txn();
+    }
+
+    /// Whether a prepared transaction is awaiting its coordinator
+    /// decision on this engine.
+    pub fn in_prepared_txn(&self) -> bool {
+        self.prepared.is_some()
+    }
+
+    /// Prepared-but-uncommitted versions across all tables — zero
+    /// whenever no two-phase commit is in flight (the invariant the
+    /// participant-abort tests assert).
+    pub fn prepared_versions(&self) -> u64 {
+        self.tables
+            .values()
+            .map(|t| t.prepared_versions() as u64)
+            .sum()
     }
 }
 

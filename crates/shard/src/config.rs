@@ -3,6 +3,33 @@
 use pushtap_core::PushtapConfig;
 use pushtap_pim::Ps;
 
+/// Message-round latencies of the simulated two-phase commit.
+///
+/// A cross-shard transaction pays one prepare round (the coordinator
+/// forwards each participant its owned effect set) and one decision
+/// round (commit or abort). Each hop is charged to the clock of the
+/// engine receiving the message; the coordinator additionally waits out
+/// one `prepare_hop + commit_hop` round-trip per attempt — including
+/// attempts that end in a participant's "no" vote — before it can act
+/// on the decision.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitConfig {
+    /// Latency of delivering a prepare request (with its forwarded
+    /// effect set) to a participant shard.
+    pub prepare_hop: Ps,
+    /// Latency of delivering the commit/abort decision to a participant
+    /// shard.
+    pub commit_hop: Ps,
+}
+
+impl CommitConfig {
+    /// Both rounds free — isolates pure engine time in experiments.
+    pub const FREE: CommitConfig = CommitConfig {
+        prepare_hop: Ps::ZERO,
+        commit_hop: Ps::ZERO,
+    };
+}
+
 /// Configuration of a [`crate::ShardedHtap`] deployment.
 #[derive(Debug, Clone)]
 pub struct ShardConfig {
@@ -12,10 +39,11 @@ pub struct ShardConfig {
     /// (`base.db.min_warehouses` combined with the scale) must be at
     /// least `shards` so every shard owns a non-empty warehouse range.
     pub base: PushtapConfig,
-    /// Latency charged to a shard's clock per remote-warehouse touch
-    /// (a NewOrder stock line or Payment customer owned by another
-    /// shard): one coordination round trip on the inter-shard fabric.
-    pub remote_hop: Ps,
+    /// Two-phase-commit message-round latencies charged when a
+    /// transaction's effects span shards (remote-owned CUSTOMER/STOCK
+    /// rows are *forwarded* to their owning shard and committed there
+    /// under the coordinator's pinned timestamp).
+    pub commit: CommitConfig,
     /// CPU cycles per gathered partial row spent merging scatter-gather
     /// results on the coordinator.
     pub merge_cycles_per_row: u64,
@@ -25,7 +53,7 @@ impl ShardConfig {
     /// A small test/example deployment: the engine's small instance with
     /// the warehouse floor raised to 8, so shard counts 1–8 all partition
     /// the *same* global population (results stay comparable across
-    /// shard counts), a 500 ns cross-shard hop, and an 8-cycle-per-row
+    /// shard counts), 500 ns prepare/commit hops, and an 8-cycle-per-row
     /// merge.
     ///
     /// # Panics
@@ -41,7 +69,10 @@ impl ShardConfig {
         ShardConfig {
             shards,
             base,
-            remote_hop: Ps::from_ns(500.0),
+            commit: CommitConfig {
+                prepare_hop: Ps::from_ns(500.0),
+                commit_hop: Ps::from_ns(500.0),
+            },
             merge_cycles_per_row: 8,
         }
     }

@@ -1,0 +1,326 @@
+//! The transaction coordinator: stream-order execution over the shard
+//! engines, with a simulated two-phase commit for transactions whose
+//! effects span shards.
+//!
+//! # Execution model
+//!
+//! The router hands the coordinator one globally-ordered stream of
+//! [`RoutedTxn`]s, each stamped with its stream-order timestamp. The
+//! coordinator drives it with two disciplines:
+//!
+//! * **Warehouse-local transactions** (empty participant set — the vast
+//!   majority under TPC-C's remote rates) are queued per home shard and
+//!   executed in *concurrent* per-shard runs (`std::thread::scope`),
+//!   exactly like the pre-2PC bucket execution.
+//! * **Cross-shard transactions** trigger a flush of every *involved*
+//!   shard's queue (so all earlier stream work lands first — per-row
+//!   MVCC timestamps must stay monotone), then run as a two-phase
+//!   commit: the home shard decomposes the transaction into tagged
+//!   effects ([`pushtap_oltp::TpccDb::decompose`]), prepares the effects
+//!   it owns, forwards each participant its owned subset, collects
+//!   votes, and commits — or aborts — everywhere at the pinned
+//!   timestamp.
+//!
+//! # Votes, aborts, retries
+//!
+//! A participant whose delta arena fills mid-prepare votes "no" (its
+//! partial effects are already rolled back). The coordinator then
+//! delivers the abort decision to the home half and every prepared
+//! participant — their pinned undo records replay in reverse, leaving
+//! zero trace — defragments the voting shard, and retries the whole
+//! transaction under the *same* timestamp, feeding the engine-level
+//! atomic-retry machinery. Committed bytes therefore never depend on
+//! where or when arenas filled up, which is what extends the
+//! byte-identity invariant to remote-owned CUSTOMER/STOCK rows.
+//!
+//! # Timing
+//!
+//! Message rounds are charged per [`CommitConfig`]: each participant's
+//! clock pays `prepare_hop` to receive its effect set and `commit_hop`
+//! to receive the decision; the coordinator pays one
+//! `prepare_hop + commit_hop` round-trip before reporting the commit.
+//! All 2PC metrics land in each shard's [`OltpReport`]
+//! (`prepared_txns`, `participant_aborts`, `forwarded_effects`,
+//! `commit_rounds`, `two_pc_time`).
+//!
+//! [`OltpReport`]: pushtap_core::OltpReport
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use pushtap_core::Pushtap;
+use pushtap_oltp::{Breakdown, TaggedEffect, TxnRole};
+use pushtap_pim::Ps;
+
+use crate::config::CommitConfig;
+use crate::partition::WarehouseMap;
+use crate::report::ShardLoad;
+use crate::router::RoutedTxn;
+
+/// Executes one globally-ordered routed stream across the shard
+/// engines, returning each shard's accumulated load.
+pub(crate) fn execute_stream(
+    shards: &mut [Pushtap],
+    map: &WarehouseMap,
+    stream: Vec<RoutedTxn>,
+    commit: CommitConfig,
+) -> Vec<ShardLoad> {
+    let starts: Vec<Ps> = shards.iter().map(Pushtap::now).collect();
+    let mut loads: Vec<ShardLoad> = (0..shards.len()).map(|_| ShardLoad::default()).collect();
+    let mut pending: Vec<Vec<RoutedTxn>> = (0..shards.len()).map(|_| Vec::new()).collect();
+    for routed in stream {
+        if routed.participants.is_empty() {
+            pending[routed.shard as usize].push(routed);
+        } else {
+            // Stream-order discipline: every involved engine applies all
+            // its earlier stream work before this transaction's effects
+            // land (per-row commit timestamps must stay monotone).
+            // Uninvolved shards keep queueing — their rows are disjoint
+            // from this transaction's by ownership.
+            let mut involved = routed.participants.clone();
+            involved.push(routed.shard);
+            flush(shards, &mut pending, &mut loads, Some(&involved));
+            two_phase_commit(shards, map, &routed, commit, &mut loads);
+        }
+    }
+    flush(shards, &mut pending, &mut loads, None);
+    for (i, load) in loads.iter_mut().enumerate() {
+        load.elapsed = shards[i].now().saturating_sub(starts[i]);
+    }
+    loads
+}
+
+/// Drains the pending warehouse-local queues of the selected shards
+/// (all shards when `only` is `None`), one OS thread per non-empty
+/// queue, and folds the partial loads into `loads`.
+fn flush(
+    shards: &mut [Pushtap],
+    pending: &mut [Vec<RoutedTxn>],
+    loads: &mut [ShardLoad],
+    only: Option<&[u32]>,
+) {
+    let results: Vec<(usize, ShardLoad)> = thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter_mut()
+            .zip(pending.iter_mut())
+            .enumerate()
+            .filter(|(i, _)| only.is_none_or(|set| set.contains(&(*i as u32))))
+            .filter(|(_, (_, queue))| !queue.is_empty())
+            .map(|(i, (shard, queue))| {
+                let bucket = std::mem::take(queue);
+                scope.spawn(move || (i, run_local_bucket(shard, bucket)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+    for (i, partial) in results {
+        loads[i].routed += partial.routed;
+        loads[i].remote_touches += partial.remote_touches;
+        loads[i].remote_time += partial.remote_time;
+        loads[i].report.merge(&partial.report);
+    }
+}
+
+/// Executes one shard's queued warehouse-local transactions, each under
+/// its pinned stream-order timestamp (a `DeltaFull` retry re-runs under
+/// the same timestamp).
+fn run_local_bucket(shard: &mut Pushtap, bucket: Vec<RoutedTxn>) -> ShardLoad {
+    let mut load = ShardLoad::default();
+    for routed in bucket {
+        debug_assert!(
+            routed.participants.is_empty(),
+            "cross-shard transaction queued as local"
+        );
+        let before = shard.now();
+        let aborts_before = shard.db().aborts();
+        let wasted_before = shard.db().wasted_retry_time();
+        let (result, pause) = shard.execute_txn_at(&routed.txn, routed.ts);
+        load.routed += 1;
+        load.report.committed += 1;
+        let aborted = shard.db().aborts() - aborts_before;
+        load.report.aborts += aborted;
+        if aborted > 0 {
+            load.report.retried_txns += 1;
+        }
+        charge_defrag(&mut load, pause);
+        load.report.wasted_retry_time +=
+            shard.db().wasted_retry_time().saturating_sub(wasted_before);
+        load.report.txn_time += shard.now().saturating_sub(before).saturating_sub(pause);
+        load.report.breakdown.merge(&result.breakdown);
+    }
+    load
+}
+
+/// Charges one 2PC message round (exactly one hop of latency) to a
+/// shard's clock and its load accounting, so `commit_rounds` counts
+/// message deliveries in uniform units on every shard.
+fn charge_hop(load: &mut ShardLoad, shard: &mut Pushtap, hop: Ps) {
+    if hop > Ps::ZERO {
+        shard.advance(hop);
+    }
+    load.remote_time += hop;
+    load.report.two_pc_time += hop;
+    load.report.commit_rounds += 1;
+}
+
+/// Records a defragmentation pause in a shard's load accounting.
+fn charge_defrag(load: &mut ShardLoad, pause: Ps) {
+    if pause > Ps::ZERO {
+        load.report.defrag_passes += 1;
+        load.report.defrag_time += pause;
+    }
+}
+
+/// Runs one engine call under delta-capture accounting: any clock
+/// movement lands in the shard's transaction time, and any wasted-time
+/// accrual (a failed prepare, a coordinator-aborted prepared scope) in
+/// its wasted-retry counter — keeping the report reconciled with the
+/// engine's own counters at every call site.
+fn charge_engine<T>(
+    load: &mut ShardLoad,
+    shard: &mut Pushtap,
+    f: impl FnOnce(&mut Pushtap) -> T,
+) -> T {
+    let before = shard.now();
+    let wasted_before = shard.db().wasted_retry_time();
+    let r = f(shard);
+    load.report.txn_time += shard.now().saturating_sub(before);
+    load.report.wasted_retry_time += shard.db().wasted_retry_time().saturating_sub(wasted_before);
+    r
+}
+
+/// Runs one cross-shard transaction as a simulated two-phase commit,
+/// retrying (under the same pinned timestamp) until every participant
+/// votes yes.
+fn two_phase_commit(
+    shards: &mut [Pushtap],
+    map: &WarehouseMap,
+    routed: &RoutedTxn,
+    commit: CommitConfig,
+    loads: &mut [ShardLoad],
+) {
+    let home = routed.shard as usize;
+    let ts = routed.ts;
+
+    // Periodic defragmentation runs between transactions — never while
+    // any scope is open.
+    charge_defrag(&mut loads[home], shards[home].defrag_if_due());
+
+    // Decompose at the home engine and split the effect set by owning
+    // shard. Decomposition is read-only (cursors and chains untouched),
+    // so retries below reuse the identical effect set.
+    let effects = shards[home].db().decompose(&routed.txn, ts);
+    let mut local: Vec<TaggedEffect> = Vec::new();
+    let mut forwarded: BTreeMap<usize, Vec<TaggedEffect>> = BTreeMap::new();
+    for e in effects {
+        let owner = map.shard_of_warehouse(e.warehouse) as usize;
+        if owner == home {
+            local.push(e);
+        } else {
+            forwarded.entry(owner).or_default().push(e);
+        }
+    }
+    debug_assert_eq!(
+        forwarded.keys().map(|&s| s as u32).collect::<Vec<_>>(),
+        routed.participants,
+        "router participant set must match effect ownership"
+    );
+
+    let mut attempts = 0u64;
+    loop {
+        attempts += 1;
+        // Phase 1a: the home half prepares its owned effects.
+        let home_result = charge_engine(&mut loads[home], &mut shards[home], |s| {
+            s.prepare_effects_at(&local, ts)
+        });
+        let home_result = match home_result {
+            Ok(r) => {
+                loads[home].report.prepared_txns += 1;
+                r
+            }
+            Err(_full) => {
+                // Home voted no before anything was forwarded: its
+                // partial effects are already rolled back; reclaim its
+                // arenas and retry the whole transaction.
+                loads[home].report.aborts += 1;
+                charge_defrag(&mut loads[home], shards[home].defragment_all().1);
+                continue;
+            }
+        };
+
+        // Phase 1b: forward each participant its owned effect subset (a
+        // prepare round delivers it) and collect votes.
+        let mut prepared: Vec<(usize, Breakdown)> = Vec::new();
+        let mut vote_no: Option<usize> = None;
+        for (&p, effs) in &forwarded {
+            charge_hop(&mut loads[p], &mut shards[p], commit.prepare_hop);
+            let r = charge_engine(&mut loads[p], &mut shards[p], |s| {
+                s.prepare_effects_at(effs, ts)
+            });
+            match r {
+                Ok(r) => {
+                    loads[p].report.prepared_txns += 1;
+                    loads[p].report.forwarded_effects += effs.len() as u64;
+                    prepared.push((p, r.breakdown));
+                }
+                Err(_full) => {
+                    loads[p].report.aborts += 1;
+                    vote_no = Some(p);
+                    break;
+                }
+            }
+        }
+
+        if let Some(no_shard) = vote_no {
+            // Phase 2, abort decision: the home half and every prepared
+            // participant roll their pinned effects back (the decision
+            // round is charged like a commit would be), and the
+            // coordinator pays the same message round-trip it would on
+            // a commit — the prepares went out and the "no" vote had to
+            // come back, failed rounds are not free. The prepare's
+            // latency lands in wasted retry time — the clock already
+            // covered the work, now thrown away. The voting shard's
+            // arenas are reclaimed, then the whole transaction retries
+            // under the same timestamp.
+            charge_hop(&mut loads[home], &mut shards[home], commit.prepare_hop);
+            charge_hop(&mut loads[home], &mut shards[home], commit.commit_hop);
+            charge_engine(&mut loads[home], &mut shards[home], |s| s.abort_prepared());
+            loads[home].report.aborts += 1;
+            loads[home].report.participant_aborts += 1;
+            for &(q, _) in &prepared {
+                charge_hop(&mut loads[q], &mut shards[q], commit.commit_hop);
+                charge_engine(&mut loads[q], &mut shards[q], |s| s.abort_prepared());
+                loads[q].report.aborts += 1;
+                loads[q].report.participant_aborts += 1;
+            }
+            charge_defrag(&mut loads[no_shard], shards[no_shard].defragment_all().1);
+            continue;
+        }
+
+        // Phase 2, commit decision: the coordinator waits out the
+        // decision round-trip (one prepare-delivery round out, one
+        // vote/decision round back — charged as two rounds so every
+        // counted round is exactly one message hop), then every engine
+        // commits at the pinned timestamp (metadata-only — prepare
+        // already flushed).
+        charge_hop(&mut loads[home], &mut shards[home], commit.prepare_hop);
+        charge_hop(&mut loads[home], &mut shards[home], commit.commit_hop);
+        shards[home].commit_prepared(ts, TxnRole::Coordinator);
+        loads[home].routed += 1;
+        loads[home].report.committed += 1;
+        loads[home].report.breakdown.merge(&home_result.breakdown);
+        loads[home].remote_touches += routed.remote;
+        if attempts > 1 {
+            loads[home].report.retried_txns += 1;
+        }
+        for (q, breakdown) in prepared {
+            charge_hop(&mut loads[q], &mut shards[q], commit.commit_hop);
+            shards[q].commit_prepared(ts, TxnRole::Participant);
+            loads[q].report.breakdown.merge(&breakdown);
+        }
+        return;
+    }
+}

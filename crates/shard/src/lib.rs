@@ -12,26 +12,35 @@
 //! The pieces:
 //!
 //! * [`ShardConfig`] — shard count + the per-shard PUSHtap configuration
-//!   plus the two scale-out cost knobs (cross-shard hop latency, gather
-//!   merge cost);
+//!   plus the scale-out cost knobs (two-phase-commit message-round
+//!   latencies in [`CommitConfig`], gather merge cost);
 //! * [`WarehouseMap`] — the contiguous warehouse-range partitioning and
 //!   its ownership queries (home shard of a warehouse, of a customer
 //!   row, of a stock row);
 //! * [`TxnRouter`] — routes CH-benCHmark transactions to their home
-//!   shard, accounts remote-warehouse touches (the NewOrder stock
-//!   lines and Payment customers that live on other shards), and stamps
-//!   every transaction's commit timestamp from the deployment's shared
+//!   shard, computes each transaction's *participant set* (the shards
+//!   owning its remote-touched rows — NewOrder stock lines and Payment
+//!   customers that live elsewhere), and stamps every transaction's
+//!   commit timestamp from the deployment's shared
 //!   [`pushtap_mvcc::TsOracle`] in *global stream order*;
+//! * [`coordinator`] — stream-order execution: warehouse-local
+//!   transactions run in concurrent per-shard queues, cross-shard
+//!   transactions run as a simulated *two-phase commit* — the home
+//!   shard decomposes the transaction into owner-tagged effects
+//!   ([`pushtap_oltp::TpccDb::decompose`]), prepares its own, forwards
+//!   the rest, collects votes, and commits (or aborts and retries)
+//!   everywhere at the pinned timestamp;
 //! * [`ShardedHtap`] — the service: N independent [`pushtap_core::Pushtap`]
 //!   engines (fact tables warehouse-partitioned, dimension tables
-//!   replicated, all drawing timestamps from one oracle), OLTP batches
-//!   executed concurrently under `std::thread::scope`, and Q1/Q6/Q9
-//!   answered by global-cut scatter-gather with
-//!   [`pushtap_olap::merge_partials`];
+//!   replicated, all drawing timestamps from one oracle), OLTP driven
+//!   through the coordinator, and Q1/Q6/Q9 answered by global-cut
+//!   scatter-gather with [`pushtap_olap::merge_partials`];
 //! * [`ShardOltpReport`] / [`ShardQueryReport`] — per-shard and
 //!   aggregate accounting (routed counts, remote touches, makespan,
 //!   scatter latency, merge cost, wasted retry latency, the agreed
-//!   snapshot cut).
+//!   snapshot cut, and the 2PC metrics: prepared transactions,
+//!   participant aborts, forwarded effects, commit rounds, 2PC time
+//!   share).
 //!
 //! # Byte identity
 //!
@@ -54,14 +63,17 @@
 //! ([`ShardOltpReport::aborts`]).
 //!
 //! The shared timestamp oracle lifts the invariant from values to raw
-//! bytes: commit timestamps are encoded into stored rows, and every
-//! shard commits under the globally-stream-ordered timestamps the
-//! router stamped, so a shard's committed table bytes — timestamp
-//! columns included — equal the corresponding rows of the unpartitioned
-//! reference (fully, for every table, under a warehouse-local mix;
-//! remote-owned CUSTOMER/STOCK touches are still modeled on local proxy
-//! rows pending two-phase commit). Scattered queries first agree on one
-//! cut — the oracle's watermark — and every shard snapshots at it, so a
+//! bytes, and write forwarding extends it to **every table**: commit
+//! timestamps are encoded into stored rows, every shard commits under
+//! the globally-stream-ordered timestamps the router stamped, and a
+//! transaction's remote-owned CUSTOMER/STOCK effects are forwarded to
+//! the owning shard and committed there — under the coordinator's
+//! pinned timestamp — by the simulated two-phase commit. A shard's
+//! committed table bytes (timestamp columns included) therefore equal
+//! the corresponding rows of the unpartitioned reference for all
+//! tables, under any remote mix, even when participants abort
+//! mid-prepare. Scattered queries first agree on one cut — the
+//! oracle's watermark — and every shard snapshots at it, so a
 //! cross-shard answer reflects a single global snapshot
 //! ([`ShardQueryReport::global_cut`]) rather than per-shard clocks.
 //!
@@ -84,12 +96,13 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+pub mod coordinator;
 mod partition;
 mod report;
 mod router;
 mod service;
 
-pub use config::ShardConfig;
+pub use config::{CommitConfig, ShardConfig};
 pub use partition::WarehouseMap;
 pub use report::{RemoteTouches, ShardLoad, ShardOltpReport, ShardQueryReport};
 pub use router::{RoutedTxn, TxnRouter};

@@ -31,13 +31,20 @@ impl RemoteTouches {
 /// One shard's outcome for one batch.
 #[derive(Debug, Clone, Default)]
 pub struct ShardLoad {
-    /// The engine-level OLTP report (txn time excludes remote hops).
+    /// The engine-level OLTP report (txn time excludes 2PC message
+    /// rounds, which are tracked in [`OltpReport::two_pc_time`] and
+    /// [`ShardLoad::remote_time`]).
     pub report: OltpReport,
-    /// Transactions routed to this shard.
+    /// Transactions *homed* at this shard (participant work for
+    /// transactions homed elsewhere shows up in
+    /// [`OltpReport::forwarded_effects`], not here).
     pub routed: u64,
-    /// Remote touches charged to this shard.
+    /// Remote row touches of transactions homed at this shard (their
+    /// effects were forwarded to the owning shards under 2PC).
     pub remote_touches: u64,
-    /// Time spent on cross-shard coordination hops.
+    /// Time this shard's clock spent on 2PC message rounds (prepare and
+    /// commit/abort deliveries; the decision round-trip on the home
+    /// side).
     pub remote_time: Ps,
     /// This shard's wall-clock for the batch (txns + defrag + hops).
     pub elapsed: Ps,
@@ -117,6 +124,53 @@ impl ShardOltpReport {
             .iter()
             .map(|s| s.report.wasted_retry_time)
             .sum()
+    }
+
+    /// Two-phase-commit prepare phases completed across all shards
+    /// (home halves and forwarded participants; retried attempts count
+    /// each time the work was done).
+    pub fn prepared_txns(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.report.prepared_txns).sum()
+    }
+
+    /// Prepared scopes rolled back on a coordinator abort decision
+    /// across all shards (a participant's `DeltaFull` aborted the whole
+    /// transaction everywhere before its retry).
+    pub fn participant_aborts(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.report.participant_aborts)
+            .sum()
+    }
+
+    /// Effects applied on non-home shards on behalf of forwarded
+    /// transactions.
+    pub fn forwarded_effects(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.report.forwarded_effects)
+            .sum()
+    }
+
+    /// Two-phase-commit message rounds charged across all shards.
+    pub fn commit_rounds(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.report.commit_rounds).sum()
+    }
+
+    /// Total 2PC message-round latency charged across all shards.
+    pub fn two_pc_time(&self) -> Ps {
+        self.per_shard.iter().map(|s| s.report.two_pc_time).sum()
+    }
+
+    /// Share of the deployment's summed busy time spent on 2PC message
+    /// rounds — the commit-round time share of the batch.
+    pub fn two_pc_time_share(&self) -> f64 {
+        let busy: u64 = self.per_shard.iter().map(|s| s.elapsed.ps()).sum();
+        if busy == 0 {
+            0.0
+        } else {
+            self.two_pc_time().ps() as f64 / busy as f64
+        }
     }
 }
 

@@ -1,5 +1,5 @@
-//! Transaction routing: home-shard selection plus remote-warehouse
-//! accounting.
+//! Transaction routing: home-shard selection, participant-set
+//! computation, and remote-touch accounting.
 
 use pushtap_chbench::Txn;
 use pushtap_mvcc::{Ts, TsOracle};
@@ -7,20 +7,26 @@ use pushtap_mvcc::{Ts, TsOracle};
 use crate::partition::WarehouseMap;
 use crate::report::RemoteTouches;
 
-/// One routed transaction: its home shard, how many of its row touches
-/// land on *other* shards (charged as coordination hops by the service),
-/// and its globally-ordered commit timestamp.
+/// One routed transaction: its home shard, the *participant* shards
+/// owning rows its effects touch, how many of its row touches land on
+/// other shards, and its globally-ordered commit timestamp.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutedTxn {
     /// The transaction itself.
     pub txn: Txn,
     /// Home shard (by home warehouse).
     pub shard: u32,
-    /// Touches owned by other shards.
+    /// Shards other than the home shard that own at least one row this
+    /// transaction touches (sorted, deduplicated). Empty for a fully
+    /// warehouse-local transaction; non-empty means the coordinator runs
+    /// a two-phase commit across `{shard} ∪ participants` — the home
+    /// shard executes its owned effects and forwards the rest.
+    pub participants: Vec<u32>,
+    /// Touches owned by other shards (individual rows, not shards).
     pub remote: u64,
-    /// The commit timestamp the home shard executes this transaction
+    /// The commit timestamp every participant executes this transaction
     /// under, drawn from the deployment's shared [`TsOracle`] in global
-    /// stream order by [`TxnRouter::route_batch`] ([`Ts::ZERO`] until
+    /// stream order by [`TxnRouter::route_stream`] ([`Ts::ZERO`] until
     /// stamped). Stream-order assignment is what makes the sharded
     /// deployment commit the exact timestamps a single-instance
     /// reference would — and therefore byte-identical state, since
@@ -28,10 +34,12 @@ pub struct RoutedTxn {
     pub ts: Ts,
 }
 
-/// Routes transactions by home warehouse and accounts cross-shard
-/// touches, mirroring TPC-C's remote-warehouse semantics: a NewOrder's
-/// order lines may draw stock from other warehouses, and a Payment may
-/// pay a customer homed elsewhere.
+/// Routes transactions by home warehouse and computes each transaction's
+/// participant set, mirroring TPC-C's remote-warehouse semantics: a
+/// NewOrder's order lines may draw stock from other warehouses, and a
+/// Payment may pay a customer homed elsewhere. Those rows' effects are
+/// *forwarded* to the owning shard and committed there by the
+/// coordinator's two-phase commit.
 #[derive(Debug, Clone, Copy)]
 pub struct TxnRouter {
     map: WarehouseMap,
@@ -53,59 +61,82 @@ impl TxnRouter {
         self.map.shard_of_warehouse(txn.home_warehouse())
     }
 
-    /// Routes one transaction, counting its remote touches. The commit
-    /// timestamp is left unstamped ([`Ts::ZERO`]) — batch routing stamps
-    /// it from the deployment's oracle in stream order.
+    /// Routes one transaction: computes its home shard, participant set,
+    /// and remote-touch count. The commit timestamp is left unstamped
+    /// ([`Ts::ZERO`]) — stream routing stamps it from the deployment's
+    /// oracle in stream order.
     pub fn route(&self, txn: Txn) -> RoutedTxn {
         let shard = self.map.shard_of_warehouse(txn.home_warehouse());
+        let mut participants: Vec<u32> = Vec::new();
         let remote = match &txn {
-            Txn::Payment(p) => u64::from(self.map.shard_of_customer(p.c_row) != shard),
+            Txn::Payment(p) => {
+                let owner = self.map.shard_of_customer(p.c_row);
+                if owner != shard {
+                    participants.push(owner);
+                }
+                u64::from(owner != shard)
+            }
             Txn::NewOrder(no) => {
-                let stock_remote = no
-                    .stock_rows
-                    .iter()
-                    .filter(|&&s| self.map.shard_of_stock(s) != shard)
-                    .count() as u64;
-                stock_remote + u64::from(self.map.shard_of_customer(no.c_row) != shard)
+                let mut remote = 0;
+                for &s in &no.stock_rows {
+                    let owner = self.map.shard_of_stock(s);
+                    if owner != shard {
+                        participants.push(owner);
+                        remote += 1;
+                    }
+                }
+                let owner = self.map.shard_of_customer(no.c_row);
+                if owner != shard {
+                    participants.push(owner);
+                    remote += 1;
+                }
+                remote
             }
         };
+        participants.sort_unstable();
+        participants.dedup();
         RoutedTxn {
             txn,
             shard,
+            participants,
             remote,
             ts: Ts::ZERO,
         }
     }
 
-    /// Routes a batch into per-shard buckets (order-preserving within
-    /// each shard), stamping every transaction's commit timestamp from
-    /// `oracle` in *global stream order* — transaction `i` of the batch
-    /// draws the `i`-th timestamp, exactly as a single unpartitioned
-    /// instance executing the same stream would allocate them. Returns
-    /// the buckets plus the aggregate remote-touch accounting.
+    /// Routes a batch into one globally-ordered stream, stamping every
+    /// transaction's commit timestamp from `oracle` in *stream order* —
+    /// transaction `i` of the batch draws the `i`-th timestamp, exactly
+    /// as a single unpartitioned instance executing the same stream
+    /// would allocate them. Returns the stream plus the aggregate
+    /// remote-touch accounting.
     ///
-    /// Stamping must happen here, before the buckets scatter to
-    /// concurrent shard threads: once execution interleaves across
-    /// threads, the stream order (the only order that matches the
-    /// single-instance reference) is gone.
-    pub fn route_batch(
+    /// Stamping must happen here, before execution fans out: once
+    /// transactions interleave across concurrent shard threads, the
+    /// stream order (the only order that matches the single-instance
+    /// reference) is gone. The coordinator preserves that order for
+    /// every *conflicting* pair by flushing each involved shard's queued
+    /// local work before a cross-shard transaction's effects land.
+    pub fn route_stream(
         &self,
         batch: Vec<Txn>,
         oracle: &TsOracle,
-    ) -> (Vec<Vec<RoutedTxn>>, RemoteTouches) {
-        let mut buckets: Vec<Vec<RoutedTxn>> = (0..self.map.shards()).map(|_| Vec::new()).collect();
+    ) -> (Vec<RoutedTxn>, RemoteTouches) {
         let mut touches = RemoteTouches::default();
-        for txn in batch {
-            let mut routed = self.route(txn);
-            routed.ts = oracle.allocate();
-            touches.routed += 1;
-            if routed.remote > 0 {
-                touches.cross_shard_txns += 1;
-                touches.remote_touches += routed.remote;
-            }
-            buckets[routed.shard as usize].push(routed);
-        }
-        (buckets, touches)
+        let stream = batch
+            .into_iter()
+            .map(|txn| {
+                let mut routed = self.route(txn);
+                routed.ts = oracle.allocate();
+                touches.routed += 1;
+                if routed.remote > 0 {
+                    touches.cross_shard_txns += 1;
+                    touches.remote_touches += routed.remote;
+                }
+                routed
+            })
+            .collect();
+        (stream, touches)
     }
 }
 
@@ -138,9 +169,9 @@ mod tests {
     fn single_shard_has_no_remote_touches() {
         let r = router(1);
         let mut gen = TxnGen::new(5, 8, 3000, 10_000, 10_000);
-        let (buckets, touches) = r.route_batch(gen.batch(300), &TsOracle::new());
-        assert_eq!(buckets.len(), 1);
-        assert_eq!(buckets[0].len(), 300);
+        let (stream, touches) = r.route_stream(gen.batch(300), &TsOracle::new());
+        assert_eq!(stream.len(), 300);
+        assert!(stream.iter().all(|t| t.participants.is_empty()));
         assert_eq!(touches.remote_touches, 0);
         assert_eq!(touches.cross_shard_txns, 0);
     }
@@ -151,63 +182,72 @@ mod tests {
         // shards ~3/4 of every NewOrder's lines are remote.
         let r = router(4);
         let mut gen = TxnGen::new(5, 8, 3000, 10_000, 10_000);
-        let (buckets, touches) = r.route_batch(gen.batch(400), &TsOracle::new());
-        assert_eq!(buckets.iter().map(Vec::len).sum::<usize>(), 400);
+        let (stream, touches) = r.route_stream(gen.batch(400), &TsOracle::new());
+        assert_eq!(stream.len(), 400);
         assert!(touches.cross_shard_txns > 0);
         assert!(touches.remote_touches > touches.cross_shard_txns);
-        // Every bucket gets a fair share of a uniform 8-warehouse load.
-        for b in &buckets {
-            assert!(!b.is_empty(), "a shard received no transactions");
+        // Every shard gets a fair share of a uniform 8-warehouse load.
+        for s in 0..4u32 {
+            assert!(
+                stream.iter().any(|t| t.shard == s),
+                "shard {s} received no transactions"
+            );
+        }
+    }
+
+    /// The participant set is exactly the set of non-home shards owning
+    /// touched rows: sorted, deduplicated, non-empty iff the transaction
+    /// has remote touches.
+    #[test]
+    fn participants_match_row_ownership() {
+        let r = router(4);
+        let mut gen = TxnGen::new(5, 8, 3000, 10_000, 10_000);
+        for txn in gen.batch(300) {
+            let routed = r.route(txn.clone());
+            let mut expect: Vec<u32> = match &txn {
+                Txn::Payment(p) => vec![r.map().shard_of_customer(p.c_row)],
+                Txn::NewOrder(no) => {
+                    let mut v: Vec<u32> = no
+                        .stock_rows
+                        .iter()
+                        .map(|&s| r.map().shard_of_stock(s))
+                        .collect();
+                    v.push(r.map().shard_of_customer(no.c_row));
+                    v
+                }
+            };
+            expect.retain(|&s| s != routed.shard);
+            expect.sort_unstable();
+            expect.dedup();
+            assert_eq!(routed.participants, expect);
+            assert_eq!(routed.participants.is_empty(), routed.remote == 0);
         }
     }
 
     #[test]
-    fn route_batch_preserves_per_shard_order() {
+    fn route_stream_preserves_global_order() {
         let r = router(2);
         let mut gen = TxnGen::new(11, 8, 3000, 10_000, 10_000);
         let batch = gen.batch(100);
-        let (buckets, _) = r.route_batch(batch.clone(), &TsOracle::new());
-        let mut replayed: Vec<Vec<Txn>> = vec![Vec::new(); 2];
-        for txn in batch {
-            let s = r.home_shard(&txn);
-            replayed[s as usize].push(txn);
-        }
-        for (bucket, expect) in buckets.iter().zip(&replayed) {
-            let got: Vec<&Txn> = bucket.iter().map(|r| &r.txn).collect();
-            let want: Vec<&Txn> = expect.iter().collect();
-            assert_eq!(got, want);
-        }
+        let (stream, _) = r.route_stream(batch.clone(), &TsOracle::new());
+        let got: Vec<&Txn> = stream.iter().map(|t| &t.txn).collect();
+        let want: Vec<&Txn> = batch.iter().collect();
+        assert_eq!(got, want);
     }
 
     #[test]
-    fn route_batch_stamps_timestamps_in_stream_order() {
+    fn route_stream_stamps_timestamps_in_stream_order() {
         let r = router(4);
         let mut gen = TxnGen::new(5, 8, 3000, 10_000, 10_000);
         let batch = gen.batch(200);
         let oracle = TsOracle::new();
-        let (buckets, _) = r.route_batch(batch.clone(), &oracle);
+        let (stream, _) = r.route_stream(batch.clone(), &oracle);
         assert_eq!(oracle.watermark(), Ts(200));
-        // Reconstruct the global order: timestamp i+1 must belong to the
-        // i-th transaction of the stream, whatever bucket it landed in.
-        let mut by_ts: Vec<Option<&Txn>> = vec![None; 201];
-        for routed in buckets.iter().flatten() {
-            assert!(routed.ts > Ts::ZERO, "unstamped transaction");
-            assert!(
-                by_ts[routed.ts.0 as usize].is_none(),
-                "duplicate {}",
-                routed.ts
-            );
-            by_ts[routed.ts.0 as usize] = Some(&routed.txn);
-        }
-        for (i, txn) in batch.iter().enumerate() {
-            assert_eq!(by_ts[i + 1], Some(txn), "stream position {i}");
-        }
-        // Within each bucket, stamped timestamps are strictly increasing
-        // (the per-engine MVCC monotonicity precondition).
-        for bucket in &buckets {
-            for w in bucket.windows(2) {
-                assert!(w[0].ts < w[1].ts);
-            }
+        // Timestamp i+1 belongs to the i-th transaction of the stream:
+        // the exact sequence a single-instance reference would allocate.
+        for (i, routed) in stream.iter().enumerate() {
+            assert_eq!(routed.ts, Ts(i as u64 + 1), "stream position {i}");
+            assert_eq!(&routed.txn, &batch[i]);
         }
     }
 }

@@ -1,5 +1,7 @@
-//! The sharded HTAP service: N PUSHtap engines behind one router and one
-//! scatter-gather coordinator.
+//! The sharded HTAP service: N PUSHtap engines behind one router, one
+//! transaction coordinator (stream-order execution + two-phase commit
+//! for cross-shard writes — see [`crate::coordinator`]), and one
+//! scatter-gather query coordinator.
 
 use std::sync::Arc;
 use std::thread;
@@ -13,18 +15,23 @@ use pushtap_oltp::Partition;
 use pushtap_pim::Ps;
 
 use crate::config::ShardConfig;
+use crate::coordinator;
 use crate::partition::WarehouseMap;
 use crate::report::{ShardLoad, ShardOltpReport, ShardQueryReport};
-use crate::router::{RoutedTxn, TxnRouter};
+use crate::router::TxnRouter;
 
 /// A warehouse-partitioned deployment of PUSHtap engines.
 ///
 /// Each shard is a complete [`Pushtap`] instance — its own simulated
 /// memory system, PIM scan engine, MVCC state, and clock — holding the
 /// shard's slice of the fact tables and a full replica of the dimension
-/// tables. Transactions route by home warehouse; analytical queries
-/// scatter to every shard (each runs its snapshot + two-phase PIM scan
-/// concurrently) and gather by merging distributive partials.
+/// tables. Transactions route by home warehouse and execute in global
+/// stream order: warehouse-local ones on concurrent per-shard queues,
+/// cross-shard ones as coordinator-driven two-phase commits that
+/// forward remote-owned effects to their owning shards
+/// ([`crate::coordinator`]). Analytical queries scatter to every shard
+/// (each runs its snapshot + two-phase PIM scan concurrently) and
+/// gather by merging distributive partials.
 ///
 /// All shards share one [`TsOracle`]: the coordinator stamps every
 /// routed transaction with a timestamp drawn in global stream order, so
@@ -120,8 +127,11 @@ impl ShardedHtap {
     }
 
     /// Per-shard generators whose home warehouses stay inside each
-    /// shard's range — the perfectly-partitionable load used to measure
-    /// peak scale-out throughput.
+    /// shard's range *and* whose customer/stock rows come from the home
+    /// warehouse's stripe ([`pushtap_chbench::RemoteMix::LOCAL`]) — the
+    /// perfectly-partitionable load used to measure peak scale-out
+    /// throughput. No row a generated transaction touches is owned by
+    /// another shard, so no two-phase commit ever fires on this load.
     pub fn local_txn_gens(&self, seed: u64) -> Vec<TxnGen> {
         let m = *self.map();
         (0..self.shard_count())
@@ -133,25 +143,29 @@ impl ShardedHtap {
                     m.items(),
                     m.stocks(),
                 )
+                .with_remote_mix(pushtap_chbench::RemoteMix::LOCAL, m.warehouses())
             })
             .collect()
     }
 
-    /// Routes `n` transactions from a global stream to their home shards
-    /// and executes the per-shard batches concurrently. Every transaction
-    /// is stamped with its stream-order timestamp from the shared oracle
-    /// at routing time, so the concurrent shards commit exactly the
-    /// timestamps a single unpartitioned instance executing the same
-    /// stream would.
+    /// Routes `n` transactions from a global stream and executes them in
+    /// stream order: warehouse-local transactions run in concurrent
+    /// per-shard queues, cross-shard transactions run as coordinator-
+    /// driven two-phase commits (effects forwarded to their owning
+    /// shards — see [`crate::coordinator`]). Every transaction is
+    /// stamped with its stream-order timestamp from the shared oracle at
+    /// routing time, so the deployment commits exactly the timestamps a
+    /// single unpartitioned instance executing the same stream would.
     pub fn run_txns(&mut self, gen: &mut TxnGen, n: u64) -> ShardOltpReport {
         let batch = gen.batch(n as usize);
-        let (buckets, remote) = self.router.route_batch(batch, &self.oracle);
-        let per_shard = self.execute_buckets(buckets);
+        let (stream, remote) = self.router.route_stream(batch, &self.oracle);
+        let per_shard = self.execute_stream(stream);
         ShardOltpReport { per_shard, remote }
     }
 
     /// Executes `per_shard` transactions on every shard from that
-    /// shard's own warehouse-local stream (all shards run concurrently).
+    /// shard's own warehouse-local stream (all shards run concurrently;
+    /// no transaction crosses a shard, so no two-phase commit fires).
     pub fn run_local_txns(&mut self, seed: u64, per_shard: u64) -> ShardOltpReport {
         // Each generator's home warehouses lie inside its own shard's
         // range, so routing the concatenated streams re-creates exactly
@@ -161,27 +175,19 @@ impl ShardedHtap {
             .iter_mut()
             .flat_map(|g| g.batch(per_shard as usize))
             .collect();
-        let (buckets, remote) = self.router.route_batch(batch, &self.oracle);
-        let per_shard = self.execute_buckets(buckets);
+        let (stream, remote) = self.router.route_stream(batch, &self.oracle);
+        debug_assert_eq!(
+            remote.remote_touches, 0,
+            "warehouse-local streams must never cross shards"
+        );
+        let per_shard = self.execute_stream(stream);
         ShardOltpReport { per_shard, remote }
     }
 
-    /// Runs each shard's bucket on its engine, one OS thread per shard.
-    fn execute_buckets(&mut self, buckets: Vec<Vec<RoutedTxn>>) -> Vec<ShardLoad> {
-        assert_eq!(buckets.len(), self.shards.len(), "bucket per shard");
-        let hop = self.cfg.remote_hop;
-        thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .zip(buckets)
-                .map(|(shard, bucket)| scope.spawn(move || run_bucket(shard, bucket, hop)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        })
+    /// Runs a routed stream through the coordinator.
+    fn execute_stream(&mut self, stream: Vec<crate::router::RoutedTxn>) -> Vec<ShardLoad> {
+        let map = *self.router.map();
+        coordinator::execute_stream(&mut self.shards, &map, stream, self.cfg.commit)
     }
 
     /// Defragments every shard concurrently (each pauses its own OLTP,
@@ -248,50 +254,6 @@ impl ShardedHtap {
     }
 }
 
-/// Executes one shard's routed bucket, charging a coordination hop per
-/// remote touch on top of the engine's own transaction timing. Every
-/// transaction executes under the globally-ordered timestamp the router
-/// stamped it with from the shared oracle (`RoutedTxn::ts`), so this
-/// shard commits exactly the timestamps the single-instance reference
-/// would — a `DeltaFull` retry re-runs under the same pinned timestamp.
-fn run_bucket(shard: &mut Pushtap, bucket: Vec<RoutedTxn>, hop: Ps) -> ShardLoad {
-    let start = shard.now();
-    let mut load = ShardLoad::default();
-    for routed in bucket {
-        let before = shard.now();
-        let aborts_before = shard.db().aborts();
-        let wasted_before = shard.db().wasted_retry_time();
-        let (result, pause) = shard.execute_txn_at(&routed.txn, routed.ts);
-        let remote_time = hop * routed.remote;
-        if routed.remote > 0 {
-            shard.advance(remote_time);
-            load.remote_touches += routed.remote;
-            load.remote_time += remote_time;
-        }
-        load.routed += 1;
-        load.report.committed += 1;
-        let aborted = shard.db().aborts() - aborts_before;
-        load.report.aborts += aborted;
-        if aborted > 0 {
-            load.report.retried_txns += 1;
-        }
-        if pause > Ps::ZERO {
-            load.report.defrag_passes += 1;
-        }
-        load.report.defrag_time += pause;
-        load.report.wasted_retry_time +=
-            shard.db().wasted_retry_time().saturating_sub(wasted_before);
-        load.report.txn_time += shard
-            .now()
-            .saturating_sub(before)
-            .saturating_sub(pause)
-            .saturating_sub(remote_time);
-        load.report.breakdown.merge(&result.breakdown);
-    }
-    load.elapsed = shard.now().saturating_sub(start);
-    load
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,20 +308,53 @@ mod tests {
     }
 
     #[test]
-    fn remote_touches_cost_time() {
+    fn two_pc_rounds_cost_time() {
+        use crate::config::CommitConfig;
         let mut cheap = ShardConfig::small(4);
-        cheap.remote_hop = Ps::ZERO;
+        cheap.commit = CommitConfig::FREE;
         let mut dear = ShardConfig::small(4);
-        dear.remote_hop = Ps::from_us(5.0);
+        dear.commit = CommitConfig {
+            prepare_hop: Ps::from_us(5.0),
+            commit_hop: Ps::from_us(5.0),
+        };
         let mut a = ShardedHtap::new(cheap).expect("build");
         let mut b = ShardedHtap::new(dear).expect("build");
         let mut ga = a.global_txn_gen(7);
         let mut gb = b.global_txn_gen(7);
         let ra = a.run_txns(&mut ga, 100);
         let rb = b.run_txns(&mut gb, 100);
+        // Same stream, same routing: identical remote-touch accounting
+        // and identical commit rounds — only the hop latency differs.
         assert_eq!(ra.remote.remote_touches, rb.remote.remote_touches);
+        assert_eq!(ra.commit_rounds(), rb.commit_rounds());
+        assert_eq!(ra.two_pc_time(), Ps::ZERO, "free hops cost nothing");
+        assert!(rb.two_pc_time() > Ps::ZERO);
         assert!(rb.remote_time() > ra.remote_time());
         assert!(rb.makespan() > ra.makespan());
+        assert!(rb.two_pc_time_share() > 0.0);
+    }
+
+    /// Cross-shard transactions go through the full 2PC pipeline: the
+    /// home shard prepares, participants receive forwarded effects, and
+    /// everything commits — the metrics must say so.
+    #[test]
+    fn cross_shard_txns_prepare_and_forward_effects() {
+        let mut s = service(4);
+        let mut gen = s.global_txn_gen(7);
+        let report = s.run_txns(&mut gen, 100);
+        assert_eq!(report.committed(), 100);
+        assert!(report.remote.cross_shard_txns > 0);
+        // Every cross-shard transaction prepares at home and on each
+        // participant at least once.
+        assert!(report.prepared_txns() > report.remote.cross_shard_txns);
+        assert!(report.forwarded_effects() >= report.remote.remote_touches);
+        assert!(report.commit_rounds() > 0);
+        assert!(report.two_pc_time() > Ps::ZERO);
+        // No prepared scope survives the batch.
+        for shard in s.shards() {
+            assert!(!shard.db().in_prepared_txn());
+            assert_eq!(shard.db().prepared_versions(), 0);
+        }
     }
 
     #[test]

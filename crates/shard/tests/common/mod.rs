@@ -1,0 +1,34 @@
+//! Shared helpers for the shard integration tests.
+
+use pushtap_chbench::{Partitioning, Table};
+use pushtap_core::Pushtap;
+use pushtap_format::RowSlot;
+use pushtap_oltp::stripe_start;
+
+/// Compares one table's committed bytes (data region — the caller
+/// defragments both sides first so every committed version is folded
+/// in) between a shard and the rows of the unpartitioned reference that
+/// shard holds, timestamp-encoded columns included.
+pub fn assert_table_bytes_match(shard: &Pushtap, reference: &Pushtap, table: Table, label: &str) {
+    let db = shard.db();
+    let rdb = reference.db();
+    let global = rdb.global_rows_of(table);
+    let row_base = match table.partitioning() {
+        Partitioning::Replicated => 0,
+        Partitioning::ByWarehouse => {
+            stripe_start(db.warehouse_range().start, global, db.warehouses_global())
+        }
+    };
+    let t = db.table(table);
+    let rt = rdb.table(table);
+    for row in 0..t.n_rows() {
+        assert_eq!(
+            t.store().read_row(RowSlot::Data { row }),
+            rt.store().read_row(RowSlot::Data {
+                row: row_base + row
+            }),
+            "{label}: {table:?} local row {row} (global {}) diverged from the reference",
+            row_base + row
+        );
+    }
+}

@@ -13,24 +13,24 @@
 //! values to *bytes*: every shard commits under the globally-stream-
 //! ordered timestamps the coordinator stamps from the one `TsOracle`, so
 //! the timestamp-encoded columns now match the unpartitioned instance's
-//! too. Byte identity shard-vs-reference is asserted for every table the
-//! deployment semantics make identical (the insert-ring fact tables,
-//! the home-anchored WAREHOUSE/DISTRICT, and the replicated dimensions —
-//! under a fully warehouse-local TPC-C mix, *all* tables), and scattered
-//! queries are asserted to observe one agreed global cut timestamp.
-//!
-//! The one remaining modeled divergence: under a stream with remote
-//! touches, CUSTOMER/STOCK rows owned by *other* shards are applied to
-//! deterministic local proxy rows (no write-forwarding yet — the 2PC
-//! item on the ROADMAP), so those two tables are compared only under the
-//! local mix.
+//! too. And the coordinator's simulated two-phase commit closes the last
+//! gap: a transaction's remote-owned CUSTOMER/STOCK effects are
+//! *forwarded* to the owning shard and committed there at the pinned
+//! timestamp (aborting everywhere and retrying when any participant's
+//! arena fills mid-prepare), so byte identity shard-vs-reference holds
+//! for **every table under every remote mix** — uniform worst case,
+//! TPC-C's specified remote rates, and the fully local mix — with and
+//! without delta pressure. Scattered queries are asserted to observe one
+//! agreed global cut timestamp.
 
+mod common;
+
+use common::assert_table_bytes_match;
 use pushtap_chbench::{RemoteMix, Table};
 use pushtap_core::Pushtap;
 use pushtap_format::RowSlot;
 use pushtap_mvcc::Ts;
 use pushtap_olap::{ref_q1, ref_q6, ref_q9, Query, QueryResult};
-use pushtap_oltp::stripe_start;
 use pushtap_pim::Ps;
 use pushtap_shard::{ShardConfig, ShardedHtap};
 
@@ -143,50 +143,18 @@ fn pressured_shards_match_pressured_reference_at_1_2_4_shards() {
     }
 }
 
-/// Compares one table's committed bytes (data region, after both sides
-/// defragmented) between a shard and the rows of the unpartitioned
-/// reference that shard holds, timestamp-encoded columns included.
-fn assert_table_bytes_match(
-    shard: &Pushtap,
-    reference: &Pushtap,
-    table: Table,
-    shards: u32,
-    label: &str,
-) {
-    let db = shard.db();
-    let rdb = reference.db();
-    let global = rdb.global_rows_of(table);
-    let row_base = match table.partitioning() {
-        pushtap_chbench::Partitioning::Replicated => 0,
-        pushtap_chbench::Partitioning::ByWarehouse => {
-            stripe_start(db.warehouse_range().start, global, db.warehouses_global())
-        }
-    };
-    let t = db.table(table);
-    let rt = rdb.table(table);
-    for row in 0..t.n_rows() {
-        assert_eq!(
-            t.store().read_row(RowSlot::Data { row }),
-            rt.store().read_row(RowSlot::Data {
-                row: row_base + row
-            }),
-            "{label}: {table:?} local row {row} (global {}) diverged from the \
-             reference at {shards} shards",
-            row_base + row
-        );
-    }
-}
-
 /// The tentpole acceptance property: with one deployment-wide timestamp
-/// oracle stamping transactions in global stream order, a sharded
-/// deployment's committed bytes — including the timestamp-encoded
-/// columns and the insert rings — equal the unpartitioned reference's,
-/// at 1, 2, and 4 shards, *under delta pressure*.
+/// oracle stamping transactions in global stream order and two-phase
+/// commit forwarding remote-owned writes to their owning shards, a
+/// sharded deployment's committed bytes — including the
+/// timestamp-encoded columns and the insert rings — equal the
+/// unpartitioned reference's for **all tables** (CUSTOMER and STOCK no
+/// longer excluded), at 1, 2, and 4 shards, *under delta pressure*.
 ///
-/// CUSTOMER and STOCK are excluded here because the uniform stream
-/// touches rows owned by other shards, which are modeled on local proxy
-/// rows until multi-shard writes gain a forwarding path (ROADMAP: 2PC);
-/// `all_tables_byte_identical_under_local_tpcc_mix` covers them.
+/// The uniform mix is the cross-shard worst case: ~(k−1)/k of customer
+/// and stock touches are remote at k shards, so this stream exercises
+/// the forwarding path constantly, including participant aborts when
+/// undersized arenas fill mid-prepare.
 #[test]
 fn committed_state_is_byte_identical_shard_vs_reference() {
     let mut reference = Pushtap::new(squeezed_cfg(1).base).expect("build reference");
@@ -196,23 +164,99 @@ fn committed_state_is_byte_identical_shard_vs_reference() {
     reference.defragment_all();
     assert_eq!(reference.db().last_ts(), Ts(TXNS));
 
-    let identical: Vec<Table> = pushtap_chbench::ALL_TABLES
-        .into_iter()
-        .filter(|t| !matches!(t, Table::Customer | Table::Stock))
-        .collect();
     for shards in [1u32, 2, 4] {
         let mut service = ShardedHtap::new(squeezed_cfg(shards)).expect("build shards");
         let mut gen = service.global_txn_gen(SEED);
         let oltp = service.run_txns(&mut gen, TXNS);
         assert!(oltp.aborts() > 0, "{shards} shards: pressure expected");
+        if shards > 1 {
+            assert!(
+                oltp.forwarded_effects() > 0,
+                "{shards} shards: the uniform mix must forward effects"
+            );
+        }
         service.defragment_all();
         // Every shard saw the deployment watermark — the last stamped
         // timestamp — and it equals the reference's final timestamp.
         assert_eq!(service.ts_oracle().watermark(), Ts(TXNS));
         for (i, shard) in service.shards().iter().enumerate() {
             assert_eq!(shard.db().last_ts(), Ts(TXNS), "shard {i} watermark");
-            for &table in &identical {
-                assert_table_bytes_match(shard, &reference, table, shards, "uniform stream");
+            assert_eq!(shard.db().prepared_versions(), 0, "shard {i} prepared");
+            for table in pushtap_chbench::ALL_TABLES {
+                assert_table_bytes_match(
+                    shard,
+                    &reference,
+                    table,
+                    &format!("uniform stream at {shards} shards"),
+                );
+            }
+        }
+    }
+}
+
+/// The acceptance-criteria mix: under `RemoteMix::TPCC` (1 % remote
+/// NewOrder supply warehouses, 15 % remote Payment customers) committed
+/// bytes for all nine TPC-C tables equal the unpartitioned reference at
+/// 1/2/4 shards — both *without* delta pressure (ample arenas, no
+/// aborts anywhere) and *with* it (squeezed arenas, participants
+/// aborting mid-prepare).
+#[test]
+fn all_tables_byte_identical_under_tpcc_mix() {
+    for pressured in [false, true] {
+        let cfg = |shards: u32| {
+            if pressured {
+                squeezed_cfg(shards)
+            } else {
+                ShardConfig::small(shards)
+            }
+        };
+        let label = if pressured {
+            "TPC-C mix, pressured"
+        } else {
+            "TPC-C mix, ample"
+        };
+        let mut reference = Pushtap::new(cfg(1).base).expect("build reference");
+        let warehouses = reference.db().warehouses_global();
+        let mut rgen = reference
+            .txn_gen(SEED)
+            .with_remote_mix(RemoteMix::TPCC, warehouses);
+        let r = reference.run_txns(&mut rgen, TXNS);
+        assert_eq!(r.aborts > 0, pressured, "{label}: reference pressure");
+        reference.defragment_all();
+
+        for shards in [1u32, 2, 4] {
+            let mut service = ShardedHtap::new(cfg(shards)).expect("build shards");
+            let mut gen = service
+                .global_txn_gen(SEED)
+                .with_remote_mix(RemoteMix::TPCC, warehouses);
+            let oltp = service.run_txns(&mut gen, TXNS);
+            assert_eq!(oltp.committed(), TXNS, "{label} at {shards} shards");
+            assert_eq!(
+                oltp.aborts() > 0,
+                pressured,
+                "{label} at {shards} shards: aborts"
+            );
+            if shards > 1 {
+                assert!(
+                    oltp.remote.cross_shard_txns > 0,
+                    "{label}: the TPC-C mix must cross shards"
+                );
+                assert!(
+                    oltp.forwarded_effects() >= oltp.remote.remote_touches,
+                    "{label}: every remote touch is a forwarded effect"
+                );
+            }
+            service.defragment_all();
+            for shard in service.shards() {
+                assert_eq!(shard.db().prepared_versions(), 0, "{label}: prepared");
+                for table in pushtap_chbench::ALL_TABLES {
+                    assert_table_bytes_match(
+                        shard,
+                        &reference,
+                        table,
+                        &format!("{label} at {shards} shards"),
+                    );
+                }
             }
         }
     }
@@ -220,8 +264,8 @@ fn committed_state_is_byte_identical_shard_vs_reference() {
 
 /// Under a fully warehouse-local TPC-C mix (the 1 %/15 % remote knob
 /// turned to 0 %), every row a transaction touches is owned by its home
-/// shard, so *every* table — CUSTOMER and STOCK included — must be
-/// byte-identical to the unpartitioned reference, still under delta
+/// shard — the two-phase commit path never fires — and every table must
+/// be byte-identical to the unpartitioned reference, still under delta
 /// pressure.
 #[test]
 fn all_tables_byte_identical_under_local_tpcc_mix() {
@@ -248,7 +292,12 @@ fn all_tables_byte_identical_under_local_tpcc_mix() {
         service.defragment_all();
         for shard in service.shards() {
             for table in pushtap_chbench::ALL_TABLES {
-                assert_table_bytes_match(shard, &reference, table, shards, "local mix");
+                assert_table_bytes_match(
+                    shard,
+                    &reference,
+                    table,
+                    &format!("local mix at {shards} shards"),
+                );
             }
         }
     }

@@ -1,0 +1,137 @@
+//! Participant-abort coverage for the two-phase commit path: when a
+//! *remote* participant's delta arena fills while it prepares a
+//! forwarded effect set, the coordinator must abort the transaction on
+//! every involved shard, defragment the voter, and retry under the same
+//! pinned timestamp — leaving zero leaked delta slots, zero
+//! prepared-but-uncommitted versions, and committed bytes identical to
+//! the unpartitioned reference on every shard.
+
+mod common;
+
+use proptest::prelude::*;
+use pushtap_chbench::ALL_TABLES;
+use pushtap_core::Pushtap;
+use pushtap_pim::Ps;
+use pushtap_shard::{ShardConfig, ShardedHtap};
+
+const SEED: u64 = 9;
+const TXNS: u64 = 120;
+
+/// Arenas squeezed so every transaction class keeps hitting `DeltaFull`
+/// (same calibration as `tests/delta_pressure.rs`).
+fn squeezed_cfg(shards: u32, delta_frac: f64, min_delta_rows: u64) -> ShardConfig {
+    let mut cfg = ShardConfig::small(shards);
+    cfg.base.db.delta_frac = delta_frac;
+    cfg.base.db.min_delta_rows = min_delta_rows;
+    cfg
+}
+
+/// Byte-compares every table of every shard against the rows of the
+/// unpartitioned reference that the shard holds (both sides
+/// defragmented by the caller).
+fn assert_shards_match_reference(service: &ShardedHtap, reference: &Pushtap, label: &str) {
+    for (i, shard) in service.shards().iter().enumerate() {
+        for table in ALL_TABLES {
+            common::assert_table_bytes_match(
+                shard,
+                reference,
+                table,
+                &format!("{label}: shard {i}"),
+            );
+        }
+    }
+}
+
+/// The deterministic participant-abort scenario: the uniform mix at 4
+/// shards forwards ~3/4 of customer/stock writes, and the arena sizing
+/// (two-slot hot arenas, so home transactions defragment *less* often
+/// and forwarded writes accumulate in the customer/stock arenas)
+/// guarantees some forwarded prepares hit `DeltaFull` on the
+/// participant — a coordinator-side global abort and retry. After the
+/// batch: clean state everywhere, byte-identical to the reference.
+#[test]
+fn participant_delta_full_aborts_globally_and_retries_clean() {
+    let mut reference = Pushtap::new(squeezed_cfg(1, 0.02, 16).base).expect("build reference");
+    let mut rgen = reference.txn_gen(SEED);
+    reference.run_txns(&mut rgen, TXNS);
+    reference.defragment_all();
+
+    let mut service = ShardedHtap::new(squeezed_cfg(4, 0.02, 16)).expect("build shards");
+    let mut gen = service.global_txn_gen(SEED);
+    let report = service.run_txns(&mut gen, TXNS);
+    assert_eq!(report.committed(), TXNS);
+    assert!(
+        report.participant_aborts() > 0,
+        "squeezed arenas under the uniform mix must abort prepared scopes"
+    );
+    assert!(report.aborts() > report.participant_aborts());
+    assert!(report.wasted_retry_time() > Ps::ZERO);
+    // The report captures every wasted attempt — including the latency
+    // of prepared scopes the coordinator aborted — so it reconciles
+    // exactly with the engines' own counters.
+    let engine_wasted: Ps = service
+        .shards()
+        .iter()
+        .map(|s| s.db().wasted_retry_time())
+        .sum();
+    assert_eq!(
+        report.wasted_retry_time(),
+        engine_wasted,
+        "per-shard reports must account coordinator-aborted prepare latency"
+    );
+
+    // No prepared scope or undecided version survives the batch…
+    for (i, shard) in service.shards().iter().enumerate() {
+        assert!(!shard.db().in_prepared_txn(), "shard {i} holds a scope");
+        assert_eq!(shard.db().prepared_versions(), 0, "shard {i} prepared");
+    }
+    // …defragmentation reclaims every slot (aborted prepares leaked
+    // nothing)…
+    service.defragment_all();
+    for (i, shard) in service.shards().iter().enumerate() {
+        assert_eq!(shard.db().live_delta_rows(), 0, "shard {i} leaked slots");
+    }
+    // …and the committed bytes equal the unpartitioned reference's.
+    assert_shards_match_reference(&service, &reference, "deterministic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Coordinator-side retry invariance over arbitrary arena sizes and
+    /// streams: wherever `DeltaFull` strikes — home shard mid-prepare,
+    /// remote participant mid-prepare, or a local transaction — the
+    /// retried deployment ends with zero leaked delta slots, zero
+    /// prepared-but-uncommitted versions, and state byte-identical to
+    /// an unpartitioned reference under the *same* delta pressure.
+    #[test]
+    fn retry_leaves_clean_identical_state(
+        frac in 0.02f64..0.03,
+        min_delta in 2u64..=3,
+        txns in 40u64..=90,
+        seed in 1u64..=1000,
+    ) {
+        let min_rows = min_delta * 8;
+        let mut reference =
+            Pushtap::new(squeezed_cfg(1, frac, min_rows).base).expect("build reference");
+        let mut rgen = reference.txn_gen(seed);
+        reference.run_txns(&mut rgen, txns);
+        reference.defragment_all();
+
+        let mut service = ShardedHtap::new(squeezed_cfg(2, frac, min_rows)).expect("build");
+        let mut gen = service.global_txn_gen(seed);
+        let report = service.run_txns(&mut gen, txns);
+        prop_assert_eq!(report.committed(), txns);
+        prop_assert!(report.aborts() > 0, "arenas this small must abort");
+
+        for (i, shard) in service.shards().iter().enumerate() {
+            prop_assert!(!shard.db().in_prepared_txn(), "shard {} holds a scope", i);
+            prop_assert_eq!(shard.db().prepared_versions(), 0, "shard {} prepared", i);
+        }
+        service.defragment_all();
+        for (i, shard) in service.shards().iter().enumerate() {
+            prop_assert_eq!(shard.db().live_delta_rows(), 0, "shard {} leaked", i);
+        }
+        assert_shards_match_reference(&service, &reference, "proptest");
+    }
+}

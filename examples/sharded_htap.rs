@@ -1,11 +1,14 @@
 //! Sharded HTAP: scale PUSHtap out to N warehouse-partitioned engines,
 //! route a global TPC-C stream (timestamps drawn from one shared oracle
-//! in stream order, so committed state is byte-identical to a
-//! single-instance execution), and answer Q1/Q6/Q9 by global-cut
-//! scatter-gather.
+//! in stream order, cross-shard writes forwarded to their owning shards
+//! under a simulated two-phase commit, so committed state is
+//! byte-identical to a single-instance execution), and answer Q1/Q6/Q9
+//! by global-cut scatter-gather.
 //!
-//! Run with: `cargo run --release --example sharded_htap [shards]`
+//! Run with: `cargo run --release --example sharded_htap [shards] [mix]`
+//! where `mix` is `uniform` (default), `tpcc`, or `local`.
 
+use pushtap::chbench::RemoteMix;
 use pushtap::olap::{Query, QueryResult};
 use pushtap::shard::{ShardConfig, ShardedHtap};
 
@@ -14,17 +17,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(4);
+    let (mix, mix_name) = match std::env::args().nth(2).as_deref() {
+        Some("tpcc") => (RemoteMix::TPCC, "TPC-C 1%/15% remote"),
+        Some("local") => (RemoteMix::LOCAL, "warehouse-local"),
+        _ => (RemoteMix::Uniform, "uniform"),
+    };
     let mut service = ShardedHtap::new(ShardConfig::small(shards))?;
     println!(
-        "built {} shards over {} warehouses ({} warehouses per shard, ITEM replicated)",
+        "built {} shards over {} warehouses ({} warehouses per shard, ITEM replicated), {mix_name} mix",
         service.shard_count(),
         service.map().warehouses(),
         service.map().warehouses() / service.shard_count() as u64,
     );
 
-    // OLTP: a global Payment/NewOrder stream routed by home warehouse,
-    // per-shard batches executing on concurrent OS threads.
-    let mut gen = service.global_txn_gen(42);
+    // OLTP: a global Payment/NewOrder stream routed by home warehouse.
+    // Warehouse-local transactions execute on concurrent per-shard
+    // queues; cross-shard transactions run as coordinator-driven
+    // two-phase commits with their remote-owned effects forwarded to the
+    // owning shards.
+    let warehouses = service.map().warehouses();
+    let mut gen = service.global_txn_gen(42).with_remote_mix(mix, warehouses);
     let oltp = service.run_txns(&mut gen, 600);
     println!(
         "\nrouted {} txns: makespan {}, aggregate tpmC {:.0}, parallel speedup {:.2}x",
@@ -40,15 +52,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         oltp.wasted_retry_time(),
     );
     println!(
-        "cross-shard: {:.1}% of txns touched a remote shard ({} remote row touches, {} coordination time)",
+        "2PC: {:.1}% of txns crossed shards ({} remote touches, {} forwarded effects, \
+         {} prepares, {} participant aborts, {} commit rounds, {:.2}% of busy time)",
         oltp.remote.cross_shard_fraction() * 100.0,
         oltp.remote.remote_touches,
-        oltp.remote_time(),
+        oltp.forwarded_effects(),
+        oltp.prepared_txns(),
+        oltp.participant_aborts(),
+        oltp.commit_rounds(),
+        oltp.two_pc_time_share() * 100.0,
     );
     for (i, load) in oltp.per_shard.iter().enumerate() {
         println!(
-            "  shard {i}: {:>4} txns in {} ({} remote touches)",
-            load.routed, load.elapsed, load.remote_touches
+            "  shard {i}: {:>4} txns in {} ({} forwarded effects applied, {} 2PC round time = {:.2}% of this engine's time)",
+            load.routed,
+            load.elapsed,
+            load.report.forwarded_effects,
+            load.remote_time,
+            load.report.two_pc_time_share() * 100.0,
         );
     }
 
