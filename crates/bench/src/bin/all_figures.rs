@@ -1,8 +1,10 @@
 //! Regenerates every figure in sequence (the full evaluation pass).
-//! Optional argument: population scale (default 0.001).
+//! Optional arguments: population scale (default 0.001) and `--json`
+//! (write `BENCH_shard_scale.json` alongside the printed tables).
 fn main() {
     let scale: f64 = std::env::args()
-        .nth(1)
+        .skip(1)
+        .find(|a| a != "--json")
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.001);
     pushtap_bench::table1::print_all();
@@ -17,5 +19,9 @@ fn main() {
     println!();
     pushtap_bench::fig12::print_all(scale);
     println!();
-    pushtap_bench::shard_scale::print_all();
+    if std::env::args().any(|a| a == "--json") {
+        pushtap_bench::shard_scale::print_and_write_json().expect("write BENCH_shard_scale.json");
+    } else {
+        pushtap_bench::shard_scale::print_all();
+    }
 }

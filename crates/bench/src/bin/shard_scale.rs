@@ -1,4 +1,10 @@
-//! Prints the shard-scaling throughput table (1 → 4 shards).
+//! Prints the shard-scaling tables (serial vs pipelined coordinator at
+//! 1 → 8 shards). With `--json`, the same single sweep also writes
+//! `BENCH_shard_scale.json` so the perf trajectory is machine-readable.
 fn main() {
-    pushtap_bench::shard_scale::print_all();
+    if std::env::args().any(|a| a == "--json") {
+        pushtap_bench::shard_scale::print_and_write_json().expect("write BENCH_shard_scale.json");
+    } else {
+        pushtap_bench::shard_scale::print_all();
+    }
 }

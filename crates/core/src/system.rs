@@ -92,10 +92,25 @@ pub struct OltpReport {
     /// (prepare deliveries, commit/abort deliveries, and — on the
     /// coordinator — the decision round-trip).
     pub commit_rounds: u64,
-    /// Latency those message rounds cost this engine (not included in
-    /// [`OltpReport::txn_time`], mirroring how the shard layer separates
-    /// coordination time from engine time).
+    /// Latency those message rounds cost this engine under *sequential*
+    /// delivery — the ledger sum of every hop's latency, one entry per
+    /// counted round (not included in [`OltpReport::txn_time`],
+    /// mirroring how the shard layer separates coordination time from
+    /// engine time). Under a pipelined coordinator, deliveries of one
+    /// wave overlap in flight, so the latency that actually lands on
+    /// the engine's clock is [`OltpReport::critical_path_time`] ≤ this
+    /// sum.
     pub two_pc_time: Ps,
+    /// Two-phase-commit message latency on this engine's *critical
+    /// path*: the clock advance the rounds actually caused. A serial
+    /// coordinator delivers rounds one at a time, so this equals
+    /// [`OltpReport::two_pc_time`]; a pipelined coordinator dispatches a
+    /// whole wave's messages concurrently, and a delivery that arrives
+    /// while the engine is still busy with earlier wave work stalls it
+    /// for less than a full hop (possibly not at all). Time-share
+    /// metrics must divide by busy time using *this* figure — the
+    /// sequential ledger can exceed the clock under overlap.
+    pub critical_path_time: Ps,
     /// Component breakdown across all transactions.
     pub breakdown: Breakdown,
 }
@@ -119,12 +134,17 @@ impl OltpReport {
     /// Share of this engine's wall-clock (transactions + pauses + 2PC
     /// rounds) spent on two-phase-commit messaging — the scale-out
     /// analogue of the paper's single-instance consistency costs.
+    /// Computed from [`OltpReport::critical_path_time`] (the latency
+    /// that actually landed on the clock), so the share stays ≤ 1.0
+    /// even when a pipelined coordinator overlaps the message rounds of
+    /// concurrent transactions; the sequential-delivery ledger
+    /// [`OltpReport::two_pc_time`] could exceed the clock under overlap.
     pub fn two_pc_time_share(&self) -> f64 {
-        let total = self.total_time() + self.two_pc_time;
+        let total = self.total_time() + self.critical_path_time;
         if total == Ps::ZERO {
             0.0
         } else {
-            self.two_pc_time.ps() as f64 / total.ps() as f64
+            self.critical_path_time.ps() as f64 / total.ps() as f64
         }
     }
 
@@ -144,6 +164,7 @@ impl OltpReport {
         self.forwarded_effects += other.forwarded_effects;
         self.commit_rounds += other.commit_rounds;
         self.two_pc_time += other.two_pc_time;
+        self.critical_path_time += other.critical_path_time;
         self.breakdown.merge(&other.breakdown);
     }
 }
@@ -404,12 +425,13 @@ impl Pushtap {
         }
     }
 
-    /// Delivers the coordinator's abort decision for the prepared scope:
-    /// every pinned effect rolls back and the prepare's latency is
-    /// charged to wasted retry time (the clock already covered it — the
-    /// work really happened before it was thrown away).
-    pub fn abort_prepared(&mut self) {
-        self.db.abort_prepared();
+    /// Delivers the coordinator's abort decision for the scope prepared
+    /// at `ts`: its pinned effects roll back and the prepare's latency
+    /// is charged to wasted retry time (the clock already covered it —
+    /// the work really happened before it was thrown away). Other
+    /// scopes prepared on this engine are untouched.
+    pub fn abort_prepared(&mut self, ts: Ts) {
+        self.db.abort_prepared(ts);
     }
 
     fn execute_with(&mut self, txn: &Txn, pinned: Option<Ts>) -> (TxnResult, Ps) {

@@ -5,7 +5,7 @@
 //! metadata is not required by PIM units", §5.1); the versions' *data*
 //! lives in the delta region of the unified format.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use pushtap_format::RowSlot;
 
@@ -43,12 +43,15 @@ pub struct VersionChains {
     meta: HashMap<RowSlot, VersionMeta>,
     log: Vec<LogEntry>,
     traverse_steps: u64,
-    /// Versions written by a prepared-but-uncommitted two-phase-commit
-    /// participant scope. They sit on the chains (the scope's writes are
-    /// applied in place) but the coordinator has not yet decided their
-    /// fate: commit clears the marks, abort removes the versions via
-    /// [`VersionChains::undo_update`].
-    prepared: HashSet<RowSlot>,
+    /// Versions written by prepared-but-uncommitted two-phase-commit
+    /// scopes, keyed by the scope's pinned commit timestamp. They sit on
+    /// the chains (the scope's writes are applied in place) but the
+    /// coordinator has not yet decided their fate: the scope's commit
+    /// decision clears its marks, its abort decision removes its
+    /// versions via [`VersionChains::undo_update`]. Several scopes may
+    /// be pending at once (a pipelined coordinator overlaps the
+    /// two-phase commits of non-conflicting transactions).
+    prepared: HashMap<RowSlot, Ts>,
 }
 
 impl VersionChains {
@@ -59,6 +62,15 @@ impl VersionChains {
 
     /// Records a committed update of `row`, whose new version was written
     /// to `new_slot` at timestamp `ts`. Returns the superseded slot.
+    ///
+    /// The commit log stays sorted by timestamp: the entry is inserted
+    /// *before* any later-timestamped entries already present. An
+    /// in-order stream appends (the common case, O(1)); a transaction
+    /// retried after a wave of later non-conflicting transactions
+    /// committed (the pipelined coordinator's abort/retry path) slots
+    /// its entries back into timestamp position, which snapshotting
+    /// relies on ([`Snapshot::update`](crate::Snapshot::update) folds
+    /// the log in order and stops at the first entry past its cut).
     ///
     /// # Panics
     ///
@@ -78,12 +90,19 @@ impl VersionChains {
             },
         );
         self.newest.insert(row, new_slot);
-        self.log.push(LogEntry {
+        let entry = LogEntry {
             ts,
             row,
             new_slot,
             prev_slot: prev,
-        });
+        };
+        // Sorted insert, scanning from the tail (entries with equal
+        // timestamps — one transaction's statements — keep apply order).
+        let mut at = self.log.len();
+        while at > 0 && self.log[at - 1].ts > ts {
+            at -= 1;
+        }
+        self.log.insert(at, entry);
         prev
     }
 
@@ -147,24 +166,26 @@ impl VersionChains {
     }
 
     /// Marks the newest version of `row` as prepared-but-uncommitted:
-    /// written by a two-phase-commit scope whose coordinator decision is
-    /// still pending. Called when a participant parks its scope after
-    /// applying a forwarded effect set.
-    pub fn mark_prepared(&mut self, row: u64) {
+    /// written by the two-phase-commit scope pinned at `ts`, whose
+    /// coordinator decision is still pending. Called when a participant
+    /// parks its scope after applying an effect set.
+    pub fn mark_prepared(&mut self, row: u64, ts: Ts) {
         let slot = self.newest_slot(row);
         debug_assert!(
             matches!(slot, RowSlot::Delta { .. }),
             "prepared mark on an origin version of row {row}"
         );
-        self.prepared.insert(slot);
+        self.prepared.insert(slot, ts);
     }
 
-    /// Resolves every prepared mark as committed (the coordinator's
-    /// commit decision arrived). Returns the number of versions promoted.
-    pub fn commit_prepared(&mut self) -> usize {
-        let n = self.prepared.len();
-        self.prepared.clear();
-        n
+    /// Resolves the prepared marks of the scope pinned at `ts` as
+    /// committed (its coordinator's commit decision arrived); marks of
+    /// other pending scopes stay. Returns the number of versions
+    /// promoted.
+    pub fn commit_prepared(&mut self, ts: Ts) -> usize {
+        let before = self.prepared.len();
+        self.prepared.retain(|_, scope| *scope != ts);
+        before - self.prepared.len()
     }
 
     /// Number of prepared-but-uncommitted versions currently sitting on
@@ -176,21 +197,29 @@ impl VersionChains {
         self.prepared.len()
     }
 
-    /// Reverses the most recent [`VersionChains::record_update`] — the
-    /// chain half of transaction rollback. Removes the newest version of
-    /// `row` from the chain, the metadata map, and the commit-log tail,
-    /// and returns the removed slot (so the caller can release it back
-    /// to the delta allocator).
+    /// Reverses the most recent [`VersionChains::record_update`] of
+    /// `row` — the chain half of transaction rollback. Removes the
+    /// newest version of `row` from the chain, the metadata map, and the
+    /// commit log, and returns the removed slot (so the caller can
+    /// release it back to the delta allocator).
+    ///
+    /// The entry need not be the log tail: a pipelined coordinator can
+    /// abort a prepared scope *after* later non-conflicting transactions
+    /// appended their own entries, so the scope's entries are found by
+    /// scanning back from the tail. The undone version must still be the
+    /// row's newest (no later transaction wrote the row — the conflict
+    /// scheduler orders same-row writers), and no snapshot may have
+    /// consumed the entry yet — queries only run once every scope is
+    /// resolved.
     ///
     /// Undo must run in reverse commit order within the aborting
-    /// transaction, and only for entries no snapshot has consumed yet —
-    /// both hold for single-writer transactions rolled back before the
-    /// next snapshot update.
+    /// transaction.
     ///
     /// # Panics
     ///
-    /// Panics if the commit-log tail is not an update of `row` (undo out
-    /// of order) or the log is empty.
+    /// Panics if the log holds no entry for `row`, or if the entry is
+    /// not the row's newest version (a later writer slipped in — a
+    /// conflict-scheduling bug).
     ///
     /// # Examples
     ///
@@ -207,8 +236,17 @@ impl VersionChains {
     /// assert!(chains.log().is_empty());
     /// ```
     pub fn undo_update(&mut self, row: u64) -> RowSlot {
-        let e = self.log.pop().expect("undo_update on an empty commit log");
-        assert_eq!(e.row, row, "undo_update out of order");
+        let at = self
+            .log
+            .iter()
+            .rposition(|e| e.row == row)
+            .expect("undo_update for a row with no log entry");
+        let e = self.log.remove(at);
+        assert_eq!(
+            self.newest.get(&row),
+            Some(&e.new_slot),
+            "undo_update of a superseded version at row {row}"
+        );
         let m = self
             .meta
             .remove(&e.new_slot)
@@ -372,13 +410,43 @@ mod tests {
         assert_eq!(c.visible_at(5, Ts(1)), (delta(0, 0), 0));
     }
 
+    /// The pipelined abort path: a scope's entries can be undone from
+    /// the *middle* of the log after later non-conflicting transactions
+    /// appended theirs — the log closes up and stays sorted.
     #[test]
-    #[should_panic(expected = "undo_update out of order")]
-    fn undo_out_of_order_panics() {
+    fn undo_removes_mid_log_entries() {
         let mut c = VersionChains::new();
         c.record_update(1, delta(0, 0), Ts(1));
         c.record_update(2, delta(0, 1), Ts(2));
-        c.undo_update(1); // tail is row 2
+        c.record_update(3, delta(0, 2), Ts(3));
+        assert_eq!(c.undo_update(2), delta(0, 1));
+        let ts: Vec<u64> = c.log().iter().map(|e| e.ts.0).collect();
+        assert_eq!(ts, vec![1, 3]);
+        assert_eq!(c.newest_slot(2), RowSlot::Data { row: 2 });
+        // The other rows' chains are untouched.
+        assert_eq!(c.newest_slot(1), delta(0, 0));
+        assert_eq!(c.newest_slot(3), delta(0, 2));
+    }
+
+    /// A retried transaction (pinned at an old timestamp) committing
+    /// after later non-conflicting transactions keeps the log sorted —
+    /// the invariant incremental snapshotting folds by.
+    #[test]
+    fn late_commit_at_an_earlier_timestamp_keeps_the_log_sorted() {
+        let mut c = VersionChains::new();
+        c.record_update(5, delta(0, 0), Ts(11));
+        c.record_update(6, delta(0, 1), Ts(12));
+        c.record_update(4, delta(0, 2), Ts(10)); // the retried transaction
+        let ts: Vec<u64> = c.log().iter().map(|e| e.ts.0).collect();
+        assert_eq!(ts, vec![10, 11, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no log entry")]
+    fn undo_of_unlogged_row_panics() {
+        let mut c = VersionChains::new();
+        c.record_update(1, delta(0, 0), Ts(1));
+        c.undo_update(2);
     }
 
     #[test]
@@ -393,15 +461,31 @@ mod tests {
     fn prepared_marks_resolve_on_commit_and_abort() {
         let mut c = VersionChains::new();
         c.record_update(3, delta(0, 0), Ts(1));
-        c.mark_prepared(3);
+        c.mark_prepared(3, Ts(1));
         c.record_update(7, delta(0, 1), Ts(1));
-        c.mark_prepared(7);
+        c.mark_prepared(7, Ts(1));
         assert_eq!(c.prepared_count(), 2);
         // Abort decision: undoing the write clears its mark.
         assert_eq!(c.undo_update(7), delta(0, 1));
         assert_eq!(c.prepared_count(), 1);
         // Commit decision: the surviving mark is promoted.
-        assert_eq!(c.commit_prepared(), 1);
+        assert_eq!(c.commit_prepared(Ts(1)), 1);
+        assert_eq!(c.prepared_count(), 0);
+    }
+
+    /// Coexisting prepared scopes (the pipelined coordinator): each
+    /// scope's commit decision promotes only its own marks.
+    #[test]
+    fn prepared_marks_are_scoped_by_timestamp() {
+        let mut c = VersionChains::new();
+        c.record_update(1, delta(0, 0), Ts(5));
+        c.mark_prepared(1, Ts(5));
+        c.record_update(2, delta(0, 1), Ts(6));
+        c.mark_prepared(2, Ts(6));
+        assert_eq!(c.prepared_count(), 2);
+        assert_eq!(c.commit_prepared(Ts(6)), 1);
+        assert_eq!(c.prepared_count(), 1, "the other scope's mark survives");
+        assert_eq!(c.commit_prepared(Ts(5)), 1);
         assert_eq!(c.prepared_count(), 0);
     }
 
@@ -410,7 +494,7 @@ mod tests {
     fn defrag_with_prepared_versions_panics() {
         let mut c = VersionChains::new();
         c.record_update(3, delta(0, 0), Ts(1));
-        c.mark_prepared(3);
+        c.mark_prepared(3, Ts(1));
         c.clear_after_defrag();
     }
 }

@@ -20,12 +20,16 @@
 //!   the whole-transaction retry on [`DeltaFull`] *atomic*: partial
 //!   effects (slot allocations, chain growth, row writes, index and
 //!   insert-ring cursor movements) roll back before re-execution. A
-//!   scope can also be parked *prepared* ([`UndoLog::prepare`]) — the
-//!   participant half of the shard layer's simulated two-phase commit
-//!   pins the records until the coordinator's commit/abort decision,
-//!   and [`VersionChains`] tracks the corresponding
-//!   prepared-but-uncommitted versions
-//!   ([`VersionChains::prepared_count`]);
+//!   scope can also be parked *prepared* ([`UndoLog::prepare`], keyed
+//!   by the transaction's pinned commit timestamp) — the participant
+//!   half of the shard layer's simulated two-phase commit pins the
+//!   records until the coordinator's commit/abort decision. **Several
+//!   prepared scopes coexist per table** (a pipelined coordinator
+//!   overlaps non-conflicting transactions' 2PCs) and resolve
+//!   independently, out of preparation order; [`VersionChains`] tracks
+//!   the corresponding prepared-but-uncommitted versions per scope
+//!   ([`VersionChains::prepared_count`]) and supports undoing a
+//!   scope's commit-log entries from the middle of the log;
 //! * [`Snapshot`] — the per-device visibility bitmaps, updated
 //!   incrementally from the log (§5.2, Fig. 6(c));
 //! * [`DefragCostModel`] — Equations 1–3 and the CPU/PIM/Hybrid strategy

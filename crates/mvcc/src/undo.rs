@@ -15,15 +15,21 @@
 //! metadata, like the version chains (§5.1): rollback costs no simulated
 //! memory traffic.
 //!
-//! # The prepared state (two-phase commit)
+//! # Prepared scopes (two-phase commit)
 //!
-//! A scope can additionally be *prepared* ([`UndoLog::prepare`]): the
-//! participant half of a simulated two-phase commit applies a forwarded
-//! effect set, then parks the scope with its undo records pinned while
-//! the coordinator collects votes. A prepared scope accepts no further
-//! records; the coordinator's decision resolves it through the ordinary
-//! [`UndoLog::commit`] (keep everything) or [`UndoLog::abort`] (hand the
-//! pinned records back for reverse replay).
+//! The active scope can be *parked* in the prepared state
+//! ([`UndoLog::prepare`]): the participant half of a simulated two-phase
+//! commit applies an effect set, then pins the scope's records — keyed by
+//! the transaction's pinned commit timestamp — while the coordinator
+//! collects votes. **Several prepared scopes may coexist** (a pipelined
+//! coordinator overlaps the two-phase commits of non-conflicting
+//! transactions, so one engine can hold many undecided write sets at
+//! once); each resolves independently through
+//! [`UndoLog::commit_prepared`] (keep everything) or
+//! [`UndoLog::abort_prepared`] (hand that scope's pinned records back for
+//! reverse replay). Coexisting scopes must touch disjoint rows — the
+//! conflict scheduler guarantees it — or out-of-order rollback could not
+//! be byte-exact.
 //!
 //! [`DeltaFull`]: crate::DeltaFull
 //!
@@ -31,7 +37,7 @@
 //!
 //! ```
 //! use pushtap_format::RowSlot;
-//! use pushtap_mvcc::{UndoLog, UndoRecord};
+//! use pushtap_mvcc::{Ts, UndoLog, UndoRecord};
 //!
 //! let mut undo = UndoLog::new();
 //! undo.begin();
@@ -43,9 +49,25 @@
 //! assert!(matches!(records[0], UndoRecord::VersionLink { row: 3 }));
 //! assert!(matches!(records[1], UndoRecord::SlotAlloc { rotation: 0, idx: 7 }));
 //! assert!(!undo.is_active());
+//!
+//! // Two transactions prepare and resolve independently (out of order).
+//! undo.begin();
+//! undo.record(UndoRecord::VersionLink { row: 1 });
+//! undo.prepare(Ts(10));
+//! undo.begin();
+//! undo.record(UndoRecord::VersionLink { row: 2 });
+//! undo.prepare(Ts(11));
+//! assert_eq!(undo.prepared_scopes(), 2);
+//! assert_eq!(undo.abort_prepared(Ts(10)).len(), 1);
+//! assert_eq!(undo.commit_prepared(Ts(11)), 1);
+//! assert_eq!(undo.prepared_scopes(), 0);
 //! ```
 
+use std::collections::BTreeMap;
+
 use pushtap_format::RowSlot;
+
+use crate::timestamp::Ts;
 
 /// One reversible effect of an in-flight transaction.
 ///
@@ -95,28 +117,18 @@ pub enum UndoRecord {
     },
 }
 
-/// The lifecycle of one transaction scope.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-enum ScopeState {
-    /// No scope open: mutations are unrecorded.
-    #[default]
-    Inactive,
-    /// A scope is open and recording.
-    Active,
-    /// The scope is prepared: records are pinned awaiting the
-    /// coordinator's commit/abort decision; no further records accepted.
-    Prepared,
-}
-
 /// The undo log of one table: records mutations while a transaction
-/// scope is active, hands them back newest-first on abort.
+/// scope is active, hands them back newest-first on abort, and holds any
+/// number of *prepared* scopes (pinned records keyed by the
+/// transaction's commit timestamp) awaiting their coordinator decisions.
 ///
 /// Inactive by default — tables driven outside a transaction scope (data
 /// loading, single-statement callers) record nothing and pay nothing.
 #[derive(Debug, Clone, Default)]
 pub struct UndoLog {
     records: Vec<UndoRecord>,
-    state: ScopeState,
+    active: bool,
+    prepared: BTreeMap<Ts, Vec<UndoRecord>>,
 }
 
 impl UndoLog {
@@ -126,95 +138,136 @@ impl UndoLog {
     }
 
     /// Opens a transaction scope. Recording starts; any records from a
-    /// previous scope must have been consumed.
+    /// previous *active* scope must have been consumed. Prepared scopes
+    /// may coexist — they belong to other transactions whose coordinator
+    /// decisions are still pending.
     ///
     /// # Panics
     ///
-    /// Panics if a scope is already open (nested transactions are not
-    /// modeled), including a prepared one awaiting its decision.
+    /// Panics if an active scope is already open (nested transactions
+    /// are not modeled).
     pub fn begin(&mut self) {
-        assert!(
-            self.state == ScopeState::Inactive,
-            "nested transaction scope"
-        );
+        assert!(!self.active, "nested transaction scope");
         debug_assert!(
             self.records.is_empty(),
             "records leaked from previous scope"
         );
-        self.state = ScopeState::Active;
+        self.active = true;
     }
 
-    /// Whether a transaction scope is open (active or prepared).
+    /// Whether an active (recording) scope is open. Prepared scopes do
+    /// not count: they accept no further records.
     pub fn is_active(&self) -> bool {
-        self.state != ScopeState::Inactive
+        self.active
     }
 
-    /// Whether the scope is prepared (pinned, awaiting the coordinator's
-    /// decision).
-    pub fn is_prepared(&self) -> bool {
-        self.state == ScopeState::Prepared
+    /// Number of prepared scopes awaiting their coordinator decisions.
+    pub fn prepared_scopes(&self) -> usize {
+        self.prepared.len()
     }
 
-    /// Parks the open scope in the prepared state: the records so far are
-    /// pinned for the coordinator's decision, and any further
-    /// [`UndoLog::record`] is a protocol violation.
+    /// Whether a scope prepared at `ts` is pending.
+    pub fn is_prepared(&self, ts: Ts) -> bool {
+        self.prepared.contains_key(&ts)
+    }
+
+    /// Parks the active scope in the prepared state under the
+    /// transaction's pinned commit timestamp `ts`: the records so far are
+    /// pinned for the coordinator's decision and the log is free to open
+    /// the next transaction's scope.
     ///
     /// # Panics
     ///
-    /// Panics unless a scope is active (and not already prepared).
-    pub fn prepare(&mut self) {
-        assert!(
-            self.state == ScopeState::Active,
-            "prepare outside an active scope"
-        );
-        self.state = ScopeState::Prepared;
+    /// Panics unless a scope is active, or if a scope is already
+    /// prepared at `ts` (timestamps are unique per transaction).
+    pub fn prepare(&mut self, ts: Ts) {
+        assert!(self.active, "prepare outside an active scope");
+        let records = std::mem::take(&mut self.records);
+        self.active = false;
+        let clash = self.prepared.insert(ts, records);
+        assert!(clash.is_none(), "a scope is already prepared at {ts:?}");
     }
 
-    /// Number of records in the current scope.
+    /// Number of records in the active scope.
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// The records of the current scope, oldest first. Used by the
+    /// The records of the active scope, oldest first. Used by the
     /// prepare step to find the versions the scope wrote (so they can be
     /// marked prepared on the version chains) without closing the scope.
     pub fn records(&self) -> &[UndoRecord] {
         &self.records
     }
 
-    /// Whether the current scope has no records.
+    /// Whether the active scope has no records.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
 
-    /// Appends a record if a scope is active; drops it otherwise.
+    /// Appends a record if an active scope is open; drops it otherwise.
     ///
     /// # Panics
     ///
-    /// Panics if the scope is prepared: a prepared participant holds its
-    /// write set fixed until the coordinator decides.
+    /// Panics if prepared scopes exist but no active scope is open:
+    /// every prepared write set must stay fixed until its coordinator
+    /// decides, so an unrecorded mutation alongside pending scopes is a
+    /// protocol violation.
     pub fn record(&mut self, rec: UndoRecord) {
-        match self.state {
-            ScopeState::Inactive => {}
-            ScopeState::Active => self.records.push(rec),
-            ScopeState::Prepared => panic!("mutation recorded in a prepared scope"),
+        if self.active {
+            self.records.push(rec);
+        } else {
+            assert!(
+                self.prepared.is_empty(),
+                "unrecorded mutation while prepared scopes are pending"
+            );
         }
     }
 
-    /// Closes the scope keeping all effects. Returns the number of
-    /// records discarded.
+    /// Closes the active scope keeping all effects. Returns the number
+    /// of records discarded.
     pub fn commit(&mut self) -> usize {
-        self.state = ScopeState::Inactive;
+        self.active = false;
         let n = self.records.len();
         self.records.clear();
         n
     }
 
-    /// Closes the scope for rollback: returns the records newest-first
-    /// (the order they must be applied in) and deactivates the log.
+    /// Closes the active scope for rollback: returns the records
+    /// newest-first (the order they must be applied in) and deactivates
+    /// the log.
     pub fn abort(&mut self) -> Vec<UndoRecord> {
-        self.state = ScopeState::Inactive;
+        self.active = false;
         let mut records = std::mem::take(&mut self.records);
+        records.reverse();
+        records
+    }
+
+    /// The coordinator's commit decision for the scope prepared at `ts`:
+    /// its pinned records are discarded (the effects stay). Returns the
+    /// number of records discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is prepared at `ts`.
+    pub fn commit_prepared(&mut self, ts: Ts) -> usize {
+        self.prepared
+            .remove(&ts)
+            .unwrap_or_else(|| panic!("commit decision for unprepared {ts:?}"))
+            .len()
+    }
+
+    /// The coordinator's abort decision for the scope prepared at `ts`:
+    /// returns that scope's records newest-first for reverse replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is prepared at `ts`.
+    pub fn abort_prepared(&mut self, ts: Ts) -> Vec<UndoRecord> {
+        let mut records = self
+            .prepared
+            .remove(&ts)
+            .unwrap_or_else(|| panic!("abort decision for unprepared {ts:?}"));
         records.reverse();
         records
     }
@@ -281,30 +334,50 @@ mod tests {
         let mut u = UndoLog::new();
         u.begin();
         u.record(UndoRecord::VersionLink { row: 4 });
-        u.prepare();
-        assert!(u.is_active() && u.is_prepared());
-        assert_eq!(u.len(), 1);
+        u.prepare(Ts(1));
+        assert!(!u.is_active());
+        assert!(u.is_prepared(Ts(1)));
+        assert_eq!(u.prepared_scopes(), 1);
         // Commit decision: records discarded, scope closed.
-        assert_eq!(u.commit(), 1);
-        assert!(!u.is_active() && !u.is_prepared());
+        assert_eq!(u.commit_prepared(Ts(1)), 1);
+        assert_eq!(u.prepared_scopes(), 0);
 
         // Abort decision: records come back newest-first.
         u.begin();
         u.record(UndoRecord::VersionLink { row: 1 });
         u.record(UndoRecord::VersionLink { row: 2 });
-        u.prepare();
-        let r = u.abort();
+        u.prepare(Ts(2));
+        let r = u.abort_prepared(Ts(2));
         assert_eq!(r.len(), 2);
         assert!(matches!(r[0], UndoRecord::VersionLink { row: 2 }));
-        assert!(!u.is_prepared());
+        assert_eq!(u.prepared_scopes(), 0);
+    }
+
+    /// The pipelined-coordinator shape: several scopes prepared on one
+    /// table, resolved independently and out of preparation order.
+    #[test]
+    fn coexisting_prepared_scopes_resolve_independently() {
+        let mut u = UndoLog::new();
+        for (ts, row) in [(10u64, 1u64), (11, 2), (12, 3)] {
+            u.begin();
+            u.record(UndoRecord::VersionLink { row });
+            u.prepare(Ts(ts));
+        }
+        assert_eq!(u.prepared_scopes(), 3);
+        // The middle scope aborts first; the others commit after.
+        let r = u.abort_prepared(Ts(11));
+        assert_eq!(r, vec![UndoRecord::VersionLink { row: 2 }]);
+        assert_eq!(u.commit_prepared(Ts(12)), 1);
+        assert_eq!(u.commit_prepared(Ts(10)), 1);
+        assert_eq!(u.prepared_scopes(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "mutation recorded in a prepared scope")]
-    fn recording_into_a_prepared_scope_panics() {
+    #[should_panic(expected = "unrecorded mutation while prepared scopes are pending")]
+    fn recording_outside_a_scope_with_pending_prepares_panics() {
         let mut u = UndoLog::new();
         u.begin();
-        u.prepare();
+        u.prepare(Ts(1));
         u.record(UndoRecord::VersionLink { row: 1 });
     }
 
@@ -312,15 +385,23 @@ mod tests {
     #[should_panic(expected = "prepare outside an active scope")]
     fn prepare_without_scope_panics() {
         let mut u = UndoLog::new();
-        u.prepare();
+        u.prepare(Ts(1));
     }
 
     #[test]
-    #[should_panic(expected = "nested transaction scope")]
-    fn begin_over_prepared_scope_panics() {
+    #[should_panic(expected = "already prepared at")]
+    fn duplicate_prepare_timestamp_panics() {
         let mut u = UndoLog::new();
         u.begin();
-        u.prepare();
+        u.prepare(Ts(1));
         u.begin();
+        u.prepare(Ts(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "commit decision for unprepared")]
+    fn commit_of_unprepared_scope_panics() {
+        let mut u = UndoLog::new();
+        u.commit_prepared(Ts(3));
     }
 }

@@ -94,3 +94,180 @@ pub struct TaggedEffect {
     /// The owning warehouse (home warehouse for replicated tables).
     pub warehouse: u64,
 }
+
+/// The conflict key of one row-level effect: the unit at which two
+/// transactions can collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Key {
+    /// A data row, by table and *global* row index.
+    Row(Table, u64),
+    /// A warehouse's stripe insert ring, by table and home warehouse:
+    /// every insert homed at the warehouse consumes the ring's next
+    /// slot, so two inserting transactions order each other even though
+    /// they land on different rows.
+    Ring(Table, u64),
+}
+
+/// The canonical read/write keyset of one transaction, derived from its
+/// effect decomposition ([`TpccDb::decompose`]) — the input the sharded
+/// coordinator's wave scheduler orders transactions by.
+///
+/// Decomposition is read-only and retry-stable, so a transaction's
+/// keyset is known *before* it executes: reads are [`Effect::Read`]
+/// rows, writes are [`Effect::Update`] rows plus the insert rings
+/// ([`Key::Ring`]) its [`Effect::Insert`]s consume. Two transactions
+/// conflict exactly when one's writes intersect the other's reads or
+/// writes — read/read sharing (e.g. the replicated, read-only ITEM
+/// table) never orders anything.
+///
+/// [`TpccDb::decompose`]: crate::TpccDb::decompose
+///
+/// # Examples
+///
+/// ```
+/// use pushtap_chbench::Table;
+/// use pushtap_oltp::{Key, KeySet};
+///
+/// // Two Payments homed at warehouse 0 both accumulate its YTD — a
+/// // write/write conflict that forces timestamp order between them.
+/// let a = KeySet::new(vec![], vec![Key::Row(Table::Warehouse, 0)]);
+/// let b = KeySet::new(
+///     vec![Key::Row(Table::Customer, 7)],
+///     vec![Key::Row(Table::Warehouse, 0)],
+/// );
+/// assert!(a.conflicts(&b) && b.conflicts(&a));
+///
+/// // A reader of a row conflicts with its writer (it must observe the
+/// // reference's version), but two readers never conflict.
+/// let w = KeySet::new(vec![], vec![Key::Row(Table::Customer, 7)]);
+/// let r = KeySet::new(vec![Key::Row(Table::Customer, 7)], vec![]);
+/// assert!(w.conflicts(&r) && r.conflicts(&w));
+/// assert!(!r.conflicts(&r.clone()));
+///
+/// // Disjoint warehouses: no shared row, no shared ring — concurrent.
+/// let c = KeySet::new(vec![], vec![Key::Ring(Table::History, 1)]);
+/// let d = KeySet::new(vec![], vec![Key::Ring(Table::History, 2)]);
+/// assert!(!c.conflicts(&d));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct KeySet {
+    /// Rows the transaction reads (sorted, deduplicated).
+    reads: Vec<Key>,
+    /// Rows it writes and rings it consumes (sorted, deduplicated).
+    writes: Vec<Key>,
+}
+
+impl KeySet {
+    /// A keyset from explicit read and write keys (sorted and
+    /// deduplicated internally).
+    pub fn new(mut reads: Vec<Key>, mut writes: Vec<Key>) -> KeySet {
+        reads.sort_unstable();
+        reads.dedup();
+        writes.sort_unstable();
+        writes.dedup();
+        KeySet { reads, writes }
+    }
+
+    /// Derives the keyset of a decomposed transaction: one [`Key::Row`]
+    /// per read or updated row, one [`Key::Ring`] per insert's
+    /// (table, home-warehouse) stripe ring.
+    pub fn from_effects(effects: &[TaggedEffect]) -> KeySet {
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for e in effects {
+            match &e.effect {
+                Effect::Read { table, row } => reads.push(Key::Row(*table, *row)),
+                Effect::Update { table, row, .. } => writes.push(Key::Row(*table, *row)),
+                Effect::Insert { table, w_id, .. } => writes.push(Key::Ring(*table, *w_id)),
+            }
+        }
+        KeySet::new(reads, writes)
+    }
+
+    /// The read keys, sorted.
+    pub fn reads(&self) -> &[Key] {
+        &self.reads
+    }
+
+    /// The write keys (rows and rings), sorted.
+    pub fn writes(&self) -> &[Key] {
+        &self.writes
+    }
+
+    /// Whether the keyset touches nothing (an unstamped placeholder).
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// Whether two transactions must execute in timestamp order: one's
+    /// writes intersect the other's reads or writes (write/write,
+    /// write/read, or read/write on any key). Symmetric.
+    pub fn conflicts(&self, other: &KeySet) -> bool {
+        sorted_intersect(&self.writes, &other.writes)
+            || sorted_intersect(&self.writes, &other.reads)
+            || sorted_intersect(&self.reads, &other.writes)
+    }
+}
+
+/// Whether two sorted key slices share an element (linear merge walk).
+fn sorted_intersect(a: &[Key], b: &[Key]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(t: Table, r: u64) -> Key {
+        Key::Row(t, r)
+    }
+
+    #[test]
+    fn keyset_sorts_and_dedups() {
+        let k = KeySet::new(
+            vec![
+                row(Table::Stock, 9),
+                row(Table::Stock, 2),
+                row(Table::Stock, 9),
+            ],
+            vec![],
+        );
+        assert_eq!(k.reads(), &[row(Table::Stock, 2), row(Table::Stock, 9)]);
+    }
+
+    #[test]
+    fn read_read_never_conflicts() {
+        let a = KeySet::new(vec![row(Table::Item, 5)], vec![]);
+        let b = KeySet::new(vec![row(Table::Item, 5)], vec![]);
+        assert!(!a.conflicts(&b));
+    }
+
+    #[test]
+    fn write_conflicts_are_symmetric() {
+        let w = KeySet::new(vec![], vec![row(Table::Customer, 3)]);
+        let r = KeySet::new(vec![row(Table::Customer, 3)], vec![]);
+        let ww = KeySet::new(vec![], vec![row(Table::Customer, 3)]);
+        assert!(w.conflicts(&r) && r.conflicts(&w));
+        assert!(w.conflicts(&ww));
+    }
+
+    #[test]
+    fn rings_and_rows_are_distinct_keys() {
+        // Writing CUSTOMER row 1 does not collide with HISTORY's ring at
+        // warehouse 1 — different key kinds, different tables.
+        let a = KeySet::new(vec![], vec![row(Table::Customer, 1)]);
+        let b = KeySet::new(vec![], vec![Key::Ring(Table::History, 1)]);
+        assert!(!a.conflicts(&b));
+        // Same ring does collide.
+        let c = KeySet::new(vec![], vec![Key::Ring(Table::History, 1)]);
+        assert!(b.conflicts(&c));
+    }
+}

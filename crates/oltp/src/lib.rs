@@ -53,7 +53,7 @@ mod table;
 mod tpcc;
 
 pub use cost::{Breakdown, CostModel, Meter};
-pub use effects::{ColumnWrite, Effect, TaggedEffect};
+pub use effects::{ColumnWrite, Effect, Key, KeySet, TaggedEffect};
 pub use index::HashIndex;
 pub use table::{AccessModel, HtapTable, LineRef, OpResult, TableConfig};
 pub use tpcc::{

@@ -159,49 +159,78 @@ impl HtapTable {
         self.undo.begin();
     }
 
-    /// Whether a transaction scope is active.
+    /// Whether an active (recording) transaction scope is open.
     pub fn in_txn(&self) -> bool {
         self.undo.is_active()
     }
 
-    /// Whether the open scope is parked in the prepared state (two-phase
-    /// commit participant awaiting the coordinator's decision).
+    /// Whether any prepared scopes are parked on this table (two-phase
+    /// commit participants awaiting their coordinator decisions — a
+    /// pipelined coordinator can hold several at once).
     pub fn in_prepared_txn(&self) -> bool {
-        self.undo.is_prepared()
+        self.undo.prepared_scopes() > 0
     }
 
-    /// Parks the open transaction scope in the *prepared* state: the
-    /// undo records are pinned for the coordinator's decision, every
-    /// version the scope wrote is marked prepared-but-uncommitted on the
-    /// version chains, and no further mutations are accepted until
-    /// [`HtapTable::commit_txn`] or [`HtapTable::abort_txn`] resolves the
-    /// scope.
+    /// Parks the active transaction scope in the *prepared* state under
+    /// the transaction's pinned commit timestamp `ts`: the undo records
+    /// are pinned for the coordinator's decision and every version the
+    /// scope wrote is marked prepared-but-uncommitted on the version
+    /// chains. The scope resolves through
+    /// [`HtapTable::commit_prepared_txn`] or
+    /// [`HtapTable::abort_prepared_txn`]; further transactions may open
+    /// and even prepare their own scopes meanwhile, as long as they
+    /// touch disjoint rows (the coordinator's conflict scheduler
+    /// guarantees it).
     ///
     /// # Panics
     ///
-    /// Panics unless a scope is active (and not already prepared).
-    pub fn prepare_txn(&mut self) {
+    /// Panics unless a scope is active, or if `ts` already has a
+    /// prepared scope.
+    pub fn prepare_txn(&mut self, ts: Ts) {
         for rec in self.undo.records() {
             if let UndoRecord::VersionLink { row } = rec {
-                self.chains.mark_prepared(*row);
+                self.chains.mark_prepared(*row, ts);
             }
         }
-        self.undo.prepare();
+        self.undo.prepare(ts);
     }
 
-    /// Versions written by a prepared-but-uncommitted scope (zero when no
+    /// Versions written by prepared-but-uncommitted scopes (zero when no
     /// two-phase commit is in flight on this table).
     pub fn prepared_versions(&self) -> usize {
         self.chains.prepared_count()
     }
 
-    /// Closes the transaction scope keeping all effects (this is also the
-    /// commit decision for a prepared scope — its prepared version marks
-    /// resolve as committed). Returns the number of undo records
-    /// discarded.
+    /// Closes the active transaction scope keeping all effects. Returns
+    /// the number of undo records discarded.
     pub fn commit_txn(&mut self) -> usize {
-        self.chains.commit_prepared();
         self.undo.commit()
+    }
+
+    /// The coordinator's commit decision for the scope prepared at `ts`:
+    /// its effects stay, its prepared version marks resolve as
+    /// committed; other pending scopes are untouched. Returns the number
+    /// of undo records discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is prepared at `ts`.
+    pub fn commit_prepared_txn(&mut self, ts: Ts) -> usize {
+        self.chains.commit_prepared(ts);
+        self.undo.commit_prepared(ts)
+    }
+
+    /// The coordinator's abort decision for the scope prepared at `ts`:
+    /// that scope's records replay in reverse (other pending scopes are
+    /// untouched — their rows are disjoint by conflict scheduling).
+    /// Returns the number of records applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is prepared at `ts`.
+    pub fn abort_prepared_txn(&mut self, ts: Ts) -> usize {
+        let records = self.undo.abort_prepared(ts);
+        self.apply_undo(records)
     }
 
     /// Rolls back every effect recorded since [`HtapTable::begin_txn`]
@@ -215,6 +244,11 @@ impl HtapTable {
     /// accounts the retry's cost by re-executing the transaction.
     pub fn abort_txn(&mut self) -> usize {
         let records = self.undo.abort();
+        self.apply_undo(records)
+    }
+
+    /// Applies rollback records (newest-first) to the table's state.
+    fn apply_undo(&mut self, records: Vec<UndoRecord>) -> usize {
         let n = records.len();
         for rec in records {
             match rec {
@@ -913,10 +947,10 @@ mod tests {
         t.begin_txn();
         t.timed_update(&mut mem, &meter(), 5, Ts(2), &[(0, vec![7, 7])], Ps::ZERO)
             .unwrap();
-        t.prepare_txn();
+        t.prepare_txn(Ts(2));
         assert!(t.in_prepared_txn());
         assert_eq!(t.prepared_versions(), 1);
-        t.commit_txn();
+        t.commit_prepared_txn(Ts(2));
         assert!(!t.in_txn());
         assert_eq!(t.prepared_versions(), 0);
         let (vals, _) = t.timed_read(&mut mem, &meter(), 5, Ts(9), Ps::ZERO);
@@ -927,13 +961,57 @@ mod tests {
         t.begin_txn();
         t.timed_update(&mut mem, &meter(), 5, Ts(3), &[(1, vec![9, 9])], Ps::ZERO)
             .unwrap();
-        t.prepare_txn();
+        t.prepare_txn(Ts(3));
         assert_eq!(t.prepared_versions(), 1);
-        t.abort_txn();
+        t.abort_prepared_txn(Ts(3));
         assert_eq!(t.prepared_versions(), 0);
         assert_eq!(t.live_delta_rows(), live);
         let (vals, _) = t.timed_read(&mut mem, &meter(), 5, Ts(9), Ps::ZERO);
         assert_ne!(vals[1], vec![9, 9], "aborted prepared write is gone");
+    }
+
+    /// Two prepared scopes on disjoint rows coexist; the earlier one
+    /// aborts *after* the later one prepared, and each resolution
+    /// touches only its own scope's state — the pipelined coordinator's
+    /// table-level contract.
+    #[test]
+    fn coexisting_prepared_scopes_abort_and_commit_independently() {
+        let mut t = table(AccessModel::Unified);
+        let mut mem = MemSystem::dimm();
+        t.load_row(3, &values(1));
+        t.load_row(4, &values(2));
+        let live = t.live_delta_rows();
+
+        t.begin_txn();
+        t.timed_update(&mut mem, &meter(), 3, Ts(10), &[(0, vec![7, 7])], Ps::ZERO)
+            .unwrap();
+        t.prepare_txn(Ts(10));
+        t.begin_txn();
+        t.timed_update(&mut mem, &meter(), 4, Ts(11), &[(0, vec![8, 8])], Ps::ZERO)
+            .unwrap();
+        t.prepare_txn(Ts(11));
+        assert_eq!(t.prepared_versions(), 2);
+
+        // Abort the earlier scope (its entry is mid-log), commit the
+        // later one.
+        t.abort_prepared_txn(Ts(10));
+        assert_eq!(t.prepared_versions(), 1);
+        t.commit_prepared_txn(Ts(11));
+        assert_eq!(t.prepared_versions(), 0);
+        assert_eq!(t.live_delta_rows(), live + 1);
+        let (vals, _) = t.timed_read(&mut mem, &meter(), 3, Ts(20), Ps::ZERO);
+        assert_eq!(vals[0], vec![1, 1], "aborted scope left no trace");
+        let (vals, _) = t.timed_read(&mut mem, &meter(), 4, Ts(20), Ps::ZERO);
+        assert_eq!(vals[0], vec![8, 8], "committed scope survives");
+
+        // The aborted transaction retries at its pinned timestamp.
+        t.begin_txn();
+        t.timed_update(&mut mem, &meter(), 3, Ts(10), &[(0, vec![7, 7])], Ps::ZERO)
+            .unwrap();
+        t.prepare_txn(Ts(10));
+        t.commit_prepared_txn(Ts(10));
+        let (vals, _) = t.timed_read(&mut mem, &meter(), 3, Ts(20), Ps::ZERO);
+        assert_eq!(vals[0], vec![7, 7]);
     }
 
     #[test]

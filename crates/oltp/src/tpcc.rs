@@ -57,14 +57,20 @@ pub enum TxnRole {
     Participant,
 }
 
-/// A prepared-but-undecided transaction scope held by the engine.
-#[derive(Debug, Clone, Copy)]
+/// A prepared-but-undecided transaction scope held by the engine,
+/// keyed by its pinned commit timestamp. Several scopes coexist under a
+/// pipelined coordinator — one per in-flight non-conflicting
+/// transaction.
+#[derive(Debug, Clone)]
 struct PreparedScope {
-    /// The pinned commit timestamp the effects were applied under.
-    ts: Ts,
     /// Simulated time the prepare consumed (charged to
     /// `wasted_retry_time` if the coordinator aborts).
     elapsed: Ps,
+    /// Stripe cursors this scope advanced, in order — undone in reverse
+    /// if the coordinator aborts. Scopes never share a cursor (their
+    /// ring keys are disjoint by conflict scheduling), so out-of-order
+    /// resolution is exact.
+    cursors: Vec<(Table, u64)>,
 }
 
 /// Which layout the database instance uses (drives both the generated
@@ -216,9 +222,11 @@ pub struct TpccDb {
     /// Transactions rolled back on [`DeltaFull`] (each is retried by the
     /// caller after defragmentation, so this is also the retry count).
     aborts: u64,
-    /// The prepared-but-undecided scope, if a two-phase commit is in
-    /// flight on this engine.
-    prepared: Option<PreparedScope>,
+    /// Prepared-but-undecided scopes keyed by pinned commit timestamp —
+    /// the two-phase commits in flight on this engine. A serial
+    /// coordinator holds at most one; a pipelined coordinator holds one
+    /// per overlapped non-conflicting transaction.
+    prepared: BTreeMap<Ts, PreparedScope>,
     /// Cumulative simulated time consumed by rolled-back attempts: the
     /// statements a transaction executed before hitting [`DeltaFull`].
     /// The memory traffic of those statements is charged to the simulated
@@ -389,7 +397,7 @@ impl TpccDb {
             insert_cursors: BTreeMap::new(),
             txn_cursor_log: Vec::new(),
             aborts: 0,
-            prepared: None,
+            prepared: BTreeMap::new(),
             wasted_retry_time: Ps::ZERO,
         })
     }
@@ -719,6 +727,19 @@ impl TpccDb {
         }
     }
 
+    /// The canonical conflict keyset of `txn` — the rows it reads, the
+    /// rows it writes, and the insert rings it consumes — derived from
+    /// its effect decomposition ([`TpccDb::decompose`]). Decomposition
+    /// is read-only and retry-stable, so the keyset is known *before*
+    /// execution: it never depends on cursor positions or delta
+    /// occupancy, only on the transaction's parameters. A scheduler uses
+    /// [`KeySet::conflicts`](crate::effects::KeySet::conflicts) to order
+    /// conflicting transactions by timestamp and run the rest
+    /// concurrently.
+    pub fn keyset(&self, txn: &Txn, ts: Ts) -> crate::effects::KeySet {
+        crate::effects::KeySet::from_effects(&self.decompose(txn, ts))
+    }
+
     /// The warehouse whose stripe owns global `row` of partitioned
     /// `table` — the ownership tag of a forwarded effect.
     fn warehouse_of(&self, table: Table, row: u64) -> u64 {
@@ -1006,6 +1027,15 @@ impl TpccDb {
     /// (prepare is the force phase — the write set is flushed so the
     /// commit decision is pure metadata).
     ///
+    /// Several transactions may be prepared at once (one scope per
+    /// pinned timestamp): a pipelined coordinator overlaps the
+    /// prepare/vote/decide rounds of non-conflicting transactions, so an
+    /// engine can hold many undecided write sets, each resolving
+    /// independently through [`TpccDb::commit_prepared`] /
+    /// [`TpccDb::abort_prepared`]. Coexisting scopes must touch disjoint
+    /// rows and rings — the wave scheduler's conflict predicate
+    /// ([`crate::effects::KeySet::conflicts`]) guarantees it.
+    ///
     /// # Errors
     ///
     /// Returns [`DeltaFull`] if a delta arena filled mid-prepare. All
@@ -1015,9 +1045,8 @@ impl TpccDb {
     ///
     /// # Panics
     ///
-    /// Panics if a prepared transaction is already in flight (one
-    /// prepared scope per engine — the coordinator serialises cross-shard
-    /// transactions in global stream order).
+    /// Panics if a scope is already prepared at `ts` (timestamps are
+    /// unique per transaction).
     ///
     /// # Examples
     ///
@@ -1072,8 +1101,8 @@ impl TpccDb {
         at: Ps,
     ) -> Result<TxnResult, DeltaFull> {
         assert!(
-            self.prepared.is_none(),
-            "a prepared transaction is already in flight"
+            !self.prepared.contains_key(&ts),
+            "a scope is already prepared at {ts:?}"
         );
         self.begin_txn();
         let meter = self.meter;
@@ -1095,12 +1124,27 @@ impl TpccDb {
         now += meter.commit_barrier();
         b.compute += meter.commit_barrier();
         for t in self.tables.values_mut() {
-            t.prepare_txn();
+            t.prepare_txn(ts);
         }
-        self.prepared = Some(PreparedScope {
+        let cursors = std::mem::take(&mut self.txn_cursor_log);
+        debug_assert!(
+            {
+                let mut keys: Vec<_> = cursors.clone();
+                keys.sort_unstable();
+                keys.dedup();
+                self.prepared
+                    .values()
+                    .all(|s| s.cursors.iter().all(|c| keys.binary_search(c).is_err()))
+            },
+            "coexisting prepared scopes share an insert ring — a conflict-scheduling bug"
+        );
+        self.prepared.insert(
             ts,
-            elapsed: now.saturating_sub(at),
-        });
+            PreparedScope {
+                elapsed: now.saturating_sub(at),
+                cursors,
+            },
+        );
         Ok(TxnResult {
             commit_ts: ts,
             end: now,
@@ -1108,9 +1152,12 @@ impl TpccDb {
         })
     }
 
-    /// The coordinator's commit decision for the prepared scope: every
-    /// table keeps its effects, the prepared version marks resolve, and
-    /// the engine's watermark advances to cover the pinned `ts`.
+    /// The coordinator's commit decision for the scope prepared at `ts`:
+    /// every table keeps that scope's effects, its prepared version
+    /// marks resolve, and the engine's watermark advances to cover the
+    /// pinned `ts`. Other pending scopes are untouched and resolve
+    /// independently — decisions may arrive out of preparation order
+    /// under a pipelined coordinator.
     ///
     /// `role` says whether this engine executed the transaction's home
     /// half ([`TxnRole::Coordinator`] — the transaction counts as
@@ -1119,47 +1166,61 @@ impl TpccDb {
     ///
     /// # Panics
     ///
-    /// Panics if no transaction is prepared, or if `ts` is not the
-    /// timestamp the scope prepared under.
+    /// Panics if no transaction is prepared at `ts`.
     pub fn commit_prepared(&mut self, ts: Ts, role: TxnRole) {
-        let p = self
-            .prepared
-            .take()
-            .expect("commit decision without a prepared transaction");
-        assert_eq!(p.ts, ts, "commit decision for the wrong timestamp");
+        self.prepared
+            .remove(&ts)
+            .unwrap_or_else(|| panic!("commit decision for unprepared {ts:?}"));
         for t in self.tables.values_mut() {
-            t.commit_txn();
+            t.commit_prepared_txn(ts);
         }
-        self.txn_cursor_log.clear();
         if role == TxnRole::Coordinator {
             self.committed += 1;
         }
         self.ts.advance_to(ts);
     }
 
-    /// The coordinator's abort decision for the prepared scope: every
-    /// pinned undo record replays in reverse (delta slots, chains, row
-    /// bytes, index entries, stripe cursors all revert) and the
-    /// prepare's latency is charged to [`TpccDb::wasted_retry_time`] —
-    /// the work was done and rolled back, exactly like a local
-    /// [`DeltaFull`] abort.
+    /// The coordinator's abort decision for the scope prepared at `ts`:
+    /// that scope's pinned undo records replay in reverse (delta slots,
+    /// chains, row bytes, index entries, stripe cursors all revert) and
+    /// the prepare's latency is charged to
+    /// [`TpccDb::wasted_retry_time`] — the work was done and rolled
+    /// back, exactly like a local [`DeltaFull`] abort. Other pending
+    /// scopes are untouched (their rows and rings are disjoint by
+    /// conflict scheduling).
     ///
     /// # Panics
     ///
-    /// Panics if no transaction is prepared.
-    pub fn abort_prepared(&mut self) {
+    /// Panics if no transaction is prepared at `ts`.
+    pub fn abort_prepared(&mut self, ts: Ts) {
         let p = self
             .prepared
-            .take()
-            .expect("abort decision without a prepared transaction");
+            .remove(&ts)
+            .unwrap_or_else(|| panic!("abort decision for unprepared {ts:?}"));
         self.wasted_retry_time += p.elapsed;
-        self.abort_txn();
+        for t in self.tables.values_mut() {
+            t.abort_prepared_txn(ts);
+        }
+        for (table, w) in p.cursors.into_iter().rev() {
+            let c = self
+                .insert_cursors
+                .get_mut(&(table, w))
+                .expect("cursor bumped by the aborting scope");
+            *c -= 1;
+        }
+        self.aborts += 1;
     }
 
-    /// Whether a prepared transaction is awaiting its coordinator
-    /// decision on this engine.
+    /// Whether any prepared transactions are awaiting their coordinator
+    /// decisions on this engine.
     pub fn in_prepared_txn(&self) -> bool {
-        self.prepared.is_some()
+        !self.prepared.is_empty()
+    }
+
+    /// Number of prepared transactions awaiting their coordinator
+    /// decisions on this engine.
+    pub fn prepared_scopes(&self) -> usize {
+        self.prepared.len()
     }
 
     /// Prepared-but-uncommitted versions across all tables — zero

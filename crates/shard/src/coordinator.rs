@@ -1,72 +1,139 @@
 //! The transaction coordinator: stream-order execution over the shard
 //! engines, with a simulated two-phase commit for transactions whose
-//! effects span shards.
+//! effects span shards — either one 2PC at a time behind a barrier
+//! flush ([`CoordinatorMode::Serial`], the oracle path) or
+//! conflict-aware wave scheduling that overlaps every non-conflicting
+//! transaction ([`CoordinatorMode::Pipelined`], the default).
 //!
-//! # Execution model
+//! # The serial oracle
 //!
-//! The router hands the coordinator one globally-ordered stream of
-//! [`RoutedTxn`]s, each stamped with its stream-order timestamp. The
-//! coordinator drives it with two disciplines:
+//! The original execution model: warehouse-local transactions queue per
+//! home shard and flush in concurrent per-shard runs, but every
+//! cross-shard transaction first drains the involved shards' queues (a
+//! *barrier flush*) and then runs its prepare/vote/decide rounds alone.
+//! Correct, and byte-identical to the unpartitioned reference — but the
+//! hot remote mixes degenerate toward one 2PC at a time exactly when
+//! scale-out matters most.
 //!
-//! * **Warehouse-local transactions** (empty participant set — the vast
-//!   majority under TPC-C's remote rates) are queued per home shard and
-//!   executed in *concurrent* per-shard runs (`std::thread::scope`),
-//!   exactly like the pre-2PC bucket execution.
-//! * **Cross-shard transactions** trigger a flush of every *involved*
-//!   shard's queue (so all earlier stream work lands first — per-row
-//!   MVCC timestamps must stay monotone), then run as a two-phase
-//!   commit: the home shard decomposes the transaction into tagged
-//!   effects ([`pushtap_oltp::TpccDb::decompose`]), prepares the effects
-//!   it owns, forwards each participant its owned subset, collects
-//!   votes, and commits — or aborts — everywhere at the pinned
-//!   timestamp.
+//! # Wave scheduling (the pipelined path)
 //!
-//! # Votes, aborts, retries
+//! [`TpccDb::decompose`](pushtap_oltp::TpccDb::decompose) is read-only
+//! and retry-stable, so every transaction's keyset — rows read, rows
+//! written, insert rings consumed — is known *before* execution
+//! ([`pushtap_oltp::KeySet`]). The [`schedule`] module cuts the
+//! timestamp-ordered stream into **waves** of mutually non-conflicting
+//! transactions; conflicting pairs always land in timestamp order
+//! across waves, so per-row commit order (and therefore every committed
+//! byte) matches the reference. One wave executes as:
 //!
-//! A participant whose delta arena fills mid-prepare votes "no" (its
-//! partial effects are already rolled back). The coordinator then
-//! delivers the abort decision to the home half and every prepared
-//! participant — their pinned undo records replay in reverse, leaving
-//! zero trace — defragments the voting shard, and retries the whole
-//! transaction under the *same* timestamp, feeding the engine-level
-//! atomic-retry machinery. Committed bytes therefore never depend on
-//! where or when arenas filled up, which is what extends the
-//! byte-identity invariant to remote-owned CUSTOMER/STOCK rows.
+//! 1. **Decompose** every wave member at its home engine and split the
+//!    effects by owning shard (read-only; wave members touch disjoint
+//!    rings, so the split is independent of intra-wave order).
+//! 2. **Prepare phase** — all shards concurrently
+//!    (`std::thread::scope`): each shard prepares its wave items in
+//!    timestamp order, holding one prepared undo scope per transaction
+//!    (the multi-scope machinery in `pushtap-mvcc`). Forwarded effect
+//!    sets pay their prepare-hop *delivery*: a wave's messages are all
+//!    in flight together, so a delivery only stalls the engine until
+//!    its arrival time — overlapped, not summed.
+//! 3. **Vote barrier** — a transaction commits iff every involved shard
+//!    prepared it; any `DeltaFull` vote aborts it everywhere.
+//! 4. **Decision phase** — all shards concurrently deliver commit/abort
+//!    decisions in timestamp order (again overlapped deliveries);
+//!    committed scopes resolve, aborted scopes replay their pinned undo
+//!    records in reverse.
+//! 5. **Retries** — aborted transactions defragment their no-voting
+//!    shards and re-run serially at the *same* pinned timestamps before
+//!    the next wave starts, feeding the engine-level atomic-retry
+//!    machinery. Committed bytes therefore never depend on where or
+//!    when arenas filled up.
 //!
 //! # Timing
 //!
-//! Message rounds are charged per [`CommitConfig`]: each participant's
-//! clock pays `prepare_hop` to receive its effect set and `commit_hop`
-//! to receive the decision; the coordinator pays one
-//! `prepare_hop + commit_hop` round-trip before reporting the commit.
-//! All 2PC metrics land in each shard's [`OltpReport`]
-//! (`prepared_txns`, `participant_aborts`, `forwarded_effects`,
-//! `commit_rounds`, `two_pc_time`).
+//! Message rounds are charged per [`CommitConfig`]. Both modes keep the
+//! same *ledger* (`two_pc_time`, `commit_rounds`: one entry per
+//! delivered message), but the clock cost differs: the serial path
+//! delivers rounds one at a time (each hop lands fully on the receiving
+//! shard's clock), while a wave's concurrent deliveries overlap — the
+//! clock advance they actually cause is recorded as
+//! `critical_path_time` (see [`OltpReport`]). All other engine-time
+//! accounting (transaction time, wasted retry latency, defragmentation
+//! pauses) is identical across modes.
+//!
+//! One modeling assumption is shared by both modes and inherited from
+//! the original coordinator: shard clocks are never coupled across
+//! engines — a decision delivery is anchored to the *receiving* shard's
+//! own phase clock, not to the slowest voter's, so neither mode charges
+//! a vote-barrier wait for a laggard participant (the serial home pays
+//! a fixed round-trip, not a max over voters). The serial/pipelined
+//! comparison is therefore apples-to-apples on hop-stall accounting;
+//! modeling decision latency as `max` over vote arrivals (coupling
+//! clocks) is the ROADMAP's next step for the shard layer.
 //!
 //! [`OltpReport`]: pushtap_core::OltpReport
+//! [`CoordinatorMode::Serial`]: crate::CoordinatorMode::Serial
+//! [`CoordinatorMode::Pipelined`]: crate::CoordinatorMode::Pipelined
+
+pub mod schedule;
 
 use std::collections::BTreeMap;
 use std::thread;
 
 use pushtap_core::Pushtap;
-use pushtap_oltp::{Breakdown, TaggedEffect, TxnRole};
+use pushtap_mvcc::Ts;
+use pushtap_oltp::{Breakdown, TaggedEffect, TxnResult, TxnRole};
 use pushtap_pim::Ps;
 
-use crate::config::CommitConfig;
+use crate::config::{CommitConfig, CoordinatorMode};
 use crate::partition::WarehouseMap;
-use crate::report::ShardLoad;
+use crate::report::{CoordStats, ShardLoad};
 use crate::router::RoutedTxn;
 
 /// Executes one globally-ordered routed stream across the shard
-/// engines, returning each shard's accumulated load.
+/// engines under the configured coordinator mode, returning each
+/// shard's accumulated load plus the coordinator's scheduling stats.
 pub(crate) fn execute_stream(
     shards: &mut [Pushtap],
     map: &WarehouseMap,
     stream: Vec<RoutedTxn>,
     commit: CommitConfig,
-) -> Vec<ShardLoad> {
+    mode: CoordinatorMode,
+) -> (Vec<ShardLoad>, CoordStats) {
     let starts: Vec<Ps> = shards.iter().map(Pushtap::now).collect();
     let mut loads: Vec<ShardLoad> = (0..shards.len()).map(|_| ShardLoad::default()).collect();
+    let mut stats = CoordStats {
+        mode,
+        ..CoordStats::default()
+    };
+    match mode {
+        CoordinatorMode::Serial => {
+            execute_serial(shards, map, stream, commit, &mut loads, &mut stats)
+        }
+        CoordinatorMode::Pipelined => {
+            execute_pipelined(shards, map, stream, commit, &mut loads, &mut stats)
+        }
+    }
+    for (i, load) in loads.iter_mut().enumerate() {
+        load.elapsed = shards[i].now().saturating_sub(starts[i]);
+    }
+    (loads, stats)
+}
+
+// ---------------------------------------------------------------------
+// The serial oracle: per-shard local queues + barrier-flushed 2PCs.
+// ---------------------------------------------------------------------
+
+/// The original execution discipline: local transactions queue per home
+/// shard, every cross-shard transaction flushes the involved shards'
+/// queues and runs its two-phase commit alone.
+fn execute_serial(
+    shards: &mut [Pushtap],
+    map: &WarehouseMap,
+    stream: Vec<RoutedTxn>,
+    commit: CommitConfig,
+    loads: &mut [ShardLoad],
+    stats: &mut CoordStats,
+) {
     let mut pending: Vec<Vec<RoutedTxn>> = (0..shards.len()).map(|_| Vec::new()).collect();
     for routed in stream {
         if routed.participants.is_empty() {
@@ -79,15 +146,12 @@ pub(crate) fn execute_stream(
             // from this transaction's by ownership.
             let mut involved = routed.participants.clone();
             involved.push(routed.shard);
-            flush(shards, &mut pending, &mut loads, Some(&involved));
-            two_phase_commit(shards, map, &routed, commit, &mut loads);
+            stats.barrier_flushes += 1;
+            flush(shards, &mut pending, loads, Some(&involved));
+            two_phase_commit(shards, map, &routed, commit, loads, 0);
         }
     }
-    flush(shards, &mut pending, &mut loads, None);
-    for (i, load) in loads.iter_mut().enumerate() {
-        load.elapsed = shards[i].now().saturating_sub(starts[i]);
-    }
-    loads
+    flush(shards, &mut pending, loads, None);
 }
 
 /// Drains the pending warehouse-local queues of the selected shards
@@ -117,11 +181,16 @@ fn flush(
             .collect()
     });
     for (i, partial) in results {
-        loads[i].routed += partial.routed;
-        loads[i].remote_touches += partial.remote_touches;
-        loads[i].remote_time += partial.remote_time;
-        loads[i].report.merge(&partial.report);
+        merge_load(&mut loads[i], partial);
     }
+}
+
+/// Folds one thread's partial load into a shard's batch load.
+fn merge_load(into: &mut ShardLoad, partial: ShardLoad) {
+    into.routed += partial.routed;
+    into.remote_touches += partial.remote_touches;
+    into.remote_time += partial.remote_time;
+    into.report.merge(&partial.report);
 }
 
 /// Executes one shard's queued warehouse-local transactions, each under
@@ -134,35 +203,62 @@ fn run_local_bucket(shard: &mut Pushtap, bucket: Vec<RoutedTxn>) -> ShardLoad {
             routed.participants.is_empty(),
             "cross-shard transaction queued as local"
         );
-        let before = shard.now();
-        let aborts_before = shard.db().aborts();
-        let wasted_before = shard.db().wasted_retry_time();
-        let (result, pause) = shard.execute_txn_at(&routed.txn, routed.ts);
-        load.routed += 1;
-        load.report.committed += 1;
-        let aborted = shard.db().aborts() - aborts_before;
-        load.report.aborts += aborted;
-        if aborted > 0 {
-            load.report.retried_txns += 1;
-        }
-        charge_defrag(&mut load, pause);
-        load.report.wasted_retry_time +=
-            shard.db().wasted_retry_time().saturating_sub(wasted_before);
-        load.report.txn_time += shard.now().saturating_sub(before).saturating_sub(pause);
-        load.report.breakdown.merge(&result.breakdown);
+        run_local_txn(shard, &routed, &mut load, false);
     }
     load
 }
 
-/// Charges one 2PC message round (exactly one hop of latency) to a
-/// shard's clock and its load accounting, so `commit_rounds` counts
-/// message deliveries in uniform units on every shard.
+/// Executes one warehouse-local transaction through the engine's
+/// defragment-and-retry loop, folding the outcome into `load`.
+/// `was_retried` marks a transaction whose first (wave) attempt already
+/// aborted, so it counts as retried even if this run commits cleanly.
+fn run_local_txn(shard: &mut Pushtap, routed: &RoutedTxn, load: &mut ShardLoad, was_retried: bool) {
+    let before = shard.now();
+    let aborts_before = shard.db().aborts();
+    let wasted_before = shard.db().wasted_retry_time();
+    let (result, pause) = shard.execute_txn_at(&routed.txn, routed.ts);
+    load.routed += 1;
+    load.report.committed += 1;
+    let aborted = shard.db().aborts() - aborts_before;
+    load.report.aborts += aborted;
+    if aborted > 0 || was_retried {
+        load.report.retried_txns += 1;
+    }
+    charge_defrag(load, pause);
+    load.report.wasted_retry_time += shard.db().wasted_retry_time().saturating_sub(wasted_before);
+    load.report.txn_time += shard.now().saturating_sub(before).saturating_sub(pause);
+    load.report.breakdown.merge(&result.breakdown);
+}
+
+/// Charges one serially-delivered 2PC message round (exactly one hop of
+/// latency) to a shard's clock and its load accounting, so
+/// `commit_rounds` counts message deliveries in uniform units on every
+/// shard. Sequential delivery means the full hop lands on the critical
+/// path.
 fn charge_hop(load: &mut ShardLoad, shard: &mut Pushtap, hop: Ps) {
     if hop > Ps::ZERO {
         shard.advance(hop);
     }
     load.remote_time += hop;
     load.report.two_pc_time += hop;
+    load.report.critical_path_time += hop;
+    load.report.commit_rounds += 1;
+}
+
+/// Charges one *overlapped* 2PC message delivery: the message was
+/// dispatched together with the rest of its wave, so the engine stalls
+/// only until the arrival time (zero if it is still busy with earlier
+/// wave work). The ledger (`two_pc_time`, `commit_rounds`) counts the
+/// full hop like the serial path; the clock and `critical_path_time`
+/// record only the stall actually caused.
+fn deliver(load: &mut ShardLoad, shard: &mut Pushtap, hop: Ps, arrive_at: Ps) {
+    let wait = arrive_at.saturating_sub(shard.now());
+    if wait > Ps::ZERO {
+        shard.advance(wait);
+    }
+    load.remote_time += wait;
+    load.report.two_pc_time += hop;
+    load.report.critical_path_time += wait;
     load.report.commit_rounds += 1;
 }
 
@@ -192,27 +288,17 @@ fn charge_engine<T>(
     r
 }
 
-/// Runs one cross-shard transaction as a simulated two-phase commit,
-/// retrying (under the same pinned timestamp) until every participant
-/// votes yes.
-fn two_phase_commit(
-    shards: &mut [Pushtap],
+/// Decomposes `routed` at its home engine and splits the effect set by
+/// owning shard: the home's own effects plus one forwarded subset per
+/// participant. Decomposition is read-only (cursors and chains
+/// untouched), so retries reuse the identical effect set.
+fn decompose_split(
+    shards: &[Pushtap],
     map: &WarehouseMap,
     routed: &RoutedTxn,
-    commit: CommitConfig,
-    loads: &mut [ShardLoad],
-) {
+) -> (Vec<TaggedEffect>, BTreeMap<usize, Vec<TaggedEffect>>) {
     let home = routed.shard as usize;
-    let ts = routed.ts;
-
-    // Periodic defragmentation runs between transactions — never while
-    // any scope is open.
-    charge_defrag(&mut loads[home], shards[home].defrag_if_due());
-
-    // Decompose at the home engine and split the effect set by owning
-    // shard. Decomposition is read-only (cursors and chains untouched),
-    // so retries below reuse the identical effect set.
-    let effects = shards[home].db().decompose(&routed.txn, ts);
+    let effects = shards[home].db().decompose(&routed.txn, routed.ts);
     let mut local: Vec<TaggedEffect> = Vec::new();
     let mut forwarded: BTreeMap<usize, Vec<TaggedEffect>> = BTreeMap::new();
     for e in effects {
@@ -228,8 +314,32 @@ fn two_phase_commit(
         routed.participants,
         "router participant set must match effect ownership"
     );
+    (local, forwarded)
+}
 
-    let mut attempts = 0u64;
+/// Runs one cross-shard transaction as a serially-delivered two-phase
+/// commit, retrying (under the same pinned timestamp) until every
+/// participant votes yes. `prior_attempts` counts attempts already made
+/// by a pipelined wave, so a transaction the wave aborted still counts
+/// as retried when this run commits on its first try.
+fn two_phase_commit(
+    shards: &mut [Pushtap],
+    map: &WarehouseMap,
+    routed: &RoutedTxn,
+    commit: CommitConfig,
+    loads: &mut [ShardLoad],
+    prior_attempts: u64,
+) {
+    let home = routed.shard as usize;
+    let ts = routed.ts;
+
+    // Periodic defragmentation runs between transactions — never while
+    // any scope is open.
+    charge_defrag(&mut loads[home], shards[home].defrag_if_due());
+
+    let (local, forwarded) = decompose_split(shards, map, routed);
+
+    let mut attempts = prior_attempts;
     loop {
         attempts += 1;
         // Phase 1a: the home half prepares its owned effects.
@@ -287,12 +397,14 @@ fn two_phase_commit(
             // under the same timestamp.
             charge_hop(&mut loads[home], &mut shards[home], commit.prepare_hop);
             charge_hop(&mut loads[home], &mut shards[home], commit.commit_hop);
-            charge_engine(&mut loads[home], &mut shards[home], |s| s.abort_prepared());
+            charge_engine(&mut loads[home], &mut shards[home], |s| {
+                s.abort_prepared(ts)
+            });
             loads[home].report.aborts += 1;
             loads[home].report.participant_aborts += 1;
             for &(q, _) in &prepared {
                 charge_hop(&mut loads[q], &mut shards[q], commit.commit_hop);
-                charge_engine(&mut loads[q], &mut shards[q], |s| s.abort_prepared());
+                charge_engine(&mut loads[q], &mut shards[q], |s| s.abort_prepared(ts));
                 loads[q].report.aborts += 1;
                 loads[q].report.participant_aborts += 1;
             }
@@ -322,5 +434,283 @@ fn two_phase_commit(
             loads[q].report.breakdown.merge(&breakdown);
         }
         return;
+    }
+}
+
+// ---------------------------------------------------------------------
+// The pipelined path: conflict-aware waves with overlapped 2PC rounds.
+// ---------------------------------------------------------------------
+
+/// One shard's share of a wave: an effect set to prepare at a pinned
+/// timestamp, as the transaction's home half or a forwarded
+/// participant.
+struct WaveItem {
+    /// Index of the owning transaction within the wave.
+    txn: usize,
+    /// The pinned commit timestamp.
+    ts: Ts,
+    /// Home half or forwarded participant.
+    role: TxnRole,
+    /// Whether the owning transaction crosses shards (its home pays the
+    /// decision round-trip).
+    cross: bool,
+    /// The effects this shard owns.
+    effects: Vec<TaggedEffect>,
+}
+
+/// Wave scheduling + execution: cut the stream into conflict-free
+/// waves, run each wave's prepares and decisions concurrently across
+/// shards with overlapped message deliveries, retry wave casualties
+/// serially before the next wave.
+fn execute_pipelined(
+    shards: &mut [Pushtap],
+    map: &WarehouseMap,
+    stream: Vec<RoutedTxn>,
+    commit: CommitConfig,
+    loads: &mut [ShardLoad],
+    stats: &mut CoordStats,
+) {
+    let waves = schedule::build_waves(stream);
+    stats.waves = waves.len() as u64;
+    for wave in waves {
+        stats.max_wave = stats.max_wave.max(wave.len() as u64);
+        let cross = wave.iter().filter(|t| !t.participants.is_empty()).count() as u64;
+        // Every cross-shard 2PC of a wave with at least two of them ran
+        // concurrently with another (a wave aborted and retried serially
+        // still overlapped on its wave attempt).
+        if cross >= 2 {
+            stats.overlapped_two_pcs += cross;
+        }
+        run_wave(shards, map, wave, commit, loads);
+    }
+}
+
+/// Executes one conflict-free wave (see the module docs for the five
+/// steps).
+fn run_wave(
+    shards: &mut [Pushtap],
+    map: &WarehouseMap,
+    wave: Vec<RoutedTxn>,
+    commit: CommitConfig,
+    loads: &mut [ShardLoad],
+) {
+    // Step 1: decompose every member at its home engine and build each
+    // shard's timestamp-ordered item list. Wave members touch disjoint
+    // rows and rings, so decomposition order is irrelevant and the
+    // splits equal what the serial path would compute.
+    let mut items: Vec<Vec<WaveItem>> = (0..shards.len()).map(|_| Vec::new()).collect();
+    for (i, routed) in wave.iter().enumerate() {
+        let (local, forwarded) = decompose_split(shards, map, routed);
+        let cross = !routed.participants.is_empty();
+        items[routed.shard as usize].push(WaveItem {
+            txn: i,
+            ts: routed.ts,
+            role: TxnRole::Coordinator,
+            cross,
+            effects: local,
+        });
+        for (p, effects) in forwarded {
+            items[p].push(WaveItem {
+                txn: i,
+                ts: routed.ts,
+                role: TxnRole::Participant,
+                cross,
+                effects,
+            });
+        }
+    }
+    // Wave members arrive in stream order, but a forwarded subset can
+    // land behind a later transaction's home item: restore timestamp
+    // order per shard (prepares must apply in pinned-timestamp order).
+    for list in &mut items {
+        list.sort_by_key(|it| it.ts);
+    }
+
+    // Step 2: the prepare phase — all shards concurrently. Each shard
+    // prepares its items in timestamp order; forwarded sets pay their
+    // (overlapped) prepare-hop delivery.
+    let results: Vec<(usize, ShardLoad, Vec<Option<TxnResult>>)> = thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter_mut()
+            .zip(items.iter())
+            .enumerate()
+            .filter(|(_, (_, list))| !list.is_empty())
+            .map(|(i, (shard, list))| {
+                scope.spawn(move || {
+                    let mut load = ShardLoad::default();
+                    // Periodic defragmentation between waves — no scope
+                    // is open on this shard here.
+                    charge_defrag(&mut load, shard.defrag_if_due());
+                    let phase_start = shard.now();
+                    let mut votes: Vec<Option<TxnResult>> = Vec::with_capacity(list.len());
+                    for item in list {
+                        if item.role == TxnRole::Participant {
+                            deliver(
+                                &mut load,
+                                shard,
+                                commit.prepare_hop,
+                                phase_start + commit.prepare_hop,
+                            );
+                        }
+                        let r = charge_engine(&mut load, shard, |s| {
+                            s.prepare_effects_at(&item.effects, item.ts)
+                        });
+                        match r {
+                            Ok(r) => {
+                                // `prepared_txns` keeps its 2PC-only
+                                // semantics: a warehouse-local wave item
+                                // rides the same prepare machinery but is
+                                // a one-phase commit, not a 2PC prepare.
+                                if item.cross {
+                                    load.report.prepared_txns += 1;
+                                }
+                                if item.role == TxnRole::Participant {
+                                    load.report.forwarded_effects += item.effects.len() as u64;
+                                }
+                                votes.push(Some(r));
+                            }
+                            Err(_full) => {
+                                load.report.aborts += 1;
+                                votes.push(None);
+                            }
+                        }
+                    }
+                    (i, load, votes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+    let mut votes: Vec<Vec<Option<TxnResult>>> = (0..shards.len()).map(|_| Vec::new()).collect();
+    for (i, partial, v) in results {
+        merge_load(&mut loads[i], partial);
+        votes[i] = v;
+    }
+
+    // Step 3: the vote barrier — a transaction commits iff every
+    // involved shard prepared it; record who voted no for the retry
+    // pass's defragmentation.
+    let mut committed = vec![true; wave.len()];
+    let mut no_voters: Vec<Vec<usize>> = vec![Vec::new(); wave.len()];
+    for (i, shard_votes) in votes.iter().enumerate() {
+        for (item, vote) in items[i].iter().zip(shard_votes) {
+            if vote.is_none() {
+                committed[item.txn] = false;
+                no_voters[item.txn].push(i);
+            }
+        }
+    }
+
+    // Step 4: the decision phase — all shards concurrently, decisions
+    // delivered in timestamp order with overlapped hops. Commits
+    // resolve scopes (metadata-only); aborts replay pinned undo
+    // records.
+    let committed_ref = &committed;
+    let wave_ref = &wave;
+    let results: Vec<(usize, ShardLoad)> = thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter_mut()
+            .zip(items.iter().zip(votes.iter()))
+            .enumerate()
+            .filter(|(_, (_, (list, _)))| !list.is_empty())
+            .map(|(i, (shard, (list, shard_votes)))| {
+                scope.spawn(move || {
+                    let mut load = ShardLoad::default();
+                    let phase_start = shard.now();
+                    for (item, vote) in list.iter().zip(shard_votes) {
+                        let Some(result) = vote else {
+                            // This shard voted no: nothing is held here
+                            // (the failed prepare already rolled back and
+                            // charged its wasted latency).
+                            continue;
+                        };
+                        let decision = committed_ref[item.txn];
+                        match item.role {
+                            TxnRole::Coordinator => {
+                                // The home half pays the decision
+                                // round-trip for a cross-shard
+                                // transaction: the vote comes back one
+                                // prepare-hop out, the decision goes out
+                                // one commit-hop later — both overlapped
+                                // with the rest of the wave's rounds.
+                                if item.cross {
+                                    deliver(
+                                        &mut load,
+                                        shard,
+                                        commit.prepare_hop,
+                                        phase_start + commit.prepare_hop,
+                                    );
+                                    deliver(
+                                        &mut load,
+                                        shard,
+                                        commit.commit_hop,
+                                        phase_start + commit.prepare_hop + commit.commit_hop,
+                                    );
+                                }
+                                if decision {
+                                    shard.commit_prepared(item.ts, TxnRole::Coordinator);
+                                    load.routed += 1;
+                                    load.report.committed += 1;
+                                    load.report.breakdown.merge(&result.breakdown);
+                                    load.remote_touches += wave_ref[item.txn].remote;
+                                } else {
+                                    charge_engine(&mut load, shard, |s| s.abort_prepared(item.ts));
+                                    load.report.aborts += 1;
+                                    load.report.participant_aborts += 1;
+                                }
+                            }
+                            TxnRole::Participant => {
+                                deliver(
+                                    &mut load,
+                                    shard,
+                                    commit.commit_hop,
+                                    phase_start + commit.commit_hop,
+                                );
+                                if decision {
+                                    shard.commit_prepared(item.ts, TxnRole::Participant);
+                                    load.report.breakdown.merge(&result.breakdown);
+                                } else {
+                                    charge_engine(&mut load, shard, |s| s.abort_prepared(item.ts));
+                                    load.report.aborts += 1;
+                                    load.report.participant_aborts += 1;
+                                }
+                            }
+                        }
+                    }
+                    (i, load)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+    for (i, partial) in results {
+        merge_load(&mut loads[i], partial);
+    }
+
+    // Step 5: retries — aborted transactions re-run serially at their
+    // pinned timestamps before the next wave. Every scope of this wave
+    // is resolved by now, so defragmenting the no-voting shards is
+    // safe; the retried transactions conflict with nothing still in
+    // flight (their wave was conflict-free and later waves have not
+    // started).
+    for (i, routed) in wave.iter().enumerate() {
+        if committed[i] {
+            continue;
+        }
+        for &v in &no_voters[i] {
+            charge_defrag(&mut loads[v], shards[v].defragment_all().1);
+        }
+        if routed.participants.is_empty() {
+            let home = routed.shard as usize;
+            run_local_txn(&mut shards[home], routed, &mut loads[home], true);
+        } else {
+            two_phase_commit(shards, map, routed, commit, loads, 1);
+        }
     }
 }

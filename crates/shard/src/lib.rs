@@ -23,13 +23,20 @@
 //!   customers that live elsewhere), and stamps every transaction's
 //!   commit timestamp from the deployment's shared
 //!   [`pushtap_mvcc::TsOracle`] in *global stream order*;
-//! * [`coordinator`] — stream-order execution: warehouse-local
-//!   transactions run in concurrent per-shard queues, cross-shard
-//!   transactions run as a simulated *two-phase commit* — the home
-//!   shard decomposes the transaction into owner-tagged effects
+//! * [`coordinator`] — conflict-aware execution under a
+//!   [`CoordinatorMode`] knob. The default *pipelined* path derives
+//!   every transaction's keyset ([`pushtap_oltp::KeySet`]) from the
+//!   read-only decomposition, cuts the stream into conflict-free
+//!   waves ([`coordinator::schedule`]), and executes each wave —
+//!   warehouse-local and cross-shard transactions alike — concurrently
+//!   with all two-phase-commit prepare/vote/decide rounds overlapped;
+//!   the *serial* oracle keeps the original discipline (local
+//!   transactions on per-shard queues, every cross-shard transaction
+//!   behind a barrier flush with its 2PC run alone). In both modes the
+//!   home shard decomposes the transaction into owner-tagged effects
 //!   ([`pushtap_oltp::TpccDb::decompose`]), prepares its own, forwards
-//!   the rest, collects votes, and commits (or aborts and retries)
-//!   everywhere at the pinned timestamp;
+//!   the rest, collects votes, and commits (or aborts and retries at
+//!   the same pinned timestamp) everywhere;
 //! * [`ShardedHtap`] — the service: N independent [`pushtap_core::Pushtap`]
 //!   engines (fact tables warehouse-partitioned, dimension tables
 //!   replicated, all drawing timestamps from one oracle), OLTP driven
@@ -38,9 +45,11 @@
 //! * [`ShardOltpReport`] / [`ShardQueryReport`] — per-shard and
 //!   aggregate accounting (routed counts, remote touches, makespan,
 //!   scatter latency, merge cost, wasted retry latency, the agreed
-//!   snapshot cut, and the 2PC metrics: prepared transactions,
-//!   participant aborts, forwarded effects, commit rounds, 2PC time
-//!   share).
+//!   snapshot cut, the 2PC metrics — prepared transactions,
+//!   participant aborts, forwarded effects, commit rounds, the
+//!   sequential 2PC-time ledger and the critical-path time that
+//!   actually landed on clocks — plus the coordinator's scheduling
+//!   stats in [`CoordStats`]: barrier flushes, waves, overlap).
 //!
 //! # Byte identity
 //!
@@ -102,8 +111,8 @@ mod report;
 mod router;
 mod service;
 
-pub use config::{CommitConfig, ShardConfig};
+pub use config::{CommitConfig, CoordinatorMode, ShardConfig};
 pub use partition::WarehouseMap;
-pub use report::{RemoteTouches, ShardLoad, ShardOltpReport, ShardQueryReport};
+pub use report::{CoordStats, RemoteTouches, ShardLoad, ShardOltpReport, ShardQueryReport};
 pub use router::{RoutedTxn, TxnRouter};
 pub use service::ShardedHtap;

@@ -5,6 +5,8 @@ use pushtap_mvcc::Ts;
 use pushtap_olap::QueryResult;
 use pushtap_pim::Ps;
 
+use crate::config::CoordinatorMode;
+
 /// Aggregate cross-shard accounting of one routed batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RemoteTouches {
@@ -50,6 +52,32 @@ pub struct ShardLoad {
     pub elapsed: Ps,
 }
 
+/// Coordinator-level scheduling statistics of one routed batch: how the
+/// stream was cut into execution units and how much two-phase-commit
+/// overlap the schedule extracted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordStats {
+    /// Which coordinator executed the batch.
+    pub mode: CoordinatorMode,
+    /// Barrier flushes: times the serial coordinator drained the
+    /// involved shards' local queues before running a cross-shard
+    /// two-phase commit alone (one per cross-shard transaction). The
+    /// pipelined coordinator never flushes — waves subsume the barrier —
+    /// so this is zero there, which is exactly the reduction the
+    /// refactor claims.
+    pub barrier_flushes: u64,
+    /// Waves scheduled (pipelined only; zero under the serial path).
+    pub waves: u64,
+    /// Transactions in the largest wave.
+    pub max_wave: u64,
+    /// Cross-shard two-phase commits that ran concurrently with at
+    /// least one other 2PC of the same wave: a wave holding `k ≥ 2` of
+    /// them contributes all `k` (each overlapped the others; a wave
+    /// casualty retried serially still overlapped on its wave attempt).
+    /// Zero under the serial coordinator (every 2PC runs alone).
+    pub overlapped_two_pcs: u64,
+}
+
 /// The outcome of one batch across all shards.
 #[derive(Debug, Clone)]
 pub struct ShardOltpReport {
@@ -57,6 +85,9 @@ pub struct ShardOltpReport {
     pub per_shard: Vec<ShardLoad>,
     /// Aggregate routing/remote accounting.
     pub remote: RemoteTouches,
+    /// Coordinator scheduling statistics (waves, overlap, barrier
+    /// flushes).
+    pub coord: CoordStats,
 }
 
 impl ShardOltpReport {
@@ -157,19 +188,50 @@ impl ShardOltpReport {
         self.per_shard.iter().map(|s| s.report.commit_rounds).sum()
     }
 
-    /// Total 2PC message-round latency charged across all shards.
+    /// Total 2PC message-round latency charged across all shards under
+    /// *sequential* delivery — the ledger sum of every hop (one entry
+    /// per counted round). Under the pipelined coordinator a wave's
+    /// deliveries overlap in flight, so the latency that actually landed
+    /// on the clocks is [`ShardOltpReport::critical_path_time`] ≤ this.
     pub fn two_pc_time(&self) -> Ps {
         self.per_shard.iter().map(|s| s.report.two_pc_time).sum()
     }
 
+    /// 2PC message latency on the shards' critical paths — the clock
+    /// advance the rounds actually caused, summed across shards. Equals
+    /// [`ShardOltpReport::two_pc_time`] under the serial coordinator;
+    /// strictly smaller when waves overlap deliveries.
+    pub fn critical_path_time(&self) -> Ps {
+        self.per_shard
+            .iter()
+            .map(|s| s.report.critical_path_time)
+            .sum()
+    }
+
     /// Share of the deployment's summed busy time spent on 2PC message
-    /// rounds — the commit-round time share of the batch.
+    /// rounds — the commit-round time share of the batch. Computed from
+    /// [`ShardOltpReport::critical_path_time`] (what actually landed on
+    /// the clocks), so the share can never exceed 1.0 even when the
+    /// pipelined coordinator overlaps many 2PCs — dividing the
+    /// sequential ledger by busy time could.
     pub fn two_pc_time_share(&self) -> f64 {
         let busy: u64 = self.per_shard.iter().map(|s| s.elapsed.ps()).sum();
         if busy == 0 {
             0.0
         } else {
-            self.two_pc_time().ps() as f64 / busy as f64
+            self.critical_path_time().ps() as f64 / busy as f64
+        }
+    }
+
+    /// Fraction of this batch's cross-shard two-phase commits that ran
+    /// concurrently with another 2PC of their wave: the overlap the
+    /// pipelined scheduler extracted (zero under the serial
+    /// coordinator, or when nothing crossed shards).
+    pub fn overlap_ratio(&self) -> f64 {
+        if self.remote.cross_shard_txns == 0 {
+            0.0
+        } else {
+            self.coord.overlapped_two_pcs as f64 / self.remote.cross_shard_txns as f64
         }
     }
 }

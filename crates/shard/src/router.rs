@@ -3,6 +3,7 @@
 
 use pushtap_chbench::Txn;
 use pushtap_mvcc::{Ts, TsOracle};
+use pushtap_oltp::KeySet;
 
 use crate::partition::WarehouseMap;
 use crate::report::RemoteTouches;
@@ -32,6 +33,13 @@ pub struct RoutedTxn {
     /// reference would — and therefore byte-identical state, since
     /// timestamps are encoded into stored rows.
     pub ts: Ts,
+    /// The transaction's conflict keyset — the rows it reads, the rows
+    /// it writes, and the insert rings it consumes, derived from the
+    /// home engine's read-only decomposition
+    /// ([`pushtap_oltp::TpccDb::keyset`]). Empty until the service
+    /// stamps it ([`crate::ShardedHtap`] stamps every stream it routes);
+    /// the pipelined coordinator's wave scheduler requires it.
+    pub keys: KeySet,
 }
 
 /// Routes transactions by home warehouse and computes each transaction's
@@ -101,6 +109,7 @@ impl TxnRouter {
             participants,
             remote,
             ts: Ts::ZERO,
+            keys: KeySet::default(),
         }
     }
 

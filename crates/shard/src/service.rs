@@ -159,8 +159,12 @@ impl ShardedHtap {
     pub fn run_txns(&mut self, gen: &mut TxnGen, n: u64) -> ShardOltpReport {
         let batch = gen.batch(n as usize);
         let (stream, remote) = self.router.route_stream(batch, &self.oracle);
-        let per_shard = self.execute_stream(stream);
-        ShardOltpReport { per_shard, remote }
+        let (per_shard, coord) = self.execute_stream(stream);
+        ShardOltpReport {
+            per_shard,
+            remote,
+            coord,
+        }
     }
 
     /// Executes `per_shard` transactions on every shard from that
@@ -180,14 +184,38 @@ impl ShardedHtap {
             remote.remote_touches, 0,
             "warehouse-local streams must never cross shards"
         );
-        let per_shard = self.execute_stream(stream);
-        ShardOltpReport { per_shard, remote }
+        let (per_shard, coord) = self.execute_stream(stream);
+        ShardOltpReport {
+            per_shard,
+            remote,
+            coord,
+        }
     }
 
-    /// Runs a routed stream through the coordinator.
-    fn execute_stream(&mut self, stream: Vec<crate::router::RoutedTxn>) -> Vec<ShardLoad> {
+    /// Runs a routed stream through the coordinator: stamps every
+    /// transaction's conflict keyset (derived from the home engine's
+    /// read-only decomposition — the wave scheduler's input; skipped
+    /// under the serial oracle, which never reads it) and executes
+    /// under the configured [`crate::CoordinatorMode`].
+    fn execute_stream(
+        &mut self,
+        mut stream: Vec<crate::router::RoutedTxn>,
+    ) -> (Vec<ShardLoad>, crate::report::CoordStats) {
+        if self.cfg.mode == crate::CoordinatorMode::Pipelined {
+            for routed in &mut stream {
+                routed.keys = self.shards[routed.shard as usize]
+                    .db()
+                    .keyset(&routed.txn, routed.ts);
+            }
+        }
         let map = *self.router.map();
-        coordinator::execute_stream(&mut self.shards, &map, stream, self.cfg.commit)
+        coordinator::execute_stream(
+            &mut self.shards,
+            &map,
+            stream,
+            self.cfg.commit,
+            self.cfg.mode,
+        )
     }
 
     /// Defragments every shard concurrently (each pauses its own OLTP,

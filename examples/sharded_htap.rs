@@ -5,12 +5,15 @@
 //! byte-identical to a single-instance execution), and answer Q1/Q6/Q9
 //! by global-cut scatter-gather.
 //!
-//! Run with: `cargo run --release --example sharded_htap [shards] [mix]`
-//! where `mix` is `uniform` (default), `tpcc`, or `local`.
+//! Run with:
+//! `cargo run --release --example sharded_htap [shards] [mix] [mode]`
+//! where `mix` is `uniform` (default), `tpcc`, or `local`, and `mode`
+//! is `pipelined` (conflict-aware wave scheduling, the default) or
+//! `serial` (the barrier-flush oracle).
 
 use pushtap::chbench::RemoteMix;
 use pushtap::olap::{Query, QueryResult};
-use pushtap::shard::{ShardConfig, ShardedHtap};
+use pushtap::shard::{CoordinatorMode, ShardConfig, ShardedHtap};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shards: u32 = std::env::args()
@@ -22,19 +25,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("local") => (RemoteMix::LOCAL, "warehouse-local"),
         _ => (RemoteMix::Uniform, "uniform"),
     };
-    let mut service = ShardedHtap::new(ShardConfig::small(shards))?;
+    let (mode, mode_name) = match std::env::args().nth(3).as_deref() {
+        Some("serial") => (CoordinatorMode::Serial, "serial (barrier-flush)"),
+        _ => (CoordinatorMode::Pipelined, "pipelined (wave-scheduled)"),
+    };
+    let mut service = ShardedHtap::new(ShardConfig::small(shards).with_mode(mode))?;
     println!(
-        "built {} shards over {} warehouses ({} warehouses per shard, ITEM replicated), {mix_name} mix",
+        "built {} shards over {} warehouses ({} warehouses per shard, ITEM replicated), {mix_name} mix, {mode_name} coordinator",
         service.shard_count(),
         service.map().warehouses(),
         service.map().warehouses() / service.shard_count() as u64,
     );
 
     // OLTP: a global Payment/NewOrder stream routed by home warehouse.
-    // Warehouse-local transactions execute on concurrent per-shard
-    // queues; cross-shard transactions run as coordinator-driven
-    // two-phase commits with their remote-owned effects forwarded to the
-    // owning shards.
+    // Under the pipelined coordinator, conflict-free waves execute
+    // concurrently and cross-shard two-phase commits overlap; under the
+    // serial oracle, local transactions queue per shard and every 2PC
+    // runs alone behind a barrier flush.
     let warehouses = service.map().warehouses();
     let mut gen = service.global_txn_gen(42).with_remote_mix(mix, warehouses);
     let oltp = service.run_txns(&mut gen, 600);
@@ -61,6 +68,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         oltp.participant_aborts(),
         oltp.commit_rounds(),
         oltp.two_pc_time_share() * 100.0,
+    );
+    println!(
+        "schedule: {} waves (widest {}), {} barrier flushes, {:.1}% of 2PCs overlapped, \
+         round latency {} on the critical path vs {} sequential",
+        oltp.coord.waves,
+        oltp.coord.max_wave,
+        oltp.coord.barrier_flushes,
+        oltp.overlap_ratio() * 100.0,
+        oltp.critical_path_time(),
+        oltp.two_pc_time(),
     );
     for (i, load) in oltp.per_shard.iter().enumerate() {
         println!(
