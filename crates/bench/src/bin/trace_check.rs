@@ -1,0 +1,40 @@
+//! Validates a Chrome-trace JSON document produced by the trace writer
+//! (`shard_scale --trace <path>` or `all_figures --trace <path>`):
+//! well-formed JSON, required event fields, monotone timestamps per
+//! track, matched async begin/end pairs. Prints the document's summary
+//! stats on success; exits non-zero with the validation error
+//! otherwise. CI runs this on the smoke-test trace.
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check <trace.json>");
+        return ExitCode::FAILURE;
+    };
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match pushtap_trace::chrome::validate(&doc) {
+        Ok(stats) => {
+            println!(
+                "{path}: valid Chrome trace — {} events ({} complete, {} instants, \
+                 {} async pairs) on {} tracks, {:.3} ms span",
+                stats.events,
+                stats.complete,
+                stats.instants,
+                stats.async_pairs,
+                stats.tracks,
+                stats.max_ts_us / 1_000.0
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: INVALID — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -30,11 +30,13 @@
 //! machine-readable across PRs.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use pushtap_chbench::RemoteMix;
 use pushtap_olap::Query;
 use pushtap_pim::Ps;
 use pushtap_shard::{CoordinatorMode, ShardConfig, ShardedHtap};
+use pushtap_trace::{chrome, fmt_ps, two_pc_overlap_peak, LatencyStats, MemSink};
 
 /// One coordinator mode's outcome for the routed stream of one point.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +65,9 @@ pub struct ModePoint {
     pub participant_aborts: u64,
     /// Realised parallel speedup of the routed batch (≤ shards).
     pub parallel_efficiency: f64,
+    /// End-to-end commit-latency distribution of the routed batch
+    /// (p50/p90/p99/p999/max/mean in picoseconds), merged across shards.
+    pub commit_latency: LatencyStats,
 }
 
 /// One row of the shard-scaling table: both coordinator modes over the
@@ -118,6 +123,7 @@ fn run_mode(
         overlap_ratio: routed.overlap_ratio(),
         participant_aborts: routed.participant_aborts(),
         parallel_efficiency: routed.parallel_efficiency(),
+        commit_latency: routed.commit_latency().stats(),
     };
     (service, routed, point)
 }
@@ -167,7 +173,7 @@ const MIXES: [(RemoteMix, &str, &str); 3] = [
 fn print_table(label: &str, points: &[ShardPoint]) {
     println!("-- remote-warehouse mix: {label} --");
     println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>8} {:>8} {:>6} {:>5} {:>8} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "{:>6} {:>12} {:>12} {:>12} {:>8} {:>8} {:>6} {:>5} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
         "shards",
         "serial tpmC",
         "pipel. tpmC",
@@ -179,13 +185,16 @@ fn print_table(label: &str, points: &[ShardPoint]) {
         "overlap",
         "2pc(ser)",
         "2pc(pip)",
+        "p99(ser)",
+        "p50(pip)",
+        "p99(pip)",
         "Q1",
         "Q6",
         "Q9"
     );
     for p in points {
         println!(
-            "{:>6} {:>12.0} {:>12.0} {:>12.0} {:>7.1}% {:>8} {:>6} {:>5} {:>7.1}% {:>8.2}% {:>8.2}% {:>10} {:>10} {:>10}",
+            "{:>6} {:>12.0} {:>12.0} {:>12.0} {:>7.1}% {:>8} {:>6} {:>5} {:>7.1}% {:>8.2}% {:>8.2}% {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
             p.shards,
             p.serial.routed_tpmc,
             p.pipelined.routed_tpmc,
@@ -197,6 +206,9 @@ fn print_table(label: &str, points: &[ShardPoint]) {
             p.pipelined.overlap_ratio * 100.0,
             p.serial.two_pc_time_share * 100.0,
             p.pipelined.two_pc_time_share * 100.0,
+            fmt_ps(p.serial.commit_latency.p99),
+            fmt_ps(p.pipelined.commit_latency.p50),
+            fmt_ps(p.pipelined.commit_latency.p99),
             p.q1_latency,
             p.q6_latency,
             p.q9_latency,
@@ -251,7 +263,9 @@ fn json_mode(out: &mut String, point: &ModePoint) {
         out,
         "{{\"routed_tpmc\":{:.1},\"two_pc_time_share\":{:.6},\"two_pc_time_ps\":{},\
          \"critical_path_time_ps\":{},\"barrier_flushes\":{},\"waves\":{},\"max_wave\":{},\
-         \"overlap_ratio\":{:.6},\"participant_aborts\":{},\"parallel_efficiency\":{:.4}}}",
+         \"overlap_ratio\":{:.6},\"participant_aborts\":{},\"parallel_efficiency\":{:.4},\
+         \"commit_p50_ps\":{},\"commit_p99_ps\":{},\"commit_p999_ps\":{},\
+         \"commit_mean_ps\":{},\"commit_max_ps\":{}}}",
         point.routed_tpmc,
         point.two_pc_time_share,
         point.two_pc_time.ps(),
@@ -262,6 +276,11 @@ fn json_mode(out: &mut String, point: &ModePoint) {
         point.overlap_ratio,
         point.participant_aborts,
         point.parallel_efficiency,
+        point.commit_latency.p50,
+        point.commit_latency.p99,
+        point.commit_latency.p999,
+        point.commit_latency.mean,
+        point.commit_latency.max,
     );
 }
 
@@ -308,6 +327,58 @@ fn render_json(all: &[(&'static str, &'static str, Vec<ShardPoint>)]) -> String 
 /// coordinator mode).
 pub fn json_report(shard_counts: &[u32], txns: u64, cores: u32) -> String {
     render_json(&sweep_all(shard_counts, txns, cores))
+}
+
+/// Collects one traced pipelined run (uniform remote mix — the
+/// 2PC-heaviest load) and renders it as a Chrome-trace JSON document:
+/// one process per shard, lanes for engine work, coordinator protocol
+/// phases, defragmentation stalls, and queue waits. The document is
+/// self-validated before it is returned (well-formed JSON, monotone
+/// timestamps per track, matched async pairs), so a caller can write it
+/// straight to disk and load it in Perfetto / `chrome://tracing`.
+///
+/// Returns the rendered document plus the peak number of two-phase
+/// commits open concurrently in the busiest wave.
+///
+/// # Panics
+///
+/// Panics if the rendered document fails its own validator — that is a
+/// bug in the span emission, never an input-dependent condition.
+pub fn render_trace(shards: u32, txns: u64) -> (String, u64, usize) {
+    let mut service =
+        ShardedHtap::new(ShardConfig::small(shards).with_mode(CoordinatorMode::Pipelined))
+            .expect("build shards");
+    let sink = Arc::new(MemSink::default());
+    service.set_trace_sink(sink.clone());
+    let warehouses = service.map().warehouses();
+    let mut gen = service
+        .global_txn_gen(42)
+        .with_remote_mix(RemoteMix::Uniform, warehouses);
+    service.run_txns(&mut gen, txns);
+    let spans = sink.take();
+    let (wave, peak) = two_pc_overlap_peak(&spans);
+    let doc = chrome::render(&spans);
+    if let Err(e) = chrome::validate(&doc) {
+        panic!("rendered trace failed validation: {e}");
+    }
+    (doc, wave, peak)
+}
+
+/// Runs a traced pipelined batch and writes the Chrome-trace document
+/// to `path` (see [`render_trace`]).
+///
+/// # Errors
+///
+/// Propagates the file write error.
+pub fn write_trace(path: &str, shards: u32, txns: u64) -> std::io::Result<()> {
+    let (doc, wave, peak) = render_trace(shards, txns);
+    std::fs::write(path, &doc)?;
+    println!(
+        "wrote {path} ({} bytes): {shards}-shard pipelined uniform-mix timeline, \
+         peak {peak} concurrent 2PCs in wave {wave}",
+        doc.len()
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -406,8 +477,41 @@ mod tests {
         assert_eq!(json.matches("\"serial\":").count(), 6);
         assert_eq!(json.matches("\"pipelined\":").count(), 6);
         assert_eq!(json.matches("\"waves\":").count(), 12);
+        // Every mode entry carries its commit-latency percentiles.
+        assert_eq!(json.matches("\"commit_p50_ps\":").count(), 12);
+        assert_eq!(json.matches("\"commit_p99_ps\":").count(), 12);
+        assert_eq!(json.matches("\"commit_p999_ps\":").count(), 12);
         // Balanced braces — cheap well-formedness check without a
         // JSON parser in the dependency-free build.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// Commit-latency percentiles are populated and ordered on every
+    /// mode of a routed sweep point.
+    #[test]
+    fn sweep_reports_ordered_commit_percentiles() {
+        let points = sweep(&[2], 80, 16, RemoteMix::Uniform);
+        for mode in [&points[0].serial, &points[0].pipelined] {
+            let s = mode.commit_latency;
+            assert_eq!(s.count, 80, "one sample per committed txn");
+            assert!(s.p50 > 0);
+            assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+            assert!(s.p999 <= s.max);
+            assert!(s.mean > 0);
+        }
+    }
+
+    /// The rendered Chrome trace validates and shows genuinely
+    /// overlapping two-phase commits under the pipelined coordinator.
+    #[test]
+    fn trace_renders_and_overlaps() {
+        let (doc, _wave, peak) = render_trace(4, 120);
+        let stats = chrome::validate(&doc).expect("trace must validate");
+        assert!(stats.events > 0 && stats.complete > 0 && stats.instants > 0);
+        assert!(stats.tracks >= 4, "one track per shard at minimum");
+        assert!(
+            peak >= 2,
+            "uniform mix at 4 shards must overlap 2PCs (peak {peak})"
+        );
     }
 }

@@ -12,6 +12,7 @@ use pushtap_mvcc::{DefragCostModel, DefragStats, DefragStrategy, DeltaFull, Ts, 
 use pushtap_olap::{Query, QueryResult, QueryTiming, ScanEngine};
 use pushtap_oltp::{Breakdown, DbConfig, Partition, TaggedEffect, TpccDb, TxnResult, TxnRole};
 use pushtap_pim::{ControlArch, MemSystem, Ps, SystemConfig};
+use pushtap_trace::{Histogram, NullSink, Phase, Span, TraceSink};
 
 /// Fixed overhead of one defragmentation pass: worker-thread creation and
 /// PIM-unit activation (§7.4: "the fixed overhead, including thread
@@ -49,7 +50,7 @@ impl PushtapConfig {
 }
 
 /// Aggregate OLTP statistics from a run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OltpReport {
     /// Transactions committed.
     pub committed: u64,
@@ -113,6 +114,24 @@ pub struct OltpReport {
     pub critical_path_time: Ps,
     /// Component breakdown across all transactions.
     pub breakdown: Breakdown,
+    /// End-to-end commit latency per committed transaction (picoseconds):
+    /// everything the submitter waits for — retried attempts, defrag
+    /// pauses folded into the transaction, and (under a sharded
+    /// coordinator) the two-phase-commit rounds. One sample per commit,
+    /// so `commit_latency.stats().count == committed`.
+    pub commit_latency: Histogram,
+    /// Time transactions spent parked in a coordinator queue before
+    /// execution began (picoseconds). Empty on a single-instance run;
+    /// the serial shard coordinator fills it with conflict-barrier
+    /// queueing delays.
+    pub queue_wait: Histogram,
+    /// Duration of each defragmentation pause that landed on this
+    /// engine's clock (picoseconds), one sample per pass.
+    pub defrag_stall: Histogram,
+    /// Latency of each two-phase-commit message round charged to this
+    /// engine (picoseconds): `two_pc_stall.stats().count == commit_rounds`
+    /// and the sample sum equals [`OltpReport::critical_path_time`].
+    pub two_pc_stall: Histogram,
 }
 
 impl OltpReport {
@@ -166,6 +185,10 @@ impl OltpReport {
         self.two_pc_time += other.two_pc_time;
         self.critical_path_time += other.critical_path_time;
         self.breakdown.merge(&other.breakdown);
+        self.commit_latency.merge(&other.commit_latency);
+        self.queue_wait.merge(&other.queue_wait);
+        self.defrag_stall.merge(&other.defrag_stall);
+        self.two_pc_stall.merge(&other.two_pc_stall);
     }
 }
 
@@ -204,6 +227,8 @@ pub struct Pushtap {
     defrag_cost: DefragCostModel,
     now: Ps,
     txns_since_defrag: u64,
+    sink: Arc<dyn TraceSink>,
+    track: u32,
 }
 
 impl Pushtap {
@@ -247,7 +272,39 @@ impl Pushtap {
             defrag_cost,
             now: Ps::ZERO,
             txns_since_defrag: 0,
+            sink: Arc::new(NullSink),
+            track: 0,
         })
+    }
+
+    /// Routes lifecycle spans from this instance (and its embedded
+    /// [`TpccDb`]) to `sink`, tagging every span with `track` — the
+    /// shard layer assigns one track per shard so a merged trace keeps
+    /// the shards on separate rows. The default [`NullSink`] reports
+    /// `enabled() == false`, so untraced runs skip span construction
+    /// entirely.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>, track: u32) {
+        self.db.set_trace_sink(Arc::clone(&sink), track);
+        self.sink = sink;
+        self.track = track;
+    }
+
+    /// Whether the configured sink wants spans (`false` for the default
+    /// [`NullSink`]) — check before building coordinator-level spans.
+    pub fn trace_enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// The track tag spans about this instance carry (the shard index in
+    /// a sharded deployment).
+    pub fn trace_track(&self) -> u32 {
+        self.track
+    }
+
+    /// Forwards a caller-authored span (e.g. a shard coordinator's
+    /// protocol phase) to the configured sink.
+    pub fn trace_record(&self, span: Span) {
+        self.sink.record(span);
     }
 
     /// The simulated clock.
@@ -423,6 +480,14 @@ impl Pushtap {
         if role == TxnRole::Coordinator {
             self.txns_since_defrag += 1;
         }
+        if self.sink.enabled() {
+            self.sink.record(Span::instant(
+                self.track,
+                Phase::Commit,
+                ts.0,
+                self.now.ps(),
+            ));
+        }
     }
 
     /// Delivers the coordinator's abort decision for the scope prepared
@@ -432,6 +497,10 @@ impl Pushtap {
     /// scopes prepared on this engine are untouched.
     pub fn abort_prepared(&mut self, ts: Ts) {
         self.db.abort_prepared(ts);
+        if self.sink.enabled() {
+            self.sink
+                .record(Span::instant(self.track, Phase::Abort, ts.0, self.now.ps()));
+        }
     }
 
     fn execute_with(&mut self, txn: &Txn, pinned: Option<Ts>) -> (TxnResult, Ps) {
@@ -484,6 +553,14 @@ impl Pushtap {
             report.wasted_retry_time += self.db.wasted_retry_time().saturating_sub(wasted_before);
             report.txn_time += self.now.saturating_sub(before).saturating_sub(pause);
             report.breakdown.merge(&r.breakdown);
+            // Submitter-perceived latency: retries and folded-in defrag
+            // pauses included, one sample per commit.
+            report
+                .commit_latency
+                .record(self.now.saturating_sub(before).ps());
+            if pause > Ps::ZERO {
+                report.defrag_stall.record(pause.ps());
+            }
         }
         report
     }
@@ -515,8 +592,18 @@ impl Pushtap {
             .cpu
             .cycles(total.chain_steps * self.db.meter().costs.chain_step_cycles);
         let pause = DEFRAG_FIXED_OVERHEAD + Ps::new((seconds * 1e12).round() as u64) + traverse;
+        let start = self.now;
         self.now += pause;
         self.txns_since_defrag = 0;
+        if self.sink.enabled() {
+            self.sink.record(Span::new(
+                self.track,
+                Phase::DefragStall,
+                self.db.last_ts().0,
+                start.ps(),
+                self.now.ps(),
+            ));
+        }
         (total, pause)
     }
 

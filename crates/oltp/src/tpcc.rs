@@ -30,6 +30,7 @@ use pushtap_format::{
 };
 use pushtap_mvcc::{DeltaFull, Ts, TsAllocator, TsOracle};
 use pushtap_pim::{BankAddr, Geometry, MemSystem, Ps, Side};
+use pushtap_trace::{NullSink, Phase, Span, TraceSink};
 
 use crate::cost::{Breakdown, CostModel, Meter};
 use crate::effects::{ColumnWrite, Effect, TaggedEffect};
@@ -233,6 +234,11 @@ pub struct TpccDb {
     /// memory system, so their latency belongs in the transaction's
     /// completion time too (see `Pushtap::execute_txn`).
     wasted_retry_time: Ps,
+    /// Lifecycle-span sink ([`pushtap_trace::NullSink`] by default —
+    /// one disabled-branch per emission site, nothing recorded).
+    sink: Arc<dyn TraceSink>,
+    /// The shard index stamped on emitted spans (0 standalone).
+    track: u32,
 }
 
 /// Global (pre-partitioning) row count of `table` under `cfg`.
@@ -399,7 +405,19 @@ impl TpccDb {
             aborts: 0,
             prepared: BTreeMap::new(),
             wasted_retry_time: Ps::ZERO,
+            sink: Arc::new(NullSink),
+            track: 0,
         })
+    }
+
+    /// Installs a lifecycle-span sink; every engine-level prepare
+    /// attempt (success or `DeltaFull` rollback) and one-phase commit
+    /// emits a span stamped with `track` (the shard index). The default
+    /// [`NullSink`] reports itself disabled, so instrumented paths skip
+    /// span construction entirely.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>, track: u32) {
+        self.sink = sink;
+        self.track = track;
     }
 
     /// Swaps the instance's private timestamp counter for a shared
@@ -682,6 +700,10 @@ impl TpccDb {
         let effects = self.decompose(txn, ts);
         let r = self.prepare_effects(&effects, ts, mem, at)?;
         self.commit_prepared(ts, TxnRole::Coordinator);
+        if self.sink.enabled() {
+            self.sink
+                .record(Span::instant(self.track, Phase::Commit, ts.0, r.end.ps()));
+        }
         Ok(r)
     }
 
@@ -1116,6 +1138,15 @@ impl TpccDb {
                 // into completion latency.
                 self.wasted_retry_time += now.saturating_sub(at);
                 self.abort_txn();
+                if self.sink.enabled() {
+                    self.sink.record(Span::new(
+                        self.track,
+                        Phase::PrepareAbort,
+                        ts.0,
+                        at.ps(),
+                        now.ps(),
+                    ));
+                }
                 return Err(full);
             }
         }
@@ -1145,6 +1176,15 @@ impl TpccDb {
                 cursors,
             },
         );
+        if self.sink.enabled() {
+            self.sink.record(Span::new(
+                self.track,
+                Phase::Prepare,
+                ts.0,
+                at.ps(),
+                now.ps(),
+            ));
+        }
         Ok(TxnResult {
             commit_ts: ts,
             end: now,

@@ -83,6 +83,7 @@ use pushtap_core::Pushtap;
 use pushtap_mvcc::Ts;
 use pushtap_oltp::{Breakdown, TaggedEffect, TxnResult, TxnRole};
 use pushtap_pim::Ps;
+use pushtap_trace::{Phase, Span};
 
 use crate::config::{CommitConfig, CoordinatorMode};
 use crate::partition::WarehouseMap;
@@ -134,10 +135,14 @@ fn execute_serial(
     loads: &mut [ShardLoad],
     stats: &mut CoordStats,
 ) {
-    let mut pending: Vec<Vec<RoutedTxn>> = (0..shards.len()).map(|_| Vec::new()).collect();
+    // Each queue entry carries the shard clock at enqueue time, so the
+    // flush can attribute the wait between routing and execution.
+    let mut pending: Vec<Vec<(RoutedTxn, Ps)>> = (0..shards.len()).map(|_| Vec::new()).collect();
     for routed in stream {
         if routed.participants.is_empty() {
-            pending[routed.shard as usize].push(routed);
+            let home = routed.shard as usize;
+            let enqueued = shards[home].now();
+            pending[home].push((routed, enqueued));
         } else {
             // Stream-order discipline: every involved engine applies all
             // its earlier stream work before this transaction's effects
@@ -147,6 +152,15 @@ fn execute_serial(
             let mut involved = routed.participants.clone();
             involved.push(routed.shard);
             stats.barrier_flushes += 1;
+            let home = &shards[routed.shard as usize];
+            if home.trace_enabled() {
+                home.trace_record(Span::instant(
+                    home.trace_track(),
+                    Phase::Barrier,
+                    routed.ts.0,
+                    home.now().ps(),
+                ));
+            }
             flush(shards, &mut pending, loads, Some(&involved));
             two_phase_commit(shards, map, &routed, commit, loads, 0);
         }
@@ -159,7 +173,7 @@ fn execute_serial(
 /// queue, and folds the partial loads into `loads`.
 fn flush(
     shards: &mut [Pushtap],
-    pending: &mut [Vec<RoutedTxn>],
+    pending: &mut [Vec<(RoutedTxn, Ps)>],
     loads: &mut [ShardLoad],
     only: Option<&[u32]>,
 ) {
@@ -195,14 +209,26 @@ fn merge_load(into: &mut ShardLoad, partial: ShardLoad) {
 
 /// Executes one shard's queued warehouse-local transactions, each under
 /// its pinned stream-order timestamp (a `DeltaFull` retry re-runs under
-/// the same timestamp).
-fn run_local_bucket(shard: &mut Pushtap, bucket: Vec<RoutedTxn>) -> ShardLoad {
+/// the same timestamp). Each entry's enqueue clock feeds the queue-wait
+/// histogram: later entries wait out the bucket's earlier work.
+fn run_local_bucket(shard: &mut Pushtap, bucket: Vec<(RoutedTxn, Ps)>) -> ShardLoad {
     let mut load = ShardLoad::default();
-    for routed in bucket {
+    for (routed, enqueued) in bucket {
         debug_assert!(
             routed.participants.is_empty(),
             "cross-shard transaction queued as local"
         );
+        let wait = shard.now().saturating_sub(enqueued);
+        load.report.queue_wait.record(wait.ps());
+        if wait > Ps::ZERO && shard.trace_enabled() {
+            shard.trace_record(Span::new(
+                shard.trace_track(),
+                Phase::Queued,
+                routed.ts.0,
+                enqueued.ps(),
+                shard.now().ps(),
+            ));
+        }
         run_local_txn(shard, &routed, &mut load, false);
     }
     load
@@ -214,6 +240,14 @@ fn run_local_bucket(shard: &mut Pushtap, bucket: Vec<RoutedTxn>) -> ShardLoad {
 /// aborted, so it counts as retried even if this run commits cleanly.
 fn run_local_txn(shard: &mut Pushtap, routed: &RoutedTxn, load: &mut ShardLoad, was_retried: bool) {
     let before = shard.now();
+    if was_retried && shard.trace_enabled() {
+        shard.trace_record(Span::instant(
+            shard.trace_track(),
+            Phase::Retry,
+            routed.ts.0,
+            before.ps(),
+        ));
+    }
     let aborts_before = shard.db().aborts();
     let wasted_before = shard.db().wasted_retry_time();
     let (result, pause) = shard.execute_txn_at(&routed.txn, routed.ts);
@@ -228,6 +262,9 @@ fn run_local_txn(shard: &mut Pushtap, routed: &RoutedTxn, load: &mut ShardLoad, 
     load.report.wasted_retry_time += shard.db().wasted_retry_time().saturating_sub(wasted_before);
     load.report.txn_time += shard.now().saturating_sub(before).saturating_sub(pause);
     load.report.breakdown.merge(&result.breakdown);
+    load.report
+        .commit_latency
+        .record(shard.now().saturating_sub(before).ps());
 }
 
 /// Charges one serially-delivered 2PC message round (exactly one hop of
@@ -243,6 +280,7 @@ fn charge_hop(load: &mut ShardLoad, shard: &mut Pushtap, hop: Ps) {
     load.report.two_pc_time += hop;
     load.report.critical_path_time += hop;
     load.report.commit_rounds += 1;
+    load.report.two_pc_stall.record(hop.ps());
 }
 
 /// Charges one *overlapped* 2PC message delivery: the message was
@@ -260,6 +298,7 @@ fn deliver(load: &mut ShardLoad, shard: &mut Pushtap, hop: Ps, arrive_at: Ps) {
     load.report.two_pc_time += hop;
     load.report.critical_path_time += wait;
     load.report.commit_rounds += 1;
+    load.report.two_pc_stall.record(wait.ps());
 }
 
 /// Records a defragmentation pause in a shard's load accounting.
@@ -267,6 +306,7 @@ fn charge_defrag(load: &mut ShardLoad, pause: Ps) {
     if pause > Ps::ZERO {
         load.report.defrag_passes += 1;
         load.report.defrag_time += pause;
+        load.report.defrag_stall.record(pause.ps());
     }
 }
 
@@ -339,8 +379,22 @@ fn two_phase_commit(
 
     let (local, forwarded) = decompose_split(shards, map, routed);
 
+    // Submitter-perceived latency starts here: every retry loop below
+    // (and its defragmentation) is part of what this transaction waited.
+    let start = shards[home].now();
     let mut attempts = prior_attempts;
     loop {
+        if attempts > 0 && shards[home].trace_enabled() {
+            // This iteration re-runs an aborted attempt (a wave casualty
+            // or an earlier loop of ours).
+            let s = &shards[home];
+            s.trace_record(Span::instant(
+                s.trace_track(),
+                Phase::Retry,
+                ts.0,
+                s.now().ps(),
+            ));
+        }
         attempts += 1;
         // Phase 1a: the home half prepares its owned effects.
         let home_result = charge_engine(&mut loads[home], &mut shards[home], |s| {
@@ -395,8 +449,19 @@ fn two_phase_commit(
             // covered the work, now thrown away. The voting shard's
             // arenas are reclaimed, then the whole transaction retries
             // under the same timestamp.
+            let vb_start = shards[home].now();
             charge_hop(&mut loads[home], &mut shards[home], commit.prepare_hop);
             charge_hop(&mut loads[home], &mut shards[home], commit.commit_hop);
+            if shards[home].trace_enabled() {
+                let s = &shards[home];
+                s.trace_record(Span::new(
+                    s.trace_track(),
+                    Phase::VoteBarrier,
+                    ts.0,
+                    vb_start.ps(),
+                    s.now().ps(),
+                ));
+            }
             charge_engine(&mut loads[home], &mut shards[home], |s| {
                 s.abort_prepared(ts)
             });
@@ -418,13 +483,41 @@ fn two_phase_commit(
         // counted round is exactly one message hop), then every engine
         // commits at the pinned timestamp (metadata-only — prepare
         // already flushed).
+        let vb_start = shards[home].now();
         charge_hop(&mut loads[home], &mut shards[home], commit.prepare_hop);
         charge_hop(&mut loads[home], &mut shards[home], commit.commit_hop);
+        if shards[home].trace_enabled() {
+            let s = &shards[home];
+            s.trace_record(Span::new(
+                s.trace_track(),
+                Phase::VoteBarrier,
+                ts.0,
+                vb_start.ps(),
+                s.now().ps(),
+            ));
+        }
         shards[home].commit_prepared(ts, TxnRole::Coordinator);
         loads[home].routed += 1;
         loads[home].report.committed += 1;
         loads[home].report.breakdown.merge(&home_result.breakdown);
         loads[home].remote_touches += routed.remote;
+        loads[home]
+            .report
+            .commit_latency
+            .record(shards[home].now().saturating_sub(start).ps());
+        if shards[home].trace_enabled() {
+            // The whole serial 2PC as one span: wave 0 marks a 2PC that
+            // ran alone (barrier-flushed or a wave casualty's retry), so
+            // overlap analysis never counts it.
+            let s = &shards[home];
+            s.trace_record(Span::new(
+                s.trace_track(),
+                Phase::TwoPc,
+                ts.0,
+                start.ps(),
+                s.now().ps(),
+            ));
+        }
         if attempts > 1 {
             loads[home].report.retried_txns += 1;
         }
@@ -472,7 +565,7 @@ fn execute_pipelined(
 ) {
     let waves = schedule::build_waves(stream);
     stats.waves = waves.len() as u64;
-    for wave in waves {
+    for (w, wave) in waves.into_iter().enumerate() {
         stats.max_wave = stats.max_wave.max(wave.len() as u64);
         let cross = wave.iter().filter(|t| !t.participants.is_empty()).count() as u64;
         // Every cross-shard 2PC of a wave with at least two of them ran
@@ -481,7 +574,9 @@ fn execute_pipelined(
         if cross >= 2 {
             stats.overlapped_two_pcs += cross;
         }
-        run_wave(shards, map, wave, commit, loads);
+        // Wave ids in spans are 1-based: wave 0 is reserved for 2PCs
+        // that ran alone (the serial path).
+        run_wave(shards, map, wave, commit, loads, w as u64 + 1);
     }
 }
 
@@ -493,6 +588,7 @@ fn run_wave(
     wave: Vec<RoutedTxn>,
     commit: CommitConfig,
     loads: &mut [ShardLoad],
+    wave_id: u64,
 ) {
     // Step 1: decompose every member at its home engine and build each
     // shard's timestamp-ordered item list. Wave members touch disjoint
@@ -529,7 +625,8 @@ fn run_wave(
     // Step 2: the prepare phase — all shards concurrently. Each shard
     // prepares its items in timestamp order; forwarded sets pay their
     // (overlapped) prepare-hop delivery.
-    let results: Vec<(usize, ShardLoad, Vec<Option<TxnResult>>)> = thread::scope(|scope| {
+    type PrepareOutcome = (usize, ShardLoad, Vec<Option<TxnResult>>, Vec<Ps>);
+    let results: Vec<PrepareOutcome> = thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter_mut()
             .zip(items.iter())
@@ -543,7 +640,12 @@ fn run_wave(
                     charge_defrag(&mut load, shard.defrag_if_due());
                     let phase_start = shard.now();
                     let mut votes: Vec<Option<TxnResult>> = Vec::with_capacity(list.len());
+                    // Per-item prepare-start clocks, threaded to the
+                    // decision phase for commit-latency attribution.
+                    let mut starts: Vec<Ps> = Vec::with_capacity(list.len());
                     for item in list {
+                        let item_start = shard.now();
+                        starts.push(item_start);
                         if item.role == TxnRole::Participant {
                             deliver(
                                 &mut load,
@@ -574,8 +676,32 @@ fn run_wave(
                                 votes.push(None);
                             }
                         }
+                        if item.cross && shard.trace_enabled() {
+                            shard.trace_record(
+                                Span::new(
+                                    shard.trace_track(),
+                                    Phase::TwoPc,
+                                    item.ts.0,
+                                    item_start.ps(),
+                                    shard.now().ps(),
+                                )
+                                .in_wave(wave_id),
+                            );
+                        }
                     }
-                    (i, load, votes)
+                    if shard.trace_enabled() && shard.now() > phase_start {
+                        shard.trace_record(
+                            Span::new(
+                                shard.trace_track(),
+                                Phase::WavePrepare,
+                                0,
+                                phase_start.ps(),
+                                shard.now().ps(),
+                            )
+                            .in_wave(wave_id),
+                        );
+                    }
+                    (i, load, votes, starts)
                 })
             })
             .collect();
@@ -585,9 +711,11 @@ fn run_wave(
             .collect()
     });
     let mut votes: Vec<Vec<Option<TxnResult>>> = (0..shards.len()).map(|_| Vec::new()).collect();
-    for (i, partial, v) in results {
+    let mut starts: Vec<Vec<Ps>> = (0..shards.len()).map(|_| Vec::new()).collect();
+    for (i, partial, v, s) in results {
         merge_load(&mut loads[i], partial);
         votes[i] = v;
+        starts[i] = s;
     }
 
     // Step 3: the vote barrier — a transaction commits iff every
@@ -613,14 +741,16 @@ fn run_wave(
     let results: Vec<(usize, ShardLoad)> = thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter_mut()
-            .zip(items.iter().zip(votes.iter()))
+            .zip(items.iter().zip(votes.iter().zip(starts.iter())))
             .enumerate()
             .filter(|(_, (_, (list, _)))| !list.is_empty())
-            .map(|(i, (shard, (list, shard_votes)))| {
+            .map(|(i, (shard, (list, (shard_votes, shard_starts))))| {
                 scope.spawn(move || {
                     let mut load = ShardLoad::default();
                     let phase_start = shard.now();
-                    for (item, vote) in list.iter().zip(shard_votes) {
+                    for ((item, vote), &prepare_start) in
+                        list.iter().zip(shard_votes).zip(shard_starts)
+                    {
                         let Some(result) = vote else {
                             // This shard voted no: nothing is held here
                             // (the failed prepare already rolled back and
@@ -628,6 +758,7 @@ fn run_wave(
                             continue;
                         };
                         let decision = committed_ref[item.txn];
+                        let item_start = shard.now();
                         match item.role {
                             TxnRole::Coordinator => {
                                 // The home half pays the decision
@@ -649,6 +780,18 @@ fn run_wave(
                                         commit.commit_hop,
                                         phase_start + commit.prepare_hop + commit.commit_hop,
                                     );
+                                    if shard.trace_enabled() {
+                                        shard.trace_record(
+                                            Span::new(
+                                                shard.trace_track(),
+                                                Phase::VoteBarrier,
+                                                item.ts.0,
+                                                item_start.ps(),
+                                                shard.now().ps(),
+                                            )
+                                            .in_wave(wave_id),
+                                        );
+                                    }
                                 }
                                 if decision {
                                     shard.commit_prepared(item.ts, TxnRole::Coordinator);
@@ -656,6 +799,9 @@ fn run_wave(
                                     load.report.committed += 1;
                                     load.report.breakdown.merge(&result.breakdown);
                                     load.remote_touches += wave_ref[item.txn].remote;
+                                    load.report
+                                        .commit_latency
+                                        .record(shard.now().saturating_sub(prepare_start).ps());
                                 } else {
                                     charge_engine(&mut load, shard, |s| s.abort_prepared(item.ts));
                                     load.report.aborts += 1;
@@ -679,6 +825,30 @@ fn run_wave(
                                 }
                             }
                         }
+                        if item.cross && shard.trace_enabled() {
+                            shard.trace_record(
+                                Span::new(
+                                    shard.trace_track(),
+                                    Phase::TwoPc,
+                                    item.ts.0,
+                                    item_start.ps(),
+                                    shard.now().ps(),
+                                )
+                                .in_wave(wave_id),
+                            );
+                        }
+                    }
+                    if shard.trace_enabled() && shard.now() > phase_start {
+                        shard.trace_record(
+                            Span::new(
+                                shard.trace_track(),
+                                Phase::WaveDecide,
+                                0,
+                                phase_start.ps(),
+                                shard.now().ps(),
+                            )
+                            .in_wave(wave_id),
+                        );
                     }
                     (i, load)
                 })

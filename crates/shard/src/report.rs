@@ -4,6 +4,7 @@ use pushtap_core::{tpmc, OltpReport, QueryReport};
 use pushtap_mvcc::Ts;
 use pushtap_olap::QueryResult;
 use pushtap_pim::Ps;
+use pushtap_trace::Histogram;
 
 use crate::config::CoordinatorMode;
 
@@ -114,11 +115,14 @@ impl ShardOltpReport {
 
     /// Ratio of the summed per-shard busy time to the makespan — the
     /// parallel speedup actually realised by this batch (≤ shard count;
-    /// lower when routing skews load).
+    /// lower when routing skews load). An empty batch (zero makespan)
+    /// realised no speedup and reports 0.0, consistent with how
+    /// [`ShardOltpReport::tpmc`] and the time-share accessors degrade on
+    /// empty input — it previously claimed a perfect 1.0.
     pub fn parallel_efficiency(&self) -> f64 {
         let makespan = self.makespan();
         if makespan == Ps::ZERO {
-            return 1.0;
+            return 0.0;
         }
         let busy: u64 = self.per_shard.iter().map(|s| s.elapsed.ps()).sum();
         busy as f64 / makespan.ps() as f64
@@ -234,6 +238,45 @@ impl ShardOltpReport {
             self.coord.overlapped_two_pcs as f64 / self.remote.cross_shard_txns as f64
         }
     }
+
+    /// End-to-end commit latency merged across all shards: one sample
+    /// per committed transaction (retries, defragmentation pauses, and
+    /// 2PC rounds included), so
+    /// `commit_latency().stats().count == committed()`.
+    pub fn commit_latency(&self) -> Histogram {
+        self.merged(|r| &r.commit_latency)
+    }
+
+    /// Coordinator-queue wait merged across all shards: how long
+    /// warehouse-local transactions sat parked before a flush under the
+    /// serial coordinator (empty under the pipelined one — waves subsume
+    /// the queues).
+    pub fn queue_wait(&self) -> Histogram {
+        self.merged(|r| &r.queue_wait)
+    }
+
+    /// Defragmentation pause durations merged across all shards, one
+    /// sample per pass.
+    pub fn defrag_stall(&self) -> Histogram {
+        self.merged(|r| &r.defrag_stall)
+    }
+
+    /// Per-round 2PC message stall merged across all shards:
+    /// `two_pc_stall().stats().count == commit_rounds()` and the sample
+    /// sum equals [`ShardOltpReport::critical_path_time`] — the serial
+    /// path records full hops, the pipelined path records only the
+    /// residual stall after overlap.
+    pub fn two_pc_stall(&self) -> Histogram {
+        self.merged(|r| &r.two_pc_stall)
+    }
+
+    fn merged(&self, pick: impl Fn(&OltpReport) -> &Histogram) -> Histogram {
+        let mut h = Histogram::default();
+        for s in &self.per_shard {
+            h.merge(pick(&s.report));
+        }
+        h
+    }
 }
 
 /// The outcome of one scatter-gather analytical query.
@@ -284,5 +327,57 @@ impl ShardQueryReport {
     /// Partial result rows gathered from the shards.
     pub fn gathered_rows(&self) -> u64 {
         self.per_shard.iter().map(|p| p.result.rows()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(loads: Vec<ShardLoad>) -> ShardOltpReport {
+        ShardOltpReport {
+            per_shard: loads,
+            remote: RemoteTouches::default(),
+            coord: CoordStats::default(),
+        }
+    }
+
+    #[test]
+    fn parallel_efficiency_is_zero_on_empty_batch() {
+        // A batch that ran nothing realised no speedup: 0.0, never the
+        // old perfect-score 1.0 (and never NaN from 0/0).
+        let empty = report_with(vec![ShardLoad::default(), ShardLoad::default()]);
+        assert_eq!(empty.makespan(), Ps::ZERO);
+        assert_eq!(empty.parallel_efficiency(), 0.0);
+        assert_eq!(report_with(Vec::new()).parallel_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn parallel_efficiency_on_balanced_load() {
+        let a = ShardLoad {
+            elapsed: Ps::new(1_000),
+            ..Default::default()
+        };
+        let b = ShardLoad {
+            elapsed: Ps::new(1_000),
+            ..Default::default()
+        };
+        let r = report_with(vec![a, b]);
+        assert!((r.parallel_efficiency() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_accessors_merge_across_shards() {
+        let mut a = ShardLoad::default();
+        a.report.commit_latency.record(100);
+        a.report.two_pc_stall.record(10);
+        let mut b = ShardLoad::default();
+        b.report.commit_latency.record(300);
+        let r = report_with(vec![a, b]);
+        let commit = r.commit_latency().stats();
+        assert_eq!(commit.count, 2);
+        assert!(commit.max >= 300);
+        assert_eq!(r.two_pc_stall().stats().count, 1);
+        assert_eq!(r.queue_wait().stats().count, 0);
     }
 }

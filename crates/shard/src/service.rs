@@ -13,6 +13,7 @@ use pushtap_mvcc::TsOracle;
 use pushtap_olap::{merge_partials, Query};
 use pushtap_oltp::Partition;
 use pushtap_pim::Ps;
+use pushtap_trace::{Phase, Span, TraceSink};
 
 use crate::config::ShardConfig;
 use crate::coordinator;
@@ -118,6 +119,18 @@ impl ShardedHtap {
         &self.shards[i as usize]
     }
 
+    /// Routes every engine's and the coordinator's lifecycle spans to
+    /// `sink`. Shard `i`'s spans carry track `i`, so a merged trace
+    /// renders one row per shard (see `pushtap_trace::chrome`). The
+    /// default [`pushtap_trace::NullSink`] is disabled and keeps the hot
+    /// path span-free; install a [`pushtap_trace::MemSink`] before a
+    /// batch to collect its timeline.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_trace_sink(Arc::clone(&sink), i as u32);
+        }
+    }
+
     /// A transaction generator over the *global* population (home
     /// warehouses across every shard) — the stream a front-end would
     /// hand the router.
@@ -206,6 +219,19 @@ impl ShardedHtap {
                 routed.keys = self.shards[routed.shard as usize]
                     .db()
                     .keyset(&routed.txn, routed.ts);
+            }
+        }
+        for routed in &stream {
+            let home = &self.shards[routed.shard as usize];
+            if home.trace_enabled() {
+                // Ingestion marker: the stream-order point where this
+                // transaction entered its home shard's pipeline.
+                home.trace_record(Span::instant(
+                    home.trace_track(),
+                    Phase::Routed,
+                    routed.ts.0,
+                    home.now().ps(),
+                ));
             }
         }
         let map = *self.router.map();

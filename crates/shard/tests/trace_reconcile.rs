@@ -1,0 +1,203 @@
+//! Observability acceptance: tracing is a *read-only* lens. A traced
+//! batch commits byte-identical state to an untraced one (serial and
+//! pipelined alike), and the emitted spans and histograms reconcile
+//! exactly with the coordinator's own counters — span counts are not
+//! decorative, they are the same events the reports count, seen from
+//! the timeline side.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use pushtap_chbench::{RemoteMix, ALL_TABLES};
+use pushtap_format::RowSlot;
+use pushtap_shard::{CoordinatorMode, ShardConfig, ShardOltpReport, ShardedHtap};
+use pushtap_trace::{two_pc_overlap_peak, MemSink, Phase, Span};
+
+const SEED: u64 = 2025;
+const TXNS: u64 = 120;
+const SHARDS: u32 = 4;
+
+/// Arenas squeezed as in `tests/delta_pressure.rs`, so the abort and
+/// retry span paths are exercised, not just the happy path.
+fn squeezed(mode: CoordinatorMode) -> ShardConfig {
+    let mut cfg = ShardConfig::small(SHARDS).with_mode(mode);
+    cfg.base.db.delta_frac = 0.06;
+    cfg.base.db.min_delta_rows = 8;
+    cfg
+}
+
+/// Runs one uniform-mix batch, optionally traced, and defragments so
+/// committed bytes are comparable.
+fn run(mode: CoordinatorMode, traced: bool) -> (ShardedHtap, ShardOltpReport, Vec<Span>) {
+    let mut service = ShardedHtap::new(squeezed(mode)).expect("build shards");
+    let sink = Arc::new(MemSink::default());
+    if traced {
+        service.set_trace_sink(sink.clone());
+    }
+    let warehouses = service.map().warehouses();
+    let mut gen = service
+        .global_txn_gen(SEED)
+        .with_remote_mix(RemoteMix::Uniform, warehouses);
+    let report = service.run_txns(&mut gen, TXNS);
+    assert_eq!(report.committed(), TXNS);
+    service.defragment_all();
+    (service, report, sink.take())
+}
+
+fn count(spans: &[Span], phase: Phase) -> u64 {
+    spans.iter().filter(|s| s.phase == phase).count() as u64
+}
+
+/// Byte-compares every table of every shard between two deployments.
+fn assert_services_match(a: &ShardedHtap, b: &ShardedHtap, label: &str) {
+    assert_eq!(a.shard_count(), b.shard_count());
+    for i in 0..a.shard_count() {
+        let da = a.shard(i).db();
+        let db = b.shard(i).db();
+        assert_eq!(da.last_ts(), db.last_ts(), "{label}: shard {i} watermark");
+        for table in ALL_TABLES {
+            let ta = da.table(table);
+            let tb = db.table(table);
+            assert_eq!(ta.n_rows(), tb.n_rows());
+            for row in 0..ta.n_rows() {
+                assert_eq!(
+                    ta.store().read_row(RowSlot::Data { row }),
+                    tb.store().read_row(RowSlot::Data { row }),
+                    "{label}: shard {i} {table:?} row {row} diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The histogram/counter invariants shared by both coordinator modes.
+fn assert_report_reconciles(report: &ShardOltpReport, spans: &[Span], label: &str) {
+    // One commit-latency sample per committed transaction.
+    assert_eq!(
+        report.commit_latency().count(),
+        report.committed(),
+        "{label}: commit-latency samples"
+    );
+    // One 2PC-stall sample per counted message round, summing to
+    // exactly the critical-path latency the rounds caused.
+    let stall = report.two_pc_stall();
+    assert_eq!(
+        stall.count(),
+        report.commit_rounds(),
+        "{label}: stall samples"
+    );
+    assert_eq!(
+        stall.sum(),
+        u128::from(report.critical_path_time().ps()),
+        "{label}: stall sum vs critical path"
+    );
+    // One defrag-stall sample per counted pass.
+    let passes: u64 = report
+        .per_shard
+        .iter()
+        .map(|s| s.report.defrag_passes)
+        .sum();
+    assert_eq!(
+        report.defrag_stall().count(),
+        passes,
+        "{label}: defrag samples"
+    );
+    // Every abort the report counts appears on the timeline: a failed
+    // prepare (PrepareAbort span) or a coordinator abort decision
+    // (Abort instant).
+    assert!(report.aborts() > 0, "{label}: squeezed arenas must abort");
+    assert_eq!(
+        count(spans, Phase::PrepareAbort) + count(spans, Phase::Abort),
+        report.aborts(),
+        "{label}: abort events"
+    );
+    // Every routed transaction was marked at ingestion, and every
+    // commit decision (home and participant halves) left an instant.
+    assert_eq!(count(spans, Phase::Routed), TXNS, "{label}: routed markers");
+    assert!(count(spans, Phase::Commit) >= report.committed());
+}
+
+#[test]
+fn serial_trace_reconciles_with_counters() {
+    let (_, report, spans) = run(CoordinatorMode::Serial, true);
+    assert_report_reconciles(&report, &spans, "serial");
+    // One barrier instant per barrier flush.
+    assert!(report.coord.barrier_flushes > 0);
+    assert_eq!(count(&spans, Phase::Barrier), report.coord.barrier_flushes);
+    // The serial queues attribute a wait to every warehouse-local
+    // transaction (cross-shard ones never queue).
+    let local_txns = TXNS - report.remote.cross_shard_txns;
+    assert_eq!(report.queue_wait().count(), local_txns);
+    // Serial 2PCs run alone: every TwoPc span sits on wave 0, so the
+    // overlap scan (which ignores wave 0) finds nothing.
+    assert!(spans
+        .iter()
+        .filter(|s| s.phase == Phase::TwoPc)
+        .all(|s| s.wave == 0));
+    assert_eq!(two_pc_overlap_peak(&spans).1, 0);
+    // No wave machinery under the serial oracle.
+    assert_eq!(count(&spans, Phase::WavePrepare), 0);
+    assert_eq!(count(&spans, Phase::WaveDecide), 0);
+}
+
+#[test]
+fn pipelined_trace_reconciles_with_counters() {
+    let (_, report, spans) = run(CoordinatorMode::Pipelined, true);
+    assert_report_reconciles(&report, &spans, "pipelined");
+    // Every scheduled wave shows up: the distinct wave ids on the
+    // phase-interval spans are exactly 1..=waves.
+    let wave_ids: BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.phase == Phase::WavePrepare)
+        .map(|s| s.wave)
+        .collect();
+    assert_eq!(wave_ids.len() as u64, report.coord.waves);
+    assert_eq!(wave_ids.iter().copied().max(), Some(report.coord.waves));
+    // The overlap statistic recomputed from the timeline: a wave with
+    // k ≥ 2 distinct cross-shard 2PCs contributes all k.
+    let mut per_wave: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for s in spans
+        .iter()
+        .filter(|s| s.phase == Phase::TwoPc && s.wave > 0)
+    {
+        per_wave.entry(s.wave).or_default().insert(s.txn);
+    }
+    let overlapped: u64 = per_wave
+        .values()
+        .map(|txns| txns.len() as u64)
+        .filter(|&k| k >= 2)
+        .sum();
+    assert_eq!(overlapped, report.coord.overlapped_two_pcs);
+    // And the spans genuinely overlap in time: the busiest wave holds
+    // at least two 2PCs open concurrently (the pipelining claim, read
+    // off the timeline rather than the counters).
+    let (wave, peak) = two_pc_overlap_peak(&spans);
+    assert!(wave > 0);
+    assert!(peak >= 2, "peak concurrent 2PCs {peak} in wave {wave}");
+    // Queues are subsumed by waves.
+    assert_eq!(report.queue_wait().count(), 0);
+    assert_eq!(count(&spans, Phase::Barrier), 0);
+}
+
+#[test]
+fn tracing_changes_no_committed_byte() {
+    // The sink sees every lifecycle event, yet committed state and the
+    // report counters are identical to an untraced run — for both
+    // coordinators, under delta pressure.
+    for mode in [CoordinatorMode::Serial, CoordinatorMode::Pipelined] {
+        let (traced, tr, spans) = run(mode, true);
+        let (untraced, ur, none) = run(mode, false);
+        assert!(!spans.is_empty());
+        assert!(none.is_empty(), "disabled sink must stay empty");
+        assert_services_match(&traced, &untraced, "traced vs untraced");
+        assert_eq!(tr.committed(), ur.committed());
+        assert_eq!(tr.aborts(), ur.aborts());
+        assert_eq!(tr.commit_rounds(), ur.commit_rounds());
+        assert_eq!(tr.makespan(), ur.makespan());
+        assert_eq!(
+            tr.commit_latency().stats(),
+            ur.commit_latency().stats(),
+            "histograms are recorded unconditionally — sink on or off"
+        );
+    }
+}

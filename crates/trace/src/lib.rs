@@ -1,0 +1,47 @@
+//! # pushtap-trace — lifecycle spans, latency histograms, Chrome traces
+//!
+//! The observability substrate of the PUSHtap workspace: per-transaction
+//! lifecycle [`Span`]s emitted through a pluggable [`TraceSink`],
+//! HDR-style mergeable [`Histogram`]s with `~1 %` relative quantile
+//! error surfaced as [`LatencyStats`], and a [`chrome`] module that
+//! exports recorded spans as Chrome-trace-format JSON (loadable in
+//! `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)) and
+//! validates such documents without any JSON dependency.
+//!
+//! The crate is deliberately **zero-dependency** and speaks raw `u64`
+//! picoseconds: every engine crate can depend on it, and the default
+//! [`NullSink`] keeps instrumented hot paths at one branch per
+//! emission site. Benches and tests opt in with a [`MemSink`].
+//!
+//! # Examples
+//!
+//! Record a few spans, summarise latencies, export a trace:
+//!
+//! ```
+//! use pushtap_trace::{chrome, Histogram, MemSink, Phase, Span, TraceSink};
+//!
+//! let sink = MemSink::new();
+//! if sink.enabled() {
+//!     sink.record(Span::new(0, Phase::Prepare, 1, 0, 1_200_000));
+//!     sink.record(Span::instant(0, Phase::Commit, 1, 1_200_000));
+//! }
+//!
+//! let mut commit_latency = Histogram::new();
+//! commit_latency.record(1_200_000);
+//! assert_eq!(commit_latency.stats().count, 1);
+//!
+//! let json = chrome::render(&sink.take());
+//! let stats = chrome::validate(&json).expect("well-formed");
+//! assert_eq!(stats.complete, 1);
+//! assert_eq!(stats.instants, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+mod hist;
+mod span;
+
+pub use hist::{fmt_ps, Histogram, LatencyStats};
+pub use span::{two_pc_overlap_peak, MemSink, NullSink, Phase, Span, TraceSink};

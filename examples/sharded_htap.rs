@@ -6,14 +6,19 @@
 //! by global-cut scatter-gather.
 //!
 //! Run with:
-//! `cargo run --release --example sharded_htap [shards] [mix] [mode]`
-//! where `mix` is `uniform` (default), `tpcc`, or `local`, and `mode`
-//! is `pipelined` (conflict-aware wave scheduling, the default) or
-//! `serial` (the barrier-flush oracle).
+//! `cargo run --release --example sharded_htap [shards] [mix] [mode] [trace.json]`
+//! where `mix` is `uniform` (default), `tpcc`, or `local`, `mode` is
+//! `pipelined` (conflict-aware wave scheduling, the default) or
+//! `serial` (the barrier-flush oracle), and an optional fourth argument
+//! writes the batch's lifecycle spans as a Chrome-trace JSON file
+//! (load it at <https://ui.perfetto.dev> or `chrome://tracing`).
+
+use std::sync::Arc;
 
 use pushtap::chbench::RemoteMix;
 use pushtap::olap::{Query, QueryResult};
 use pushtap::shard::{CoordinatorMode, ShardConfig, ShardedHtap};
+use pushtap::trace::{chrome, fmt_ps, two_pc_overlap_peak, MemSink};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shards: u32 = std::env::args()
@@ -29,7 +34,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("serial") => (CoordinatorMode::Serial, "serial (barrier-flush)"),
         _ => (CoordinatorMode::Pipelined, "pipelined (wave-scheduled)"),
     };
+    let trace_path = std::env::args().nth(4);
     let mut service = ShardedHtap::new(ShardConfig::small(shards).with_mode(mode))?;
+    let sink = Arc::new(MemSink::default());
+    if trace_path.is_some() {
+        service.set_trace_sink(sink.clone());
+    }
     println!(
         "built {} shards over {} warehouses ({} warehouses per shard, ITEM replicated), {mix_name} mix, {mode_name} coordinator",
         service.shard_count(),
@@ -57,6 +67,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         service.ts_oracle().watermark(),
         oltp.aborts(),
         oltp.wasted_retry_time(),
+    );
+    let lat = oltp.commit_latency().stats();
+    println!(
+        "commit latency: p50 {} / p90 {} / p99 {} / p99.9 {} / max {} (mean {})",
+        fmt_ps(lat.p50),
+        fmt_ps(lat.p90),
+        fmt_ps(lat.p99),
+        fmt_ps(lat.p999),
+        fmt_ps(lat.max),
+        fmt_ps(lat.mean),
     );
     println!(
         "2PC: {:.1}% of txns crossed shards ({} remote touches, {} forwarded effects, \
@@ -118,5 +138,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         local.committed(),
         local.tpmc(16),
     );
+
+    if let Some(path) = trace_path {
+        let spans = sink.take();
+        let (wave, peak) = two_pc_overlap_peak(&spans);
+        let doc = chrome::render(&spans);
+        chrome::validate(&doc).expect("rendered trace must validate");
+        std::fs::write(&path, &doc)?;
+        println!(
+            "\nwrote {path} ({} spans, peak {peak} concurrent 2PCs in wave {wave}) — \
+             load it at https://ui.perfetto.dev",
+            spans.len(),
+        );
+    }
     Ok(())
 }

@@ -19,6 +19,7 @@
 //! | [`chbench`] | `pushtap-chbench` | CH-benCHmark + HTAPBench workloads |
 //! | [`core`] | `pushtap-core` | the assembled system + all baselines (§7) |
 //! | [`shard`] | `pushtap-shard` | warehouse-partitioned scale-out service (routing + scatter-gather) |
+//! | [`trace`] | `pushtap-trace` | lifecycle spans, latency histograms, Chrome-trace export |
 //!
 //! # Quickstart
 //!
@@ -45,3 +46,4 @@ pub use pushtap_olap as olap;
 pub use pushtap_oltp as oltp;
 pub use pushtap_pim as pim;
 pub use pushtap_shard as shard;
+pub use pushtap_trace as trace;
