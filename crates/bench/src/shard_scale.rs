@@ -25,6 +25,14 @@
 //! probabilities, and the uniform draw (≈ (k−1)/k of touches remote at
 //! k shards — a worst case).
 //!
+//! Every routed batch runs with the per-shard effect WAL enabled
+//! ([`pushtap_shard::ShardedHtap::enable_wal`]), so each point also
+//! reports the durability cost: effect-log appends/forces/bytes, the
+//! coordinator decision log's appends/syncs, and **fsync-per-txn** —
+//! group commit's acceptance number, which one barrier per wave keeps
+//! below 1.0 under the pipelined coordinator while the serial
+//! bucket-at-a-time cadence pays several.
+//!
 //! `--json` (on the `shard_scale` and `all_figures` binaries) writes
 //! the full sweep to `BENCH_shard_scale.json` so the perf trajectory is
 //! machine-readable across PRs.
@@ -48,8 +56,10 @@ pub struct ModePoint {
     pub two_pc_time_share: f64,
     /// Sequential-delivery ledger of 2PC message latency.
     pub two_pc_time: Ps,
-    /// 2PC message latency that actually landed on the shards' clocks
-    /// (equals the ledger under serial delivery; smaller under waves).
+    /// Coordinator latency that actually landed on the shards' clocks:
+    /// 2PC message rounds (equal to the ledger under serial delivery;
+    /// smaller under waves) plus group-commit force barriers
+    /// ([`ModePoint::wal_force_time`]).
     pub critical_path_time: Ps,
     /// Barrier flushes (serial: one per cross-shard txn; pipelined: 0).
     pub barrier_flushes: u64,
@@ -68,6 +78,22 @@ pub struct ModePoint {
     /// End-to-end commit-latency distribution of the routed batch
     /// (p50/p90/p99/p999/max/mean in picoseconds), merged across shards.
     pub commit_latency: LatencyStats,
+    /// Effect records appended to the per-shard WALs.
+    pub wal_appends: u64,
+    /// Group-commit force barriers across the per-shard effect logs.
+    pub wal_forces: u64,
+    /// Framed bytes appended to the per-shard effect logs.
+    pub wal_bytes: u64,
+    /// Force-barrier latency charged to the shards' critical paths.
+    pub wal_force_time: Ps,
+    /// Commit decisions appended to the coordinator decision log.
+    pub decision_appends: u64,
+    /// Decision-log syncs (≤ appends — waves amortize).
+    pub decision_forces: u64,
+    /// Durable syncs per committed transaction (effect-log forces plus
+    /// decision syncs over commits) — group commit drives this below
+    /// 1.0 under waves.
+    pub fsync_per_txn: f64,
 }
 
 /// One row of the shard-scaling table: both coordinator modes over the
@@ -109,6 +135,7 @@ fn run_mode(
 ) -> (ShardedHtap, pushtap_shard::ShardOltpReport, ModePoint) {
     let mut service =
         ShardedHtap::new(ShardConfig::small(shards).with_mode(mode)).expect("build shards");
+    let _wal = service.enable_wal();
     let warehouses = service.map().warehouses();
     let mut gen = service.global_txn_gen(42).with_remote_mix(mix, warehouses);
     let routed = service.run_txns(&mut gen, txns);
@@ -124,6 +151,13 @@ fn run_mode(
         participant_aborts: routed.participant_aborts(),
         parallel_efficiency: routed.parallel_efficiency(),
         commit_latency: routed.commit_latency().stats(),
+        wal_appends: routed.wal_appends(),
+        wal_forces: routed.wal_forces(),
+        wal_bytes: routed.wal_bytes(),
+        wal_force_time: routed.wal_force_time(),
+        decision_appends: routed.coord.decision_appends,
+        decision_forces: routed.coord.decision_forces,
+        fsync_per_txn: routed.fsync_per_txn(),
     };
     (service, routed, point)
 }
@@ -173,7 +207,7 @@ const MIXES: [(RemoteMix, &str, &str); 3] = [
 fn print_table(label: &str, points: &[ShardPoint]) {
     println!("-- remote-warehouse mix: {label} --");
     println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>8} {:>8} {:>6} {:>5} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "{:>6} {:>12} {:>12} {:>12} {:>8} {:>8} {:>6} {:>5} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
         "shards",
         "serial tpmC",
         "pipel. tpmC",
@@ -185,6 +219,8 @@ fn print_table(label: &str, points: &[ShardPoint]) {
         "overlap",
         "2pc(ser)",
         "2pc(pip)",
+        "fs/tx(ser)",
+        "fs/tx(pip)",
         "p99(ser)",
         "p50(pip)",
         "p99(pip)",
@@ -194,7 +230,7 @@ fn print_table(label: &str, points: &[ShardPoint]) {
     );
     for p in points {
         println!(
-            "{:>6} {:>12.0} {:>12.0} {:>12.0} {:>7.1}% {:>8} {:>6} {:>5} {:>7.1}% {:>8.2}% {:>8.2}% {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
+            "{:>6} {:>12.0} {:>12.0} {:>12.0} {:>7.1}% {:>8} {:>6} {:>5} {:>7.1}% {:>8.2}% {:>8.2}% {:>9.3} {:>9.3} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10}",
             p.shards,
             p.serial.routed_tpmc,
             p.pipelined.routed_tpmc,
@@ -206,6 +242,8 @@ fn print_table(label: &str, points: &[ShardPoint]) {
             p.pipelined.overlap_ratio * 100.0,
             p.serial.two_pc_time_share * 100.0,
             p.pipelined.two_pc_time_share * 100.0,
+            p.serial.fsync_per_txn,
+            p.pipelined.fsync_per_txn,
             fmt_ps(p.serial.commit_latency.p99),
             fmt_ps(p.pipelined.commit_latency.p50),
             fmt_ps(p.pipelined.commit_latency.p99),
@@ -265,7 +303,9 @@ fn json_mode(out: &mut String, point: &ModePoint) {
          \"critical_path_time_ps\":{},\"barrier_flushes\":{},\"waves\":{},\"max_wave\":{},\
          \"overlap_ratio\":{:.6},\"participant_aborts\":{},\"parallel_efficiency\":{:.4},\
          \"commit_p50_ps\":{},\"commit_p99_ps\":{},\"commit_p999_ps\":{},\
-         \"commit_mean_ps\":{},\"commit_max_ps\":{}}}",
+         \"commit_mean_ps\":{},\"commit_max_ps\":{},\
+         \"wal_appends\":{},\"wal_forces\":{},\"wal_bytes\":{},\"wal_force_time_ps\":{},\
+         \"decision_appends\":{},\"decision_forces\":{},\"fsync_per_txn\":{:.6}}}",
         point.routed_tpmc,
         point.two_pc_time_share,
         point.two_pc_time.ps(),
@@ -281,6 +321,13 @@ fn json_mode(out: &mut String, point: &ModePoint) {
         point.commit_latency.p999,
         point.commit_latency.mean,
         point.commit_latency.max,
+        point.wal_appends,
+        point.wal_forces,
+        point.wal_bytes,
+        point.wal_force_time.ps(),
+        point.decision_appends,
+        point.decision_forces,
+        point.fsync_per_txn,
     );
 }
 
@@ -455,7 +502,19 @@ mod tests {
                 );
                 assert!(p.pipelined.overlap_ratio > 0.0, "{} shards", p.shards);
                 assert!(p.pipelined.waves > 0 && p.pipelined.max_wave > 1);
-                assert!(p.pipelined.critical_path_time <= p.serial.critical_path_time);
+                // Compare the message-round component alone: with the
+                // WAL on, the critical path also carries group-commit
+                // force time, whose cadence (buckets vs waves) is a
+                // different axis than 2PC overlap.
+                let ser_rounds = p
+                    .serial
+                    .critical_path_time
+                    .saturating_sub(p.serial.wal_force_time);
+                let pip_rounds = p
+                    .pipelined
+                    .critical_path_time
+                    .saturating_sub(p.pipelined.wal_force_time);
+                assert!(pip_rounds <= ser_rounds);
                 assert!(p.serial.two_pc_time_share <= 1.0);
                 assert!(p.pipelined.two_pc_time_share <= 1.0);
             }
@@ -481,9 +540,51 @@ mod tests {
         assert_eq!(json.matches("\"commit_p50_ps\":").count(), 12);
         assert_eq!(json.matches("\"commit_p99_ps\":").count(), 12);
         assert_eq!(json.matches("\"commit_p999_ps\":").count(), 12);
+        // ... and its durability columns.
+        assert_eq!(json.matches("\"wal_forces\":").count(), 12);
+        assert_eq!(json.matches("\"decision_forces\":").count(), 12);
+        assert_eq!(json.matches("\"fsync_per_txn\":").count(), 12);
         // Balanced braces — cheap well-formedness check without a
         // JSON parser in the dependency-free build.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    /// The durability acceptance number: every sweep runs with the
+    /// effect WAL on, and group commit keeps the pipelined
+    /// coordinator's durable syncs per committed transaction below one
+    /// at scale — one force barrier amortized across each wave — while
+    /// the serial coordinator's bucket-at-a-time cadence pays several.
+    /// A fully warehouse-local mix never touches the decision log.
+    #[test]
+    fn group_commit_amortizes_under_waves() {
+        for p in sweep(&[4, 8], 150, 16, RemoteMix::Uniform) {
+            assert!(p.serial.wal_appends > 0 && p.pipelined.wal_appends > 0);
+            assert!(p.serial.wal_forces > 0 && p.pipelined.wal_forces > 0);
+            assert!(p.pipelined.wal_bytes > 0);
+            assert!(
+                p.pipelined.fsync_per_txn < 1.0,
+                "{} shards: pipelined fsync/txn {:.3} must stay below 1",
+                p.shards,
+                p.pipelined.fsync_per_txn
+            );
+            assert!(
+                p.pipelined.fsync_per_txn < p.serial.fsync_per_txn,
+                "{} shards: waves must amortize better ({:.3} vs {:.3})",
+                p.shards,
+                p.pipelined.fsync_per_txn,
+                p.serial.fsync_per_txn
+            );
+            // Presumed abort: one durable decision per cross-shard
+            // commit, synced at most once per decision.
+            assert!(p.serial.decision_appends > 0);
+            assert_eq!(p.serial.decision_appends, p.pipelined.decision_appends);
+            assert!(p.pipelined.decision_forces <= p.pipelined.decision_appends);
+            assert!(p.pipelined.wal_force_time > Ps::ZERO);
+        }
+        let local = sweep(&[4], 100, 16, RemoteMix::LOCAL);
+        assert_eq!(local[0].serial.decision_appends, 0);
+        assert_eq!(local[0].pipelined.decision_appends, 0);
+        assert!(local[0].pipelined.wal_appends > 0);
     }
 
     /// Commit-latency percentiles are populated and ordered on every

@@ -1,0 +1,453 @@
+//! Compact binary serialization of statement effects for the WAL.
+//!
+//! An [`EffectRecord`] is the redo unit the sharded service logs: one
+//! transaction's effect subset on one engine, pinned to its original
+//! timestamp and tagged with the engine's commit role. Because
+//! [`TpccDb::decompose`](crate::TpccDb::decompose) is read-only and
+//! retry-stable, the record can be re-applied through the ordinary
+//! `prepare_effects` / `commit_prepared` pipeline after a crash and
+//! reconstruct byte-identical state — the encoding here only has to be
+//! lossless, not clever.
+//!
+//! The format is little-endian and length-prefixed throughout; integrity
+//! is the framing layer's job (`pushtap-wal` checksums whole records),
+//! so decoding assumes a payload the frame checksum already accepted and
+//! reports structural damage as a [`CodecError`] rather than guessing.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! record  := ts:u64 role:u8 cross:u8 count:u32 effect*
+//! effect  := warehouse:u64 kind:u8 table:u8 body
+//! body    := Read   -> row:u64
+//!          | Update -> row:u64 n:u32 (col:u32 write)*
+//!          | Insert -> w_id:u64 n:u32 (len:u32 bytes)*
+//! write   := 0:u8 len:u32 bytes      (Set)
+//!          | 1:u8 amount:u64 width:u32  (Add)
+//! ```
+
+use std::fmt;
+
+use pushtap_chbench::{Table, ALL_TABLES};
+use pushtap_mvcc::Ts;
+
+use crate::effects::{ColumnWrite, Effect, TaggedEffect};
+use crate::tpcc::TxnRole;
+
+/// A structurally damaged record payload.
+///
+/// Seen only when decoding bytes that never went through
+/// [`EffectRecord::encode`] (version skew, a test corrupting payloads
+/// on purpose) — the WAL's frame checksum rejects torn or bit-flipped
+/// records before they reach this decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended mid-field.
+    Truncated,
+    /// An enum tag byte held an undefined value.
+    BadTag {
+        /// Which tag field was damaged.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// Decoding consumed the record but bytes remained.
+    TrailingBytes,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "record payload truncated mid-field"),
+            CodecError::BadTag { what, tag } => write!(f, "undefined {what} tag {tag:#04x}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after record payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// The WAL redo unit: one transaction's effect subset on one engine,
+/// pinned to its original timestamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EffectRecord {
+    /// The transaction's pinned timestamp (replay re-commits at it).
+    pub ts: Ts,
+    /// The logging engine's commit role — replay must preserve it so
+    /// recovered per-shard `committed` counters match the original run.
+    pub role: TxnRole,
+    /// Whether the transaction spanned shards: a cross-shard record
+    /// commits only if the coordinator decision log says so (presumed
+    /// abort); a local record commits iff it is durable.
+    pub cross: bool,
+    /// The effects this engine applied, in application order.
+    pub effects: Vec<TaggedEffect>,
+}
+
+impl EffectRecord {
+    /// Serializes the record to its on-log payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        encode_parts(self.ts, self.role, self.cross, &self.effects)
+    }
+}
+
+/// Serializes a record from borrowed parts — what the coordinator calls
+/// on its hot path, so logging never clones an effect list.
+#[must_use]
+pub fn encode_parts(ts: Ts, role: TxnRole, cross: bool, effects: &[TaggedEffect]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + effects.len() * 24);
+    out.extend_from_slice(&ts.0.to_le_bytes());
+    out.push(match role {
+        TxnRole::Coordinator => 0,
+        TxnRole::Participant => 1,
+    });
+    out.push(u8::from(cross));
+    put_count(&mut out, effects.len());
+    for e in effects {
+        out.extend_from_slice(&e.warehouse.to_le_bytes());
+        match &e.effect {
+            Effect::Read { table, row } => {
+                out.push(0);
+                out.push(table_tag(*table));
+                out.extend_from_slice(&row.to_le_bytes());
+            }
+            Effect::Update { table, row, writes } => {
+                out.push(1);
+                out.push(table_tag(*table));
+                out.extend_from_slice(&row.to_le_bytes());
+                put_count(&mut out, writes.len());
+                for (col, w) in writes {
+                    out.extend_from_slice(&col.to_le_bytes());
+                    match w {
+                        ColumnWrite::Set(bytes) => {
+                            out.push(0);
+                            put_bytes(&mut out, bytes);
+                        }
+                        ColumnWrite::Add { amount, width } => {
+                            out.push(1);
+                            out.extend_from_slice(&amount.to_le_bytes());
+                            out.extend_from_slice(&width.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Effect::Insert {
+                table,
+                w_id,
+                values,
+            } => {
+                out.push(2);
+                out.push(table_tag(*table));
+                out.extend_from_slice(&w_id.to_le_bytes());
+                put_count(&mut out, values.len());
+                for v in values {
+                    put_bytes(&mut out, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+impl EffectRecord {
+    /// Deserializes a record payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the payload is structurally damaged
+    /// (truncated field, undefined tag, trailing bytes).
+    pub fn decode(bytes: &[u8]) -> Result<EffectRecord, CodecError> {
+        let mut c = Cursor { bytes, at: 0 };
+        let ts = Ts(c.u64()?);
+        let role = match c.u8()? {
+            0 => TxnRole::Coordinator,
+            1 => TxnRole::Participant,
+            tag => return Err(CodecError::BadTag { what: "role", tag }),
+        };
+        let cross = match c.u8()? {
+            0 => false,
+            1 => true,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "cross flag",
+                    tag,
+                })
+            }
+        };
+        let count = c.u32()? as usize;
+        let mut effects = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let warehouse = c.u64()?;
+            let kind = c.u8()?;
+            let table = table_from_tag(c.u8()?)?;
+            let effect = match kind {
+                0 => Effect::Read {
+                    table,
+                    row: c.u64()?,
+                },
+                1 => {
+                    let row = c.u64()?;
+                    let n = c.u32()? as usize;
+                    let mut writes = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        let col = c.u32()?;
+                        let write = match c.u8()? {
+                            0 => ColumnWrite::Set(c.bytes()?),
+                            1 => ColumnWrite::Add {
+                                amount: c.u64()?,
+                                width: c.u32()?,
+                            },
+                            tag => {
+                                return Err(CodecError::BadTag {
+                                    what: "column write",
+                                    tag,
+                                })
+                            }
+                        };
+                        writes.push((col, write));
+                    }
+                    Effect::Update { table, row, writes }
+                }
+                2 => {
+                    let w_id = c.u64()?;
+                    let n = c.u32()? as usize;
+                    let mut values = Vec::with_capacity(n.min(1024));
+                    for _ in 0..n {
+                        values.push(c.bytes()?);
+                    }
+                    Effect::Insert {
+                        table,
+                        w_id,
+                        values,
+                    }
+                }
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "effect kind",
+                        tag,
+                    })
+                }
+            };
+            effects.push(TaggedEffect { effect, warehouse });
+        }
+        if c.at != bytes.len() {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(EffectRecord {
+            ts,
+            role,
+            cross,
+            effects,
+        })
+    }
+}
+
+fn put_count(out: &mut Vec<u8>, n: usize) {
+    let n = u32::try_from(n).expect("effect record field count exceeds u32::MAX");
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_count(out, bytes.len());
+    out.extend_from_slice(bytes);
+}
+
+/// A table's on-log tag: its position in [`ALL_TABLES`].
+fn table_tag(table: Table) -> u8 {
+    ALL_TABLES
+        .iter()
+        .position(|&t| t == table)
+        .map(|i| i as u8)
+        .expect("every table is in ALL_TABLES")
+}
+
+fn table_from_tag(tag: u8) -> Result<Table, CodecError> {
+    ALL_TABLES
+        .get(tag as usize)
+        .copied()
+        .ok_or(CodecError::BadTag { what: "table", tag })
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CodecError> {
+        let s = self
+            .bytes
+            .get(self.at..self.at + n)
+            .ok_or(CodecError::Truncated)?;
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EffectRecord {
+        EffectRecord {
+            ts: Ts(42),
+            role: TxnRole::Coordinator,
+            cross: true,
+            effects: vec![
+                TaggedEffect {
+                    effect: Effect::Read {
+                        table: Table::Item,
+                        row: 7,
+                    },
+                    warehouse: 3,
+                },
+                TaggedEffect {
+                    effect: Effect::Update {
+                        table: Table::Warehouse,
+                        row: 3,
+                        writes: vec![
+                            (
+                                8,
+                                ColumnWrite::Add {
+                                    amount: 500,
+                                    width: 8,
+                                },
+                            ),
+                            (2, ColumnWrite::Set(vec![0xAA, 0xBB])),
+                        ],
+                    },
+                    warehouse: 3,
+                },
+                TaggedEffect {
+                    effect: Effect::Insert {
+                        table: Table::History,
+                        w_id: 5,
+                        values: vec![vec![1, 2, 3], vec![], vec![9]],
+                    },
+                    warehouse: 5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_every_effect_kind() {
+        let rec = sample();
+        assert_eq!(EffectRecord::decode(&rec.encode()), Ok(rec));
+    }
+
+    #[test]
+    fn round_trips_empty_participant_record() {
+        let rec = EffectRecord {
+            ts: Ts(u64::MAX),
+            role: TxnRole::Participant,
+            cross: false,
+            effects: vec![],
+        };
+        assert_eq!(EffectRecord::decode(&rec.encode()), Ok(rec));
+    }
+
+    /// The golden byte image of a known record: any change to the wire
+    /// format must consciously update this test (and invalidate old
+    /// logs), never drift silently.
+    #[test]
+    fn golden_record_bytes_are_stable() {
+        let rec = EffectRecord {
+            ts: Ts(0x0102),
+            role: TxnRole::Participant,
+            cross: true,
+            effects: vec![TaggedEffect {
+                effect: Effect::Read {
+                    table: Table::District,
+                    row: 9,
+                },
+                warehouse: 4,
+            }],
+        };
+        #[rustfmt::skip]
+        let golden: &[u8] = &[
+            0x02, 0x01, 0, 0, 0, 0, 0, 0, // ts = 0x0102
+            1,                            // role = Participant
+            1,                            // cross
+            1, 0, 0, 0,                   // one effect
+            4, 0, 0, 0, 0, 0, 0, 0,       // warehouse 4
+            0,                            // kind = Read
+            1,                            // table tag 1 = District
+            9, 0, 0, 0, 0, 0, 0, 0,       // row 9
+        ];
+        assert_eq!(rec.encode(), golden);
+        assert_eq!(EffectRecord::decode(golden), Ok(rec));
+    }
+
+    #[test]
+    fn table_tags_cover_all_tables() {
+        for (i, &t) in ALL_TABLES.iter().enumerate() {
+            assert_eq!(table_tag(t), i as u8);
+            assert_eq!(table_from_tag(i as u8), Ok(t));
+        }
+        assert_eq!(
+            table_from_tag(ALL_TABLES.len() as u8),
+            Err(CodecError::BadTag {
+                what: "table",
+                tag: ALL_TABLES.len() as u8
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_at_any_byte_is_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                EffectRecord::decode(&bytes[..cut]),
+                Err(CodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn damaged_tags_and_trailers_are_rejected() {
+        let mut long = sample().encode();
+        long.push(0);
+        assert_eq!(EffectRecord::decode(&long), Err(CodecError::TrailingBytes));
+
+        let mut bad_role = sample().encode();
+        bad_role[8] = 9;
+        assert_eq!(
+            EffectRecord::decode(&bad_role),
+            Err(CodecError::BadTag {
+                what: "role",
+                tag: 9
+            })
+        );
+
+        let mut bad_kind = sample().encode();
+        bad_kind[22] = 7; // first effect's kind byte
+        assert_eq!(
+            EffectRecord::decode(&bad_kind),
+            Err(CodecError::BadTag {
+                what: "effect kind",
+                tag: 7
+            })
+        );
+    }
+}

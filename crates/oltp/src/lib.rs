@@ -46,12 +46,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
 mod cost;
 pub mod effects;
 mod index;
 mod table;
 mod tpcc;
 
+pub use codec::{CodecError, EffectRecord};
 pub use cost::{Breakdown, CostModel, Meter};
 pub use effects::{ColumnWrite, Effect, Key, KeySet, TaggedEffect};
 pub use index::HashIndex;

@@ -20,13 +20,23 @@ pub struct CommitConfig {
     /// Latency of delivering the commit/abort decision to a participant
     /// shard.
     pub commit_hop: Ps,
+    /// Latency of one write-ahead-log force barrier (the group-commit
+    /// fsync, extending the §6.3 force-barrier model to durable media).
+    /// Charged to the forcing shard's clock and `critical_path_time`
+    /// once per *force*, not per transaction — a pipelined wave
+    /// amortizes one force across every record the wave appended.
+    /// Inert unless the deployment enables its WAL
+    /// (`ShardedHtap::enable_wal`).
+    pub force_latency: Ps,
 }
 
 impl CommitConfig {
-    /// Both rounds free — isolates pure engine time in experiments.
+    /// All rounds and forces free — isolates pure engine time in
+    /// experiments.
     pub const FREE: CommitConfig = CommitConfig {
         prepare_hop: Ps::ZERO,
         commit_hop: Ps::ZERO,
+        force_latency: Ps::ZERO,
     };
 }
 
@@ -103,6 +113,7 @@ impl ShardConfig {
             commit: CommitConfig {
                 prepare_hop: Ps::from_ns(500.0),
                 commit_hop: Ps::from_ns(500.0),
+                force_latency: Ps::from_us(2.0),
             },
             mode: CoordinatorMode::default(),
             merge_cycles_per_row: 8,

@@ -81,11 +81,13 @@ use std::thread;
 
 use pushtap_core::Pushtap;
 use pushtap_mvcc::Ts;
-use pushtap_oltp::{Breakdown, TaggedEffect, TxnResult, TxnRole};
+use pushtap_oltp::{codec, Breakdown, TaggedEffect, TxnResult, TxnRole};
 use pushtap_pim::Ps;
 use pushtap_trace::{Phase, Span};
+use pushtap_wal::{Wal, HEADER_LEN};
 
 use crate::config::{CommitConfig, CoordinatorMode};
+use crate::durability::{encode_decision, CrashSite, DurabilityCtx};
 use crate::partition::WarehouseMap;
 use crate::report::{CoordStats, ShardLoad};
 use crate::router::RoutedTxn;
@@ -93,12 +95,17 @@ use crate::router::RoutedTxn;
 /// Executes one globally-ordered routed stream across the shard
 /// engines under the configured coordinator mode, returning each
 /// shard's accumulated load plus the coordinator's scheduling stats.
+/// With a durability context the coordinator logs every prepared
+/// effect set (group-commit forced before votes), writes the decision
+/// log, and honors an armed crash point — a fired crash stops the
+/// stream dead and is reported in [`CoordStats::crashed`].
 pub(crate) fn execute_stream(
     shards: &mut [Pushtap],
     map: &WarehouseMap,
     stream: Vec<RoutedTxn>,
     commit: CommitConfig,
     mode: CoordinatorMode,
+    mut dur: Option<&mut DurabilityCtx>,
 ) -> (Vec<ShardLoad>, CoordStats) {
     let starts: Vec<Ps> = shards.iter().map(Pushtap::now).collect();
     let mut loads: Vec<ShardLoad> = (0..shards.len()).map(|_| ShardLoad::default()).collect();
@@ -106,18 +113,115 @@ pub(crate) fn execute_stream(
         mode,
         ..CoordStats::default()
     };
+    let decisions_before = dur.as_deref().map(|d| d.decision_log.stats());
     match mode {
-        CoordinatorMode::Serial => {
-            execute_serial(shards, map, stream, commit, &mut loads, &mut stats)
-        }
-        CoordinatorMode::Pipelined => {
-            execute_pipelined(shards, map, stream, commit, &mut loads, &mut stats)
-        }
+        CoordinatorMode::Serial => execute_serial(
+            shards,
+            map,
+            stream,
+            commit,
+            &mut loads,
+            &mut stats,
+            dur.as_deref_mut(),
+        ),
+        CoordinatorMode::Pipelined => execute_pipelined(
+            shards,
+            map,
+            stream,
+            commit,
+            &mut loads,
+            &mut stats,
+            dur.as_deref_mut(),
+        ),
+    }
+    if let (Some(d), Some(before)) = (dur.as_deref(), decisions_before) {
+        let after = d.decision_log.stats();
+        stats.decision_appends = after.appends - before.appends;
+        stats.decision_forces = after.forces - before.forces;
+        stats.crashed = d.crashed;
     }
     for (i, load) in loads.iter_mut().enumerate() {
         load.elapsed = shards[i].now().saturating_sub(starts[i]);
     }
     (loads, stats)
+}
+
+// ---------------------------------------------------------------------
+// Durability plumbing shared by both coordinator modes.
+// ---------------------------------------------------------------------
+
+/// Appends one prepared effect set to a shard's effect log (volatile
+/// until the next force barrier) and accounts it.
+#[allow(clippy::too_many_arguments)]
+fn wal_append(
+    wal: &mut Wal,
+    load: &mut ShardLoad,
+    shard: &Pushtap,
+    ts: Ts,
+    role: TxnRole,
+    cross: bool,
+    effects: &[TaggedEffect],
+    wave: u64,
+) {
+    let payload = codec::encode_parts(ts, role, cross, effects);
+    wal.append(&payload);
+    load.report.wal_appends += 1;
+    load.report.wal_bytes += (payload.len() + HEADER_LEN) as u64;
+    if shard.trace_enabled() {
+        shard.trace_record(
+            Span::instant(
+                shard.trace_track(),
+                Phase::WalAppend,
+                ts.0,
+                shard.now().ps(),
+            )
+            .in_wave(wave),
+        );
+    }
+}
+
+/// The group-commit force barrier: pushes a shard's pending records to
+/// durable media, charging the configured force latency to the shard's
+/// clock and critical path once for everything pending. A no-op (free)
+/// when nothing is pending.
+fn wal_force(wal: &mut Wal, load: &mut ShardLoad, shard: &mut Pushtap, latency: Ps, wave: u64) {
+    if !wal.has_pending() {
+        return;
+    }
+    let start = shard.now();
+    if latency > Ps::ZERO {
+        shard.advance(latency);
+    }
+    wal.force();
+    load.report.wal_forces += 1;
+    load.report.wal_force_time += latency;
+    load.report.critical_path_time += latency;
+    if shard.trace_enabled() {
+        shard.trace_record(
+            Span::new(
+                shard.trace_track(),
+                Phase::GroupCommit,
+                0,
+                start.ps(),
+                shard.now().ps(),
+            )
+            .in_wave(wave),
+        );
+    }
+}
+
+/// How a wave's prepare-phase force barriers run under an armed crash.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ForceMode {
+    /// No crash at this wave's flush: every involved shard forces.
+    Normal,
+    /// Crash before any force ([`CrashSite::AfterPrepare`]): pending
+    /// records die with the process.
+    Skip,
+    /// Crash mid-flush ([`CrashSite::MidEffectFlush`]): every shard
+    /// forces except the given one, whose force tears halfway through
+    /// its pending bytes.
+    TornAt(usize),
 }
 
 // ---------------------------------------------------------------------
@@ -134,10 +238,13 @@ fn execute_serial(
     commit: CommitConfig,
     loads: &mut [ShardLoad],
     stats: &mut CoordStats,
+    mut dur: Option<&mut DurabilityCtx>,
 ) {
     // Each queue entry carries the shard clock at enqueue time, so the
     // flush can attribute the wait between routing and execution.
     let mut pending: Vec<Vec<(RoutedTxn, Ps)>> = (0..shards.len()).map(|_| Vec::new()).collect();
+    // Serial crash points are counted in cross-shard 2PCs (1-based).
+    let mut two_pcs = 0u64;
     for routed in stream {
         if routed.participants.is_empty() {
             let home = routed.shard as usize;
@@ -149,6 +256,16 @@ fn execute_serial(
             // land (per-row commit timestamps must stay monotone).
             // Uninvolved shards keep queueing — their rows are disjoint
             // from this transaction's by ownership.
+            two_pcs += 1;
+            let crash = dur.as_deref().and_then(|d| d.armed_at(two_pcs));
+            if crash == Some(CrashSite::BeforePrepare) {
+                // The kill lands before this 2PC starts: still-queued
+                // local transactions were never logged and die with the
+                // process (their effects were never durable — recovery
+                // correctly omits them).
+                dur.as_deref_mut().expect("armed implies ctx").crashed = true;
+                return;
+            }
             let mut involved = routed.participants.clone();
             involved.push(routed.shard);
             stats.barrier_flushes += 1;
@@ -161,11 +278,28 @@ fn execute_serial(
                     home.now().ps(),
                 ));
             }
-            flush(shards, &mut pending, loads, Some(&involved));
-            two_phase_commit(shards, map, &routed, commit, loads, 0);
+            flush(
+                shards,
+                &mut pending,
+                loads,
+                Some(&involved),
+                dur.as_deref_mut(),
+            );
+            if two_phase_commit(
+                shards,
+                map,
+                &routed,
+                commit,
+                loads,
+                0,
+                dur.as_deref_mut(),
+                crash,
+            ) {
+                return; // the armed crash fired mid-2PC
+            }
         }
     }
-    flush(shards, &mut pending, loads, None);
+    flush(shards, &mut pending, loads, None, dur);
 }
 
 /// Drains the pending warehouse-local queues of the selected shards
@@ -176,17 +310,25 @@ fn flush(
     pending: &mut [Vec<(RoutedTxn, Ps)>],
     loads: &mut [ShardLoad],
     only: Option<&[u32]>,
+    dur: Option<&mut DurabilityCtx>,
 ) {
+    let force_latency = dur.as_ref().map_or(Ps::ZERO, |d| d.force_latency);
+    let mut wals: Vec<Option<&mut Wal>> = match dur {
+        Some(d) => d.logs.iter_mut().map(Some).collect(),
+        None => shards.iter().map(|_| None).collect(),
+    };
     let results: Vec<(usize, ShardLoad)> = thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter_mut()
             .zip(pending.iter_mut())
+            .zip(wals.iter_mut())
             .enumerate()
             .filter(|(i, _)| only.is_none_or(|set| set.contains(&(*i as u32))))
-            .filter(|(_, (_, queue))| !queue.is_empty())
-            .map(|(i, (shard, queue))| {
+            .filter(|(_, ((_, queue), _))| !queue.is_empty())
+            .map(|(i, ((shard, queue), wal))| {
                 let bucket = std::mem::take(queue);
-                scope.spawn(move || (i, run_local_bucket(shard, bucket)))
+                let wal = wal.as_deref_mut();
+                scope.spawn(move || (i, run_local_bucket(shard, bucket, wal, force_latency)))
             })
             .collect();
         handles
@@ -211,7 +353,12 @@ fn merge_load(into: &mut ShardLoad, partial: ShardLoad) {
 /// its pinned stream-order timestamp (a `DeltaFull` retry re-runs under
 /// the same timestamp). Each entry's enqueue clock feeds the queue-wait
 /// histogram: later entries wait out the bucket's earlier work.
-fn run_local_bucket(shard: &mut Pushtap, bucket: Vec<(RoutedTxn, Ps)>) -> ShardLoad {
+fn run_local_bucket(
+    shard: &mut Pushtap,
+    bucket: Vec<(RoutedTxn, Ps)>,
+    mut wal: Option<&mut Wal>,
+    force_latency: Ps,
+) -> ShardLoad {
     let mut load = ShardLoad::default();
     for (routed, enqueued) in bucket {
         debug_assert!(
@@ -229,7 +376,13 @@ fn run_local_bucket(shard: &mut Pushtap, bucket: Vec<(RoutedTxn, Ps)>) -> ShardL
                 shard.now().ps(),
             ));
         }
-        run_local_txn(shard, &routed, &mut load, false);
+        run_local_txn(shard, &routed, &mut load, false, wal.as_deref_mut());
+    }
+    // One group-commit force amortized over the whole bucket: the
+    // bucket's records become durable (and its transactions recoverable)
+    // together.
+    if let Some(w) = wal {
+        wal_force(w, &mut load, shard, force_latency, 0);
     }
     load
 }
@@ -238,8 +391,33 @@ fn run_local_bucket(shard: &mut Pushtap, bucket: Vec<(RoutedTxn, Ps)>) -> ShardL
 /// defragment-and-retry loop, folding the outcome into `load`.
 /// `was_retried` marks a transaction whose first (wave) attempt already
 /// aborted, so it counts as retried even if this run commits cleanly.
-fn run_local_txn(shard: &mut Pushtap, routed: &RoutedTxn, load: &mut ShardLoad, was_retried: bool) {
+///
+/// With a log, the transaction's effect record is appended (pending —
+/// the *caller* owns the group-commit force barrier, amortizing it over
+/// its bucket or wave). `decompose` is retry-stable, so the record
+/// logged up front equals what the engine commits even if it had to
+/// defragment and retry in between.
+fn run_local_txn(
+    shard: &mut Pushtap,
+    routed: &RoutedTxn,
+    load: &mut ShardLoad,
+    was_retried: bool,
+    wal: Option<&mut Wal>,
+) {
     let before = shard.now();
+    if let Some(w) = wal {
+        let effects = shard.db().decompose(&routed.txn, routed.ts);
+        wal_append(
+            w,
+            load,
+            shard,
+            routed.ts,
+            TxnRole::Coordinator,
+            false,
+            &effects,
+            0,
+        );
+    }
     if was_retried && shard.trace_enabled() {
         shard.trace_record(Span::instant(
             shard.trace_track(),
@@ -362,6 +540,15 @@ fn decompose_split(
 /// participant votes yes. `prior_attempts` counts attempts already made
 /// by a pipelined wave, so a transaction the wave aborted still counts
 /// as retried when this run commits on its first try.
+///
+/// With a durability context, every successful prepare appends its
+/// effect record, the involved logs force (home first, participants
+/// ascending) once all votes are yes — *before* the decision round —
+/// and the commit decision is appended to the decision log and forced
+/// before any engine commits. `crash` injects a kill at the given site
+/// the first time it is reached; returns `true` if the kill fired (the
+/// caller must stop the stream dead).
+#[allow(clippy::too_many_arguments)]
 fn two_phase_commit(
     shards: &mut [Pushtap],
     map: &WarehouseMap,
@@ -369,7 +556,9 @@ fn two_phase_commit(
     commit: CommitConfig,
     loads: &mut [ShardLoad],
     prior_attempts: u64,
-) {
+    mut dur: Option<&mut DurabilityCtx>,
+    crash: Option<CrashSite>,
+) -> bool {
     let home = routed.shard as usize;
     let ts = routed.ts;
 
@@ -403,6 +592,18 @@ fn two_phase_commit(
         let home_result = match home_result {
             Ok(r) => {
                 loads[home].report.prepared_txns += 1;
+                if let Some(d) = dur.as_deref_mut() {
+                    wal_append(
+                        &mut d.logs[home],
+                        &mut loads[home],
+                        &shards[home],
+                        ts,
+                        TxnRole::Coordinator,
+                        true,
+                        &local,
+                        0,
+                    );
+                }
                 r
             }
             Err(_full) => {
@@ -428,6 +629,18 @@ fn two_phase_commit(
                 Ok(r) => {
                     loads[p].report.prepared_txns += 1;
                     loads[p].report.forwarded_effects += effs.len() as u64;
+                    if let Some(d) = dur.as_deref_mut() {
+                        wal_append(
+                            &mut d.logs[p],
+                            &mut loads[p],
+                            &shards[p],
+                            ts,
+                            TxnRole::Participant,
+                            true,
+                            effs,
+                            0,
+                        );
+                    }
                     prepared.push((p, r.breakdown));
                 }
                 Err(_full) => {
@@ -436,6 +649,14 @@ fn two_phase_commit(
                     break;
                 }
             }
+        }
+
+        // The kill after the prepares (and their pending appends) but
+        // before any force barrier: every record of this 2PC evaporates
+        // with the process.
+        if crash == Some(CrashSite::AfterPrepare) {
+            dur.as_deref_mut().expect("armed implies ctx").crashed = true;
+            return true;
         }
 
         if let Some(no_shard) = vote_no {
@@ -449,6 +670,15 @@ fn two_phase_commit(
             // covered the work, now thrown away. The voting shard's
             // arenas are reclaimed, then the whole transaction retries
             // under the same timestamp.
+            if let Some(d) = dur.as_deref_mut() {
+                // Withdraw the attempt's never-forced records: the
+                // involved logs hold nothing else pending (buckets force
+                // before a 2PC starts), so the discard is exact.
+                d.logs[home].discard_pending();
+                for &p in forwarded.keys() {
+                    d.logs[p].discard_pending();
+                }
+            }
             let vb_start = shards[home].now();
             charge_hop(&mut loads[home], &mut shards[home], commit.prepare_hop);
             charge_hop(&mut loads[home], &mut shards[home], commit.commit_hop);
@@ -477,6 +707,28 @@ fn two_phase_commit(
             continue;
         }
 
+        // Every vote is yes: each involved shard forces its effect log
+        // (home first, then participants ascending) before its vote may
+        // reach the coordinator — a shard never votes yes on records a
+        // crash could still lose. MidEffectFlush kills the process with
+        // the last involved log torn mid-record and the earlier ones
+        // fully durable.
+        if let Some(d) = dur.as_deref_mut() {
+            let latency = d.force_latency;
+            let mut involved: Vec<usize> = vec![home];
+            involved.extend(forwarded.keys().copied());
+            let last = *involved.last().expect("home is always involved");
+            for &i in &involved {
+                if crash == Some(CrashSite::MidEffectFlush) && i == last {
+                    let half = d.logs[i].pending_len() / 2;
+                    d.logs[i].force_torn(half);
+                    d.crashed = true;
+                    return true;
+                }
+                wal_force(&mut d.logs[i], &mut loads[i], &mut shards[i], latency, 0);
+            }
+        }
+
         // Phase 2, commit decision: the coordinator waits out the
         // decision round-trip (one prepare-delivery round out, one
         // vote/decision round back — charged as two rounds so every
@@ -495,6 +747,28 @@ fn two_phase_commit(
                 vb_start.ps(),
                 s.now().ps(),
             ));
+        }
+        // The commit decision becomes durable before any engine acts on
+        // it: append `Commit(ts)` and force the decision log. Recovery
+        // presumes abort for any prepared cross-shard scope the decision
+        // log does not vouch for.
+        if let Some(d) = dur.as_deref_mut() {
+            if crash == Some(CrashSite::BetweenVoteAndDecision) {
+                d.crashed = true;
+                return true;
+            }
+            d.decision_log.append(&encode_decision(ts));
+            if crash == Some(CrashSite::MidDecisionLogWrite) {
+                let half = d.decision_log.pending_len() / 2;
+                d.decision_log.force_torn(half);
+                d.crashed = true;
+                return true;
+            }
+            d.decision_log.force();
+            if crash == Some(CrashSite::AfterDecision) {
+                d.crashed = true;
+                return true;
+            }
         }
         shards[home].commit_prepared(ts, TxnRole::Coordinator);
         loads[home].routed += 1;
@@ -526,7 +800,7 @@ fn two_phase_commit(
             shards[q].commit_prepared(ts, TxnRole::Participant);
             loads[q].report.breakdown.merge(&breakdown);
         }
-        return;
+        return false;
     }
 }
 
@@ -562,6 +836,7 @@ fn execute_pipelined(
     commit: CommitConfig,
     loads: &mut [ShardLoad],
     stats: &mut CoordStats,
+    mut dur: Option<&mut DurabilityCtx>,
 ) {
     let waves = schedule::build_waves(stream);
     stats.waves = waves.len() as u64;
@@ -576,12 +851,27 @@ fn execute_pipelined(
         }
         // Wave ids in spans are 1-based: wave 0 is reserved for 2PCs
         // that ran alone (the serial path).
-        run_wave(shards, map, wave, commit, loads, w as u64 + 1);
+        if run_wave(
+            shards,
+            map,
+            wave,
+            commit,
+            loads,
+            w as u64 + 1,
+            dur.as_deref_mut(),
+        ) {
+            return; // the armed crash fired mid-wave
+        }
     }
 }
 
 /// Executes one conflict-free wave (see the module docs for the five
-/// steps).
+/// steps). With a durability context, every shard appends its prepared
+/// records during the prepare phase and forces once — the wave's group
+/// commit — before returning its votes; committed cross-shard
+/// transactions land in the decision log (forced) between the vote
+/// barrier and the decision phase. Returns `true` if an armed crash
+/// fired in this wave (the caller must stop the stream dead).
 fn run_wave(
     shards: &mut [Pushtap],
     map: &WarehouseMap,
@@ -589,7 +879,15 @@ fn run_wave(
     commit: CommitConfig,
     loads: &mut [ShardLoad],
     wave_id: u64,
-) {
+    mut dur: Option<&mut DurabilityCtx>,
+) -> bool {
+    let crash = dur.as_deref().and_then(|d| d.armed_at(wave_id));
+    if crash == Some(CrashSite::BeforePrepare) {
+        // The kill lands before the wave starts: nothing of it was
+        // logged or applied.
+        dur.as_deref_mut().expect("armed implies ctx").crashed = true;
+        return true;
+    }
     // Step 1: decompose every member at its home engine and build each
     // shard's timestamp-ordered item list. Wave members touch disjoint
     // rows and rings, so decomposition order is irrelevant and the
@@ -623,16 +921,33 @@ fn run_wave(
     }
 
     // Step 2: the prepare phase — all shards concurrently. Each shard
-    // prepares its items in timestamp order; forwarded sets pay their
-    // (overlapped) prepare-hop delivery.
+    // prepares its items in timestamp order (appending each prepared
+    // record to its effect log) and ends with its group-commit force
+    // barrier — one force for the whole wave, before its votes return;
+    // forwarded sets pay their (overlapped) prepare-hop delivery.
+    let force_latency = dur.as_deref().map_or(Ps::ZERO, |d| d.force_latency);
+    let force_mode = match crash {
+        Some(CrashSite::AfterPrepare) => ForceMode::Skip,
+        Some(CrashSite::MidEffectFlush) => items
+            .iter()
+            .rposition(|list| !list.is_empty())
+            .map_or(ForceMode::Skip, ForceMode::TornAt),
+        _ => ForceMode::Normal,
+    };
+    let mut wals: Vec<Option<&mut Wal>> = match dur.as_deref_mut() {
+        Some(d) => d.logs.iter_mut().map(Some).collect(),
+        None => shards.iter().map(|_| None).collect(),
+    };
     type PrepareOutcome = (usize, ShardLoad, Vec<Option<TxnResult>>, Vec<Ps>);
     let results: Vec<PrepareOutcome> = thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter_mut()
             .zip(items.iter())
+            .zip(wals.iter_mut())
             .enumerate()
-            .filter(|(_, (_, list))| !list.is_empty())
-            .map(|(i, (shard, list))| {
+            .filter(|(_, ((_, list), _))| !list.is_empty())
+            .map(|(i, ((shard, list), wal))| {
+                let mut wal = wal.as_deref_mut();
                 scope.spawn(move || {
                     let mut load = ShardLoad::default();
                     // Periodic defragmentation between waves — no scope
@@ -669,6 +984,18 @@ fn run_wave(
                                 if item.role == TxnRole::Participant {
                                     load.report.forwarded_effects += item.effects.len() as u64;
                                 }
+                                if let Some(w) = wal.as_deref_mut() {
+                                    wal_append(
+                                        w,
+                                        &mut load,
+                                        shard,
+                                        item.ts,
+                                        item.role,
+                                        item.cross,
+                                        &item.effects,
+                                        wave_id,
+                                    );
+                                }
                                 votes.push(Some(r));
                             }
                             Err(_full) => {
@@ -687,6 +1014,25 @@ fn run_wave(
                                 )
                                 .in_wave(wave_id),
                             );
+                        }
+                    }
+                    // The wave's group commit: one force barrier covers every
+                    // record this shard appended for the wave. An armed
+                    // crash skips it (AfterPrepare) or tears the last
+                    // involved shard's force halfway (MidEffectFlush).
+                    if let Some(w) = wal {
+                        match force_mode {
+                            ForceMode::Normal => {
+                                wal_force(w, &mut load, shard, force_latency, wave_id);
+                            }
+                            ForceMode::Skip => {}
+                            ForceMode::TornAt(k) if k == i => {
+                                let half = w.pending_len() / 2;
+                                w.force_torn(half);
+                            }
+                            ForceMode::TornAt(_) => {
+                                wal_force(w, &mut load, shard, force_latency, wave_id);
+                            }
                         }
                     }
                     if shard.trace_enabled() && shard.now() > phase_start {
@@ -718,6 +1064,17 @@ fn run_wave(
         starts[i] = s;
     }
 
+    // The kill at (or during) the wave's group commit: the prepare
+    // phase ran, but the wave's records are lost (AfterPrepare) or
+    // durable only up to one shard's torn force (MidEffectFlush).
+    if matches!(
+        crash,
+        Some(CrashSite::AfterPrepare | CrashSite::MidEffectFlush)
+    ) {
+        dur.as_deref_mut().expect("armed implies ctx").crashed = true;
+        return true;
+    }
+
     // Step 3: the vote barrier — a transaction commits iff every
     // involved shard prepared it; record who voted no for the retry
     // pass's defragmentation.
@@ -729,6 +1086,34 @@ fn run_wave(
                 committed[item.txn] = false;
                 no_voters[item.txn].push(i);
             }
+        }
+    }
+
+    // Between the vote barrier and the decision phase, the commit
+    // decisions become durable: one `Commit(ts)` entry per committed
+    // cross-shard transaction, forced before any decision is delivered.
+    // Recovery presumes abort for cross-shard scopes the decision log
+    // does not vouch for.
+    if let Some(d) = dur.as_deref_mut() {
+        if crash == Some(CrashSite::BetweenVoteAndDecision) {
+            d.crashed = true;
+            return true;
+        }
+        for (i, routed) in wave.iter().enumerate() {
+            if committed[i] && !routed.participants.is_empty() {
+                d.decision_log.append(&encode_decision(routed.ts));
+            }
+        }
+        if crash == Some(CrashSite::MidDecisionLogWrite) {
+            let half = d.decision_log.pending_len() / 2;
+            d.decision_log.force_torn(half);
+            d.crashed = true;
+            return true;
+        }
+        d.decision_log.force();
+        if crash == Some(CrashSite::AfterDecision) {
+            d.crashed = true;
+            return true;
         }
     }
 
@@ -878,9 +1263,32 @@ fn run_wave(
         }
         if routed.participants.is_empty() {
             let home = routed.shard as usize;
-            run_local_txn(&mut shards[home], routed, &mut loads[home], true);
+            let wal = dur.as_deref_mut().map(|d| &mut d.logs[home]);
+            run_local_txn(&mut shards[home], routed, &mut loads[home], true, wal);
+            // A retry runs alone, so its record forces alone — no wave
+            // to amortize the barrier over.
+            if let Some(d) = dur.as_deref_mut() {
+                wal_force(
+                    &mut d.logs[home],
+                    &mut loads[home],
+                    &mut shards[home],
+                    force_latency,
+                    wave_id,
+                );
+            }
         } else {
-            two_phase_commit(shards, map, routed, commit, loads, 1);
+            let crashed = two_phase_commit(
+                shards,
+                map,
+                routed,
+                commit,
+                loads,
+                1,
+                dur.as_deref_mut(),
+                None,
+            );
+            debug_assert!(!crashed, "an unarmed 2PC cannot crash");
         }
     }
+    false
 }

@@ -1,0 +1,290 @@
+//! Durability for the sharded service: per-shard effect WALs, the
+//! coordinator decision log, crash-point fault injection, and the
+//! recovery report types.
+//!
+//! # The logging protocol
+//!
+//! Every engine owns one effect log ([`pushtap_wal::Wal`]). When a
+//! prepare succeeds, the coordinator appends the transaction's effect
+//! subset on that shard as an [`EffectRecord`](pushtap_oltp::EffectRecord)
+//! — volatile until the
+//! next **group-commit force**. The force barrier runs once per wave
+//! per involved shard (pipelined) or per two-phase commit / local
+//! bucket (serial), *before* the shard's votes reach the coordinator:
+//! a shard never votes yes on records a crash could still lose.
+//!
+//! Cross-shard transactions additionally need the coordinator's
+//! **decision log**: after the vote barrier, the coordinator appends
+//! one `Commit(ts)` entry per committed cross-shard transaction and
+//! forces the decision log *before* any commit decision is delivered.
+//! Recovery then resolves prepared-but-undecided scopes by **presumed
+//! abort**: a cross-shard record replays only if the decision log holds
+//! its timestamp; a warehouse-local record replays iff it is durable
+//! (its own force was its commit point).
+//!
+//! The ordering gives the durable image a crucial shape: it is always
+//! the records of some prefix of complete waves plus a possibly-torn
+//! final wave — and a wave's members are mutually conflict-free, so
+//! *any* durable subset of the torn wave replays to the same bytes the
+//! untouched reference commits for those transactions.
+//!
+//! # Crash points
+//!
+//! A [`CrashPoint`] arms an in-process simulated kill at one of six
+//! [`CrashSite`]s of the `event`-th wave (pipelined) or cross-shard
+//! two-phase commit (serial). The coordinator stops dead at the site —
+//! pending log bytes evaporate, forced bytes survive — and the service
+//! refuses further batches; a test then harvests the durable bytes and
+//! recovers them into a fresh deployment
+//! ([`ShardedHtap::recover`](crate::ShardedHtap::recover)).
+
+use pushtap_mvcc::Ts;
+use pushtap_pim::Ps;
+use pushtap_wal::Wal;
+
+/// Where in the commit protocol an armed crash kills the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashSite {
+    /// Before the target wave / two-phase commit starts: nothing of it
+    /// is logged or applied.
+    BeforePrepare,
+    /// After every prepare (and its log append) of the target, before
+    /// any force barrier: the target's records are pending and die with
+    /// the process.
+    AfterPrepare,
+    /// Mid effect-log flush: the force barriers are underway — earlier
+    /// shards' logs are fully forced, the last involved shard's force
+    /// tears mid-record, later bytes are lost.
+    MidEffectFlush,
+    /// Between the vote barrier and the decision-log write: every
+    /// effect record is durable, but no decision is — recovery must
+    /// presume abort for the target's cross-shard transactions.
+    BetweenVoteAndDecision,
+    /// Mid decision-log write: the decision entries are appended and
+    /// the force tears them mid-record.
+    MidDecisionLogWrite,
+    /// After the decision log is durable, before any commit decision is
+    /// applied to an engine: recovery must *commit* the decided scopes.
+    AfterDecision,
+}
+
+impl CrashSite {
+    /// Every site, in protocol order — the deterministic kill-point
+    /// matrix enumerates this.
+    pub const ALL: [CrashSite; 6] = [
+        CrashSite::BeforePrepare,
+        CrashSite::AfterPrepare,
+        CrashSite::MidEffectFlush,
+        CrashSite::BetweenVoteAndDecision,
+        CrashSite::MidDecisionLogWrite,
+        CrashSite::AfterDecision,
+    ];
+}
+
+/// An armed in-process kill: die at `site` of the `event`-th wave
+/// (pipelined coordinator, 1-based) or the `event`-th cross-shard
+/// two-phase commit (serial coordinator, 1-based). If the batch has
+/// fewer events the crash never fires and the batch completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The protocol point to die at.
+    pub site: CrashSite,
+    /// Which wave / cross-shard 2PC to die in (1-based).
+    pub event: u64,
+}
+
+/// The durable bytes a crashed deployment leaves behind: one effect-log
+/// image per shard plus the coordinator decision log. This is what a
+/// disk would hold after the kill — the only input
+/// [`ShardedHtap::recover`](crate::ShardedHtap::recover) gets.
+#[derive(Debug, Clone)]
+pub struct WalBytes {
+    /// Per-shard effect-log images, indexed by shard.
+    pub shards: Vec<Vec<u8>>,
+    /// The coordinator decision-log image.
+    pub decisions: Vec<u8>,
+}
+
+impl WalBytes {
+    /// Reads the log images a file-backed deployment
+    /// ([`crate::ShardedHtap::enable_wal_files`]) wrote under `dir`:
+    /// `shard-<i>.wal` for each of `shards` shards plus
+    /// `decisions.wal`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file read errors.
+    pub fn read_dir(dir: &std::path::Path, shards: u32) -> std::io::Result<WalBytes> {
+        let shards = (0..shards)
+            .map(|i| std::fs::read(dir.join(format!("shard-{i}.wal"))))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let decisions = std::fs::read(dir.join("decisions.wal"))?;
+        Ok(WalBytes { shards, decisions })
+    }
+}
+
+/// One shard's recovery outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// Valid records recovered from the log's longest valid prefix.
+    pub records: u64,
+    /// Records replayed and committed (decided cross-shard records plus
+    /// every durable warehouse-local record).
+    pub replayed: u64,
+    /// Durable records *skipped* by presumed abort: prepared cross-shard
+    /// scopes whose commit decision never became durable.
+    pub skipped: u64,
+    /// Durable records superseded by a later append at the same
+    /// timestamp: a wave casualty's forced record and its serial
+    /// retry's log byte-identical payloads (decomposition is
+    /// retry-stable), and replay keeps the last. Always
+    /// `replayed + skipped + duplicates == records`.
+    pub duplicates: u64,
+    /// Row-level effects applied during replay.
+    pub effects: u64,
+    /// Bytes discarded past the log's longest valid prefix (torn tail).
+    pub truncated_bytes: u64,
+    /// Whether the log had a torn tail.
+    pub torn: bool,
+    /// `DeltaFull` retries during replay (replay reclaims arenas with
+    /// the same defragment-and-retry loop as live execution; byte
+    /// identity is unaffected — that is the invariant the crash-point
+    /// suite proves).
+    pub defrag_retries: u64,
+}
+
+/// What [`ShardedHtap::recover`](crate::ShardedHtap::recover) did.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Per-shard replay outcomes, indexed by shard.
+    pub per_shard: Vec<ShardRecovery>,
+    /// Every transaction recovery committed (home-side records),
+    /// ascending by timestamp — the exact committed stream the
+    /// recovered deployment now holds.
+    pub committed: Vec<Ts>,
+    /// Commit decisions recovered from the decision log.
+    pub decisions: u64,
+    /// Bytes discarded past the decision log's longest valid prefix.
+    pub decision_truncated: u64,
+    /// The timestamp watermark after recovery: past every timestamp any
+    /// durable record mentioned, so post-recovery batches allocate
+    /// fresh timestamps.
+    pub watermark: Ts,
+}
+
+impl RecoveryReport {
+    /// Total records replayed and committed across shards.
+    pub fn replayed(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.replayed).sum()
+    }
+
+    /// Total durable records presumed-abort skipped across shards.
+    pub fn skipped(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.skipped).sum()
+    }
+}
+
+/// The decision-log payload for `Commit(ts)`: the timestamp, little
+/// endian. Presumed abort needs no abort entries.
+pub(crate) fn encode_decision(ts: Ts) -> [u8; 8] {
+    ts.0.to_le_bytes()
+}
+
+/// Decodes a decision-log payload (the frame checksum already vouched
+/// for the bytes).
+pub(crate) fn decode_decision(payload: &[u8]) -> Ts {
+    let bytes: [u8; 8] = payload
+        .try_into()
+        .expect("decision record must be exactly 8 bytes — log format version skew");
+    Ts(u64::from_le_bytes(bytes))
+}
+
+/// The durability state a deployment owns once its WAL is enabled.
+pub(crate) struct Durability {
+    /// One effect log per shard.
+    pub logs: Vec<Wal>,
+    /// The coordinator decision log.
+    pub decision_log: Wal,
+    /// An armed crash point (cleared only by recovery into a fresh
+    /// deployment — a crashed service stays dead).
+    pub armed: Option<CrashPoint>,
+    /// Whether an armed crash has fired.
+    pub crashed: bool,
+}
+
+impl std::fmt::Debug for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Durability")
+            .field("logs", &self.logs.len())
+            .field("armed", &self.armed)
+            .field("crashed", &self.crashed)
+            .finish()
+    }
+}
+
+/// The coordinator's borrowed view of a batch's durability state.
+pub(crate) struct DurabilityCtx<'a> {
+    /// Per-shard effect logs.
+    pub logs: &'a mut [Wal],
+    /// The decision log.
+    pub decision_log: &'a mut Wal,
+    /// Group-commit force latency, charged per force barrier.
+    pub force_latency: Ps,
+    /// The armed crash point, if any.
+    pub armed: Option<CrashPoint>,
+    /// Set when the armed crash fires; the coordinator stops dead.
+    pub crashed: bool,
+}
+
+impl DurabilityCtx<'_> {
+    /// The armed crash site if it targets 1-based protocol event
+    /// `event` and has not fired yet.
+    pub fn armed_at(&self, event: u64) -> Option<CrashSite> {
+        match self.armed {
+            Some(p) if p.event == event && !self.crashed => Some(p.site),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_entries_round_trip() {
+        for ts in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(decode_decision(&encode_decision(Ts(ts))), Ts(ts));
+        }
+    }
+
+    #[test]
+    fn crash_sites_enumerate_in_protocol_order() {
+        assert_eq!(CrashSite::ALL.len(), 6);
+        assert_eq!(CrashSite::ALL[0], CrashSite::BeforePrepare);
+        assert_eq!(CrashSite::ALL[5], CrashSite::AfterDecision);
+    }
+
+    #[test]
+    fn armed_ctx_matches_only_its_event() {
+        let (mut a, _) = Wal::in_memory();
+        let (mut b, _) = Wal::in_memory();
+        let ctx = DurabilityCtx {
+            logs: std::slice::from_mut(&mut a),
+            decision_log: &mut b,
+            force_latency: Ps::ZERO,
+            armed: Some(CrashPoint {
+                site: CrashSite::AfterPrepare,
+                event: 3,
+            }),
+            crashed: false,
+        };
+        assert_eq!(ctx.armed_at(2), None);
+        assert_eq!(ctx.armed_at(3), Some(CrashSite::AfterPrepare));
+        let fired = DurabilityCtx {
+            crashed: true,
+            ..ctx
+        };
+        assert_eq!(fired.armed_at(3), None, "a fired crash never re-fires");
+    }
+}

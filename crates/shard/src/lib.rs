@@ -106,13 +106,15 @@
 
 mod config;
 pub mod coordinator;
+pub mod durability;
 mod partition;
 mod report;
 mod router;
 mod service;
 
 pub use config::{CommitConfig, CoordinatorMode, ShardConfig};
+pub use durability::{CrashPoint, CrashSite, RecoveryReport, ShardRecovery, WalBytes};
 pub use partition::WarehouseMap;
 pub use report::{CoordStats, RemoteTouches, ShardLoad, ShardOltpReport, ShardQueryReport};
 pub use router::{RoutedTxn, TxnRouter};
-pub use service::ShardedHtap;
+pub use service::{ShardedHtap, WalHandles};

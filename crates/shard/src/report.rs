@@ -77,6 +77,19 @@ pub struct CoordStats {
     /// casualty retried serially still overlapped on its wave attempt).
     /// Zero under the serial coordinator (every 2PC runs alone).
     pub overlapped_two_pcs: u64,
+    /// `Commit(ts)` entries appended to the coordinator decision log
+    /// (one per committed cross-shard transaction; zero with the WAL
+    /// off).
+    pub decision_appends: u64,
+    /// Decision-log force barriers (one per wave holding a committed
+    /// cross-shard transaction under the pipelined coordinator, one per
+    /// committed 2PC under the serial one). Charged to no engine clock:
+    /// the decision log is coordinator-side state, forced while the
+    /// decision round-trip is already in flight.
+    pub decision_forces: u64,
+    /// Whether an armed crash point fired during the batch (the stream
+    /// stopped dead at the crash site).
+    pub crashed: bool,
 }
 
 /// The outcome of one batch across all shards.
@@ -215,15 +228,59 @@ impl ShardOltpReport {
     /// Share of the deployment's summed busy time spent on 2PC message
     /// rounds — the commit-round time share of the batch. Computed from
     /// [`ShardOltpReport::critical_path_time`] (what actually landed on
-    /// the clocks), so the share can never exceed 1.0 even when the
-    /// pipelined coordinator overlaps many 2PCs — dividing the
-    /// sequential ledger by busy time could.
+    /// the clocks) minus the group-commit force time it includes —
+    /// forces are durability, not messaging, so a logged but fully
+    /// warehouse-local batch reports zero here. The share can never
+    /// exceed 1.0 even when the pipelined coordinator overlaps many
+    /// 2PCs — dividing the sequential ledger by busy time could.
     pub fn two_pc_time_share(&self) -> f64 {
         let busy: u64 = self.per_shard.iter().map(|s| s.elapsed.ps()).sum();
+        let rounds = self
+            .critical_path_time()
+            .saturating_sub(self.wal_force_time());
         if busy == 0 {
             0.0
         } else {
-            self.critical_path_time().ps() as f64 / busy as f64
+            rounds.ps() as f64 / busy as f64
+        }
+    }
+
+    /// Effect records appended to the per-shard WALs (zero with the WAL
+    /// off): one per successful prepare, home halves and forwarded
+    /// participants alike.
+    pub fn wal_appends(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.report.wal_appends).sum()
+    }
+
+    /// Group-commit force barriers across the per-shard effect logs
+    /// (the decision log's forces are counted separately in
+    /// [`CoordStats::decision_forces`]).
+    pub fn wal_forces(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.report.wal_forces).sum()
+    }
+
+    /// Framed bytes appended to the per-shard effect logs.
+    pub fn wal_bytes(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.report.wal_bytes).sum()
+    }
+
+    /// Force-barrier latency charged to shard clocks (and their
+    /// critical paths) by group commit.
+    pub fn wal_force_time(&self) -> Ps {
+        self.per_shard.iter().map(|s| s.report.wal_force_time).sum()
+    }
+
+    /// Durable syncs per committed transaction: every effect-log force
+    /// plus every decision-log force, over the batch's commits. Group
+    /// commit's whole point is to push this **below 1.0** — one barrier
+    /// amortized across a wave or bucket — where naive per-transaction
+    /// durability would pay ≥ 1.
+    pub fn fsync_per_txn(&self) -> f64 {
+        let committed = self.committed();
+        if committed == 0 {
+            0.0
+        } else {
+            (self.wal_forces() + self.coord.decision_forces) as f64 / committed as f64
         }
     }
 

@@ -3,23 +3,53 @@
 //! for cross-shard writes — see [`crate::coordinator`]), and one
 //! scatter-gather query coordinator.
 
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::Arc;
 use std::thread;
 
 use pushtap_chbench::TxnGen;
 use pushtap_core::{Pushtap, QueryReport};
 use pushtap_format::LayoutError;
-use pushtap_mvcc::TsOracle;
+use pushtap_mvcc::{Ts, TsOracle};
 use pushtap_olap::{merge_partials, Query};
-use pushtap_oltp::Partition;
+use pushtap_oltp::{EffectRecord, Partition, TxnRole};
 use pushtap_pim::Ps;
 use pushtap_trace::{Phase, Span, TraceSink};
+use pushtap_wal::{scan, MemLog, Wal};
 
 use crate::config::ShardConfig;
 use crate::coordinator;
+use crate::durability::{
+    decode_decision, CrashPoint, Durability, DurabilityCtx, RecoveryReport, ShardRecovery, WalBytes,
+};
 use crate::partition::WarehouseMap;
 use crate::report::{ShardLoad, ShardOltpReport, ShardQueryReport};
 use crate::router::TxnRouter;
+
+/// Harvest handles onto an in-memory WAL deployment's durable bytes
+/// ([`ShardedHtap::enable_wal`]): they outlive the service, so a test
+/// can "kill" it (drop it at its armed crash point) and still read what
+/// a disk would hold.
+#[derive(Debug, Clone)]
+pub struct WalHandles {
+    /// Per-shard effect-log handles, indexed by shard.
+    pub shards: Vec<MemLog>,
+    /// The coordinator decision-log handle.
+    pub decisions: MemLog,
+}
+
+impl WalHandles {
+    /// Snapshots every log's durable bytes — the input
+    /// [`ShardedHtap::recover`] takes.
+    #[must_use]
+    pub fn harvest(&self) -> WalBytes {
+        WalBytes {
+            shards: self.shards.iter().map(MemLog::bytes).collect(),
+            decisions: self.decisions.bytes(),
+        }
+    }
+}
 
 /// A warehouse-partitioned deployment of PUSHtap engines.
 ///
@@ -48,6 +78,7 @@ pub struct ShardedHtap {
     router: TxnRouter,
     shards: Vec<Pushtap>,
     oracle: Arc<TsOracle>,
+    durability: Option<Durability>,
 }
 
 impl ShardedHtap {
@@ -81,7 +112,184 @@ impl ShardedHtap {
             cfg,
             shards,
             oracle,
+            durability: None,
         })
+    }
+
+    /// Turns on write-ahead logging over in-memory stores: one effect
+    /// log per shard plus the coordinator decision log. Returns harvest
+    /// handles that outlive the service, so a crash-point test can kill
+    /// the deployment and still read the durable bytes. Forces charge
+    /// [`crate::CommitConfig::force_latency`] to the forcing shard's
+    /// clock (group commit amortizes one force across a wave or
+    /// bucket).
+    pub fn enable_wal(&mut self) -> WalHandles {
+        let (logs, handles): (Vec<Wal>, Vec<MemLog>) =
+            (0..self.shards.len()).map(|_| Wal::in_memory()).unzip();
+        let (decision_log, decisions) = Wal::in_memory();
+        self.durability = Some(Durability {
+            logs,
+            decision_log,
+            armed: None,
+            crashed: false,
+        });
+        WalHandles {
+            shards: handles,
+            decisions,
+        }
+    }
+
+    /// Turns on write-ahead logging over real files under `dir`:
+    /// `shard-<i>.wal` per shard plus `decisions.wal`, the layout
+    /// [`WalBytes::read_dir`] reads back. Used by the CI crash-recovery
+    /// smoke; tests prefer [`ShardedHtap::enable_wal`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates log-file creation errors.
+    pub fn enable_wal_files(&mut self, dir: &Path) -> std::io::Result<()> {
+        let logs = (0..self.shards.len())
+            .map(|i| Wal::to_file(&dir.join(format!("shard-{i}.wal"))))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let decision_log = Wal::to_file(&dir.join("decisions.wal"))?;
+        self.durability = Some(Durability {
+            logs,
+            decision_log,
+            armed: None,
+            crashed: false,
+        });
+        Ok(())
+    }
+
+    /// Whether write-ahead logging is enabled.
+    pub fn wal_enabled(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Arms a simulated kill at `point`: the next batch stops dead when
+    /// it reaches the site, leaving only forced bytes behind. The
+    /// service then refuses further batches ([`ShardedHtap::crashed`]);
+    /// harvest the logs and [`ShardedHtap::recover`] into a fresh
+    /// deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the WAL is not enabled — a crash without durable logs
+    /// has nothing to prove.
+    pub fn arm_crash(&mut self, point: CrashPoint) {
+        self.durability
+            .as_mut()
+            .expect("arm_crash requires an enabled WAL")
+            .armed = Some(point);
+    }
+
+    /// Whether an armed crash has fired. A crashed service is dead: it
+    /// refuses further batches, exactly like the process it simulates.
+    pub fn crashed(&self) -> bool {
+        self.durability.as_ref().is_some_and(|d| d.crashed)
+    }
+
+    /// Rebuilds a deployment from the durable log bytes a crash left
+    /// behind: builds the seed database fresh (deterministic), replays
+    /// each shard's longest valid log prefix through the ordinary
+    /// `prepare`/`commit` pipeline at the original pinned timestamps —
+    /// committing warehouse-local records outright and cross-shard
+    /// records only if the decision log vouches for them (presumed
+    /// abort) — and advances the shared oracle past every durable
+    /// timestamp. The recovered service has no WAL enabled (call
+    /// [`ShardedHtap::enable_wal`] again to keep logging).
+    ///
+    /// Replay defragments and retries on `DeltaFull` exactly like live
+    /// execution, so recovery succeeds under delta pressure and — by
+    /// retry-stability of the effect decomposition — reconstructs
+    /// byte-identical committed state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-generation errors from the fresh build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logs` has a different shard count than `cfg`, or if a
+    /// checksummed record fails to decode (log format version skew —
+    /// torn or corrupt records are *truncated* by the scan, never
+    /// decoded).
+    pub fn recover(
+        cfg: ShardConfig,
+        logs: &WalBytes,
+    ) -> Result<(ShardedHtap, RecoveryReport), LayoutError> {
+        let mut service = ShardedHtap::new(cfg)?;
+        let report = service.replay(logs);
+        Ok((service, report))
+    }
+
+    /// [`ShardedHtap::recover`] with a trace sink installed first, so
+    /// the replay emits per-shard [`Phase::Recovery`] spans into the
+    /// same timeline as the post-recovery batches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-generation errors from the fresh build.
+    pub fn recover_traced(
+        cfg: ShardConfig,
+        logs: &WalBytes,
+        sink: Arc<dyn TraceSink>,
+    ) -> Result<(ShardedHtap, RecoveryReport), LayoutError> {
+        let mut service = ShardedHtap::new(cfg)?;
+        service.set_trace_sink(sink);
+        let report = service.replay(logs);
+        Ok((service, report))
+    }
+
+    /// Replays harvested log bytes into this (freshly built) deployment.
+    fn replay(&mut self, logs: &WalBytes) -> RecoveryReport {
+        assert_eq!(
+            logs.shards.len(),
+            self.shards.len(),
+            "log images must match the deployment's shard count"
+        );
+        let dscan = scan(&logs.decisions);
+        let decided: BTreeSet<u64> = dscan.records.iter().map(|p| decode_decision(p).0).collect();
+        let decided = &decided;
+        type ShardOutcome = (usize, ShardRecovery, Vec<Ts>, u64);
+        let results: Vec<ShardOutcome> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(logs.shards.iter())
+                .enumerate()
+                .map(|(i, (shard, bytes))| {
+                    scope.spawn(move || (i, replay_shard(shard, bytes, decided)))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let (i, (rec, committed, max_ts)) = h.join().expect("recovery thread panicked");
+                    (i, rec, committed, max_ts)
+                })
+                .collect()
+        });
+        let mut per_shard = vec![ShardRecovery::default(); self.shards.len()];
+        let mut committed: Vec<Ts> = Vec::new();
+        let mut watermark = 0u64;
+        for (i, rec, c, max_ts) in results {
+            per_shard[i] = rec;
+            committed.extend(c);
+            watermark = watermark.max(max_ts);
+        }
+        committed.sort_unstable();
+        // Past every timestamp any durable record mentioned — skipped
+        // (presumed-abort) records included, their timestamps were
+        // allocated — so post-recovery batches draw fresh ones.
+        self.oracle.advance_to(Ts(watermark));
+        RecoveryReport {
+            per_shard,
+            committed,
+            decisions: dscan.records.len() as u64,
+            decision_truncated: dscan.truncated_bytes,
+            watermark: Ts(watermark),
+        }
     }
 
     /// The deployment-wide timestamp oracle all shards draw from.
@@ -214,6 +422,11 @@ impl ShardedHtap {
         &mut self,
         mut stream: Vec<crate::router::RoutedTxn>,
     ) -> (Vec<ShardLoad>, crate::report::CoordStats) {
+        assert!(
+            !self.crashed(),
+            "service crashed at its armed crash point; harvest the logs and \
+             recover into a fresh deployment"
+        );
         if self.cfg.mode == crate::CoordinatorMode::Pipelined {
             for routed in &mut stream {
                 routed.keys = self.shards[routed.shard as usize]
@@ -235,13 +448,27 @@ impl ShardedHtap {
             }
         }
         let map = *self.router.map();
-        coordinator::execute_stream(
+        let force_latency = self.cfg.commit.force_latency;
+        let mut ctx = self.durability.as_mut().map(|d| DurabilityCtx {
+            logs: &mut d.logs,
+            decision_log: &mut d.decision_log,
+            force_latency,
+            armed: d.armed,
+            crashed: d.crashed,
+        });
+        let out = coordinator::execute_stream(
             &mut self.shards,
             &map,
             stream,
             self.cfg.commit,
             self.cfg.mode,
-        )
+            ctx.as_mut(),
+        );
+        let crashed = ctx.map(|c| c.crashed); // consumes ctx, ending its borrow
+        if let (Some(crashed), Some(d)) = (crashed, self.durability.as_mut()) {
+            d.crashed = crashed;
+        }
+        out
     }
 
     /// Defragments every shard concurrently (each pauses its own OLTP,
@@ -308,6 +535,79 @@ impl ShardedHtap {
     }
 }
 
+/// Replays one shard's log image: scans the longest valid record
+/// prefix, dedupes by timestamp keeping the last append (a wave attempt
+/// and its serial retry log byte-identical records — decomposition is
+/// retry-stable — so last-wins is harmless), and re-commits every
+/// record that is warehouse-local or decision-log-vouched through the
+/// ordinary prepare/commit pipeline at its pinned timestamp. Returns
+/// the shard's outcome, the home-side (coordinator-role) timestamps it
+/// committed, and the highest timestamp any durable record mentioned.
+fn replay_shard(
+    shard: &mut Pushtap,
+    bytes: &[u8],
+    decided: &BTreeSet<u64>,
+) -> (ShardRecovery, Vec<Ts>, u64) {
+    let log = scan(bytes);
+    let mut rec = ShardRecovery {
+        records: log.records.len() as u64,
+        truncated_bytes: log.truncated_bytes,
+        torn: log.torn,
+        ..ShardRecovery::default()
+    };
+    let mut by_ts: BTreeMap<u64, EffectRecord> = BTreeMap::new();
+    for payload in &log.records {
+        let r = EffectRecord::decode(payload)
+            .expect("checksummed record must decode — log format version skew");
+        by_ts.insert(r.ts.0, r);
+    }
+    rec.duplicates = rec.records - by_ts.len() as u64;
+    let mut committed: Vec<Ts> = Vec::new();
+    let mut max_ts = 0u64;
+    let start = shard.now();
+    // Ascending timestamp order: per-row commit timestamps must land
+    // monotonically, exactly as the live coordinator applied them.
+    for (ts, r) in by_ts {
+        max_ts = max_ts.max(ts);
+        // Presumed abort: a cross-shard record commits only if the
+        // decision log vouches for its timestamp. (The force ordering —
+        // effect logs before the decision log — guarantees the converse:
+        // a durable decision implies durable effect records everywhere.)
+        if r.cross && !decided.contains(&ts) {
+            rec.skipped += 1;
+            continue;
+        }
+        loop {
+            match shard.prepare_effects_at(&r.effects, Ts(ts)) {
+                Ok(_) => break,
+                Err(_full) => {
+                    // Same defragment-and-retry loop as live execution;
+                    // retry-stability keeps the committed bytes identical
+                    // however often replay has to reclaim arenas.
+                    rec.defrag_retries += 1;
+                    shard.defragment_all();
+                }
+            }
+        }
+        shard.commit_prepared(Ts(ts), r.role);
+        rec.replayed += 1;
+        rec.effects += r.effects.len() as u64;
+        if r.role == TxnRole::Coordinator {
+            committed.push(Ts(ts));
+        }
+    }
+    if rec.replayed > 0 && shard.trace_enabled() {
+        shard.trace_record(Span::new(
+            shard.trace_track(),
+            Phase::Recovery,
+            0,
+            start.ps(),
+            shard.now().ps(),
+        ));
+    }
+    (rec, committed, max_ts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +670,7 @@ mod tests {
         dear.commit = CommitConfig {
             prepare_hop: Ps::from_us(5.0),
             commit_hop: Ps::from_us(5.0),
+            ..CommitConfig::FREE
         };
         let mut a = ShardedHtap::new(cheap).expect("build");
         let mut b = ShardedHtap::new(dear).expect("build");

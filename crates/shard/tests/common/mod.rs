@@ -9,6 +9,33 @@ use pushtap_oltp::stripe_start;
 /// defragments both sides first so every committed version is folded
 /// in) between a shard and the rows of the unpartitioned reference that
 /// shard holds, timestamp-encoded columns included.
+/// Builds an unpartitioned reference holding *exactly* the `committed`
+/// subset of the routed stream — the byte-identity oracle for crash
+/// recovery. The i-th generated transaction carries pinned timestamp
+/// `i + 1` (the router stamps stream order), so each committed
+/// timestamp selects its transaction from the regenerated batch and
+/// executes at the original pin; everything a crash lost is simply
+/// never run.
+#[allow(dead_code)]
+pub fn reference_holding(
+    cfg: &pushtap_shard::ShardConfig,
+    mix: pushtap_chbench::RemoteMix,
+    seed: u64,
+    txns: u64,
+    committed: &[pushtap_mvcc::Ts],
+) -> Pushtap {
+    let mut reference = Pushtap::new(cfg.base.clone()).expect("build reference");
+    let warehouses = reference.db().warehouses_global();
+    let mut gen = reference.txn_gen(seed).with_remote_mix(mix, warehouses);
+    let batch = gen.batch(txns as usize);
+    for &ts in committed {
+        let idx = usize::try_from(ts.0).expect("ts fits usize") - 1;
+        reference.execute_txn_at(&batch[idx], ts);
+    }
+    reference.defragment_all();
+    reference
+}
+
 pub fn assert_table_bytes_match(shard: &Pushtap, reference: &Pushtap, table: Table, label: &str) {
     let db = shard.db();
     let rdb = reference.db();

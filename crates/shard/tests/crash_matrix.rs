@@ -1,0 +1,321 @@
+//! The durability acceptance property: kill the deployment at *any*
+//! point of the commit protocol, recover from nothing but the forced
+//! log bytes, and the recovered committed state is **byte-identical**
+//! to an untouched reference that executed exactly the recovered
+//! committed transactions — at every shard count, under both
+//! coordinator modes, with and without delta pressure.
+//!
+//! The deterministic matrix enumerates every [`CrashSite`] against both
+//! coordinator modes; the proptest then draws arbitrary kill points
+//! (site × event × seed × mix × shards × pressure) and re-proves the
+//! identity. Both also check the recovery hygiene obligations: no
+//! prepared scope, no prepared versions, no leaked delta slots, a
+//! watermark past every durable timestamp, and a recovered deployment
+//! that keeps accepting batches.
+
+mod common;
+
+use proptest::prelude::*;
+use pushtap_chbench::{RemoteMix, ALL_TABLES};
+use pushtap_shard::{
+    CoordinatorMode, CrashPoint, CrashSite, RecoveryReport, ShardConfig, ShardedHtap,
+};
+
+const SEED: u64 = 2025;
+const TXNS: u64 = 64;
+
+/// Arena knobs from `tests/delta_pressure.rs`: every transaction class
+/// aborts at least once, so crash points land amid `DeltaFull` retries.
+fn squeezed(shards: u32, mode: CoordinatorMode) -> ShardConfig {
+    let mut cfg = ShardConfig::small(shards).with_mode(mode);
+    cfg.base.db.delta_frac = 0.06;
+    cfg.base.db.min_delta_rows = 8;
+    cfg
+}
+
+fn mode_name(mode: CoordinatorMode) -> &'static str {
+    match mode {
+        CoordinatorMode::Serial => "serial",
+        CoordinatorMode::Pipelined => "pipelined",
+    }
+}
+
+/// Runs one armed batch to its crash (or completion), kills the
+/// service, recovers a fresh deployment from the harvested bytes, and
+/// proves the full obligation set: scan hygiene (every valid record
+/// either replays or is presumed-abort skipped — never half-applied),
+/// no prepared scopes / versions / leaked slots, byte identity of all
+/// tables on all shards against an unpartitioned reference holding
+/// exactly the recovered committed set, a watermark past every
+/// committed timestamp, and a post-recovery batch that commits.
+///
+/// Returns the recovery report and whether the armed crash fired (an
+/// `event` past the batch's last wave / 2PC never fires — the batch
+/// just completes, and recovery must then reproduce *all* of it).
+fn crash_and_recover(
+    cfg: ShardConfig,
+    mix: RemoteMix,
+    seed: u64,
+    txns: u64,
+    point: CrashPoint,
+    label: &str,
+) -> (RecoveryReport, bool) {
+    let mut service = ShardedHtap::new(cfg.clone()).expect("build shards");
+    let handles = service.enable_wal();
+    service.arm_crash(point);
+    let warehouses = service.map().warehouses();
+    let mut gen = service
+        .global_txn_gen(seed)
+        .with_remote_mix(mix, warehouses);
+    let report = service.run_txns(&mut gen, txns);
+    let crashed = service.crashed();
+    assert_eq!(
+        report.coord.crashed, crashed,
+        "{label}: the batch report must agree with the service"
+    );
+    if !crashed {
+        assert_eq!(
+            report.committed(),
+            txns,
+            "{label}: an unfired crash point must not lose transactions"
+        );
+    }
+    // The kill: drop the service. Only what the force barriers made
+    // durable survives — exactly what a disk would hold.
+    let image = handles.harvest();
+    drop(service);
+
+    let (mut recovered, rec) = ShardedHtap::recover(cfg, &image).expect("recover");
+    assert!(!recovered.crashed(), "{label}: recovery starts fresh");
+    for (i, s) in rec.per_shard.iter().enumerate() {
+        assert_eq!(
+            s.replayed + s.skipped + s.duplicates,
+            s.records,
+            "{label}: shard {i} scan handed out a partial record"
+        );
+    }
+    if !crashed {
+        assert_eq!(
+            rec.committed.len() as u64,
+            txns,
+            "{label}: a completed batch must recover in full"
+        );
+    }
+    for (i, shard) in recovered.shards().iter().enumerate() {
+        assert!(
+            !shard.db().in_prepared_txn(),
+            "{label}: shard {i} holds a scope after recovery"
+        );
+        assert_eq!(
+            shard.db().prepared_versions(),
+            0,
+            "{label}: shard {i} leaked prepared versions"
+        );
+    }
+    recovered.defragment_all();
+    for (i, shard) in recovered.shards().iter().enumerate() {
+        assert_eq!(
+            shard.db().live_delta_rows(),
+            0,
+            "{label}: shard {i} leaked delta slots"
+        );
+    }
+    if let Some(&max) = rec.committed.last() {
+        assert!(
+            rec.watermark >= max,
+            "{label}: watermark must clear every committed timestamp"
+        );
+    }
+
+    // The identity: the recovered bytes equal an untouched reference
+    // executing exactly the recovered committed stream.
+    let reference = common::reference_holding(recovered.cfg(), mix, seed, txns, &rec.committed);
+    for (i, shard) in recovered.shards().iter().enumerate() {
+        for table in ALL_TABLES {
+            common::assert_table_bytes_match(
+                shard,
+                &reference,
+                table,
+                &format!("{label}: shard {i}"),
+            );
+        }
+    }
+
+    // Liveness: the recovered deployment accepts fresh batches with
+    // fresh timestamps (the advanced watermark makes the pins unique).
+    let mut gen = recovered
+        .global_txn_gen(seed ^ 0x5eed)
+        .with_remote_mix(mix, warehouses);
+    let post = recovered.run_txns(&mut gen, 16);
+    assert_eq!(
+        post.committed(),
+        16,
+        "{label}: the recovered deployment must keep committing"
+    );
+    (rec, crashed)
+}
+
+/// The deterministic kill-point matrix: every [`CrashSite`] × both
+/// coordinator modes, killed at the second wave / second cross-shard
+/// two-phase commit of a cross-heavy batch. Every cell crashes, every
+/// cell recovers byte-identically — and the serial cells additionally
+/// pin down the decision-log shape each site must leave behind
+/// (presumed abort before the decision is durable, commit after).
+#[test]
+fn every_site_and_mode_recovers_byte_identically() {
+    for mode in [CoordinatorMode::Serial, CoordinatorMode::Pipelined] {
+        for site in CrashSite::ALL {
+            let label = format!("{} {site:?}", mode_name(mode));
+            let point = CrashPoint { site, event: 2 };
+            let cfg = ShardConfig::small(4).with_mode(mode);
+            let (rec, crashed) =
+                crash_and_recover(cfg, RemoteMix::Uniform, SEED, TXNS, point, &label);
+            assert!(crashed, "{label}: a uniform batch has a second event");
+            if mode == CoordinatorMode::Serial {
+                // Serial events *are* cross-shard 2PCs, ample arenas make
+                // every vote yes, and exactly one decision precedes the
+                // target — so each site's durable image is fully pinned.
+                match site {
+                    CrashSite::BetweenVoteAndDecision => {
+                        assert_eq!(rec.decisions, 1, "{label}: only the first 2PC decided");
+                        assert!(
+                            rec.skipped() >= 2,
+                            "{label}: the undecided prepare must be presumed abort"
+                        );
+                    }
+                    CrashSite::MidDecisionLogWrite => {
+                        assert_eq!(rec.decisions, 1, "{label}: the torn entry must not count");
+                        assert!(
+                            rec.decision_truncated > 0,
+                            "{label}: the tear must leave truncated bytes"
+                        );
+                        assert!(
+                            rec.skipped() >= 2,
+                            "{label}: a torn decision is no decision"
+                        );
+                    }
+                    CrashSite::AfterDecision => {
+                        assert_eq!(rec.decisions, 2, "{label}: both decisions durable");
+                        assert_eq!(
+                            rec.skipped(),
+                            0,
+                            "{label}: every durable prepare was decided"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// A mid-flush kill at every shard count under delta pressure, both
+/// modes: the torn log truncates to whole records, replay re-runs the
+/// same defragment-and-retry loop live execution used, and the bytes
+/// still match. (At one shard the serial coordinator has no cross-shard
+/// 2PC to crash in — the batch completes and recovery reproduces it
+/// whole, which the helper asserts.)
+#[test]
+fn mid_flush_recovers_at_every_shard_count_under_pressure() {
+    for shards in [1u32, 2, 4, 8] {
+        for mode in [CoordinatorMode::Serial, CoordinatorMode::Pipelined] {
+            let label = format!("squeezed {} at {shards} shards", mode_name(mode));
+            let point = CrashPoint {
+                site: CrashSite::MidEffectFlush,
+                event: 2,
+            };
+            crash_and_recover(
+                squeezed(shards, mode),
+                RemoteMix::TPCC,
+                SEED,
+                TXNS,
+                point,
+                &label,
+            );
+        }
+    }
+}
+
+/// An `event` past the batch's last wave / 2PC never fires: the batch
+/// completes, the service stays alive, and the durable image recovers
+/// the *entire* committed stream.
+#[test]
+fn crash_past_the_batch_never_fires_and_recovers_everything() {
+    for mode in [CoordinatorMode::Serial, CoordinatorMode::Pipelined] {
+        let label = format!("{} past-the-end", mode_name(mode));
+        let point = CrashPoint {
+            site: CrashSite::AfterDecision,
+            event: 1_000_000,
+        };
+        let cfg = ShardConfig::small(4).with_mode(mode);
+        let (rec, crashed) = crash_and_recover(cfg, RemoteMix::Uniform, SEED, TXNS, point, &label);
+        assert!(!crashed, "{label}: the crash must never fire");
+        assert_eq!(rec.committed.len() as u64, TXNS, "{label}");
+        assert_eq!(rec.skipped(), 0, "{label}: everything was decided");
+    }
+}
+
+/// A crashed service is dead: it refuses further batches, exactly like
+/// the process it simulates.
+#[test]
+#[should_panic(expected = "service crashed")]
+fn crashed_service_refuses_batches() {
+    let mut service = ShardedHtap::new(ShardConfig::small(2)).expect("build shards");
+    let _handles = service.enable_wal();
+    service.arm_crash(CrashPoint {
+        site: CrashSite::BeforePrepare,
+        event: 1,
+    });
+    let warehouses = service.map().warehouses();
+    let mut gen = service
+        .global_txn_gen(SEED)
+        .with_remote_mix(RemoteMix::Uniform, warehouses);
+    service.run_txns(&mut gen, 16);
+    assert!(service.crashed());
+    service.run_txns(&mut gen, 16);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline property: kill the deployment at an *arbitrary*
+    /// protocol point — any site, any event, any seed, any remote mix,
+    /// 1/2/4/8 shards, either coordinator mode, with or without delta
+    /// pressure — recover from the forced bytes alone, and the
+    /// committed state is byte-identical to the untouched reference,
+    /// with zero leaked slots and zero prepared versions.
+    #[test]
+    fn any_crash_point_recovers_byte_identically(
+        seed in 1u64..=1000,
+        txns in 40u64..=72,
+        site_pick in 0u8..6,
+        event in 1u64..=5,
+        mode_pick in 0u8..2,
+        shard_pick in 0u8..4,
+        mix_pick in 0u8..3,
+        pressured in 0u8..2,
+    ) {
+        let site = CrashSite::ALL[site_pick as usize];
+        let mode = if mode_pick == 0 {
+            CoordinatorMode::Serial
+        } else {
+            CoordinatorMode::Pipelined
+        };
+        let shards = [1u32, 2, 4, 8][shard_pick as usize];
+        let mix = match mix_pick {
+            0 => RemoteMix::LOCAL,
+            1 => RemoteMix::TPCC,
+            _ => RemoteMix::Uniform,
+        };
+        let cfg = if pressured == 1 {
+            squeezed(shards, mode)
+        } else {
+            ShardConfig::small(shards).with_mode(mode)
+        };
+        let label = format!(
+            "proptest {} {site:?} event {event} at {shards} shards (seed {seed}, mix {mix_pick}, pressure {pressured})",
+            mode_name(mode),
+        );
+        crash_and_recover(cfg, mix, seed, txns, CrashPoint { site, event }, &label);
+    }
+}

@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 use pushtap_chbench::{RemoteMix, ALL_TABLES};
 use pushtap_format::RowSlot;
-use pushtap_shard::{CoordinatorMode, ShardConfig, ShardOltpReport, ShardedHtap};
+use pushtap_shard::{
+    CoordinatorMode, CrashPoint, CrashSite, ShardConfig, ShardOltpReport, ShardedHtap, WalHandles,
+};
 use pushtap_trace::{two_pc_overlap_peak, MemSink, Phase, Span};
 
 const SEED: u64 = 2025;
@@ -42,6 +44,24 @@ fn run(mode: CoordinatorMode, traced: bool) -> (ShardedHtap, ShardOltpReport, Ve
     assert_eq!(report.committed(), TXNS);
     service.defragment_all();
     (service, report, sink.take())
+}
+
+/// [`run`] with the effect WAL enabled (always traced): every prepare
+/// appends a record and every wave/bucket ends in one group-commit
+/// force barrier, charged at `ShardConfig::small`'s force latency.
+fn run_wal(mode: CoordinatorMode) -> (ShardedHtap, ShardOltpReport, Vec<Span>, WalHandles) {
+    let mut service = ShardedHtap::new(squeezed(mode)).expect("build shards");
+    let handles = service.enable_wal();
+    let sink = Arc::new(MemSink::default());
+    service.set_trace_sink(sink.clone());
+    let warehouses = service.map().warehouses();
+    let mut gen = service
+        .global_txn_gen(SEED)
+        .with_remote_mix(RemoteMix::Uniform, warehouses);
+    let report = service.run_txns(&mut gen, TXNS);
+    assert_eq!(report.committed(), TXNS);
+    service.defragment_all();
+    (service, report, sink.take(), handles)
 }
 
 fn count(spans: &[Span], phase: Phase) -> u64 {
@@ -78,8 +98,10 @@ fn assert_report_reconciles(report: &ShardOltpReport, spans: &[Span], label: &st
         report.committed(),
         "{label}: commit-latency samples"
     );
-    // One 2PC-stall sample per counted message round, summing to
-    // exactly the critical-path latency the rounds caused.
+    // One 2PC-stall sample per counted message round. Message rounds
+    // and group-commit force barriers are the *only* two charges to the
+    // critical path, so the stall sum plus the force time reproduce it
+    // exactly (the force term is zero whenever the WAL is off).
     let stall = report.two_pc_stall();
     assert_eq!(
         stall.count(),
@@ -87,9 +109,9 @@ fn assert_report_reconciles(report: &ShardOltpReport, spans: &[Span], label: &st
         "{label}: stall samples"
     );
     assert_eq!(
-        stall.sum(),
+        stall.sum() + u128::from(report.wal_force_time().ps()),
         u128::from(report.critical_path_time().ps()),
-        "{label}: stall sum vs critical path"
+        "{label}: stall sum + force time vs critical path"
     );
     // One defrag-stall sample per counted pass.
     let passes: u64 = report
@@ -177,6 +199,144 @@ fn pipelined_trace_reconciles_with_counters() {
     // Queues are subsumed by waves.
     assert_eq!(report.queue_wait().count(), 0);
     assert_eq!(count(&spans, Phase::Barrier), 0);
+}
+
+#[test]
+fn wal_trace_reconciles_with_durability_counters() {
+    for mode in [CoordinatorMode::Serial, CoordinatorMode::Pipelined] {
+        let label = match mode {
+            CoordinatorMode::Serial => "wal serial",
+            CoordinatorMode::Pipelined => "wal pipelined",
+        };
+        let (walled, wr, spans, handles) = run_wal(mode);
+        // The shared invariants hold with the WAL's force time now a
+        // nonzero term of the critical-path identity.
+        assert_report_reconciles(&wr, &spans, label);
+        assert!(wr.wal_force_time().ps() > 0, "{label}: forces charged");
+        // Every effect-record append left a WalAppend instant, and
+        // every group-commit barrier a GroupCommit interval whose
+        // duration is exactly the force latency it charged.
+        assert!(wr.wal_appends() >= wr.committed(), "{label}: appends");
+        assert_eq!(
+            count(&spans, Phase::WalAppend),
+            wr.wal_appends(),
+            "{label}: append instants"
+        );
+        assert!(wr.wal_forces() > 0, "{label}: forces");
+        assert_eq!(
+            count(&spans, Phase::GroupCommit),
+            wr.wal_forces(),
+            "{label}: force intervals"
+        );
+        let forced: u128 = spans
+            .iter()
+            .filter(|s| s.phase == Phase::GroupCommit)
+            .map(|s| u128::from(s.end - s.start))
+            .sum();
+        assert_eq!(
+            forced,
+            u128::from(wr.wal_force_time().ps()),
+            "{label}: force interval durations vs charged force time"
+        );
+        // The coordinator durably decided every cross-shard commit
+        // (presumed abort: no decision record, no commit), syncing the
+        // decision log at least once but at most once per decision.
+        assert!(wr.coord.decision_appends > 0, "{label}: decisions");
+        assert!(wr.coord.decision_forces > 0, "{label}: decision syncs");
+        assert!(
+            wr.coord.decision_forces <= wr.coord.decision_appends,
+            "{label}: decision syncs amortize, never multiply"
+        );
+        // Logging changes *time* (the barriers are on the critical
+        // path) but never a committed byte: state, commits, aborts all
+        // match the unlogged run, and the logs themselves are nonempty.
+        let (plain, pr, _) = run(mode, false);
+        assert_services_match(&walled, &plain, label);
+        assert_eq!(wr.committed(), pr.committed(), "{label}: commits");
+        assert_eq!(wr.aborts(), pr.aborts(), "{label}: aborts");
+        assert!(
+            wr.makespan() > pr.makespan(),
+            "{label}: force barriers cost simulated time"
+        );
+        let image = handles.harvest();
+        assert!(image.shards.iter().any(|s| !s.is_empty()));
+        assert!(!image.decisions.is_empty());
+    }
+    // Group commit's acceptance number, measured on ample arenas (the
+    // squeezed config's delta-pressure retries pay per-retry barriers
+    // in both modes, drowning the scheduling difference): one barrier
+    // amortized across a whole pipelined wave keeps durable syncs per
+    // committed transaction below one, where the serial coordinator's
+    // bucket-at-a-time cadence pays several.
+    let fsync = |mode: CoordinatorMode| {
+        let mut service =
+            ShardedHtap::new(ShardConfig::small(SHARDS).with_mode(mode)).expect("build shards");
+        let _handles = service.enable_wal();
+        let warehouses = service.map().warehouses();
+        let mut gen = service
+            .global_txn_gen(SEED)
+            .with_remote_mix(RemoteMix::Uniform, warehouses);
+        let report = service.run_txns(&mut gen, TXNS);
+        assert_eq!(report.committed(), TXNS);
+        report.fsync_per_txn()
+    };
+    let serial = fsync(CoordinatorMode::Serial);
+    let pipelined = fsync(CoordinatorMode::Pipelined);
+    assert!(
+        pipelined < 1.0,
+        "pipelined fsync/txn {pipelined:.3} must stay below 1"
+    );
+    assert!(
+        pipelined < serial,
+        "waves must amortize better than serial buckets ({pipelined:.3} vs {serial:.3})"
+    );
+}
+
+#[test]
+fn recovery_spans_land_on_replaying_shards() {
+    // Crash a logged pipelined batch mid-flight, recover with a sink
+    // installed, and check the replay shows up on the timeline: one
+    // Recovery interval per shard that actually replayed records, on
+    // that shard's own track.
+    let cfg = squeezed(CoordinatorMode::Pipelined);
+    let mut service = ShardedHtap::new(cfg.clone()).expect("build shards");
+    let handles = service.enable_wal();
+    service.arm_crash(CrashPoint {
+        site: CrashSite::AfterDecision,
+        event: 3,
+    });
+    let warehouses = service.map().warehouses();
+    let mut gen = service
+        .global_txn_gen(SEED)
+        .with_remote_mix(RemoteMix::Uniform, warehouses);
+    let _ = service.run_txns(&mut gen, TXNS);
+    assert!(service.crashed(), "the armed crash must fire mid-batch");
+    let image = handles.harvest();
+    drop(service);
+
+    let sink = Arc::new(MemSink::default());
+    let (recovered, rec) = ShardedHtap::recover_traced(cfg, &image, sink.clone()).expect("recover");
+    let spans = sink.take();
+    let replaying = rec.per_shard.iter().filter(|s| s.replayed > 0).count() as u64;
+    assert!(replaying > 0, "a crash after 3 waves leaves work to replay");
+    assert_eq!(
+        count(&spans, Phase::Recovery),
+        replaying,
+        "one recovery interval per replaying shard"
+    );
+    let tracks: BTreeSet<u32> = spans
+        .iter()
+        .filter(|s| s.phase == Phase::Recovery)
+        .map(|s| s.track)
+        .collect();
+    assert_eq!(tracks.len() as u64, replaying, "distinct per-shard tracks");
+    for s in spans.iter().filter(|s| s.phase == Phase::Recovery) {
+        assert!(s.track < SHARDS);
+        assert!(s.end >= s.start);
+        assert_eq!(s.txn, 0, "recovery spans are not tied to one txn");
+        assert_eq!(s.wave, 0, "recovery runs outside wave execution");
+    }
+    drop(recovered);
 }
 
 #[test]

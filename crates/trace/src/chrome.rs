@@ -23,7 +23,7 @@ use crate::span::{Phase, Span};
 
 /// Lane names rendered as Chrome-trace thread names, indexed by
 /// [`Phase::lane`].
-const LANES: [&str; 4] = ["engine", "coordinator", "defrag", "queue"];
+const LANES: [&str; 5] = ["engine", "coordinator", "defrag", "queue", "durability"];
 
 fn push_ts(out: &mut String, ps: u64) {
     // Picoseconds → microseconds with six fractional digits: exact for

@@ -64,6 +64,17 @@ pub enum Phase {
     Barrier,
     /// Interval: a defragmentation pause (OLTP stalled on this shard).
     DefragStall,
+    /// Instant: one effect record appended to the shard's write-ahead
+    /// log (volatile until the next group-commit force).
+    WalAppend,
+    /// Interval: one group-commit force barrier — the shard's pending
+    /// log bytes pushed to durable media, paying the configured force
+    /// latency once for the whole wave.
+    GroupCommit,
+    /// Interval: the shard's crash-recovery replay (scanning its effect
+    /// log and re-committing decided records at their pinned
+    /// timestamps).
+    Recovery,
 }
 
 impl Phase {
@@ -84,6 +95,9 @@ impl Phase {
             Phase::Retry => "retry",
             Phase::Barrier => "barrier",
             Phase::DefragStall => "defrag_stall",
+            Phase::WalAppend => "wal_append",
+            Phase::GroupCommit => "group_commit",
+            Phase::Recovery => "recovery",
         }
     }
 
@@ -91,15 +105,20 @@ impl Phase {
     pub fn is_instant(self) -> bool {
         matches!(
             self,
-            Phase::Routed | Phase::Commit | Phase::Abort | Phase::Retry | Phase::Barrier
+            Phase::Routed
+                | Phase::Commit
+                | Phase::Abort
+                | Phase::Retry
+                | Phase::Barrier
+                | Phase::WalAppend
         )
     }
 
     /// The per-shard lane (Chrome-trace `tid`) the phase renders on:
     /// engine work (0), coordinator protocol (1), defragmentation (2),
-    /// queueing (3). Queue spans overlap freely (many transactions wait
-    /// at once), so the export renders them as async events on their
-    /// own lane rather than as nested slices.
+    /// queueing (3), durability (4). Queue spans overlap freely (many
+    /// transactions wait at once), so the export renders them as async
+    /// events on their own lane rather than as nested slices.
     pub fn lane(self) -> u32 {
         match self {
             Phase::Prepare | Phase::PrepareAbort => 0,
@@ -115,6 +134,7 @@ impl Phase {
             | Phase::Barrier => 1,
             Phase::DefragStall => 2,
             Phase::Queued => 3,
+            Phase::WalAppend | Phase::GroupCommit | Phase::Recovery => 4,
         }
     }
 }

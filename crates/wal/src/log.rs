@@ -1,0 +1,334 @@
+//! The write-ahead log object: pending-vs-durable buffering, the
+//! group-commit force barrier, and the two backing stores.
+//!
+//! [`Wal::append`] frames a payload into a **pending** buffer — bytes a
+//! crash simply loses, exactly like a page cache. [`Wal::force`] pushes
+//! the whole pending buffer to the backing [`WalStore`] and syncs it;
+//! only then are the records durable. A crash *during* a force is
+//! modelled by [`Wal::force_torn`], which lands a prefix of the pending
+//! bytes and drops the rest — [`crate::record::scan`] then recovers the
+//! longest valid record prefix.
+//!
+//! Two stores cover the workspace's needs: [`MemStore`] shares its
+//! durable image through an [`Arc`] so a test can harvest the bytes
+//! after "killing" the service that owned the log, and [`FileStore`]
+//! writes a real file for the CI crash-recovery smoke.
+
+use std::fmt;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::record;
+
+/// Durable media behind a [`Wal`]: receives forced bytes and persists
+/// them.
+///
+/// Methods panic on I/O failure — in this simulation an unwritable log
+/// is a harness bug, never a modelled fault (crashes are injected above
+/// this layer, via [`Wal::force_torn`] and by dropping pending bytes).
+pub trait WalStore: Send {
+    /// Appends already-framed bytes to the durable image.
+    fn append(&mut self, bytes: &[u8]);
+    /// Ensures every appended byte has reached durable media.
+    fn sync(&mut self);
+}
+
+/// In-memory store whose durable image is shared through an [`Arc`], so
+/// it outlives the service that owned the log — tests harvest it after
+/// a simulated kill.
+pub struct MemStore {
+    durable: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemStore {
+    /// Creates an empty store plus the harvest handle onto its durable
+    /// image.
+    #[must_use]
+    pub fn new() -> (Self, MemLog) {
+        let durable = Arc::new(Mutex::new(Vec::new()));
+        let log = MemLog(Arc::clone(&durable));
+        (Self { durable }, log)
+    }
+}
+
+impl WalStore for MemStore {
+    fn append(&mut self, bytes: &[u8]) {
+        self.durable.lock().unwrap().extend_from_slice(bytes);
+    }
+
+    fn sync(&mut self) {} // reaching the shared Vec IS durability here
+}
+
+/// Harvest handle onto a [`MemStore`]'s durable image: the bytes that
+/// survive a crash of the log's owner.
+#[derive(Clone)]
+pub struct MemLog(Arc<Mutex<Vec<u8>>>);
+
+impl MemLog {
+    /// Snapshot of the durable bytes.
+    #[must_use]
+    pub fn bytes(&self) -> Vec<u8> {
+        self.0.lock().unwrap().clone()
+    }
+
+    /// Durable byte count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been forced yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for MemLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MemLog({} durable bytes)", self.len())
+    }
+}
+
+impl fmt::Debug for MemStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MemStore({} durable bytes)",
+            self.durable.lock().unwrap().len()
+        )
+    }
+}
+
+/// File-backed store for the CI crash-recovery smoke: forced bytes are
+/// appended to a real file and `sync_data`'d.
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+}
+
+impl FileStore {
+    /// Creates (truncating) the log file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(Self {
+            file: File::create(path)?,
+        })
+    }
+}
+
+impl WalStore for FileStore {
+    fn append(&mut self, bytes: &[u8]) {
+        self.file.write_all(bytes).expect("WAL file write failed");
+    }
+
+    fn sync(&mut self) {
+        self.file.sync_data().expect("WAL file sync failed");
+    }
+}
+
+/// Counters a [`Wal`] keeps about its own traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (whether or not yet forced).
+    pub appends: u64,
+    /// Force barriers that actually synced bytes (empty forces are
+    /// free no-ops and are not counted — that is the whole point of
+    /// group commit).
+    pub forces: u64,
+    /// Framed bytes appended (header + payload).
+    pub bytes: u64,
+}
+
+/// A write-ahead log: append into a volatile pending buffer, force at a
+/// group-commit barrier.
+pub struct Wal {
+    store: Box<dyn WalStore>,
+    pending: Vec<u8>,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// A log over any store.
+    #[must_use]
+    pub fn with_store(store: Box<dyn WalStore>) -> Self {
+        Self {
+            store,
+            pending: Vec::new(),
+            stats: WalStats::default(),
+        }
+    }
+
+    /// An in-memory log plus the harvest handle onto its durable image.
+    #[must_use]
+    pub fn in_memory() -> (Self, MemLog) {
+        let (store, log) = MemStore::new();
+        (Self::with_store(Box::new(store)), log)
+    }
+
+    /// A file-backed log at `path` (truncates any existing file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn to_file(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::with_store(Box::new(FileStore::create(path)?)))
+    }
+
+    /// Frames `payload` and appends it to the pending buffer. The
+    /// record is **not** durable until the next [`force`](Self::force).
+    pub fn append(&mut self, payload: &[u8]) {
+        let framed = record::frame(payload);
+        self.stats.appends += 1;
+        self.stats.bytes += framed.len() as u64;
+        self.pending.extend_from_slice(&framed);
+    }
+
+    /// Bytes appended but not yet forced.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether a force barrier has work to do.
+    #[must_use]
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Group-commit barrier: pushes every pending byte to the store and
+    /// syncs. Returns `true` if a sync actually happened (the buffer
+    /// was non-empty); an empty force is a free no-op.
+    pub fn force(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        self.store.append(&self.pending);
+        self.store.sync();
+        self.pending.clear();
+        self.stats.forces += 1;
+        true
+    }
+
+    /// Drops every pending (never-forced) byte — a transaction attempt
+    /// rolled back before any force barrier, so its records must not
+    /// survive into the next group commit. The appends stay counted in
+    /// [`WalStats`] (the work happened); only durability is withdrawn.
+    pub fn discard_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// A crash **during** the force: only the first `keep` pending
+    /// bytes land on the store (syncing them); the rest of the buffer
+    /// is lost. `keep` past the buffer length lands everything.
+    pub fn force_torn(&mut self, keep: usize) {
+        let keep = keep.min(self.pending.len());
+        if keep > 0 {
+            self.store.append(&self.pending[..keep]);
+            self.store.sync();
+            self.stats.forces += 1;
+        }
+        self.pending.clear();
+    }
+
+    /// Traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Wal({} pending bytes, {:?})",
+            self.pending.len(),
+            self.stats
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_stay_pending_until_forced() {
+        let (mut wal, durable) = Wal::in_memory();
+        wal.append(b"one");
+        wal.append(b"two");
+        assert!(durable.is_empty());
+        assert!(wal.has_pending());
+        assert!(wal.force());
+        assert!(!wal.has_pending());
+        let scan = record::scan(&durable.bytes());
+        assert_eq!(scan.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn empty_force_is_free() {
+        let (mut wal, durable) = Wal::in_memory();
+        assert!(!wal.force());
+        assert_eq!(wal.stats().forces, 0);
+        assert!(durable.is_empty());
+    }
+
+    #[test]
+    fn crash_without_force_loses_pending_bytes() {
+        let (mut wal, durable) = Wal::in_memory();
+        wal.append(b"durable");
+        wal.force();
+        wal.append(b"lost");
+        drop(wal); // the kill: pending buffer evaporates
+        let scan = record::scan(&durable.bytes());
+        assert_eq!(scan.records, vec![b"durable".to_vec()]);
+        assert!(!scan.torn);
+    }
+
+    #[test]
+    fn torn_force_recovers_longest_valid_prefix() {
+        let (mut wal, durable) = Wal::in_memory();
+        wal.append(b"first");
+        wal.append(b"second");
+        let first = record::frame(b"first").len();
+        wal.force_torn(first + 4); // tear lands 4 bytes into record two
+        let scan = record::scan(&durable.bytes());
+        assert_eq!(scan.records, vec![b"first".to_vec()]);
+        assert!(scan.torn);
+        assert_eq!(scan.truncated_bytes, 4);
+    }
+
+    #[test]
+    fn stats_count_appends_forces_bytes() {
+        let (mut wal, _durable) = Wal::in_memory();
+        wal.append(b"abc");
+        wal.append(b"defgh");
+        wal.force();
+        wal.append(b"i");
+        wal.force();
+        wal.force(); // empty: uncounted
+        let stats = wal.stats();
+        assert_eq!(stats.appends, 3);
+        assert_eq!(stats.forces, 2);
+        assert_eq!(stats.bytes, (3 * record::HEADER_LEN + 3 + 5 + 1) as u64);
+    }
+
+    #[test]
+    fn file_store_round_trips() {
+        let path = std::env::temp_dir().join("pushtap-wal-log-test.wal");
+        let mut wal = Wal::to_file(&path).expect("create log file");
+        wal.append(b"on-disk record");
+        wal.force();
+        drop(wal);
+        let scan = record::scan(&std::fs::read(&path).expect("read log"));
+        assert_eq!(scan.records, vec![b"on-disk record".to_vec()]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

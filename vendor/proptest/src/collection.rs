@@ -55,12 +55,39 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let span = (self.size.max - self.size.min + 1) as u64;
         let len = self.size.min + rng.below(span) as usize;
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Shorter first (dropping elements simplifies most): the
+        // min-length prefix, a half-length prefix, one element fewer —
+        // all clamped to the configured minimum.
+        if value.len() > self.size.min {
+            let mut lens = vec![
+                self.size.min,
+                self.size.min.max(value.len() / 2),
+                value.len() - 1,
+            ];
+            lens.dedup();
+            out.extend(lens.into_iter().map(|l| value[..l].to_vec()));
+        }
+        // Then element-wise: each position's own candidates, rest kept.
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.element.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
     }
 }
 

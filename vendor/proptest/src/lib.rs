@@ -6,8 +6,13 @@
 //!
 //! Semantics: each test body runs for `cases` deterministic
 //! pseudo-random inputs (seeded from the test name, so failures
-//! reproduce). There is no shrinking — a failing case reports the
-//! case index and message and panics immediately.
+//! reproduce). A failing case (a `prop_assert*` violation *or* a panic
+//! from a plain `assert!`) is shrunk **linearly** before reporting:
+//! the runner asks the argument strategies for strictly-simpler
+//! candidate inputs, adopts the first candidate that still fails, and
+//! repeats until none fails ([`strategy::shrink_linear`]); the panic
+//! then reports the original failure, the minimal failing input, and
+//! the number of shrink steps taken.
 
 #![warn(missing_docs)]
 
@@ -61,20 +66,48 @@ macro_rules! __proptest_tests {
             let cfg = $cfg;
             let mut rng =
                 $crate::test_runner::TestRng::deterministic(stringify!($name));
+            let strat = ($($strat,)+);
+            // One case as a re-runnable closure: the shrink loop replays
+            // it on every candidate input. Panics (plain `assert!`) are
+            // caught and shrunk exactly like `prop_assert!` failures.
+            let run = |input: &_| -> ::std::result::Result<
+                (),
+                $crate::test_runner::TestCaseError,
+            > {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::clone_value(&strat, input);
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match outcome {
+                    ::std::result::Result::Ok(r) => r,
+                    ::std::result::Result::Err(p) => ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(
+                            $crate::test_runner::panic_message(p),
+                        ),
+                    ),
+                }
+            };
             for case in 0..cfg.cases {
-                $(
-                    let $arg =
-                        $crate::strategy::Strategy::generate(&($strat), &mut rng);
-                )+
-                let outcome: ::std::result::Result<
-                    (),
-                    $crate::test_runner::TestCaseError,
-                > = (|| {
-                    $body
-                    ::std::result::Result::Ok(())
-                })();
-                if let ::std::result::Result::Err(e) = outcome {
-                    panic!("property '{}' failed at case {}: {}", stringify!($name), case, e);
+                let input =
+                    $crate::strategy::Strategy::generate(&strat, &mut rng);
+                if let ::std::result::Result::Err(e) = run(&input) {
+                    let (minimal, min_err, steps) =
+                        $crate::strategy::shrink_linear(&strat, input, e.clone(), &run);
+                    panic!(
+                        "property '{}' failed at case {}: {}\n\
+                         minimal failing input after {} linear shrink step(s): \
+                         {:?} — failing with: {}",
+                        stringify!($name), case, e, steps, minimal, min_err,
+                    );
                 }
             }
         }

@@ -41,6 +41,19 @@ impl fmt::Display for TestCaseError {
     }
 }
 
+/// Extracts a human-readable message from a caught panic payload, so a
+/// panicking property body (plain `assert!` rather than `prop_assert!`)
+/// can be shrunk like any other failure.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The deterministic generator behind every strategy draw: xoshiro256++
 /// seeded from the property name, so every run generates the same cases.
 #[derive(Debug, Clone)]
