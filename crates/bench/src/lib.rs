@@ -10,6 +10,7 @@
 //! value-correct at any scale and the reported quantities are ratios);
 //! pass a scale argument to grow them.
 
+#![forbid(unsafe_code)]
 pub mod energy;
 pub mod fig10;
 pub mod fig11;

@@ -313,6 +313,15 @@ impl Pushtap {
         self.track = track;
     }
 
+    /// Installs a keyset-soundness shadow tracker on the embedded
+    /// [`TpccDb`], tagging every mirrored access and scope with `track`
+    /// (the shard index). See [`pushtap_oltp::TpccDb::set_sanitizer`];
+    /// the default `NullSanitizer` keeps untracked runs at one branch
+    /// per hook.
+    pub fn set_sanitizer(&mut self, san: Arc<dyn pushtap_sanitizer::AccessSink>, track: u32) {
+        self.db.set_sanitizer(san, track);
+    }
+
     /// Whether the configured sink wants spans (`false` for the default
     /// [`NullSink`]) — check before building coordinator-level spans.
     pub fn trace_enabled(&self) -> bool {

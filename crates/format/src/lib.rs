@@ -37,6 +37,7 @@
 //! # Ok::<(), pushtap_format::LayoutError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -55,6 +55,7 @@
 //! assert!(snap.visible(RowSlot::Delta { rotation: 0, idx: 0 }));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

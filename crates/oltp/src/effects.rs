@@ -148,6 +148,17 @@ pub enum Key {
 /// let c = KeySet::new(vec![], vec![Key::Ring(Table::History, 1)]);
 /// let d = KeySet::new(vec![], vec![Key::Ring(Table::History, 2)]);
 /// assert!(!c.conflicts(&d));
+///
+/// // `Row` and `Ring` are different key *kinds*: HISTORY's insert
+/// // ring at warehouse 1 and HISTORY's data row 1 share a table and
+/// // an index but never a key — a ring orders inserts, not reads or
+/// // updates of any particular row. (In the TPC-C mix this is sound
+/// // because insert-only tables are never updated in place.)
+/// let ring = KeySet::new(vec![], vec![Key::Ring(Table::History, 1)]);
+/// let row_w = KeySet::new(vec![], vec![Key::Row(Table::History, 1)]);
+/// let row_r = KeySet::new(vec![Key::Row(Table::History, 1)], vec![]);
+/// assert!(!ring.conflicts(&row_w) && !row_w.conflicts(&ring));
+/// assert!(!ring.conflicts(&row_r) && !row_r.conflicts(&ring));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct KeySet {
@@ -269,5 +280,46 @@ mod tests {
         // Same ring does collide.
         let c = KeySet::new(vec![], vec![Key::Ring(Table::History, 1)]);
         assert!(b.conflicts(&c));
+    }
+
+    #[test]
+    fn ring_never_conflicts_with_same_table_row() {
+        // The sharpest cross-variant case: same table, same index,
+        // different key kind. A ring key orders the *inserts* of a
+        // (table, warehouse) stripe; it says nothing about reads or
+        // updates of the row that happens to carry the same number.
+        let ring = KeySet::new(vec![], vec![Key::Ring(Table::Order, 3)]);
+        let row_w = KeySet::new(vec![], vec![row(Table::Order, 3)]);
+        let row_r = KeySet::new(vec![row(Table::Order, 3)], vec![]);
+        assert!(!ring.conflicts(&row_w) && !row_w.conflicts(&ring));
+        assert!(!ring.conflicts(&row_r) && !row_r.conflicts(&ring));
+        // And the kinds stay distinct inside one keyset too: a set
+        // holding the ring does not cover the row, so both keys
+        // survive dedup side by side.
+        let both = KeySet::new(
+            vec![],
+            vec![Key::Ring(Table::Order, 3), row(Table::Order, 3)],
+        );
+        assert_eq!(both.writes().len(), 2);
+        assert!(both.conflicts(&ring) && both.conflicts(&row_w));
+    }
+
+    #[test]
+    fn cross_variant_order_is_total_and_consistent() {
+        // `sorted_intersect` relies on `Key`'s derived order being
+        // total across variants; a Ring and a Row never compare equal.
+        let mut keys = vec![
+            Key::Ring(Table::Order, 3),
+            row(Table::Order, 3),
+            Key::Ring(Table::Order, 2),
+            row(Table::NewOrder, 9),
+        ];
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 4, "no cross-variant key collapses");
+        assert!(!sorted_intersect(
+            &[row(Table::Order, 3)],
+            &[Key::Ring(Table::Order, 3)]
+        ));
     }
 }

@@ -14,6 +14,8 @@ use pushtap_mvcc::{
     SnapshotUpdate, Ts, UndoLog, UndoRecord, VersionChains,
 };
 use pushtap_pim::{BankAddr, MemSystem, Op, Ps, Side};
+use pushtap_sanitizer::{Access, AccessKind, AccessSink, NullSanitizer};
+use std::sync::Arc;
 
 use crate::cost::{Breakdown, Meter};
 use crate::index::HashIndex;
@@ -85,6 +87,17 @@ pub struct HtapTable {
     cfg: TableConfig,
     insert_cursor: u64,
     undo: UndoLog,
+    /// Shadow access tracker ([`NullSanitizer`] by default — one
+    /// disabled-branch per timed operation, nothing recorded). Armed
+    /// via [`HtapTable::set_access_sink`] with the table's identity so
+    /// recorded accesses carry (table discriminant, *global* row).
+    san: Arc<dyn AccessSink>,
+    /// The executor's table discriminant stamped on recorded accesses.
+    san_table: u32,
+    /// This instance's first global row (local + base = global).
+    san_base: u64,
+    /// The engine (shard index) stamped on recorded accesses.
+    san_track: u32,
 }
 
 impl HtapTable {
@@ -107,7 +120,44 @@ impl HtapTable {
             cfg,
             insert_cursor: 0,
             undo: UndoLog::new(),
+            san: Arc::new(NullSanitizer),
+            san_table: 0,
+            san_base: 0,
+            san_track: 0,
         }
+    }
+
+    /// Installs a shadow access tracker: every timed read, update
+    /// (write + chain growth), and insert records into it, stamped
+    /// with the engine's `track`, this `table` discriminant, and the
+    /// *global* row (`row_base` + local row). The default
+    /// [`NullSanitizer`] reports itself disabled, so instrumented
+    /// paths cost exactly one branch.
+    pub fn set_access_sink(
+        &mut self,
+        san: Arc<dyn AccessSink>,
+        table: u32,
+        row_base: u64,
+        track: u32,
+    ) {
+        self.san = san;
+        self.san_table = table;
+        self.san_base = row_base;
+        self.san_track = track;
+    }
+
+    /// Records one physical access into the armed sink (callers check
+    /// [`AccessSink::enabled`] first).
+    fn record_access(&self, kind: AccessKind, local_row: u64, ts: Ts) {
+        self.san.record_access(
+            self.san_track,
+            ts.0,
+            Access {
+                kind,
+                table: self.san_table,
+                key: self.san_base + local_row,
+            },
+        );
     }
 
     /// Opens a transaction scope: every subsequent mutation (delta-slot
@@ -451,6 +501,9 @@ impl HtapTable {
         let compute = meter.compute(values.len() as u64);
         b.compute += compute;
         self.chains.mark_read(slot, ts);
+        if self.san.enabled() {
+            self.record_access(AccessKind::Read, row, ts);
+        }
         (
             values,
             OpResult {
@@ -508,6 +561,10 @@ impl HtapTable {
         self.store.write_row(new_slot, &values);
         self.chains.record_update(row, new_slot, ts);
         self.undo.record(UndoRecord::VersionLink { row });
+        if self.san.enabled() {
+            self.record_access(AccessKind::Write, row, ts);
+            self.record_access(AccessKind::ChainGrow, row, ts);
+        }
 
         // Commit write-back: clflush the new version's lines (§6.3).
         let write_lines = self.lines_for(new_slot);
@@ -590,6 +647,12 @@ impl HtapTable {
         self.store.write_row(new_slot, values);
         self.chains.record_update(row, new_slot, ts);
         self.undo.record(UndoRecord::VersionLink { row });
+        if self.san.enabled() {
+            // One InsertWrite covers the row version *and* its chain
+            // growth: the physical row is the ring cursor's pick, so
+            // coverage is vouched for by the declared ring, not a row.
+            self.record_access(AccessKind::InsertWrite, row, ts);
+        }
         b.compute += meter.compute(values.len() as u64);
         let cpu_ready = at + b.cpu_total();
         let lines = self.lines_for(new_slot);

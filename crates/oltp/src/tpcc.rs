@@ -30,10 +30,11 @@ use pushtap_format::{
 };
 use pushtap_mvcc::{DeltaFull, Ts, TsAllocator, TsOracle};
 use pushtap_pim::{BankAddr, Geometry, MemSystem, Ps, Side};
+use pushtap_sanitizer::{Access, AccessKind, AccessSink, NullSanitizer, SanKey};
 use pushtap_trace::{NullSink, Phase, Span, TraceSink};
 
 use crate::cost::{Breakdown, CostModel, Meter};
-use crate::effects::{ColumnWrite, Effect, TaggedEffect};
+use crate::effects::{ColumnWrite, Effect, Key, KeySet, TaggedEffect};
 use crate::table::{AccessModel, HtapTable, TableConfig};
 
 /// The outcome of one committed transaction.
@@ -239,6 +240,22 @@ pub struct TpccDb {
     sink: Arc<dyn TraceSink>,
     /// The shard index stamped on emitted spans (0 standalone).
     track: u32,
+    /// Keyset-soundness shadow tracker
+    /// ([`pushtap_sanitizer::NullSanitizer`] by default — one
+    /// disabled-branch per hook, nothing recorded).
+    san: Arc<dyn AccessSink>,
+    /// The shard index stamped on sanitizer scopes (0 standalone).
+    san_track: u32,
+}
+
+/// Lowers a scheduler [`Key`] to the sanitizer's engine-agnostic
+/// [`SanKey`] (the sanitizer crate is dependency-free, so it cannot
+/// name [`Table`] — the discriminant carries the identity).
+fn san_key(k: &Key) -> SanKey {
+    match *k {
+        Key::Row(t, row) => SanKey::Row(t as u32, row),
+        Key::Ring(t, w) => SanKey::Ring(t as u32, w),
+    }
 }
 
 /// Global (pre-partitioning) row count of `table` under `cfg`.
@@ -407,6 +424,8 @@ impl TpccDb {
             wasted_retry_time: Ps::ZERO,
             sink: Arc::new(NullSink),
             track: 0,
+            san: Arc::new(NullSanitizer),
+            san_track: 0,
         })
     }
 
@@ -418,6 +437,30 @@ impl TpccDb {
     pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>, track: u32) {
         self.sink = sink;
         self.track = track;
+    }
+
+    /// Installs a keyset-soundness shadow tracker
+    /// ([`pushtap_sanitizer::AccessSink`]); every row read/write, chain
+    /// growth and insert-ring cursor advance is mirrored to it, stamped
+    /// with `track` (the shard index) and the owning transaction's
+    /// pinned timestamp, and each prepare/commit/abort opens, seals or
+    /// discards the matching shadow scope. The default
+    /// [`NullSanitizer`] reports itself disabled, so instrumented paths
+    /// cost one branch and record nothing. Hooks charge zero simulated
+    /// time, so an armed tracker never perturbs byte identity.
+    pub fn set_sanitizer(&mut self, san: Arc<dyn AccessSink>, track: u32) {
+        for (table, t) in self.tables.iter_mut() {
+            let (_, row_base) = self.table_global[table];
+            t.set_access_sink(Arc::clone(&san), *table as u32, row_base, track);
+        }
+        self.san = san;
+        self.san_track = track;
+    }
+
+    /// The installed keyset-soundness tracker (the [`NullSanitizer`]
+    /// unless [`TpccDb::set_sanitizer`] swapped it).
+    pub fn sanitizer(&self) -> &Arc<dyn AccessSink> {
+        &self.san
     }
 
     /// Swaps the instance's private timestamp counter for a shared
@@ -552,6 +595,19 @@ impl TpccDb {
         let r = t.timed_insert_at(mem, meter, local, values, ts, at)?;
         *self.insert_cursors.entry((table, w)).or_insert(0) += 1;
         self.txn_cursor_log.push((table, w));
+        if self.san.enabled() {
+            // The cursor advance is the ring-key side of the insert: the
+            // physical row write was already mirrored by the table hook.
+            self.san.record_access(
+                self.san_track,
+                ts.0,
+                Access {
+                    kind: AccessKind::RingAdvance,
+                    table: table as u32,
+                    key: w,
+                },
+            );
+        }
         Ok((global_row, r))
     }
 
@@ -1127,6 +1183,15 @@ impl TpccDb {
             "a scope is already prepared at {ts:?}"
         );
         self.begin_txn();
+        if self.san.enabled() {
+            // Declare the scope's keyset before any access lands: every
+            // mirrored access must then fall under these keys, or the
+            // tracker reports the scheduler unsound.
+            let keys = KeySet::from_effects(effects);
+            let reads: Vec<SanKey> = keys.reads().iter().map(san_key).collect();
+            let writes: Vec<SanKey> = keys.writes().iter().map(san_key).collect();
+            self.san.begin_scope(self.san_track, ts.0, &reads, &writes);
+        }
         let meter = self.meter;
         let mut b = Breakdown::default();
         let mut now = at;
@@ -1138,6 +1203,9 @@ impl TpccDb {
                 // into completion latency.
                 self.wasted_retry_time += now.saturating_sub(at);
                 self.abort_txn();
+                if self.san.enabled() {
+                    self.san.abort_active(self.san_track, ts.0);
+                }
                 if self.sink.enabled() {
                     self.sink.record(Span::new(
                         self.track,
@@ -1176,6 +1244,9 @@ impl TpccDb {
                 cursors,
             },
         );
+        if self.san.enabled() {
+            self.san.prepare_scope(self.san_track, ts.0);
+        }
         if self.sink.enabled() {
             self.sink.record(Span::new(
                 self.track,
@@ -1218,6 +1289,9 @@ impl TpccDb {
             self.committed += 1;
         }
         self.ts.advance_to(ts);
+        if self.san.enabled() {
+            self.san.commit_scope(self.san_track, ts.0);
+        }
     }
 
     /// The coordinator's abort decision for the scope prepared at `ts`:
@@ -1249,6 +1323,9 @@ impl TpccDb {
             *c -= 1;
         }
         self.aborts += 1;
+        if self.san.enabled() {
+            self.san.abort_scope(self.san_track, ts.0);
+        }
     }
 
     /// Whether any prepared transactions are awaiting their coordinator

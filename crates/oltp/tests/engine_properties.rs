@@ -162,3 +162,39 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Decomposition is a pure function of `(txn, ts)`: repeated calls
+    /// at the same pinned timestamp yield identical effect lists and
+    /// therefore identical scheduler keysets. This is the property the
+    /// wave scheduler (and the sanitizer's declared-keyset check) rests
+    /// on — a keyset computed before execution must still describe the
+    /// transaction when it retries after a `DeltaFull` abort.
+    #[test]
+    fn decomposition_keysets_are_deterministic(seed in 0u64..1024, n in 1usize..16, ts in 1u64..1_000) {
+        let (db, _mem) = build();
+        let mut tg = pushtap_chbench::TxnGen::new(
+            seed,
+            db.table(Table::Warehouse).n_rows(),
+            db.table(Table::Customer).n_rows(),
+            db.table(Table::Item).n_rows(),
+            db.table(Table::Stock).n_rows(),
+        );
+        for txn in tg.batch(n) {
+            let first = db.decompose(&txn, Ts(ts));
+            let keys = pushtap_oltp::KeySet::from_effects(&first);
+            prop_assert!(!keys.is_empty(), "every txn touches something");
+            for _ in 0..3 {
+                let again = db.decompose(&txn, Ts(ts));
+                prop_assert_eq!(&first, &again, "decomposition drifted across calls");
+                prop_assert_eq!(
+                    &keys,
+                    &pushtap_oltp::KeySet::from_effects(&again),
+                    "keyset drifted across calls"
+                );
+            }
+        }
+    }
+}

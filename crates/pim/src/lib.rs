@@ -38,6 +38,7 @@
 //! assert_eq!(mem.stats().cpu_effective(), 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -92,6 +92,22 @@ use crate::partition::WarehouseMap;
 use crate::report::{CoordStats, ShardLoad};
 use crate::router::RoutedTxn;
 
+/// Flags the durability context crashed. An armed crash site implies
+/// the context exists (`armed_at` just read it), so a missing context
+/// here is a coordinator bug, not an input condition.
+fn mark_crashed(dur: &mut Option<&mut DurabilityCtx>) {
+    match dur.as_deref_mut() {
+        Some(d) => d.crashed = true,
+        None => unreachable!("an armed crash site implies a durability ctx"),
+    }
+}
+
+/// Joins a scoped shard worker, re-raising any panic on the caller's
+/// thread with its original payload intact.
+pub(crate) fn join_worker<T>(h: thread::ScopedJoinHandle<'_, T>) -> T {
+    h.join().unwrap_or_else(|e| std::panic::resume_unwind(e))
+}
+
 /// Executes one globally-ordered routed stream across the shard
 /// engines under the configured coordinator mode, returning each
 /// shard's accumulated load plus the coordinator's scheduling stats.
@@ -263,7 +279,7 @@ fn execute_serial(
                 // local transactions were never logged and die with the
                 // process (their effects were never durable — recovery
                 // correctly omits them).
-                dur.as_deref_mut().expect("armed implies ctx").crashed = true;
+                mark_crashed(&mut dur);
                 return;
             }
             let mut involved = routed.participants.clone();
@@ -331,10 +347,7 @@ fn flush(
                 scope.spawn(move || (i, run_local_bucket(shard, bucket, wal, force_latency)))
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
+        handles.into_iter().map(join_worker).collect()
     });
     for (i, partial) in results {
         merge_load(&mut loads[i], partial);
@@ -655,7 +668,7 @@ fn two_phase_commit(
         // before any force barrier: every record of this 2PC evaporates
         // with the process.
         if crash == Some(CrashSite::AfterPrepare) {
-            dur.as_deref_mut().expect("armed implies ctx").crashed = true;
+            mark_crashed(&mut dur);
             return true;
         }
 
@@ -717,7 +730,8 @@ fn two_phase_commit(
             let latency = d.force_latency;
             let mut involved: Vec<usize> = vec![home];
             involved.extend(forwarded.keys().copied());
-            let last = *involved.last().expect("home is always involved");
+            // `involved` starts from `home`, so it is never empty.
+            let last = *involved.last().unwrap_or(&home);
             for &i in &involved {
                 if crash == Some(CrashSite::MidEffectFlush) && i == last {
                     let half = d.logs[i].pending_len() / 2;
@@ -885,8 +899,21 @@ fn run_wave(
     if crash == Some(CrashSite::BeforePrepare) {
         // The kill lands before the wave starts: nothing of it was
         // logged or applied.
-        dur.as_deref_mut().expect("armed implies ctx").crashed = true;
+        mark_crashed(&mut dur);
         return true;
+    }
+    // Report the wave's membership to the shadow tracker (every engine
+    // shares one sanitizer): members of the same wave overlap, so the
+    // tracker can lockset-check that the scheduler really kept their
+    // key footprints disjoint. Wave ids are 1-based here; 0 is the
+    // tracker's "solo/serial" wave, which is never cross-checked.
+    {
+        let san = shards[0].db().sanitizer();
+        if san.enabled() {
+            for routed in &wave {
+                san.assign_wave(routed.ts.0, wave_id);
+            }
+        }
     }
     // Step 1: decompose every member at its home engine and build each
     // shard's timestamp-ordered item list. Wave members touch disjoint
@@ -1051,10 +1078,7 @@ fn run_wave(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
+        handles.into_iter().map(join_worker).collect()
     });
     let mut votes: Vec<Vec<Option<TxnResult>>> = (0..shards.len()).map(|_| Vec::new()).collect();
     let mut starts: Vec<Vec<Ps>> = (0..shards.len()).map(|_| Vec::new()).collect();
@@ -1071,7 +1095,7 @@ fn run_wave(
         crash,
         Some(CrashSite::AfterPrepare | CrashSite::MidEffectFlush)
     ) {
-        dur.as_deref_mut().expect("armed implies ctx").crashed = true;
+        mark_crashed(&mut dur);
         return true;
     }
 
@@ -1239,10 +1263,7 @@ fn run_wave(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard thread panicked"))
-            .collect()
+        handles.into_iter().map(join_worker).collect()
     });
     for (i, partial) in results {
         merge_load(&mut loads[i], partial);

@@ -193,9 +193,13 @@ pub(crate) fn encode_decision(ts: Ts) -> [u8; 8] {
 /// Decodes a decision-log payload (the frame checksum already vouched
 /// for the bytes).
 pub(crate) fn decode_decision(payload: &[u8]) -> Ts {
-    let bytes: [u8; 8] = payload
-        .try_into()
-        .expect("decision record must be exactly 8 bytes — log format version skew");
+    let bytes: [u8; 8] = match payload.try_into() {
+        Ok(b) => b,
+        Err(_) => panic!(
+            "decision record must be exactly 8 bytes, got {} — log format version skew",
+            payload.len()
+        ),
+    };
     Ts(u64::from_le_bytes(bytes))
 }
 

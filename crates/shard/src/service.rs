@@ -15,6 +15,7 @@ use pushtap_mvcc::{Ts, TsOracle};
 use pushtap_olap::{merge_partials, Query};
 use pushtap_oltp::{EffectRecord, Partition, TxnRole};
 use pushtap_pim::Ps;
+use pushtap_sanitizer::AccessSink;
 use pushtap_trace::{Phase, Span, TraceSink};
 use pushtap_wal::{scan, MemLog, Wal};
 
@@ -177,10 +178,10 @@ impl ShardedHtap {
     /// Panics if the WAL is not enabled — a crash without durable logs
     /// has nothing to prove.
     pub fn arm_crash(&mut self, point: CrashPoint) {
-        self.durability
-            .as_mut()
-            .expect("arm_crash requires an enabled WAL")
-            .armed = Some(point);
+        let Some(d) = self.durability.as_mut() else {
+            panic!("arm_crash requires an enabled WAL");
+        };
+        d.armed = Some(point);
     }
 
     /// Whether an armed crash has fired. A crashed service is dead: it
@@ -265,7 +266,7 @@ impl ShardedHtap {
             handles
                 .into_iter()
                 .map(|h| {
-                    let (i, (rec, committed, max_ts)) = h.join().expect("recovery thread panicked");
+                    let (i, (rec, committed, max_ts)) = coordinator::join_worker(h);
                     (i, rec, committed, max_ts)
                 })
                 .collect()
@@ -336,6 +337,22 @@ impl ShardedHtap {
     pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
         for (i, shard) in self.shards.iter_mut().enumerate() {
             shard.set_trace_sink(Arc::clone(&sink), i as u32);
+        }
+    }
+
+    /// Arms a keyset-soundness shadow tracker on every engine. Shard
+    /// `i`'s mirrored accesses and scopes carry track `i`; the wave
+    /// coordinator additionally reports each wave's membership, so the
+    /// tracker can cross-check declared keysets, wave isolation and
+    /// prepared-scope discipline across the whole deployment. Install a
+    /// [`pushtap_sanitizer::ShadowSanitizer`] before a batch and assert
+    /// [`ShadowSanitizer::is_clean`](pushtap_sanitizer::ShadowSanitizer::is_clean)
+    /// after; the default `NullSanitizer` keeps unarmed runs at one
+    /// branch per hook. Hooks charge zero simulated time, so arming
+    /// never perturbs committed bytes.
+    pub fn set_sanitizer(&mut self, san: Arc<dyn AccessSink>) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_sanitizer(Arc::clone(&san), i as u32);
         }
     }
 
@@ -468,6 +485,17 @@ impl ShardedHtap {
         if let (Some(crashed), Some(d)) = (crashed, self.durability.as_mut()) {
             d.crashed = crashed;
         }
+        // Batch boundary for the shadow tracker: every scope must be
+        // decided and zero prepared versions may linger. A crashed batch
+        // legitimately leaves prepared scopes behind (recovery resolves
+        // them by presumed abort), so the boundary check is skipped.
+        if !self.crashed() {
+            let san = self.shards[0].db().sanitizer();
+            if san.enabled() {
+                let pending: u64 = self.shards.iter().map(|s| s.db().prepared_versions()).sum();
+                san.batch_end(pending);
+            }
+        }
         out
     }
 
@@ -482,7 +510,7 @@ impl ShardedHtap {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
+                .map(coordinator::join_worker)
                 .max()
                 .unwrap_or(Ps::ZERO)
         })
@@ -511,10 +539,7 @@ impl ShardedHtap {
                 .iter_mut()
                 .map(|shard| scope.spawn(move || shard.run_query_at(query, cut)))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
+            handles.into_iter().map(coordinator::join_worker).collect()
         });
         let scatter_latency = partials.iter().map(|p| p.total()).max().unwrap_or(Ps::ZERO);
         let gathered: u64 = partials.iter().map(|p| p.result.rows()).sum();
@@ -523,8 +548,8 @@ impl ShardedHtap {
             .meter()
             .cpu
             .cycles(gathered * self.cfg.merge_cycles_per_row);
-        let result =
-            merge_partials(partials.iter().map(|p| p.result.clone())).expect("at least one shard");
+        let result = merge_partials(partials.iter().map(|p| p.result.clone()))
+            .unwrap_or_else(|| panic!("scatter-gather over zero shards"));
         ShardQueryReport {
             result,
             per_shard: partials,
@@ -557,8 +582,10 @@ fn replay_shard(
     };
     let mut by_ts: BTreeMap<u64, EffectRecord> = BTreeMap::new();
     for payload in &log.records {
-        let r = EffectRecord::decode(payload)
-            .expect("checksummed record must decode — log format version skew");
+        let r = match EffectRecord::decode(payload) {
+            Ok(r) => r,
+            Err(e) => panic!("checksummed record must decode ({e:?}) — log format version skew"),
+        };
         by_ts.insert(r.ts.0, r);
     }
     rec.duplicates = rec.records - by_ts.len() as u64;

@@ -61,6 +61,10 @@ fn crash_and_recover(
     label: &str,
 ) -> (RecoveryReport, bool) {
     let mut service = ShardedHtap::new(cfg.clone()).expect("build shards");
+    // A crashed batch legitimately leaves prepared scopes behind (the
+    // batch-end check is skipped), so an armed tracker must still be
+    // violation-free across every kill point.
+    let san = common::maybe_sanitize(&mut service);
     let handles = service.enable_wal();
     service.arm_crash(point);
     let warehouses = service.map().warehouses();
@@ -68,6 +72,7 @@ fn crash_and_recover(
         .global_txn_gen(seed)
         .with_remote_mix(mix, warehouses);
     let report = service.run_txns(&mut gen, txns);
+    common::assert_sanitized_clean(&san, label);
     let crashed = service.crashed();
     assert_eq!(
         report.coord.crashed, crashed,
@@ -143,6 +148,7 @@ fn crash_and_recover(
 
     // Liveness: the recovered deployment accepts fresh batches with
     // fresh timestamps (the advanced watermark makes the pins unique).
+    let post_san = common::maybe_sanitize(&mut recovered);
     let mut gen = recovered
         .global_txn_gen(seed ^ 0x5eed)
         .with_remote_mix(mix, warehouses);
@@ -152,6 +158,7 @@ fn crash_and_recover(
         16,
         "{label}: the recovered deployment must keep committing"
     );
+    common::assert_sanitized_clean(&post_san, label);
     (rec, crashed)
 }
 

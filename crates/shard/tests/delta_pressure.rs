@@ -92,9 +92,11 @@ fn pressured_shards_match_pressured_reference_at_1_2_4_shards() {
     let (reference, expected) = reference(SEED, TXNS);
     for shards in [1u32, 2, 4] {
         let mut service = ShardedHtap::new(squeezed_cfg(shards)).expect("build shards");
+        let san = common::maybe_sanitize(&mut service);
         let mut gen = service.global_txn_gen(SEED);
         let oltp = service.run_txns(&mut gen, TXNS);
         assert_eq!(oltp.committed(), TXNS, "{shards} shards");
+        common::assert_sanitized_clean(&san, "pressured uniform mix");
         assert!(
             oltp.aborts() > 0,
             "{shards} shards: undersized arenas must force retries"
@@ -166,8 +168,10 @@ fn committed_state_is_byte_identical_shard_vs_reference() {
 
     for shards in [1u32, 2, 4] {
         let mut service = ShardedHtap::new(squeezed_cfg(shards)).expect("build shards");
+        let san = common::maybe_sanitize(&mut service);
         let mut gen = service.global_txn_gen(SEED);
         let oltp = service.run_txns(&mut gen, TXNS);
+        common::assert_sanitized_clean(&san, "pressured forwarding mix");
         assert!(oltp.aborts() > 0, "{shards} shards: pressure expected");
         if shards > 1 {
             assert!(
@@ -226,11 +230,13 @@ fn all_tables_byte_identical_under_tpcc_mix() {
 
         for shards in [1u32, 2, 4] {
             let mut service = ShardedHtap::new(cfg(shards)).expect("build shards");
+            let san = common::maybe_sanitize(&mut service);
             let mut gen = service
                 .global_txn_gen(SEED)
                 .with_remote_mix(RemoteMix::TPCC, warehouses);
             let oltp = service.run_txns(&mut gen, TXNS);
             assert_eq!(oltp.committed(), TXNS, "{label} at {shards} shards");
+            common::assert_sanitized_clean(&san, label);
             assert_eq!(
                 oltp.aborts() > 0,
                 pressured,
@@ -280,10 +286,12 @@ fn all_tables_byte_identical_under_local_tpcc_mix() {
 
     for shards in [1u32, 2, 4] {
         let mut service = ShardedHtap::new(squeezed_cfg(shards)).expect("build shards");
+        let san = common::maybe_sanitize(&mut service);
         let mut gen = service
             .global_txn_gen(SEED)
             .with_remote_mix(RemoteMix::LOCAL, warehouses);
         let oltp = service.run_txns(&mut gen, TXNS);
+        common::assert_sanitized_clean(&san, "pressured local mix");
         assert!(oltp.aborts() > 0, "{shards} shards: pressure expected");
         assert_eq!(
             oltp.remote.remote_touches, 0,
@@ -319,8 +327,10 @@ fn scattered_query_reflects_one_global_cut() {
 
     for shards in [2u32, 4] {
         let mut service = ShardedHtap::new(ShardConfig::small(shards)).expect("build shards");
+        let san = common::maybe_sanitize(&mut service);
         let mut gen = service.global_txn_gen(SEED);
         service.run_txns(&mut gen, MID);
+        common::assert_sanitized_clean(&san, "mid-stream cut batch");
         let mid_q6 = service.run_query(Query::Q6);
         let mid_q1 = service.run_query(Query::Q1);
         // The coordinator recorded the agreed cut at the stream position
@@ -361,10 +371,14 @@ fn pressure_leaves_ring_contents_byte_identical_per_topology() {
     for shards in [1u32, 2, 4] {
         let mut squeezed = ShardedHtap::new(squeezed_cfg(shards)).expect("build");
         let mut roomy = ShardedHtap::new(ShardConfig::small(shards)).expect("build");
+        let san_a = common::maybe_sanitize(&mut squeezed);
+        let san_b = common::maybe_sanitize(&mut roomy);
         let mut gen_a = squeezed.global_txn_gen(SEED);
         let mut gen_b = roomy.global_txn_gen(SEED);
         let a = squeezed.run_txns(&mut gen_a, TXNS);
         let b = roomy.run_txns(&mut gen_b, TXNS);
+        common::assert_sanitized_clean(&san_a, "squeezed ring topology");
+        common::assert_sanitized_clean(&san_b, "roomy ring topology");
         assert!(a.aborts() > 0, "{shards} shards: pressure expected");
         assert_eq!(b.aborts(), 0, "{shards} shards: ample arenas abort-free");
 

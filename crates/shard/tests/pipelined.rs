@@ -52,12 +52,14 @@ fn run_batch(
     txns: u64,
 ) -> (ShardedHtap, pushtap_shard::ShardOltpReport) {
     let mut service = ShardedHtap::new(cfg).expect("build shards");
+    let san = common::maybe_sanitize(&mut service);
     let warehouses = service.map().warehouses();
     let mut gen = service
         .global_txn_gen(seed)
         .with_remote_mix(mix, warehouses);
     let report = service.run_txns(&mut gen, txns);
     assert_eq!(report.committed(), txns);
+    common::assert_sanitized_clean(&san, "pipelined batch");
     for (i, shard) in service.shards().iter().enumerate() {
         assert!(!shard.db().in_prepared_txn(), "shard {i} holds a scope");
         assert_eq!(shard.db().prepared_versions(), 0, "shard {i} prepared");

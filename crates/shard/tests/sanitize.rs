@@ -1,0 +1,237 @@
+//! Sanitizer acceptance: an armed keyset-soundness tracker watches
+//! whole sharded batches — serial and pipelined, happy path and
+//! `DeltaFull` pressure — and reports **zero** violations, while the
+//! armed deployment's committed bytes stay identical to an unarmed
+//! twin's (the hooks charge no simulated time, so arming is a pure
+//! lens). The injection tests then prove the detector is live end to
+//! end: a deliberate protocol breach through the installed tracker
+//! fires the matching [`ViolationKind`].
+
+use std::sync::Arc;
+
+use pushtap_chbench::{RemoteMix, ALL_TABLES};
+use pushtap_format::RowSlot;
+use pushtap_sanitizer::{Access, AccessKind, AccessSink, ShadowSanitizer, ViolationKind};
+use pushtap_shard::{CoordinatorMode, ShardConfig, ShardedHtap};
+
+mod common;
+
+const SEED: u64 = 7_341;
+const TXNS: u64 = 120;
+const SHARDS: u32 = 4;
+
+/// Arenas squeezed as in `tests/delta_pressure.rs`, so the tracker
+/// also watches `DeltaFull` aborts, pinned-timestamp retries and wave
+/// casualties — the paths where scope discipline is easiest to break.
+fn squeezed(mode: CoordinatorMode) -> ShardConfig {
+    let mut cfg = ShardConfig::small(SHARDS).with_mode(mode);
+    cfg.base.db.delta_frac = 0.06;
+    cfg.base.db.min_delta_rows = 8;
+    cfg
+}
+
+/// Runs one uniform-mix batch, optionally armed, and returns the
+/// service plus the tracker (present only when armed).
+fn run(mode: CoordinatorMode, armed: bool) -> (ShardedHtap, Option<Arc<ShadowSanitizer>>) {
+    let mut service = ShardedHtap::new(squeezed(mode)).expect("build shards");
+    let san = armed.then(|| {
+        let san = Arc::new(ShadowSanitizer::new());
+        service.set_sanitizer(san.clone());
+        san
+    });
+    let warehouses = service.map().warehouses();
+    let mut gen = service
+        .global_txn_gen(SEED)
+        .with_remote_mix(RemoteMix::Uniform, warehouses);
+    let report = service.run_txns(&mut gen, TXNS);
+    assert_eq!(report.committed(), TXNS);
+    service.defragment_all();
+    (service, san)
+}
+
+/// Byte-compares every table of every shard between two deployments.
+fn assert_services_match(a: &ShardedHtap, b: &ShardedHtap, label: &str) {
+    assert_eq!(a.shard_count(), b.shard_count());
+    for i in 0..a.shard_count() {
+        let da = a.shard(i).db();
+        let db = b.shard(i).db();
+        assert_eq!(da.last_ts(), db.last_ts(), "{label}: shard {i} watermark");
+        for table in ALL_TABLES {
+            let ta = da.table(table);
+            let tb = db.table(table);
+            assert_eq!(ta.n_rows(), tb.n_rows());
+            for row in 0..ta.n_rows() {
+                assert_eq!(
+                    ta.store().read_row(RowSlot::Data { row }),
+                    tb.store().read_row(RowSlot::Data { row }),
+                    "{label}: shard {i} {table:?} row {row} diverged under the sanitizer"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn armed_batches_are_violation_free_and_byte_neutral() {
+    for mode in [CoordinatorMode::Serial, CoordinatorMode::Pipelined] {
+        let label = match mode {
+            CoordinatorMode::Serial => "serial",
+            CoordinatorMode::Pipelined => "pipelined",
+        };
+        let (armed, san) = run(mode, true);
+        let san = san.expect("armed run returns its tracker");
+        // The tracker genuinely watched the batch: every transaction
+        // opened at least one scope, and row traffic was checked.
+        assert!(
+            san.scopes_tracked() >= TXNS,
+            "{label}: {} scopes for {TXNS} txns — hooks disconnected?",
+            san.scopes_tracked()
+        );
+        assert!(
+            san.checked_accesses() > TXNS,
+            "{label}: too few checked accesses ({})",
+            san.checked_accesses()
+        );
+        san.assert_clean(label);
+        // And arming changed nothing a byte can see: the hooks charge
+        // zero simulated time, so the armed deployment commits the
+        // exact state an unarmed twin does.
+        let (unarmed, _) = run(mode, false);
+        assert_services_match(&armed, &unarmed, label);
+    }
+}
+
+#[test]
+fn default_deployment_stays_unarmed() {
+    let service = ShardedHtap::new(squeezed(CoordinatorMode::Serial)).expect("build shards");
+    for shard in service.shards() {
+        assert!(
+            !shard.db().sanitizer().enabled(),
+            "the NullSanitizer must report itself disabled"
+        );
+    }
+}
+
+/// Drives a deliberate breach through a tracker installed on a real
+/// deployment: an access recorded outside any scope at a timestamp the
+/// batch already resolved. The detector must still be live after the
+/// batch (it is the same `Arc` the engines hold) and must classify the
+/// breach correctly.
+#[test]
+fn injected_stray_access_fires_end_to_end() {
+    let (_service, san) = run(CoordinatorMode::Pipelined, true);
+    let san = san.expect("armed");
+    san.assert_clean("before injection");
+    san.record_access(
+        0,
+        1,
+        Access {
+            kind: AccessKind::Write,
+            table: 0,
+            key: 42,
+        },
+    );
+    san.batch_end(0);
+    let violations = san.take_violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::AccessOutsideScope),
+        "stray write must be flagged, got {violations:?}"
+    );
+}
+
+/// An undeclared access inside a declared scope: the scope promises a
+/// keyset and touches a row outside it — the exact scheduler-
+/// unsoundness the tracker exists to catch, driven through the same
+/// installed tracker a real deployment holds.
+#[test]
+fn injected_undeclared_access_fires_end_to_end() {
+    let (_service, san) = run(CoordinatorMode::Serial, true);
+    let san = san.expect("armed");
+    san.assert_clean("before injection");
+    let next_ts = 1_000_000;
+    san.begin_scope(0, next_ts, &[], &[]);
+    san.record_access(
+        0,
+        next_ts,
+        Access {
+            kind: AccessKind::Read,
+            table: 3,
+            key: 7,
+        },
+    );
+    san.prepare_scope(0, next_ts);
+    san.commit_scope(0, next_ts);
+    san.batch_end(0);
+    let violations = san.take_violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::UndeclaredAccess),
+        "undeclared read must be flagged, got {violations:?}"
+    );
+}
+
+/// Two same-wave scopes writing the same key: the wave scheduler's
+/// core promise broken by hand, caught by the lockset check.
+#[test]
+fn injected_wave_conflict_fires_end_to_end() {
+    let (_service, san) = run(CoordinatorMode::Pipelined, true);
+    let san = san.expect("armed");
+    san.assert_clean("before injection");
+    let (a, b) = (2_000_000, 2_000_001);
+    let key = pushtap_sanitizer::SanKey::Row(0, 9);
+    san.assign_wave(a, 77);
+    san.assign_wave(b, 77);
+    for ts in [a, b] {
+        san.begin_scope(0, ts, &[], &[key]);
+        san.record_access(
+            0,
+            ts,
+            Access {
+                kind: AccessKind::Write,
+                table: 0,
+                key: 9,
+            },
+        );
+        san.prepare_scope(0, ts);
+        san.commit_scope(0, ts);
+    }
+    san.batch_end(0);
+    let violations = san.take_violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::WaveConflict),
+        "same-wave overlapping writers must be flagged, got {violations:?}"
+    );
+}
+
+/// The batch-boundary discipline: a scope left prepared-but-undecided
+/// (and lingering prepared versions) at batch end is exactly what a
+/// coordinator bug would leave behind.
+#[test]
+fn injected_unbalanced_prepare_fires_end_to_end() {
+    let (_service, san) = run(CoordinatorMode::Serial, true);
+    let san = san.expect("armed");
+    san.assert_clean("before injection");
+    let ts = 3_000_000;
+    san.begin_scope(0, ts, &[], &[]);
+    san.prepare_scope(0, ts);
+    // No decision ever arrives; the batch ends with versions pending.
+    san.batch_end(5);
+    let violations = san.take_violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::UnbalancedPrepare),
+        "undecided scope must be flagged, got {violations:?}"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::PreparedAtBatchEnd),
+        "lingering prepared versions must be flagged, got {violations:?}"
+    );
+}

@@ -15,6 +15,8 @@ use pushtap_shard::{
 };
 use pushtap_trace::{two_pc_overlap_peak, MemSink, Phase, Span};
 
+mod common;
+
 const SEED: u64 = 2025;
 const TXNS: u64 = 120;
 const SHARDS: u32 = 4;
@@ -32,6 +34,7 @@ fn squeezed(mode: CoordinatorMode) -> ShardConfig {
 /// committed bytes are comparable.
 fn run(mode: CoordinatorMode, traced: bool) -> (ShardedHtap, ShardOltpReport, Vec<Span>) {
     let mut service = ShardedHtap::new(squeezed(mode)).expect("build shards");
+    let san = common::maybe_sanitize(&mut service);
     let sink = Arc::new(MemSink::default());
     if traced {
         service.set_trace_sink(sink.clone());
@@ -42,6 +45,7 @@ fn run(mode: CoordinatorMode, traced: bool) -> (ShardedHtap, ShardOltpReport, Ve
         .with_remote_mix(RemoteMix::Uniform, warehouses);
     let report = service.run_txns(&mut gen, TXNS);
     assert_eq!(report.committed(), TXNS);
+    common::assert_sanitized_clean(&san, "traced batch");
     service.defragment_all();
     (service, report, sink.take())
 }
@@ -51,6 +55,7 @@ fn run(mode: CoordinatorMode, traced: bool) -> (ShardedHtap, ShardOltpReport, Ve
 /// force barrier, charged at `ShardConfig::small`'s force latency.
 fn run_wal(mode: CoordinatorMode) -> (ShardedHtap, ShardOltpReport, Vec<Span>, WalHandles) {
     let mut service = ShardedHtap::new(squeezed(mode)).expect("build shards");
+    let san = common::maybe_sanitize(&mut service);
     let handles = service.enable_wal();
     let sink = Arc::new(MemSink::default());
     service.set_trace_sink(sink.clone());
@@ -60,6 +65,7 @@ fn run_wal(mode: CoordinatorMode) -> (ShardedHtap, ShardOltpReport, Vec<Span>, W
         .with_remote_mix(RemoteMix::Uniform, warehouses);
     let report = service.run_txns(&mut gen, TXNS);
     assert_eq!(report.committed(), TXNS);
+    common::assert_sanitized_clean(&san, "walled traced batch");
     service.defragment_all();
     (service, report, sink.take(), handles)
 }
@@ -137,6 +143,75 @@ fn assert_report_reconciles(report: &ShardOltpReport, spans: &[Span], label: &st
     // commit decision (home and participant halves) left an instant.
     assert_eq!(count(spans, Phase::Routed), TXNS, "{label}: routed markers");
     assert!(count(spans, Phase::Commit) >= report.committed());
+    // A retry instant only ever follows an abort of the *same*
+    // transaction (pinned timestamps make the identity exact), and the
+    // squeezed arenas guarantee the retry path ran at all.
+    let aborted_ts: BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.phase == Phase::PrepareAbort || s.phase == Phase::Abort)
+        .map(|s| s.txn)
+        .collect();
+    let committed_ts: BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.phase == Phase::Commit)
+        .map(|s| s.txn)
+        .collect();
+    let retried_ts: BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.phase == Phase::Retry)
+        .map(|s| s.txn)
+        .collect();
+    for ts in &retried_ts {
+        assert!(
+            aborted_ts.contains(ts),
+            "{label}: retry of {ts} without an abort"
+        );
+        assert!(
+            committed_ts.contains(ts),
+            "{label}: retry of {ts} never committed"
+        );
+    }
+    // Vote-barrier waits belong to cross-shard two-phase commits only,
+    // and every routed cross-shard transaction crossed the barrier at
+    // least once (its final, committing attempt).
+    assert!(
+        report.remote.cross_shard_txns > 0,
+        "{label}: mix routes remotes"
+    );
+    let two_pc_ts: BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.phase == Phase::TwoPc)
+        .map(|s| s.txn)
+        .collect();
+    for s in spans.iter().filter(|s| s.phase == Phase::VoteBarrier) {
+        assert!(
+            two_pc_ts.contains(&s.txn),
+            "{label}: vote barrier on non-2PC txn {}",
+            s.txn
+        );
+    }
+    assert!(
+        count(spans, Phase::VoteBarrier) >= report.remote.cross_shard_txns,
+        "{label}: every cross-shard txn waits out a vote round-trip"
+    );
+    // A participant's decision wait is not separately instrumented:
+    // decision delivery is charged inside the home shard's vote
+    // barrier, so no `Decide` interval may appear. (Adding the span
+    // must come with its reconciliation here.)
+    assert_eq!(count(spans, Phase::Decide), 0, "{label}: decide spans");
+    // One defrag-stall interval per counted mid-batch pass, plus the
+    // one pass per shard the harness runs after the batch to make
+    // committed bytes comparable.
+    let passes: u64 = report
+        .per_shard
+        .iter()
+        .map(|s| s.report.defrag_passes)
+        .sum();
+    assert_eq!(
+        count(spans, Phase::DefragStall),
+        passes + u64::from(SHARDS),
+        "{label}: defrag stall intervals"
+    );
 }
 
 #[test]
@@ -150,6 +225,25 @@ fn serial_trace_reconciles_with_counters() {
     // transaction (cross-shard ones never queue).
     let local_txns = TXNS - report.remote.cross_shard_txns;
     assert_eq!(report.queue_wait().count(), local_txns);
+    // Queued intervals are the nonzero waits of that histogram: at most
+    // one per local transaction, every one strictly positive, and their
+    // durations sum to exactly the histogram's total — zero-wait
+    // transactions contribute zero on both sides.
+    assert!(count(&spans, Phase::Queued) <= local_txns);
+    assert!(count(&spans, Phase::Queued) > 0, "serial queues must wait");
+    let queued: u128 = spans
+        .iter()
+        .filter(|s| s.phase == Phase::Queued)
+        .map(|s| {
+            assert!(s.end > s.start, "a queued interval is never empty");
+            u128::from(s.end - s.start)
+        })
+        .sum();
+    assert_eq!(
+        queued,
+        report.queue_wait().sum(),
+        "queued time vs histogram"
+    );
     // Serial 2PCs run alone: every TwoPc span sits on wave 0, so the
     // overlap scan (which ignores wave 0) finds nothing.
     assert!(spans
@@ -198,6 +292,7 @@ fn pipelined_trace_reconciles_with_counters() {
     assert!(peak >= 2, "peak concurrent 2PCs {peak} in wave {wave}");
     // Queues are subsumed by waves.
     assert_eq!(report.queue_wait().count(), 0);
+    assert_eq!(count(&spans, Phase::Queued), 0);
     assert_eq!(count(&spans, Phase::Barrier), 0);
 }
 

@@ -36,6 +36,7 @@
 //! assert_eq!(stats.instants, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

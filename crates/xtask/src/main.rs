@@ -1,0 +1,20 @@
+//! Workspace automation (`cargo run -p xtask -- <command>`).
+
+#![forbid(unsafe_code)]
+
+mod lint;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            if !lint::run() {
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            std::process::exit(2);
+        }
+    }
+}

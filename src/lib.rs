@@ -36,6 +36,7 @@
 //! # Ok::<(), pushtap::format::LayoutError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use pushtap_chbench as chbench;

@@ -5,6 +5,7 @@
 //! (`sample_size`, `measurement_time`, `warm_up_time`) are accepted and
 //! ignored.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

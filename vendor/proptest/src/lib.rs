@@ -14,6 +14,7 @@
 //! then reports the original failure, the minimal failing input, and
 //! the number of shrink steps taken.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collection;

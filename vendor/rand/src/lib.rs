@@ -7,6 +7,7 @@
 //! fixed seed and on uniformity good enough for workload mixes, never on
 //! byte-compatibility with upstream `rand`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

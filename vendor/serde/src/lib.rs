@@ -2,4 +2,5 @@
 //! `Serialize`/`Deserialize` for API compatibility but never serialises,
 //! so the derives expand to nothing (see `serde_derive` in `vendor/`).
 
+#![forbid(unsafe_code)]
 pub use serde_derive::{Deserialize, Serialize};

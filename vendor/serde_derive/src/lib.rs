@@ -5,6 +5,7 @@
 //! is sufficient (and keeps the derive sites source-compatible with the
 //! real crate).
 
+#![forbid(unsafe_code)]
 use proc_macro::TokenStream;
 
 /// Accepts `#[derive(Serialize)]` and expands to nothing.
