@@ -18,4 +18,5 @@ pub mod fig12;
 pub mod fig8;
 pub mod fig9;
 pub mod shard_scale;
+pub mod soak;
 pub mod table1;

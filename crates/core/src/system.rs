@@ -20,6 +20,98 @@ use pushtap_trace::{Histogram, NullSink, Phase, Span, TraceSink};
 /// transactions is large").
 pub const DEFRAG_FIXED_OVERHEAD: Ps = Ps::new(100_000_000); // 100 µs
 
+/// Fixed overhead of one incremental garbage-collection pass. GC walks
+/// only the chains below the eligible cut and recycles slots in place —
+/// no worker-thread fan-out, no PIM-unit activation barrier — so the
+/// fixed cost is an order of magnitude below a defragmentation pass.
+pub const GC_FIXED_OVERHEAD: Ps = Ps::new(10_000_000); // 10 µs
+
+/// The maintenance pause one execute call charged to the engine clock,
+/// split by mechanism: incremental garbage collection (no barrier)
+/// versus a full defragmentation barrier. The shard coordinator charges
+/// each share to its own report counter and histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintPause {
+    /// Pause spent in garbage-collection passes.
+    pub gc: Ps,
+    /// Pause spent in defragmentation barriers.
+    pub defrag: Ps,
+}
+
+impl MaintPause {
+    /// No pause at all.
+    pub const ZERO: MaintPause = MaintPause {
+        gc: Ps::ZERO,
+        defrag: Ps::ZERO,
+    };
+
+    /// The combined clock advance.
+    pub fn total(&self) -> Ps {
+        self.gc + self.defrag
+    }
+
+    /// Accumulates another pause (an execute call can pay several
+    /// reclamation rounds across its retries).
+    pub fn absorb(&mut self, other: MaintPause) {
+        self.gc += other.gc;
+        self.defrag += other.defrag;
+    }
+}
+
+/// Aggregate garbage-collection statistics of a run. Counters sum over
+/// every pass (and, in a deployment, over every shard); the two gauges
+/// are sampled when the tally is drained at batch end and sum across
+/// shards into the deployment-wide figure the soak benchmark proves
+/// plateaus.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Garbage-collection passes that reclaimed something (empty passes
+    /// cost nothing and are not counted).
+    pub passes: u64,
+    /// Versions reclaimed: rows whose newest committed version at or
+    /// below the eligible cut was folded back into the data region.
+    pub versions_reclaimed: u64,
+    /// Delta slots recycled to the arena free-lists without a
+    /// defragmentation barrier.
+    pub slots_recycled: u64,
+    /// Commit-log entries trimmed below the eligible cut.
+    pub log_trimmed: u64,
+    /// Chain hops walked planning the passes.
+    pub chain_steps: u64,
+    /// Bytes moved by the GC copy-backs.
+    pub bytes_copied: u64,
+    /// Live delta versions at batch end (gauge).
+    pub live_versions: u64,
+    /// Commit-log entries awaiting snapshot consumption at batch end
+    /// (gauge).
+    pub commit_log_len: u64,
+}
+
+impl GcStats {
+    /// Folds one engine pass into the tally.
+    pub fn absorb_pass(&mut self, pass: &pushtap_oltp::TableGcPass) {
+        self.passes += 1;
+        self.versions_reclaimed += pass.rows_folded;
+        self.slots_recycled += pass.slots_recycled;
+        self.log_trimmed += pass.log_trimmed;
+        self.chain_steps += pass.chain_steps;
+        self.bytes_copied += pass.bytes_copied;
+    }
+
+    /// Accumulates another report's GC stats (counters and gauges both
+    /// sum — each shard contributes its own end-of-batch gauge once).
+    pub fn merge(&mut self, other: &GcStats) {
+        self.passes += other.passes;
+        self.versions_reclaimed += other.versions_reclaimed;
+        self.slots_recycled += other.slots_recycled;
+        self.log_trimmed += other.log_trimmed;
+        self.chain_steps += other.chain_steps;
+        self.bytes_copied += other.bytes_copied;
+        self.live_versions += other.live_versions;
+        self.commit_log_len += other.commit_log_len;
+    }
+}
+
 /// Configuration of a complete PUSHtap instance.
 #[derive(Debug, Clone)]
 pub struct PushtapConfig {
@@ -62,6 +154,11 @@ pub struct OltpReport {
     pub defrag_time: Ps,
     /// Number of defragmentation passes.
     pub defrag_passes: u64,
+    /// Time spent in incremental garbage-collection pauses (far cheaper
+    /// than defragmentation — no stop-the-world barrier).
+    pub gc_time: Ps,
+    /// Garbage-collection pass counters and end-of-batch gauges.
+    pub gc: GcStats,
     /// Transaction attempts rolled back on a full delta arena (each is
     /// re-executed after an on-demand defragmentation, so this is also
     /// the number of retries).
@@ -144,6 +241,10 @@ pub struct OltpReport {
     /// Duration of each defragmentation pause that landed on this
     /// engine's clock (picoseconds), one sample per pass.
     pub defrag_stall: Histogram,
+    /// Duration of each garbage-collection pause that landed on this
+    /// engine's clock (picoseconds), one sample per execute call that
+    /// paid one; the sample sum equals [`OltpReport::gc_time`].
+    pub gc_stall: Histogram,
     /// Latency of each two-phase-commit message round charged to this
     /// engine (picoseconds): `two_pc_stall.stats().count == commit_rounds`
     /// and the sample sum equals [`OltpReport::critical_path_time`].
@@ -151,9 +252,9 @@ pub struct OltpReport {
 }
 
 impl OltpReport {
-    /// Wall-clock time including pauses.
+    /// Wall-clock time including maintenance pauses.
     pub fn total_time(&self) -> Ps {
-        self.txn_time + self.defrag_time
+        self.txn_time + self.defrag_time + self.gc_time
     }
 
     /// Defragmentation overhead on OLTP (Fig. 11(a)): pause time over
@@ -163,6 +264,17 @@ impl OltpReport {
             0.0
         } else {
             self.defrag_time.ps() as f64 / self.total_time().ps() as f64
+        }
+    }
+
+    /// Garbage-collection overhead on OLTP: GC pause time over total
+    /// time. Bounded memory should cost well under the defragmentation
+    /// barrier it displaces.
+    pub fn gc_overhead(&self) -> f64 {
+        if self.total_time() == Ps::ZERO {
+            0.0
+        } else {
+            self.gc_time.ps() as f64 / self.total_time().ps() as f64
         }
     }
 
@@ -195,6 +307,8 @@ impl OltpReport {
         self.txn_time += other.txn_time;
         self.defrag_time += other.defrag_time;
         self.defrag_passes += other.defrag_passes;
+        self.gc_time += other.gc_time;
+        self.gc.merge(&other.gc);
         self.aborts += other.aborts;
         self.retried_txns += other.retried_txns;
         self.wasted_retry_time += other.wasted_retry_time;
@@ -212,6 +326,7 @@ impl OltpReport {
         self.commit_latency.merge(&other.commit_latency);
         self.queue_wait.merge(&other.queue_wait);
         self.defrag_stall.merge(&other.defrag_stall);
+        self.gc_stall.merge(&other.gc_stall);
         self.two_pc_stall.merge(&other.two_pc_stall);
     }
 }
@@ -251,6 +366,7 @@ pub struct Pushtap {
     defrag_cost: DefragCostModel,
     now: Ps,
     txns_since_defrag: u64,
+    gc_tally: GcStats,
     sink: Arc<dyn TraceSink>,
     track: u32,
 }
@@ -296,6 +412,7 @@ impl Pushtap {
             defrag_cost,
             now: Ps::ZERO,
             txns_since_defrag: 0,
+            gc_tally: GcStats::default(),
             sink: Arc::new(NullSink),
             track: 0,
         })
@@ -429,17 +546,18 @@ impl Pushtap {
         )
     }
 
-    /// Executes one transaction; defragments and retries on a full delta
-    /// arena. Returns the result plus any defragmentation pause incurred.
+    /// Executes one transaction; reclaims (GC first, defragmentation as
+    /// the fallback) and retries on a full delta arena. Returns the
+    /// result plus the maintenance pauses incurred, split by mechanism.
     ///
     /// The retry is *atomic*: [`TpccDb::execute`] rolls back all partial
     /// effects of the failed attempt (including the timestamp) before
-    /// returning the error, so the post-defragmentation re-execution
+    /// returning the error, so the post-reclamation re-execution
     /// commits exactly what a pressure-free run would have committed.
     /// Abort counts are tracked on the database
     /// ([`TpccDb::aborts`](pushtap_oltp::TpccDb::aborts)) and surfaced
     /// per batch in [`OltpReport`].
-    pub fn execute_txn(&mut self, txn: &Txn) -> (TxnResult, Ps) {
+    pub fn execute_txn(&mut self, txn: &Txn) -> (TxnResult, MaintPause) {
         self.execute_with(txn, None)
     }
 
@@ -451,22 +569,128 @@ impl Pushtap {
     /// shard: timestamps are drawn from the shared [`TsOracle`] in global
     /// stream order, so concurrent shards commit exactly the timestamps a
     /// single-instance reference would.
-    pub fn execute_txn_at(&mut self, txn: &Txn, ts: Ts) -> (TxnResult, Ps) {
+    pub fn execute_txn_at(&mut self, txn: &Txn, ts: Ts) -> (TxnResult, MaintPause) {
         self.execute_with(txn, Some(ts))
     }
 
-    /// Runs the periodic defragmentation check: if the configured period
-    /// has elapsed since the last pass, defragments every table and
-    /// returns the pause (zero otherwise). [`Pushtap::execute_txn`] runs
-    /// this automatically; the shard coordinator calls it explicitly
-    /// before starting a two-phase-commit transaction, because
-    /// defragmentation must never run while a transaction scope is open.
-    pub fn defrag_if_due(&mut self) -> Ps {
-        if self.cfg.defrag_period > 0 && self.txns_since_defrag >= self.cfg.defrag_period {
-            self.defragment_all().1
-        } else {
-            Ps::ZERO
+    /// Runs the periodic maintenance check: if the configured period has
+    /// elapsed since the last reclamation, runs an incremental
+    /// garbage-collection pass below the eligible cut — and only if that
+    /// pass reclaims nothing (every surviving version is above the cut
+    /// or pinned) falls back to the full defragmentation barrier.
+    /// Returns the pause split (zero when the period has not elapsed).
+    /// [`Pushtap::execute_txn`] runs this automatically; the shard
+    /// coordinator calls it explicitly before starting a
+    /// two-phase-commit transaction, because reclamation must never run
+    /// while a transaction scope is open.
+    ///
+    /// Under a **standing snapshot pin** the defragmentation fallback is
+    /// suppressed: defragmentation folds each row's *newest* version and
+    /// frees the whole chain, which would steal the exact versions a
+    /// pinned historical reader still needs. Proactive maintenance
+    /// simply re-arms and waits for the release; only genuine delta
+    /// pressure ([`Pushtap::reclaim_now`] from the `DeltaFull` retry
+    /// loop) may still defragment, trading the pinned cut for forward
+    /// progress.
+    pub fn defrag_if_due(&mut self) -> MaintPause {
+        if self.cfg.defrag_period == 0 || self.txns_since_defrag < self.cfg.defrag_period {
+            return MaintPause::ZERO;
         }
+        let gc = self.gc_pass();
+        if gc > Ps::ZERO {
+            self.txns_since_defrag = 0;
+            return MaintPause {
+                gc,
+                defrag: Ps::ZERO,
+            };
+        }
+        if self.db.snapshot_pinned() {
+            self.txns_since_defrag = 0;
+            return MaintPause::ZERO;
+        }
+        MaintPause {
+            gc: Ps::ZERO,
+            defrag: self.defragment_all().1,
+        }
+    }
+
+    /// On-demand reclamation (the pressure policy): an incremental GC
+    /// pass first — recycling committed versions below the eligible cut
+    /// without a barrier — then, only if GC freed nothing, the full
+    /// defragmentation barrier. Used both by the periodic check and by
+    /// the `DeltaFull` retry loop; after one GC pass drained everything
+    /// below the cut, a retry that still overflows finds the next GC
+    /// pass empty and lands on the defragmentation fallback, so the
+    /// loop terminates exactly as it did before GC existed.
+    pub fn reclaim_now(&mut self) -> MaintPause {
+        let gc = self.gc_pass();
+        if gc > Ps::ZERO {
+            self.txns_since_defrag = 0;
+            MaintPause {
+                gc,
+                defrag: Ps::ZERO,
+            }
+        } else {
+            MaintPause {
+                gc: Ps::ZERO,
+                defrag: self.defragment_all().1,
+            }
+        }
+    }
+
+    /// Runs one incremental garbage-collection pass at this engine's
+    /// eligible cut ([`TpccDb::gc_eligible_before`]: the shared oracle's
+    /// pin-floored watermark in a deployment, the local watermark
+    /// standalone). Returns the pause charged (zero for an empty pass).
+    pub fn gc_pass(&mut self) -> Ps {
+        self.gc_at(self.db.gc_eligible_before())
+    }
+
+    /// Runs one incremental garbage-collection pass below `before`
+    /// (inclusive): folds each row's newest committed version at or
+    /// below the cut into the data region, recycles the superseded
+    /// delta slots, and trims the consumed commit-log entries (see
+    /// [`TpccDb::gc`]). Charges the copy-back and traverse time to the
+    /// clock and emits a [`Phase::GcPass`] span. An empty pass (nothing
+    /// eligible) costs nothing, is not counted, and emits no span.
+    pub fn gc_at(&mut self, before: Ts) -> Ps {
+        let model = self.defrag_cost;
+        let strategy = self.cfg.defrag_strategy;
+        let (pass, seconds) = self.db.gc(&model, strategy, before);
+        if !pass.reclaimed_any() {
+            return Ps::ZERO;
+        }
+        let traverse = self
+            .db
+            .meter()
+            .cpu
+            .cycles(pass.chain_steps * self.db.meter().costs.chain_step_cycles);
+        let pause = GC_FIXED_OVERHEAD + Ps::new((seconds * 1e12).round() as u64) + traverse;
+        let start = self.now;
+        self.now += pause;
+        self.gc_tally.absorb_pass(&pass);
+        if self.sink.enabled() {
+            self.sink.record(Span::new(
+                self.track,
+                Phase::GcPass,
+                before.0,
+                start.ps(),
+                self.now.ps(),
+            ));
+        }
+        pause
+    }
+
+    /// Drains the GC tally accumulated since the last drain, stamping
+    /// the end-of-batch gauges (live delta versions, commit-log
+    /// entries). [`Pushtap::run_txns`] drains into its report; the shard
+    /// coordinator drains each shard into its per-shard load after a
+    /// batch.
+    pub fn take_gc_stats(&mut self) -> GcStats {
+        let mut stats = std::mem::take(&mut self.gc_tally);
+        stats.live_versions = self.db.live_delta_rows();
+        stats.commit_log_len = self.db.commit_log_entries();
+        stats
     }
 
     /// Applies an effect set at pinned timestamp `ts` and parks the
@@ -536,8 +760,8 @@ impl Pushtap {
         }
     }
 
-    fn execute_with(&mut self, txn: &Txn, pinned: Option<Ts>) -> (TxnResult, Ps) {
-        let mut pause = self.defrag_if_due();
+    fn execute_with(&mut self, txn: &Txn, pinned: Option<Ts>) -> (TxnResult, MaintPause) {
+        let mut pauses = self.defrag_if_due();
         loop {
             let wasted_before = self.db.wasted_retry_time();
             let r = match pinned {
@@ -548,7 +772,7 @@ impl Pushtap {
                 Ok(r) => {
                     self.now = r.end;
                     self.txns_since_defrag += 1;
-                    return (r, pause);
+                    return (r, pauses);
                 }
                 // The failed attempt was rolled back, but its statements
                 // consumed real time (their memory traffic is charged to
@@ -557,7 +781,7 @@ impl Pushtap {
                 // re-execute.
                 Err(_full) => {
                     self.now += self.db.wasted_retry_time().saturating_sub(wasted_before);
-                    pause += self.defragment_all().1;
+                    pauses.absorb(self.reclaim_now());
                 }
             }
         }
@@ -572,9 +796,9 @@ impl Pushtap {
             let before = self.now;
             let aborts_before = self.db.aborts();
             let wasted_before = self.db.wasted_retry_time();
-            let (r, pause) = self.execute_txn(&txn);
+            let (r, pauses) = self.execute_txn(&txn);
             report.committed += 1;
-            if pause > Ps::ZERO {
+            if pauses.defrag > Ps::ZERO {
                 report.defrag_passes += 1;
             }
             let aborted = self.db.aborts() - aborts_before;
@@ -582,19 +806,27 @@ impl Pushtap {
             if aborted > 0 {
                 report.retried_txns += 1;
             }
-            report.defrag_time += pause;
+            report.defrag_time += pauses.defrag;
+            report.gc_time += pauses.gc;
             report.wasted_retry_time += self.db.wasted_retry_time().saturating_sub(wasted_before);
-            report.txn_time += self.now.saturating_sub(before).saturating_sub(pause);
+            report.txn_time += self
+                .now
+                .saturating_sub(before)
+                .saturating_sub(pauses.total());
             report.breakdown.merge(&r.breakdown);
-            // Submitter-perceived latency: retries and folded-in defrag
-            // pauses included, one sample per commit.
+            // Submitter-perceived latency: retries and folded-in
+            // maintenance pauses included, one sample per commit.
             report
                 .commit_latency
                 .record(self.now.saturating_sub(before).ps());
-            if pause > Ps::ZERO {
-                report.defrag_stall.record(pause.ps());
+            if pauses.defrag > Ps::ZERO {
+                report.defrag_stall.record(pauses.defrag.ps());
+            }
+            if pauses.gc > Ps::ZERO {
+                report.gc_stall.record(pauses.gc.ps());
             }
         }
+        report.gc.merge(&self.take_gc_stats());
         report
     }
 
@@ -786,20 +1018,77 @@ mod tests {
     }
 
     #[test]
-    fn defrag_period_triggers_and_is_small_overhead() {
+    fn period_triggers_gc_first_and_is_small_overhead() {
         let mut cfg = PushtapConfig::small();
         cfg.defrag_period = 50;
         let mut p = Pushtap::new(cfg).unwrap();
         let mut gen = p.txn_gen(3);
         let report = p.run_txns(&mut gen, 200);
-        assert!(report.defrag_passes >= 2, "period must trigger defrag");
-        assert!(report.defrag_time > Ps::ZERO);
-        // Fig. 11(a): defragmentation costs OLTP < a few percent.
-        assert!(
-            report.defrag_overhead() < 0.25,
-            "defrag overhead {}",
-            report.defrag_overhead()
+        // The GC-first policy: a standalone engine's eligible cut is its
+        // own watermark, so every periodic check finds reclaimable
+        // versions and the defragmentation barrier never fires.
+        assert!(report.gc.passes >= 2, "period must trigger GC");
+        assert!(report.gc_time > Ps::ZERO);
+        assert!(report.gc.slots_recycled > 0);
+        assert!(report.gc.log_trimmed > 0);
+        assert_eq!(
+            report.defrag_passes, 0,
+            "GC reclaimed, so defrag must not fire"
         );
+        assert_eq!(
+            report.gc_stall.sum(),
+            u128::from(report.gc_time.ps()),
+            "gc_stall samples must sum to gc_time"
+        );
+        // Incremental GC costs OLTP even less than the Fig. 11(a)
+        // defragmentation budget.
+        assert!(
+            report.gc_overhead() < 0.25,
+            "gc overhead {}",
+            report.gc_overhead()
+        );
+    }
+
+    #[test]
+    fn gc_pass_reclaims_and_preserves_query_answers() {
+        let mut p = small();
+        let mut gen = p.txn_gen(9);
+        p.run_txns(&mut gen, 60);
+        let live_before = p.db().live_delta_rows();
+        let log_before = p.db().commit_log_entries();
+        assert!(live_before > 0);
+        let before = p.run_query(Query::Q6);
+        let pause = p.gc_pass();
+        assert!(pause >= GC_FIXED_OVERHEAD);
+        assert!(
+            p.db().live_delta_rows() < live_before,
+            "GC must recycle delta slots"
+        );
+        assert!(
+            p.db().commit_log_entries() < log_before,
+            "GC must trim the commit log"
+        );
+        let after = p.run_query(Query::Q6);
+        assert_eq!(before.result, after.result, "GC must not change answers");
+        let stats = p.take_gc_stats();
+        assert_eq!(stats.passes, 1);
+        assert!(stats.versions_reclaimed > 0);
+        assert_eq!(stats.live_versions, p.db().live_delta_rows());
+        assert_eq!(stats.commit_log_len, p.db().commit_log_entries());
+        // The tally drains: a second take reports only fresh gauges.
+        assert_eq!(p.take_gc_stats().passes, 0);
+    }
+
+    #[test]
+    fn empty_gc_pass_costs_nothing() {
+        let mut p = small();
+        let mut gen = p.txn_gen(2);
+        p.run_txns(&mut gen, 30);
+        assert!(p.gc_pass() > Ps::ZERO, "first pass reclaims");
+        let now = p.now();
+        assert_eq!(p.gc_pass(), Ps::ZERO, "nothing left below the cut");
+        assert_eq!(p.now(), now, "an empty pass must not advance the clock");
+        assert_eq!(p.take_gc_stats().passes, 1, "empty passes are not counted");
     }
 
     #[test]

@@ -5,11 +5,57 @@
 //! metadata is not required by PIM units", §5.1); the versions' *data*
 //! lives in the delta region of the unified format.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use pushtap_format::RowSlot;
 
 use crate::timestamp::Ts;
+
+/// One row folded by a [`VersionChains::gc`] pass: the newest committed
+/// version at or below the cut moves back into the data region, and the
+/// whole tail of the chain below it is released.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcFold {
+    /// The data-region row.
+    pub row: u64,
+    /// The version copied back into the data region (the newest with
+    /// `write_ts ≤ cut`). The caller must perform the copy *before*
+    /// recycling the freed slots.
+    pub fold_slot: RowSlot,
+    /// The folded version's commit timestamp — the newest timestamp this
+    /// fold releases (every other freed version is older). The sanitizer
+    /// checks it against the registered pins.
+    pub fold_ts: Ts,
+    /// Every delta slot this fold releases: `fold_slot` itself plus all
+    /// older versions it supersedes, newest first.
+    pub freed: Vec<RowSlot>,
+}
+
+/// The outcome of one [`VersionChains::gc`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Rows folded, in ascending row order (deterministic across runs).
+    pub folds: Vec<GcFold>,
+    /// Original log indices of the trimmed entries, ascending. The
+    /// caller forwards these to `Snapshot::note_log_trimmed` so the
+    /// incremental cursor keeps pointing at the same surviving entry.
+    pub log_trimmed: Vec<usize>,
+    /// Chain hops walked while planning the pass (charged like the
+    /// defragmentation traverse component).
+    pub traverse_steps: u32,
+}
+
+impl GcOutcome {
+    /// Total delta slots released by this pass.
+    pub fn slots_recycled(&self) -> usize {
+        self.folds.iter().map(|f| f.freed.len()).sum()
+    }
+
+    /// Whether the pass reclaimed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.folds.is_empty() && self.log_trimmed.is_empty()
+    }
+}
 
 /// Metadata of one row version.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -311,6 +357,105 @@ impl VersionChains {
     pub fn traverse_steps(&self) -> u64 {
         self.traverse_steps
     }
+
+    /// Incremental garbage collection below the cut `before` (inclusive):
+    /// for every row whose chain holds a committed version with
+    /// `write_ts ≤ before`, the newest such version becomes the row's
+    /// data-region content (the caller copies its bytes back using the
+    /// returned [`GcFold`]s) and it plus every older version is released;
+    /// the surviving chain is re-anchored on the data region, and the
+    /// trimmed versions' commit-log entries are removed.
+    ///
+    /// Unlike [`VersionChains::clear_after_defrag`] this touches only
+    /// the reclaimable tail of each chain — versions above the cut,
+    /// rows whose chain carries a prepared-but-uncommitted version, and
+    /// log entries above the cut are left exactly as they were, so the
+    /// pass needs no stop-the-world barrier: concurrent readers at or
+    /// above the cut see the same bytes before and after.
+    ///
+    /// The caller chooses `before` from the oracle
+    /// (`TsOracle::gc_eligible_before`), which keeps it strictly below
+    /// every registered snapshot pin.
+    pub fn gc(&mut self, before: Ts) -> GcOutcome {
+        let mut out = GcOutcome::default();
+        if before == Ts::ZERO {
+            return out;
+        }
+        let mut rows: Vec<u64> = self.newest.keys().copied().collect();
+        rows.sort_unstable();
+        let mut freed_slots: HashSet<RowSlot> = HashSet::new();
+        let mut reanchor: HashMap<RowSlot, u64> = HashMap::new();
+        for row in rows {
+            let (chain, steps) = self.chain_slots(row);
+            out.traverse_steps += steps;
+            // A prepared-but-uncommitted version pins its whole row: the
+            // scope may still abort, which restores an older version.
+            if chain.iter().any(|s| self.prepared.contains_key(s)) {
+                continue;
+            }
+            let Some(fold_at) = chain.iter().position(|s| {
+                self.meta
+                    .get(s)
+                    .expect("chain slot must have metadata")
+                    .write_ts
+                    <= before
+            }) else {
+                continue;
+            };
+            let fold_slot = chain[fold_at];
+            let fold_ts = self
+                .meta
+                .get(&fold_slot)
+                .expect("fold slot must have metadata")
+                .write_ts;
+            let freed: Vec<RowSlot> = chain[fold_at..].to_vec();
+            for &s in &freed {
+                self.meta.remove(&s);
+                freed_slots.insert(s);
+            }
+            if fold_at == 0 {
+                // The whole chain folded: the row is chainless again.
+                self.newest.remove(&row);
+            } else {
+                // Re-anchor the oldest survivor on the data region, which
+                // now holds the folded version's bytes.
+                let survivor = chain[fold_at - 1];
+                self.meta
+                    .get_mut(&survivor)
+                    .expect("surviving version must have metadata")
+                    .prev = Some(RowSlot::Data { row });
+                reanchor.insert(fold_slot, row);
+            }
+            out.folds.push(GcFold {
+                row,
+                fold_slot,
+                fold_ts,
+                freed,
+            });
+        }
+        if out.folds.is_empty() {
+            return out;
+        }
+        // Trim the freed versions' log entries (all at or below the cut,
+        // so a snapshot whose cursor has passed them simply rewinds) and
+        // re-anchor surviving entries whose superseded slot was folded.
+        let mut kept = Vec::with_capacity(self.log.len());
+        for (i, mut e) in self.log.drain(..).enumerate() {
+            if freed_slots.contains(&e.new_slot) {
+                debug_assert!(e.ts <= before, "trimmed a log entry above the cut");
+                out.log_trimmed.push(i);
+                continue;
+            }
+            if let Some(&row) = reanchor.get(&e.prev_slot) {
+                if e.row == row {
+                    e.prev_slot = RowSlot::Data { row };
+                }
+            }
+            kept.push(e);
+        }
+        self.log = kept;
+        out
+    }
 }
 
 #[cfg(test)]
@@ -496,5 +641,103 @@ mod tests {
         c.record_update(3, delta(0, 0), Ts(1));
         c.mark_prepared(3, Ts(1));
         c.clear_after_defrag();
+    }
+
+    #[test]
+    fn gc_below_everything_is_a_no_op() {
+        let mut c = VersionChains::new();
+        c.record_update(1, delta(0, 0), Ts(5));
+        let out = c.gc(Ts(4));
+        assert!(out.is_empty());
+        assert_eq!(out.slots_recycled(), 0);
+        assert_eq!(c.newest_slot(1), delta(0, 0));
+        assert_eq!(c.log().len(), 1);
+        // The reserved cut is always a no-op.
+        assert!(c.gc(Ts::ZERO).is_empty());
+    }
+
+    #[test]
+    fn gc_folds_the_whole_chain_when_everything_is_below_the_cut() {
+        let mut c = VersionChains::new();
+        c.record_update(5, delta(0, 0), Ts(1));
+        c.record_update(5, delta(0, 1), Ts(3));
+        let out = c.gc(Ts(4));
+        assert_eq!(out.folds.len(), 1);
+        let f = &out.folds[0];
+        assert_eq!((f.row, f.fold_slot), (5, delta(0, 1)));
+        assert_eq!(f.freed, vec![delta(0, 1), delta(0, 0)]);
+        assert_eq!(out.log_trimmed, vec![0, 1]);
+        assert_eq!(out.slots_recycled(), 2);
+        // The row is chainless: reads fall through to the data region,
+        // which the caller filled with the folded version's bytes.
+        assert!(!c.has_versions(5));
+        assert_eq!(c.visible_at(5, Ts(4)), (RowSlot::Data { row: 5 }, 0));
+        assert!(c.log().is_empty());
+        // The chain is fully reusable afterwards.
+        c.record_update(5, delta(0, 0), Ts(9));
+        assert_eq!(c.visible_at(5, Ts(9)), (delta(0, 0), 0));
+    }
+
+    #[test]
+    fn gc_truncates_below_the_fold_point_and_reanchors_survivors() {
+        let mut c = VersionChains::new();
+        c.record_update(7, delta(0, 0), Ts(1));
+        c.record_update(7, delta(0, 1), Ts(3));
+        c.record_update(7, delta(0, 2), Ts(6));
+        c.record_update(8, delta(0, 3), Ts(2));
+        let out = c.gc(Ts(4));
+        // Row 7 folds at T3 (its newest ≤ cut), freeing T3 and T1; the
+        // T6 survivor re-anchors on the data region. Row 8 folds whole.
+        assert_eq!(out.folds.len(), 2);
+        assert_eq!(out.folds[0].fold_slot, delta(0, 1));
+        assert_eq!(out.folds[0].freed, vec![delta(0, 1), delta(0, 0)]);
+        assert_eq!(out.folds[1].fold_slot, delta(0, 3));
+        assert_eq!(out.log_trimmed, vec![0, 1, 2]);
+        assert_eq!(c.newest_slot(7), delta(0, 2));
+        assert_eq!(
+            c.meta(delta(0, 2)).unwrap().prev,
+            Some(RowSlot::Data { row: 7 })
+        );
+        // Chain walks below the fold land on the data region.
+        assert_eq!(c.visible_at(7, Ts(4)), (RowSlot::Data { row: 7 }, 1));
+        assert_eq!(c.visible_at(7, Ts(6)), (delta(0, 2), 0));
+        // The surviving log entry re-anchored too.
+        assert_eq!(c.log().len(), 1);
+        assert_eq!(c.log()[0].ts, Ts(6));
+        assert_eq!(c.log()[0].prev_slot, RowSlot::Data { row: 7 });
+    }
+
+    #[test]
+    fn gc_refuses_rows_with_prepared_versions() {
+        let mut c = VersionChains::new();
+        c.record_update(1, delta(0, 0), Ts(1));
+        c.record_update(1, delta(0, 1), Ts(3));
+        c.mark_prepared(1, Ts(3));
+        c.record_update(2, delta(0, 2), Ts(2));
+        let out = c.gc(Ts(4));
+        // Only the unprepared row folds; the prepared row's whole chain
+        // (including its committed T1 tail) is untouched.
+        assert_eq!(out.folds.len(), 1);
+        assert_eq!(out.folds[0].row, 2);
+        assert_eq!(c.newest_slot(1), delta(0, 1));
+        assert_eq!(c.meta(delta(0, 0)).unwrap().write_ts, Ts(1));
+        let ts: Vec<u64> = c.log().iter().map(|e| e.ts.0).collect();
+        assert_eq!(ts, vec![1, 3]);
+        // Once the scope commits, the tail becomes reclaimable.
+        c.commit_prepared(Ts(3));
+        let out = c.gc(Ts(4));
+        assert_eq!(out.folds.len(), 1);
+        assert_eq!(out.folds[0].freed, vec![delta(0, 1), delta(0, 0)]);
+        assert!(c.log().is_empty());
+    }
+
+    #[test]
+    fn gc_is_idempotent_at_the_same_cut() {
+        let mut c = VersionChains::new();
+        c.record_update(1, delta(0, 0), Ts(1));
+        c.record_update(1, delta(0, 1), Ts(5));
+        assert!(!c.gc(Ts(3)).is_empty());
+        assert!(c.gc(Ts(3)).is_empty(), "nothing left below the cut");
+        assert_eq!(c.newest_slot(1), delta(0, 1));
     }
 }

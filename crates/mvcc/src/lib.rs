@@ -66,9 +66,9 @@ mod snapshot;
 mod timestamp;
 mod undo;
 
-pub use chain::{LogEntry, VersionChains, VersionMeta};
+pub use chain::{GcFold, GcOutcome, LogEntry, VersionChains, VersionMeta};
 pub use defrag::{DefragCostModel, DefragStats, DefragStrategy};
 pub use delta::{DeltaAllocator, DeltaFull};
 pub use snapshot::{Bitmap, Snapshot, SnapshotUpdate};
-pub use timestamp::{Ts, TsAllocator, TsOracle};
+pub use timestamp::{SnapshotPin, Ts, TsAllocator, TsOracle};
 pub use undo::{UndoLog, UndoRecord};

@@ -197,6 +197,42 @@ impl Snapshot {
         stats
     }
 
+    /// Reconciles the bitmaps with one garbage-collection fold: the
+    /// `freed` delta slots of `row` were released and the newest of them
+    /// copied back into the data region. Any freed slot the snapshot
+    /// held visible is replaced by the data-region bit — for a snapshot
+    /// at or above the folded version's timestamp the data region now
+    /// holds exactly the bytes that slot held, so visibility is
+    /// unchanged byte-for-byte. Returns the number of bits flipped.
+    pub fn note_gc_fold(&mut self, row: u64, freed: &[RowSlot]) -> u64 {
+        let mut flips = 0u64;
+        let mut was_visible = false;
+        for &slot in freed {
+            debug_assert!(
+                matches!(slot, RowSlot::Delta { .. }),
+                "gc never frees a data-region slot"
+            );
+            let (changed, _) = self.set_slot(slot, false);
+            was_visible |= changed;
+            flips += changed as u64;
+        }
+        if was_visible {
+            flips += self.data.set(row, true) as u64;
+        }
+        flips
+    }
+
+    /// Adjusts the incremental cursor after garbage collection removed
+    /// log entries at the given (pre-trim, ascending) indices: entries
+    /// the cursor had already consumed shift it back one each, so it
+    /// keeps pointing at the same first unconsumed entry. Trimmed
+    /// entries at or past the cursor were never folded and never will
+    /// be — their effects are covered by [`Snapshot::note_gc_fold`].
+    pub fn note_log_trimmed(&mut self, trimmed: &[usize]) {
+        let consumed = trimmed.partition_point(|&i| i < self.cursor);
+        self.cursor -= consumed;
+    }
+
     /// Resets visibility after defragmentation: every data row visible
     /// again, all delta versions gone, cursor rewound for the cleared log.
     pub fn reset_after_defrag(&mut self, upto: Ts) {
@@ -308,6 +344,73 @@ mod tests {
         assert_eq!(snap.visible_delta_rows(), 0);
         // Cursor rewound: an empty log is acceptable again.
         snap.update(chains.log(), Ts(3));
+    }
+
+    /// A pinned snapshot survives a GC fold byte-for-byte: the version
+    /// it saw in the delta region is repointed at the data region, which
+    /// now holds exactly those bytes.
+    #[test]
+    fn gc_fold_repoints_a_visible_version_at_the_data_region() {
+        let mut chains = VersionChains::new();
+        let mut snap = Snapshot::new(4, 1, 4);
+        chains.record_update(0, delta(0, 0), Ts(1));
+        chains.record_update(0, delta(0, 1), Ts(5));
+        snap.update(chains.log(), Ts(2)); // snapshot sees T1's version
+        assert!(snap.visible(delta(0, 0)));
+        assert!(!snap.visible(RowSlot::Data { row: 0 }));
+
+        // GC at cut T2 folds T1's version into the data region.
+        let out = chains.gc(Ts(2));
+        assert_eq!(out.folds.len(), 1);
+        let flips = snap.note_gc_fold(0, &out.folds[0].freed);
+        snap.note_log_trimmed(&out.log_trimmed);
+        assert_eq!(flips, 2);
+        assert!(!snap.visible(delta(0, 0)));
+        assert!(snap.visible(RowSlot::Data { row: 0 }));
+        assert!(!snap.visible(delta(0, 1)), "T5 still above the snapshot");
+
+        // The cursor survived the trim: advancing folds T5 exactly once,
+        // clearing the re-anchored data bit.
+        let stats = snap.update(chains.log(), Ts(6));
+        assert_eq!(stats.entries_applied, 1);
+        assert!(snap.visible(delta(0, 1)));
+        assert!(!snap.visible(RowSlot::Data { row: 0 }));
+    }
+
+    /// A snapshot already past the fold point is untouched by the
+    /// reconciliation: the freed slots were superseded in its bitmaps.
+    #[test]
+    fn gc_fold_is_invisible_to_a_snapshot_above_the_chain() {
+        let mut chains = VersionChains::new();
+        let mut snap = Snapshot::new(4, 1, 4);
+        chains.record_update(0, delta(0, 0), Ts(1));
+        chains.record_update(0, delta(0, 1), Ts(2));
+        snap.update(chains.log(), Ts(3));
+        let out = chains.gc(Ts(3));
+        let flips = snap.note_gc_fold(0, &out.folds[0].freed);
+        snap.note_log_trimmed(&out.log_trimmed);
+        // The newest folded version was the visible one → repointed.
+        assert_eq!(flips, 2);
+        assert!(snap.visible(RowSlot::Data { row: 0 }));
+        snap.update(chains.log(), Ts(4)); // empty log, cursor rewound to 0
+        assert_eq!(snap.visible_delta_rows(), 0);
+    }
+
+    #[test]
+    fn log_trim_only_rewinds_consumed_entries() {
+        let mut chains = VersionChains::new();
+        let mut snap = Snapshot::new(4, 1, 4);
+        chains.record_update(0, delta(0, 0), Ts(1));
+        chains.record_update(1, delta(0, 1), Ts(2));
+        chains.record_update(2, delta(0, 2), Ts(3));
+        snap.update(chains.log(), Ts(1)); // cursor at 1
+                                          // Trimming one consumed (index 0) and one unconsumed (index 2)
+                                          // entry moves the cursor back exactly one.
+        snap.note_log_trimmed(&[0, 2]);
+        let log: Vec<LogEntry> = chains.log()[1..2].to_vec();
+        let stats = snap.update(&log, Ts(4));
+        assert_eq!(stats.entries_applied, 1, "only T2 was left to fold");
+        assert!(snap.visible(delta(0, 1)));
     }
 
     #[test]

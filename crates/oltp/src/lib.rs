@@ -58,7 +58,7 @@ pub use codec::{CodecError, EffectRecord};
 pub use cost::{Breakdown, CostModel, Meter};
 pub use effects::{ColumnWrite, Effect, Key, KeySet, TaggedEffect};
 pub use index::HashIndex;
-pub use table::{AccessModel, HtapTable, LineRef, OpResult, TableConfig};
+pub use table::{AccessModel, HtapTable, LineRef, OpResult, TableConfig, TableGcPass};
 pub use tpcc::{
     global_rows, stripe_start, warehouse_of_row, DbConfig, DbFormat, Partition, TpccDb, TxnResult,
     TxnRole,

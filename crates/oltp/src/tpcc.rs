@@ -28,14 +28,14 @@ use pushtap_chbench::{dec_u64, enc_u64, NewOrder, Partitioning, Payment, RowGen,
 use pushtap_format::{
     compact_layout, naive_layout, LayoutError, RowSlot, TableLayout, TableSchema,
 };
-use pushtap_mvcc::{DeltaFull, Ts, TsAllocator, TsOracle};
+use pushtap_mvcc::{DefragCostModel, DefragStrategy, DeltaFull, Ts, TsAllocator, TsOracle};
 use pushtap_pim::{BankAddr, Geometry, MemSystem, Ps, Side};
 use pushtap_sanitizer::{Access, AccessKind, AccessSink, NullSanitizer, SanKey};
 use pushtap_trace::{NullSink, Phase, Span, TraceSink};
 
 use crate::cost::{Breakdown, CostModel, Meter};
 use crate::effects::{ColumnWrite, Effect, Key, KeySet, TaggedEffect};
-use crate::table::{AccessModel, HtapTable, TableConfig};
+use crate::table::{AccessModel, HtapTable, TableConfig, TableGcPass};
 
 /// The outcome of one committed transaction.
 #[derive(Debug, Clone, Copy)]
@@ -630,6 +630,22 @@ impl TpccDb {
         self.tables.iter()
     }
 
+    /// The newest committed bytes of one column of a *global* row — the
+    /// value the row's last committed writer left behind. A WAL
+    /// checkpoint folds each surviving [`ColumnWrite::Add`] into a
+    /// [`ColumnWrite::Set`] of exactly these bytes, so the compacted
+    /// record replays to the same committed state the full log would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this engine does not own the row (same ownership
+    /// discipline as effect application) or the table was not built.
+    pub fn committed_column(&self, table: Table, row: u64, col: u32) -> Vec<u8> {
+        let local = self.own_row(table, row);
+        let t = &self.tables[&table];
+        t.store().read_row(t.chains().newest_slot(local))[col as usize].clone()
+    }
+
     /// The cost meter in effect.
     pub fn meter(&self) -> &Meter {
         &self.meter
@@ -674,6 +690,58 @@ impl TpccDb {
     /// Total live delta versions across tables.
     pub fn live_delta_rows(&self) -> u64 {
         self.tables.values().map(HtapTable::live_delta_rows).sum()
+    }
+
+    /// Total commit-log entries awaiting snapshot consumption across
+    /// tables — with [`TpccDb::live_delta_rows`], the gauge garbage
+    /// collection keeps bounded under sustained traffic.
+    pub fn commit_log_entries(&self) -> u64 {
+        self.tables
+            .values()
+            .map(|t| t.commit_log_len() as u64)
+            .sum()
+    }
+
+    /// Whether any snapshot pin is standing on the shared oracle
+    /// (always false standalone — a private allocator has no pinning
+    /// readers). Proactive defragmentation must hold off while this is
+    /// true: it folds newest versions and frees whole chains, which a
+    /// pinned historical reader cannot survive.
+    pub fn snapshot_pinned(&self) -> bool {
+        self.ts.oracle().is_some_and(|o| o.active_pins() > 0)
+    }
+
+    /// The garbage-collection cut this engine may reclaim below: the
+    /// shared oracle's pin-floored eligible cut
+    /// ([`TsOracle::gc_eligible_before`]) in a deployment, or the local
+    /// watermark stand-alone (nothing pins a private allocator).
+    pub fn gc_eligible_before(&self) -> Ts {
+        match self.ts.oracle() {
+            Some(oracle) => oracle.gc_eligible_before(),
+            None => self.ts.last(),
+        }
+    }
+
+    /// One incremental garbage-collection pass over every table (see
+    /// [`HtapTable::gc`]): folds each row's newest committed version at
+    /// or below `before` into the data region, recycles the freed delta
+    /// slots, and trims the consumed commit-log entries. Returns the
+    /// merged per-table stats and the total copy-back communication
+    /// seconds.
+    pub fn gc(
+        &mut self,
+        model: &DefragCostModel,
+        strategy: DefragStrategy,
+        before: Ts,
+    ) -> (TableGcPass, f64) {
+        let mut total = TableGcPass::default();
+        let mut seconds = 0.0;
+        for table in self.tables.values_mut() {
+            let (pass, secs) = table.gc(model, strategy, before);
+            total.absorb(pass);
+            seconds += secs;
+        }
+        (total, seconds)
     }
 
     /// Executes one transaction *atomically*, serially dependent on its

@@ -166,6 +166,13 @@ pub enum ViolationKind {
     /// Prepared-but-undecided versions survived a batch boundary on
     /// the engine itself.
     PreparedAtBatchEnd,
+    /// Garbage collection freed a delta slot holding a version at or
+    /// above a registered snapshot pin — a pinned reader could still
+    /// visit that version, so its reclamation is a use-after-free in
+    /// the making. The GC cut must stay strictly below every pin
+    /// (`TsOracle::gc_eligible_before` guarantees it; this check
+    /// catches an engine bypassing the oracle).
+    ReclaimedPinnedVersion,
 }
 
 /// One detected violation, with enough context to locate the access:
@@ -250,6 +257,23 @@ pub trait AccessSink: fmt::Debug + Send + Sync {
     /// engines report `prepared_versions` prepared-but-undecided
     /// versions (must be zero). Resets wave bookkeeping.
     fn batch_end(&self, prepared_versions: u64);
+
+    /// A snapshot pin registered at `cut` (mirrors
+    /// `TsOracle::pin_snapshot`): from now until the matching
+    /// [`AccessSink::release_pin`], garbage collection must not free
+    /// any version at or above `cut`. Default: ignored.
+    fn register_pin(&self, _cut: u64) {}
+
+    /// The pin at `cut` was dropped. Pins are a multiset — each
+    /// release undoes exactly one registration. Default: ignored.
+    fn release_pin(&self, _cut: u64) {}
+
+    /// Garbage collection on engine `track` folded `row` of `table`
+    /// and freed its version at `version_ts` (the newest timestamp the
+    /// fold releases — every other freed version is older). Fires
+    /// [`ViolationKind::ReclaimedPinnedVersion`] if a registered pin
+    /// could still read it. Default: ignored.
+    fn reclaim_version(&self, _track: u32, _table: u32, _row: u64, _version_ts: u64) {}
 }
 
 /// The default sink: disabled, records nothing, costs one branch.
@@ -328,6 +352,10 @@ struct Shadow {
     /// Lockset-style wave occupancy: which transactions touched which
     /// conflict key inside which wave, and whether as a writer.
     wave_keys: BTreeMap<(u64, SanKey), Vec<(u64, bool)>>,
+    /// Registered snapshot pins: cut → live registrations. Mirrors the
+    /// oracle's pin registry; pins outlive batch boundaries (a
+    /// long-pinned snapshot spans batches by design).
+    pins: BTreeMap<u64, usize>,
     /// Everything detected so far.
     violations: Vec<ViolationReport>,
     /// Physical accesses checked (coverage statistic).
@@ -649,6 +677,51 @@ impl AccessSink for ShadowSanitizer {
         s.waves.clear();
         s.wave_keys.clear();
     }
+
+    fn register_pin(&self, cut: u64) {
+        *self.state().pins.entry(cut).or_insert(0) += 1;
+    }
+
+    fn release_pin(&self, cut: u64) {
+        let mut s = self.state();
+        match s.pins.get_mut(&cut) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                s.pins.remove(&cut);
+            }
+            None => s.violate(
+                ViolationKind::UnbalancedPrepare,
+                0,
+                0,
+                None,
+                format!("pin release at cut {cut} with no matching registration"),
+            ),
+        }
+    }
+
+    fn reclaim_version(&self, track: u32, table: u32, row: u64, version_ts: u64) {
+        let mut s = self.state();
+        let Some(&oldest) = s.pins.keys().next() else {
+            return;
+        };
+        if version_ts >= oldest {
+            s.violate(
+                ViolationKind::ReclaimedPinnedVersion,
+                track,
+                version_ts,
+                Some(Access {
+                    kind: AccessKind::Write,
+                    table,
+                    key: row,
+                }),
+                format!(
+                    "gc freed a version at ts {version_ts} while a snapshot is \
+                     pinned at cut {oldest} — the pinned reader could still \
+                     visit it"
+                ),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -867,6 +940,59 @@ mod tests {
         san.commit_scope(0, 5);
         san.batch_end(0);
         san.assert_clean("retry at pinned ts");
+    }
+
+    /// GC reclamation strictly below every registered pin stays
+    /// silent; at or above any pin it fires `ReclaimedPinnedVersion`.
+    #[test]
+    fn reclaimed_pinned_version_fires() {
+        let san = ShadowSanitizer::new();
+        san.register_pin(10);
+        san.reclaim_version(0, 1, 7, 9); // below the pin: fine
+        assert!(san.is_clean());
+        san.reclaim_version(2, 1, 7, 10); // at the pin: a pinned reader could see it
+        let v = san.take_violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ViolationKind::ReclaimedPinnedVersion);
+        assert_eq!(v[0].track, 2);
+        assert_eq!(v[0].ts, 10);
+        assert!(
+            v[0].context.contains("pinned at cut 10"),
+            "{}",
+            v[0].context
+        );
+        // Releasing the pin lifts the floor.
+        san.release_pin(10);
+        san.reclaim_version(0, 1, 7, 10);
+        san.assert_clean("after release");
+    }
+
+    /// Pins are a multiset: a duplicate registration keeps the floor
+    /// until the last release; pins survive batch boundaries.
+    #[test]
+    fn pins_are_refcounted_and_survive_batches() {
+        let san = ShadowSanitizer::new();
+        san.register_pin(5);
+        san.register_pin(5);
+        san.release_pin(5);
+        san.batch_end(0);
+        san.reclaim_version(0, 0, 0, 6);
+        assert_eq!(
+            san.violations()[0].kind,
+            ViolationKind::ReclaimedPinnedVersion
+        );
+    }
+
+    /// Releasing a pin that was never registered is itself a lifecycle
+    /// violation.
+    #[test]
+    fn unmatched_pin_release_fires() {
+        let san = ShadowSanitizer::new();
+        san.release_pin(3);
+        let v = san.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::UnbalancedPrepare);
+        assert!(v[0].context.contains("no matching registration"));
     }
 
     /// `NullSanitizer` is disabled — the hot path's single branch.

@@ -79,7 +79,7 @@ pub mod schedule;
 use std::collections::BTreeMap;
 use std::thread;
 
-use pushtap_core::Pushtap;
+use pushtap_core::{MaintPause, Pushtap};
 use pushtap_mvcc::Ts;
 use pushtap_oltp::{codec, Breakdown, TaggedEffect, TxnResult, TxnRole};
 use pushtap_pim::Ps;
@@ -158,6 +158,9 @@ pub(crate) fn execute_stream(
     }
     for (i, load) in loads.iter_mut().enumerate() {
         load.elapsed = shards[i].now().saturating_sub(starts[i]);
+        // Drain the engine's GC tally (pass counters plus end-of-batch
+        // live-version / commit-log gauges) into this batch's report.
+        load.report.gc.merge(&shards[i].take_gc_stats());
     }
     (loads, stats)
 }
@@ -441,7 +444,7 @@ fn run_local_txn(
     }
     let aborts_before = shard.db().aborts();
     let wasted_before = shard.db().wasted_retry_time();
-    let (result, pause) = shard.execute_txn_at(&routed.txn, routed.ts);
+    let (result, pauses) = shard.execute_txn_at(&routed.txn, routed.ts);
     load.routed += 1;
     load.report.committed += 1;
     let aborted = shard.db().aborts() - aborts_before;
@@ -449,9 +452,12 @@ fn run_local_txn(
     if aborted > 0 || was_retried {
         load.report.retried_txns += 1;
     }
-    charge_defrag(load, pause);
+    charge_maintenance(load, pauses);
     load.report.wasted_retry_time += shard.db().wasted_retry_time().saturating_sub(wasted_before);
-    load.report.txn_time += shard.now().saturating_sub(before).saturating_sub(pause);
+    load.report.txn_time += shard
+        .now()
+        .saturating_sub(before)
+        .saturating_sub(pauses.total());
     load.report.breakdown.merge(&result.breakdown);
     load.report
         .commit_latency
@@ -498,6 +504,19 @@ fn charge_defrag(load: &mut ShardLoad, pause: Ps) {
         load.report.defrag_passes += 1;
         load.report.defrag_time += pause;
         load.report.defrag_stall.record(pause.ps());
+    }
+}
+
+/// Records an execute call's maintenance pauses in a shard's load
+/// accounting, split by mechanism: the defragmentation share keeps its
+/// historical counters, the GC share lands in `gc_time`/`gc_stall`
+/// (pass counts come from the engine's drained
+/// [`pushtap_core::GcStats`] tally at batch end).
+fn charge_maintenance(load: &mut ShardLoad, pauses: MaintPause) {
+    charge_defrag(load, pauses.defrag);
+    if pauses.gc > Ps::ZERO {
+        load.report.gc_time += pauses.gc;
+        load.report.gc_stall.record(pauses.gc.ps());
     }
 }
 
@@ -575,9 +594,9 @@ fn two_phase_commit(
     let home = routed.shard as usize;
     let ts = routed.ts;
 
-    // Periodic defragmentation runs between transactions — never while
-    // any scope is open.
-    charge_defrag(&mut loads[home], shards[home].defrag_if_due());
+    // Periodic maintenance (GC first, defragmentation as the fallback)
+    // runs between transactions — never while any scope is open.
+    charge_maintenance(&mut loads[home], shards[home].defrag_if_due());
 
     let (local, forwarded) = decompose_split(shards, map, routed);
 
@@ -624,7 +643,7 @@ fn two_phase_commit(
                 // partial effects are already rolled back; reclaim its
                 // arenas and retry the whole transaction.
                 loads[home].report.aborts += 1;
-                charge_defrag(&mut loads[home], shards[home].defragment_all().1);
+                charge_maintenance(&mut loads[home], shards[home].reclaim_now());
                 continue;
             }
         };
@@ -716,7 +735,7 @@ fn two_phase_commit(
                 loads[q].report.aborts += 1;
                 loads[q].report.participant_aborts += 1;
             }
-            charge_defrag(&mut loads[no_shard], shards[no_shard].defragment_all().1);
+            charge_maintenance(&mut loads[no_shard], shards[no_shard].reclaim_now());
             continue;
         }
 
@@ -977,9 +996,9 @@ fn run_wave(
                 let mut wal = wal.as_deref_mut();
                 scope.spawn(move || {
                     let mut load = ShardLoad::default();
-                    // Periodic defragmentation between waves — no scope
-                    // is open on this shard here.
-                    charge_defrag(&mut load, shard.defrag_if_due());
+                    // Periodic maintenance between waves — no scope is
+                    // open on this shard here.
+                    charge_maintenance(&mut load, shard.defrag_if_due());
                     let phase_start = shard.now();
                     let mut votes: Vec<Option<TxnResult>> = Vec::with_capacity(list.len());
                     // Per-item prepare-start clocks, threaded to the
@@ -1271,16 +1290,16 @@ fn run_wave(
 
     // Step 5: retries — aborted transactions re-run serially at their
     // pinned timestamps before the next wave. Every scope of this wave
-    // is resolved by now, so defragmenting the no-voting shards is
-    // safe; the retried transactions conflict with nothing still in
-    // flight (their wave was conflict-free and later waves have not
-    // started).
+    // is resolved by now, so reclaiming the no-voting shards' arenas
+    // (GC first, defragmentation as the fallback) is safe; the retried
+    // transactions conflict with nothing still in flight (their wave
+    // was conflict-free and later waves have not started).
     for (i, routed) in wave.iter().enumerate() {
         if committed[i] {
             continue;
         }
         for &v in &no_voters[i] {
-            charge_defrag(&mut loads[v], shards[v].defragment_all().1);
+            charge_maintenance(&mut loads[v], shards[v].reclaim_now());
         }
         if routed.participants.is_empty() {
             let home = routed.shard as usize;

@@ -40,7 +40,7 @@
 
 use pushtap_mvcc::Ts;
 use pushtap_pim::Ps;
-use pushtap_wal::Wal;
+use pushtap_wal::{Wal, WalTrim};
 
 /// Where in the commit protocol an armed crash kills the process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,6 +181,44 @@ impl RecoveryReport {
     /// Total durable records presumed-abort skipped across shards.
     pub fn skipped(&self) -> u64 {
         self.per_shard.iter().map(|s| s.skipped).sum()
+    }
+}
+
+/// What [`ShardedHtap::checkpoint`](crate::ShardedHtap::checkpoint)
+/// reclaimed: per-log truncation stats under the snapshot cut the
+/// checkpoint compacted below.
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// The cut the checkpoint compacted below — the oracle watermark at
+    /// checkpoint time; every durable record sat at or under it.
+    pub cut: Ts,
+    /// Per-shard effect-log truncation stats, indexed by shard.
+    pub per_shard: Vec<WalTrim>,
+    /// Decision-log truncation stats. Compacted effect records carry
+    /// `cross = false` (their commit decision is baked in), so every
+    /// decision entry at or below the cut is dropped outright.
+    pub decisions: WalTrim,
+}
+
+impl CheckpointReport {
+    /// Total bytes reclaimed across every log.
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.decisions.bytes_reclaimed()
+            + self
+                .per_shard
+                .iter()
+                .map(WalTrim::bytes_reclaimed)
+                .sum::<u64>()
+    }
+
+    /// Total records dropped across every log.
+    pub fn records_dropped(&self) -> u64 {
+        self.decisions.records_dropped
+            + self
+                .per_shard
+                .iter()
+                .map(|t| t.records_dropped)
+                .sum::<u64>()
     }
 }
 

@@ -114,7 +114,9 @@ mod router;
 mod service;
 
 pub use config::{CommitConfig, CoordinatorMode, ShardConfig};
-pub use durability::{CrashPoint, CrashSite, RecoveryReport, ShardRecovery, WalBytes};
+pub use durability::{
+    CheckpointReport, CrashPoint, CrashSite, RecoveryReport, ShardRecovery, WalBytes,
+};
 pub use partition::WarehouseMap;
 pub use report::{CoordStats, RemoteTouches, ShardLoad, ShardOltpReport, ShardQueryReport};
 pub use router::{RoutedTxn, TxnRouter};

@@ -146,6 +146,24 @@ impl ShardOltpReport {
         self.per_shard.iter().map(|s| s.report.defrag_time).sum()
     }
 
+    /// Time shard engines spent in incremental garbage-collection
+    /// pauses across all shards.
+    pub fn gc_time(&self) -> Ps {
+        self.per_shard.iter().map(|s| s.report.gc_time).sum()
+    }
+
+    /// Deployment-wide garbage-collection stats: pass counters sum over
+    /// every shard's passes; the `live_versions` / `commit_log_len`
+    /// gauges sum each shard's end-of-batch sample — the figures the
+    /// soak benchmark proves plateau under sustained traffic.
+    pub fn gc(&self) -> pushtap_core::GcStats {
+        let mut total = pushtap_core::GcStats::default();
+        for s in &self.per_shard {
+            total.merge(&s.report.gc);
+        }
+        total
+    }
+
     /// Delta-pressure aborts (rolled-back attempts, each retried
     /// atomically) across all shards.
     pub fn aborts(&self) -> u64 {
@@ -316,6 +334,12 @@ impl ShardOltpReport {
     /// sample per pass.
     pub fn defrag_stall(&self) -> Histogram {
         self.merged(|r| &r.defrag_stall)
+    }
+
+    /// Per-pause garbage-collection stall merged across all shards; the
+    /// sample sum equals [`ShardOltpReport::gc_time`].
+    pub fn gc_stall(&self) -> Histogram {
+        self.merged(|r| &r.gc_stall)
     }
 
     /// Per-round 2PC message stall merged across all shards:

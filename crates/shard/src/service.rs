@@ -8,21 +8,22 @@ use std::path::Path;
 use std::sync::Arc;
 use std::thread;
 
-use pushtap_chbench::TxnGen;
+use pushtap_chbench::{Table, TxnGen};
 use pushtap_core::{Pushtap, QueryReport};
 use pushtap_format::LayoutError;
 use pushtap_mvcc::{Ts, TsOracle};
 use pushtap_olap::{merge_partials, Query};
-use pushtap_oltp::{EffectRecord, Partition, TxnRole};
+use pushtap_oltp::{codec, ColumnWrite, Effect, EffectRecord, Partition, TaggedEffect, TxnRole};
 use pushtap_pim::Ps;
 use pushtap_sanitizer::AccessSink;
 use pushtap_trace::{Phase, Span, TraceSink};
-use pushtap_wal::{scan, MemLog, Wal};
+use pushtap_wal::{scan, MemLog, Wal, WalTrim};
 
 use crate::config::ShardConfig;
 use crate::coordinator;
 use crate::durability::{
-    decode_decision, CrashPoint, Durability, DurabilityCtx, RecoveryReport, ShardRecovery, WalBytes,
+    decode_decision, CheckpointReport, CrashPoint, Durability, DurabilityCtx, RecoveryReport,
+    ShardRecovery, WalBytes,
 };
 use crate::partition::WarehouseMap;
 use crate::report::{ShardLoad, ShardOltpReport, ShardQueryReport};
@@ -516,6 +517,81 @@ impl ShardedHtap {
         })
     }
 
+    /// Checkpoints the write-ahead logs: compacts every shard's effect
+    /// log below the oracle watermark and drops every covered decision
+    /// entry, bounding log growth the way garbage collection bounds
+    /// version-chain growth.
+    ///
+    /// A naive "drop records below the cut" breaks crash recovery's
+    /// byte identity: replay reconstructs committed state *from the
+    /// log*, so a record may only disappear if the state it built is
+    /// re-derivable. The compaction therefore keeps **one record per
+    /// committed transaction** — preserving its pinned timestamp and
+    /// role, which downstream identity checks reconstruct the committed
+    /// stream from — and shrinks its payload to the part that still
+    /// matters:
+    ///
+    /// - presumed-abort casualties (cross-shard records the decision
+    ///   log never vouched for) are dropped outright;
+    /// - `Read` effects are dropped (they move no bytes);
+    /// - `Update` writes survive only on the row+column's **last**
+    ///   committed writer, with read-modify-write [`ColumnWrite::Add`]s
+    ///   folded into [`ColumnWrite::Set`]s of the newest committed
+    ///   bytes ([`pushtap_oltp::TpccDb::committed_column`]) — a row's
+    ///   replayed version timestamp still matches, because the row's
+    ///   last writer is always some column's last writer;
+    /// - `Insert` effects are kept in order (replay rebuilds stripe-
+    ///   ring cursors and indexes by re-running them);
+    /// - survivors are rewritten with `cross = false`: their commit
+    ///   decision is baked into survival itself, so the decision log
+    ///   truncates to nothing below the cut.
+    ///
+    /// Recovery code is untouched — a compacted log replays through the
+    /// exact pipeline a full log does, to byte-identical state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the WAL is disabled, the service crashed, a snapshot
+    /// pin is active (a pinned reader's cut must stay reconstructible),
+    /// or any log holds pending (unforced) bytes — a checkpoint runs on
+    /// a quiesced deployment between batches.
+    pub fn checkpoint(&mut self) -> CheckpointReport {
+        assert!(
+            !self.crashed(),
+            "checkpoint on a crashed service — recover it instead"
+        );
+        assert_eq!(
+            self.oracle.active_pins(),
+            0,
+            "checkpoint under an active snapshot pin"
+        );
+        let cut = self.oracle.watermark();
+        let ShardedHtap {
+            shards, durability, ..
+        } = self;
+        let Some(d) = durability.as_mut() else {
+            panic!("checkpoint requires an enabled WAL");
+        };
+        let decided: BTreeSet<u64> = scan(&d.decision_log.durable_image())
+            .records
+            .iter()
+            .map(|p| decode_decision(p).0)
+            .collect();
+        let per_shard = shards
+            .iter()
+            .zip(d.logs.iter_mut())
+            .map(|(shard, log)| compact_shard_log(shard, log, &decided))
+            .collect();
+        let decisions = d
+            .decision_log
+            .truncate_before(|p| (decode_decision(p).0 > cut.0).then(|| p.to_vec()));
+        CheckpointReport {
+            cut,
+            per_shard,
+            decisions,
+        }
+    }
+
     /// Answers `query` by global-cut scatter-gather: the coordinator
     /// first agrees on the snapshot cut — the shared oracle's current
     /// watermark — then every shard snapshots *at that cut* and runs its
@@ -533,6 +609,27 @@ impl ShardedHtap {
         // Agree on the cut before scattering: the oracle's watermark
         // bounds every committed timestamp on every shard.
         let cut = self.oracle.watermark();
+        self.run_query_at(query, cut)
+    }
+
+    /// [`ShardedHtap::run_query`] at an explicit snapshot cut — a
+    /// historical query. The caller is responsible for the cut's
+    /// *reconstructibility*: garbage collection may already have folded
+    /// versions a cut below its eligible floor needed, so a long-lived
+    /// historical cut must be kept readable with a standing
+    /// [`TsOracle::pin_snapshot`] taken while the cut was still at or
+    /// above the floor.
+    pub fn run_query_at(&mut self, query: Query, cut: Ts) -> ShardQueryReport {
+        // Pin the cut for the scatter's duration: garbage collection on
+        // any shard may reclaim only strictly below it, so every
+        // partial reads its exact as-of-cut versions even if GC runs
+        // concurrently. Mirrored to an armed sanitizer, which fires if
+        // a reclaimed version violates the pin.
+        let _pin = self.oracle.pin_snapshot(cut);
+        let san = Arc::clone(self.shards[0].db().sanitizer());
+        if san.enabled() {
+            san.register_pin(cut.0);
+        }
         let partials: Vec<QueryReport> = thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
@@ -550,6 +647,9 @@ impl ShardedHtap {
             .cycles(gathered * self.cfg.merge_cycles_per_row);
         let result = merge_partials(partials.iter().map(|p| p.result.clone()))
             .unwrap_or_else(|| panic!("scatter-gather over zero shards"));
+        if san.enabled() {
+            san.release_pin(cut.0);
+        }
         ShardQueryReport {
             result,
             per_shard: partials,
@@ -558,6 +658,102 @@ impl ShardedHtap {
             cut,
         }
     }
+}
+
+/// Compacts one shard's effect log under a checkpoint (see
+/// [`ShardedHtap::checkpoint`] for the invariants): plans per-record
+/// rewrites from the shard's committed state, then rewrites the log in
+/// place via [`Wal::truncate_before`].
+fn compact_shard_log(shard: &Pushtap, log: &mut Wal, decided: &BTreeSet<u64>) -> WalTrim {
+    let image = log.durable_image();
+    let scanned = scan(&image);
+    // Dedupe by timestamp keep-last, mirroring replay (duplicate
+    // appends — a wave casualty and its serial retry — are
+    // byte-identical by retry-stability).
+    let mut by_ts: BTreeMap<u64, EffectRecord> = BTreeMap::new();
+    for payload in &scanned.records {
+        let r = EffectRecord::decode(payload)
+            .unwrap_or_else(|e| panic!("checksummed record must decode ({e:?})"));
+        by_ts.insert(r.ts.0, r);
+    }
+    let committed = |ts: &u64, r: &EffectRecord| !r.cross || decided.contains(ts);
+    // Last committed writer per (table, row, column), in ascending
+    // timestamp order — the only update writes worth replaying.
+    let mut last_writer: BTreeMap<(Table, u64, u32), u64> = BTreeMap::new();
+    for (ts, r) in &by_ts {
+        if !committed(ts, r) {
+            continue;
+        }
+        for te in &r.effects {
+            if let Effect::Update { table, row, writes } = &te.effect {
+                for (col, _) in writes {
+                    last_writer.insert((*table, *row, *col), *ts);
+                }
+            }
+        }
+    }
+    let db = shard.db();
+    let mut plan: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+    for (ts, r) in &by_ts {
+        if !committed(ts, r) {
+            plan.insert(*ts, None); // presumed abort, now permanent
+            continue;
+        }
+        let mut effects: Vec<TaggedEffect> = Vec::new();
+        for te in &r.effects {
+            match &te.effect {
+                Effect::Read { .. } => {} // moves no bytes
+                Effect::Insert { .. } => effects.push(te.clone()),
+                Effect::Update { table, row, writes } => {
+                    let kept: Vec<(u32, ColumnWrite)> = writes
+                        .iter()
+                        .filter(|(col, _)| last_writer[&(*table, *row, *col)] == *ts)
+                        .map(|(col, _)| {
+                            (
+                                *col,
+                                ColumnWrite::Set(db.committed_column(*table, *row, *col)),
+                            )
+                        })
+                        .collect();
+                    if !kept.is_empty() {
+                        effects.push(TaggedEffect {
+                            effect: Effect::Update {
+                                table: *table,
+                                row: *row,
+                                writes: kept,
+                            },
+                            warehouse: te.warehouse,
+                        });
+                    }
+                }
+            }
+        }
+        // A participant record with nothing left to apply is pure
+        // noise; a coordinator record must survive even empty — the
+        // committed-stream reconstruction reads home-side roles.
+        plan.insert(
+            *ts,
+            if effects.is_empty() && r.role == TxnRole::Participant {
+                None
+            } else {
+                Some(codec::encode_parts(Ts(*ts), r.role, false, &effects))
+            },
+        );
+    }
+    // Emit each surviving timestamp once, at its first occurrence
+    // (duplicates are byte-identical, so first-vs-last is immaterial).
+    let mut emitted: BTreeSet<u64> = BTreeSet::new();
+    log.truncate_before(|payload| {
+        let ts = match EffectRecord::decode(payload) {
+            Ok(r) => r.ts.0,
+            Err(e) => panic!("record decoded on the planning pass must re-decode ({e:?})"),
+        };
+        if emitted.insert(ts) {
+            plan[&ts].clone()
+        } else {
+            None
+        }
+    })
 }
 
 /// Replays one shard's log image: scans the longest valid record

@@ -262,6 +262,147 @@ fn crash_past_the_batch_never_fires_and_recovers_everything() {
     }
 }
 
+/// The checkpoint obligation: after a completed batch, compacting the
+/// logs ([`ShardedHtap::checkpoint`]) must (1) actually reclaim bytes,
+/// (2) leave a durable image that *alone* recovers the full committed
+/// stream byte-identically (the compacted records replay through the
+/// unchanged pipeline), and (3) keep the crash guarantee alive: a kill
+/// in the *next* batch recovers from compacted-batch-1 + torn-batch-2
+/// bytes to the same state as an untouched reference executing the
+/// recovered committed stream across both batches. Both coordinator
+/// modes, two shard counts.
+#[test]
+fn checkpoint_then_crash_recovers_byte_identically() {
+    for shards in [2u32, 4] {
+        for mode in [CoordinatorMode::Serial, CoordinatorMode::Pipelined] {
+            let label = format!("checkpoint {} at {shards} shards", mode_name(mode));
+            let cfg = ShardConfig::small(shards).with_mode(mode);
+            let mut service = ShardedHtap::new(cfg.clone()).expect("build shards");
+            let san = common::maybe_sanitize(&mut service);
+            let handles = service.enable_wal();
+            let warehouses = service.map().warehouses();
+            let mut gen = service
+                .global_txn_gen(SEED)
+                .with_remote_mix(RemoteMix::Uniform, warehouses);
+            let first = service.run_txns(&mut gen, TXNS);
+            assert_eq!(first.committed(), TXNS, "{label}: batch 1 completes");
+
+            let full = handles.harvest();
+            let ckpt = service.checkpoint();
+            assert_eq!(ckpt.cut.0, TXNS, "{label}: the cut is the watermark");
+            assert!(
+                ckpt.bytes_reclaimed() > 0,
+                "{label}: a checkpoint over {TXNS} txns must reclaim bytes"
+            );
+            assert_eq!(
+                ckpt.decisions.records_kept, 0,
+                "{label}: compacted records need no decisions — the log empties"
+            );
+            let compacted = handles.harvest();
+            let size = |img: &pushtap_shard::WalBytes| {
+                img.decisions.len() + img.shards.iter().map(Vec::len).sum::<usize>()
+            };
+            assert!(
+                size(&compacted) < size(&full),
+                "{label}: the durable image must shrink"
+            );
+
+            // Obligation (2): the compacted image alone replays batch 1
+            // in full, byte-identically, with nothing presumed-abort.
+            let (mut ck, ckrec) =
+                ShardedHtap::recover(cfg.clone(), &compacted).expect("recover from checkpoint");
+            assert_eq!(
+                ckrec.committed.len() as u64,
+                TXNS,
+                "{label}: every committed txn survives compaction"
+            );
+            assert_eq!(
+                ckrec.skipped(),
+                0,
+                "{label}: compacted records are decision-free"
+            );
+            ck.defragment_all();
+            let reference = common::reference_holding(
+                ck.cfg(),
+                RemoteMix::Uniform,
+                SEED,
+                TXNS,
+                &ckrec.committed,
+            );
+            for (i, shard) in ck.shards().iter().enumerate() {
+                for table in ALL_TABLES {
+                    common::assert_table_bytes_match(
+                        shard,
+                        &reference,
+                        table,
+                        &format!("{label}: compacted-only shard {i}"),
+                    );
+                }
+            }
+            drop(ck);
+
+            // Obligation (3): crash mid-batch-2 and recover from the
+            // compacted prefix plus the torn second-batch records.
+            service.arm_crash(CrashPoint {
+                site: CrashSite::MidEffectFlush,
+                event: 2,
+            });
+            let second = service.run_txns(&mut gen, TXNS);
+            assert!(service.crashed(), "{label}: batch 2 must hit the kill");
+            assert!(second.coord.crashed, "{label}: report agrees");
+            common::assert_sanitized_clean(&san, &label);
+            let image = handles.harvest();
+            drop(service);
+
+            let (mut recovered, rec) = ShardedHtap::recover(cfg, &image).expect("recover");
+            for (i, s) in rec.per_shard.iter().enumerate() {
+                assert_eq!(
+                    s.replayed + s.skipped + s.duplicates,
+                    s.records,
+                    "{label}: shard {i} scan handed out a partial record"
+                );
+            }
+            assert!(
+                rec.committed.len() as u64 >= TXNS,
+                "{label}: the checkpointed batch must recover whole"
+            );
+            recovered.defragment_all();
+            for (i, shard) in recovered.shards().iter().enumerate() {
+                assert_eq!(
+                    shard.db().live_delta_rows(),
+                    0,
+                    "{label}: shard {i} leaked delta slots"
+                );
+            }
+            // Batches 1 and 2 drew from one continuous generator, so the
+            // untouched reference replays the concatenated stream.
+            let reference = common::reference_holding(
+                recovered.cfg(),
+                RemoteMix::Uniform,
+                SEED,
+                2 * TXNS,
+                &rec.committed,
+            );
+            for (i, shard) in recovered.shards().iter().enumerate() {
+                for table in ALL_TABLES {
+                    common::assert_table_bytes_match(
+                        shard,
+                        &reference,
+                        table,
+                        &format!("{label}: shard {i}"),
+                    );
+                }
+            }
+            // Liveness after the full cycle.
+            let mut gen = recovered
+                .global_txn_gen(SEED ^ 0x5eed)
+                .with_remote_mix(RemoteMix::Uniform, warehouses);
+            let post = recovered.run_txns(&mut gen, 16);
+            assert_eq!(post.committed(), 16, "{label}: recovered and live");
+        }
+    }
+}
+
 /// A crashed service is dead: it refuses further batches, exactly like
 /// the process it simulates.
 #[test]

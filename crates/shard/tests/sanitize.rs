@@ -208,6 +208,35 @@ fn injected_wave_conflict_fires_end_to_end() {
     );
 }
 
+/// The GC-vs-reader race, broken by hand: a snapshot pin is registered
+/// (as [`ShardedHtap::run_query`](pushtap_shard::ShardedHtap) does for
+/// the scatter's duration) and a version at the pinned cut is reclaimed
+/// anyway — the keyset-soundness tracker must flag it, and must go
+/// silent again once the pin is released.
+#[test]
+fn injected_reclaim_under_pin_fires_end_to_end() {
+    let (_service, san) = run(CoordinatorMode::Pipelined, true);
+    let san = san.expect("armed");
+    san.assert_clean("before injection");
+    let cut = 4_000_000;
+    san.register_pin(cut);
+    san.reclaim_version(0, 2, 11, cut - 1); // strictly below: legal
+    san.reclaim_version(1, 2, 11, cut); // at the pin: a pinned reader's version
+    san.batch_end(0);
+    let violations = san.take_violations();
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::ReclaimedPinnedVersion),
+        "reclaiming a pinned version must be flagged, got {violations:?}"
+    );
+    // Released pin: the same reclaim is clean.
+    san.release_pin(cut);
+    san.reclaim_version(1, 2, 11, cut);
+    san.batch_end(0);
+    san.assert_clean("after release");
+}
+
 /// The batch-boundary discipline: a scope left prepared-but-undecided
 /// (and lingering prepared versions) at batch end is exactly what a
 /// coordinator bug would leave behind.

@@ -130,6 +130,34 @@ fn assert_report_reconciles(report: &ShardOltpReport, spans: &[Span], label: &st
         passes,
         "{label}: defrag samples"
     );
+    // Garbage collection reconciles on both axes. One GcPass interval
+    // per *reclaiming* pass (empty passes cost nothing and emit
+    // nothing), and the gc-stall histogram's total is exactly the GC
+    // time the reports charged — a sample covers every pass one
+    // execute call absorbed, so its count bounds the pass count from
+    // below without ever exceeding it.
+    let gc = report.gc();
+    assert!(
+        gc.passes > 0,
+        "{label}: squeezed arenas must garbage-collect"
+    );
+    assert_eq!(
+        count(spans, Phase::GcPass),
+        gc.passes,
+        "{label}: gc pass intervals"
+    );
+    let gc_stall = report.gc_stall();
+    assert!(gc_stall.count() > 0 && gc_stall.count() <= gc.passes);
+    assert_eq!(
+        gc_stall.sum(),
+        u128::from(report.gc_time().ps()),
+        "{label}: gc stall sum vs charged gc time"
+    );
+    for s in spans.iter().filter(|s| s.phase == Phase::GcPass) {
+        assert!(s.track < SHARDS, "{label}: gc runs on a shard track");
+        assert!(s.end > s.start, "{label}: a reclaiming pass takes time");
+        assert_eq!(s.wave, 0, "{label}: gc runs outside wave execution");
+    }
     // Every abort the report counts appears on the timeline: a failed
     // prepare (PrepareAbort span) or a coordinator abort decision
     // (Abort instant).

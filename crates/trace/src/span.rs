@@ -64,6 +64,10 @@ pub enum Phase {
     Barrier,
     /// Interval: a defragmentation pause (OLTP stalled on this shard).
     DefragStall,
+    /// Interval: an incremental garbage-collection pass (version-chain
+    /// compaction, delta-slot recycling, commit-log trimming below the
+    /// oracle's eligible cut) — much shorter than a full defrag stall.
+    GcPass,
     /// Instant: one effect record appended to the shard's write-ahead
     /// log (volatile until the next group-commit force).
     WalAppend,
@@ -95,6 +99,7 @@ impl Phase {
             Phase::Retry => "retry",
             Phase::Barrier => "barrier",
             Phase::DefragStall => "defrag_stall",
+            Phase::GcPass => "gc_pass",
             Phase::WalAppend => "wal_append",
             Phase::GroupCommit => "group_commit",
             Phase::Recovery => "recovery",
@@ -132,7 +137,7 @@ impl Phase {
             | Phase::Abort
             | Phase::Retry
             | Phase::Barrier => 1,
-            Phase::DefragStall => 2,
+            Phase::DefragStall | Phase::GcPass => 2,
             Phase::Queued => 3,
             Phase::WalAppend | Phase::GroupCommit | Phase::Recovery => 4,
         }

@@ -43,5 +43,5 @@
 pub mod log;
 pub mod record;
 
-pub use log::{FileStore, MemLog, MemStore, Wal, WalStats, WalStore};
+pub use log::{FileStore, MemLog, MemStore, Wal, WalStats, WalStore, WalTrim};
 pub use record::{checksum, frame, scan, ScanOutcome, HEADER_LEN};

@@ -33,6 +33,12 @@ pub trait WalStore: Send {
     fn append(&mut self, bytes: &[u8]);
     /// Ensures every appended byte has reached durable media.
     fn sync(&mut self);
+    /// Snapshot of the current durable image — a checkpoint re-scans it
+    /// before rewriting.
+    fn durable_image(&self) -> Vec<u8>;
+    /// Replaces the whole durable image with `bytes` and syncs: the
+    /// checkpoint truncation rewrote the log.
+    fn reset(&mut self, bytes: &[u8]);
 }
 
 /// In-memory store whose durable image is shared through an [`Arc`], so
@@ -59,6 +65,18 @@ impl WalStore for MemStore {
     }
 
     fn sync(&mut self) {} // reaching the shared Vec IS durability here
+
+    fn durable_image(&self) -> Vec<u8> {
+        self.durable.lock().unwrap().clone()
+    }
+
+    fn reset(&mut self, bytes: &[u8]) {
+        // The harvest handles share this Vec, so they observe the
+        // truncated image — exactly what a disk would hold.
+        let mut durable = self.durable.lock().unwrap();
+        durable.clear();
+        durable.extend_from_slice(bytes);
+    }
 }
 
 /// Harvest handle onto a [`MemStore`]'s durable image: the bytes that
@@ -110,14 +128,20 @@ pub struct FileStore {
 }
 
 impl FileStore {
-    /// Creates (truncating) the log file at `path`.
+    /// Creates (truncating) the log file at `path`, readable so a
+    /// checkpoint can re-scan the durable image in place.
     ///
     /// # Errors
     ///
     /// Propagates the file-creation error.
     pub fn create(path: &Path) -> std::io::Result<Self> {
         Ok(Self {
-            file: File::create(path)?,
+            file: std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?,
         })
     }
 }
@@ -128,6 +152,25 @@ impl WalStore for FileStore {
     }
 
     fn sync(&mut self) {
+        self.file.sync_data().expect("WAL file sync failed");
+    }
+
+    fn durable_image(&self) -> Vec<u8> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut file = &self.file;
+        file.seek(SeekFrom::Start(0)).expect("WAL file seek failed");
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).expect("WAL file read failed");
+        bytes
+    }
+
+    fn reset(&mut self, bytes: &[u8]) {
+        use std::io::{Seek as _, SeekFrom};
+        self.file.set_len(0).expect("WAL file truncate failed");
+        self.file
+            .seek(SeekFrom::Start(0))
+            .expect("WAL file seek failed");
+        self.file.write_all(bytes).expect("WAL file write failed");
         self.file.sync_data().expect("WAL file sync failed");
     }
 }
@@ -143,6 +186,28 @@ pub struct WalStats {
     pub forces: u64,
     /// Framed bytes appended (header + payload).
     pub bytes: u64,
+}
+
+/// What one checkpoint truncation ([`Wal::truncate_before`]) did to the
+/// durable image.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalTrim {
+    /// Records the edit kept (possibly rewritten in place).
+    pub records_kept: u64,
+    /// Records the edit dropped.
+    pub records_dropped: u64,
+    /// Durable image size before the truncation, in bytes.
+    pub bytes_before: u64,
+    /// Durable image size after, in bytes.
+    pub bytes_after: u64,
+}
+
+impl WalTrim {
+    /// Bytes the truncation reclaimed.
+    #[must_use]
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.bytes_before.saturating_sub(self.bytes_after)
+    }
 }
 
 /// A write-ahead log: append into a volatile pending buffer, force at a
@@ -241,6 +306,61 @@ impl Wal {
     pub fn stats(&self) -> WalStats {
         self.stats
     }
+
+    /// A snapshot of the backing store's durable bytes — what a crash at
+    /// this instant would leave behind. Checkpoint planning scans this
+    /// image to decide which records [`Wal::truncate_before`] keeps.
+    #[must_use]
+    pub fn durable_image(&self) -> Vec<u8> {
+        self.store.durable_image()
+    }
+
+    /// Checkpoint truncation: re-scans the durable image and hands each
+    /// record payload, in log order, to `edit` — `Some(payload)` keeps
+    /// the record (rewritten in place when the payload differs),
+    /// `None` drops it — then atomically replaces the image with the
+    /// survivors, re-framed and synced. The log stays opaque to its own
+    /// payloads: the *caller* decides what "below the watermark" means
+    /// for its record format (the shard layer drops decision entries
+    /// below the GC cut and compacts covered effect records).
+    ///
+    /// Traffic counters ([`WalStats`]) are untouched: they ledger the
+    /// append traffic that happened, not the image size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bytes are pending (force or discard them first — a
+    /// checkpoint runs on a quiesced log) or the durable image has a
+    /// torn tail (checkpoints never run mid-crash).
+    pub fn truncate_before(&mut self, mut edit: impl FnMut(&[u8]) -> Option<Vec<u8>>) -> WalTrim {
+        assert!(
+            !self.has_pending(),
+            "checkpoint with pending bytes — force or discard first"
+        );
+        let image = self.store.durable_image();
+        let scanned = record::scan(&image);
+        assert!(
+            !scanned.torn,
+            "checkpoint over a torn log — recover it first"
+        );
+        let mut trim = WalTrim {
+            bytes_before: image.len() as u64,
+            ..WalTrim::default()
+        };
+        let mut out = Vec::with_capacity(image.len());
+        for payload in &scanned.records {
+            match edit(payload) {
+                Some(kept) => {
+                    out.extend_from_slice(&record::frame(&kept));
+                    trim.records_kept += 1;
+                }
+                None => trim.records_dropped += 1,
+            }
+        }
+        trim.bytes_after = out.len() as u64;
+        self.store.reset(&out);
+        trim
+    }
 }
 
 impl fmt::Debug for Wal {
@@ -318,6 +438,71 @@ mod tests {
         assert_eq!(stats.appends, 3);
         assert_eq!(stats.forces, 2);
         assert_eq!(stats.bytes, (3 * record::HEADER_LEN + 3 + 5 + 1) as u64);
+    }
+
+    #[test]
+    fn truncate_before_drops_rewrites_and_keeps() {
+        let (mut wal, durable) = Wal::in_memory();
+        wal.append(b"drop-me");
+        wal.append(b"rewrite-me");
+        wal.append(b"keep-me");
+        wal.force();
+        let before = durable.bytes().len() as u64;
+        let trim = wal.truncate_before(|payload| match payload {
+            b"drop-me" => None,
+            b"rewrite-me" => Some(b"rewritten".to_vec()),
+            other => Some(other.to_vec()),
+        });
+        assert_eq!(trim.records_kept, 2);
+        assert_eq!(trim.records_dropped, 1);
+        assert_eq!(trim.bytes_before, before);
+        assert!(trim.bytes_reclaimed() > 0);
+        // The harvest handle sees the truncated image, and the log is
+        // still appendable afterwards.
+        let scan = record::scan(&durable.bytes());
+        assert_eq!(
+            scan.records,
+            vec![b"rewritten".to_vec(), b"keep-me".to_vec()]
+        );
+        assert!(!scan.torn);
+        wal.append(b"post-checkpoint");
+        wal.force();
+        let scan = record::scan(&durable.bytes());
+        assert_eq!(
+            scan.records,
+            vec![
+                b"rewritten".to_vec(),
+                b"keep-me".to_vec(),
+                b"post-checkpoint".to_vec()
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pending bytes")]
+    fn truncate_before_refuses_pending_bytes() {
+        let (mut wal, _durable) = Wal::in_memory();
+        wal.append(b"unforced");
+        let _ = wal.truncate_before(|p| Some(p.to_vec()));
+    }
+
+    #[test]
+    fn truncate_before_round_trips_on_file_store() {
+        let path = std::env::temp_dir().join("pushtap-wal-truncate-test.wal");
+        let mut wal = Wal::to_file(&path).expect("create log file");
+        wal.append(b"stale");
+        wal.append(b"fresh");
+        wal.force();
+        let trim = wal.truncate_before(|p| (p == b"fresh").then(|| p.to_vec()));
+        assert_eq!((trim.records_kept, trim.records_dropped), (1, 1));
+        // Appends after the reset land past the rewritten image on disk.
+        wal.append(b"later");
+        wal.force();
+        drop(wal);
+        let scan = record::scan(&std::fs::read(&path).expect("read log"));
+        assert_eq!(scan.records, vec![b"fresh".to_vec(), b"later".to_vec()]);
+        assert!(!scan.torn);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
