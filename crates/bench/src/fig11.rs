@@ -54,7 +54,7 @@ pub fn oltp_overhead(scale: f64, period: u64, checkpoints: &[u64]) -> Vec<OltpOv
             let r = p.run_txns(&mut gen, n);
             done += n;
             txn_time += r.txn_time;
-            if done % period == 0 {
+            if done.is_multiple_of(period) {
                 defrag_time += p.defragment_all().1;
             }
         }

@@ -17,6 +17,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig8;
 pub mod fig9;
+pub mod open_loop;
 pub mod shard_scale;
 pub mod soak;
 pub mod table1;

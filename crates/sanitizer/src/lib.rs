@@ -13,7 +13,7 @@
 //! shadow tracker ([`AccessSink`]) that the engine feeds with every
 //! physical row read, row write, chain growth, and insert-ring cursor
 //! advance — each stamped with its owning transaction timestamp — and
-//! that checks three families of invariants:
+//! that checks four families of invariants:
 //!
 //! * **declared-footprint soundness** — every physical access of a
 //!   prepared scope must be covered by the keyset it declared
@@ -27,7 +27,12 @@
 //!   zero prepared versions left at a batch boundary
 //!   ([`ViolationKind::AccessOutsideScope`],
 //!   [`ViolationKind::UnbalancedPrepare`],
-//!   [`ViolationKind::PreparedAtBatchEnd`]).
+//!   [`ViolationKind::PreparedAtBatchEnd`]);
+//! * **front-end causality** — under the open-loop front-end, no
+//!   transaction begins execution before its stamped arrival time, and
+//!   no home-shard inbox ever exceeds its configured admission bound
+//!   ([`ViolationKind::ExecutedBeforeArrival`],
+//!   [`ViolationKind::InboxOverflow`]).
 //!
 //! The crate is dependency-free (like `pushtap-trace` and
 //! `pushtap-wal`) and mirrors the trace sink's cost model: the default
@@ -173,6 +178,14 @@ pub enum ViolationKind {
     /// (`TsOracle::gc_eligible_before` guarantees it; this check
     /// catches an engine bypassing the oracle).
     ReclaimedPinnedVersion,
+    /// A transaction began execution before its stamped open-loop
+    /// arrival time — the front-end dispatched work that had not
+    /// arrived yet, breaking the simulated timeline (causality).
+    ExecutedBeforeArrival,
+    /// A home-shard inbox held more admitted-but-undispatched
+    /// transactions than its configured bound — admission control let
+    /// an arrival through that backpressure should have rejected.
+    InboxOverflow,
 }
 
 /// One detected violation, with enough context to locate the access:
@@ -274,6 +287,24 @@ pub trait AccessSink: fmt::Debug + Send + Sync {
     /// [`ViolationKind::ReclaimedPinnedVersion`] if a registered pin
     /// could still read it. Default: ignored.
     fn reclaim_version(&self, _track: u32, _table: u32, _row: u64, _version_ts: u64) {}
+
+    /// The open-loop front-end admitted transaction `ts` with stamped
+    /// arrival time `arrival_ps` (simulated picoseconds). Arms the
+    /// no-execution-before-arrival check for this transaction until
+    /// the next batch boundary. Default: ignored.
+    fn note_arrival(&self, _ts: u64, _arrival_ps: u64) {}
+
+    /// Engine `track` is about to start executing transaction `ts`
+    /// with its clock at `now_ps`. Fires
+    /// [`ViolationKind::ExecutedBeforeArrival`] if the transaction has
+    /// a noted arrival later than `now_ps`. Default: ignored.
+    fn begin_execution(&self, _track: u32, _ts: u64, _now_ps: u64) {}
+
+    /// Shard `track`'s inbox holds `depth` admitted-but-undispatched
+    /// transactions against configured `bound`. Fires
+    /// [`ViolationKind::InboxOverflow`] when `depth > bound`.
+    /// Default: ignored.
+    fn inbox_admit(&self, _track: u32, _depth: u64, _bound: u64) {}
 }
 
 /// The default sink: disabled, records nothing, costs one branch.
@@ -356,6 +387,9 @@ struct Shadow {
     /// oracle's pin registry; pins outlive batch boundaries (a
     /// long-pinned snapshot spans batches by design).
     pins: BTreeMap<u64, usize>,
+    /// Open-loop arrival stamps by ts: no execution of the transaction
+    /// may start before its arrival. Cleared at batch boundaries.
+    arrivals: BTreeMap<u64, u64>,
     /// Everything detected so far.
     violations: Vec<ViolationReport>,
     /// Physical accesses checked (coverage statistic).
@@ -676,6 +710,7 @@ impl AccessSink for ShadowSanitizer {
         s.scopes.clear();
         s.waves.clear();
         s.wave_keys.clear();
+        s.arrivals.clear();
     }
 
     fn register_pin(&self, cut: u64) {
@@ -718,6 +753,47 @@ impl AccessSink for ShadowSanitizer {
                     "gc freed a version at ts {version_ts} while a snapshot is \
                      pinned at cut {oldest} — the pinned reader could still \
                      visit it"
+                ),
+            );
+        }
+    }
+
+    fn note_arrival(&self, ts: u64, arrival_ps: u64) {
+        self.state().arrivals.insert(ts, arrival_ps);
+    }
+
+    fn begin_execution(&self, track: u32, ts: u64, now_ps: u64) {
+        let mut s = self.state();
+        let Some(&arrival) = s.arrivals.get(&ts) else {
+            // No stamped arrival (a closed-loop batch): nothing to hold
+            // execution against.
+            return;
+        };
+        if now_ps < arrival {
+            s.violate(
+                ViolationKind::ExecutedBeforeArrival,
+                track,
+                ts,
+                None,
+                format!(
+                    "execution started at {now_ps} ps but the transaction \
+                     arrives at {arrival} ps — the schedule ran work from \
+                     the future"
+                ),
+            );
+        }
+    }
+
+    fn inbox_admit(&self, track: u32, depth: u64, bound: u64) {
+        if depth > bound {
+            self.state().violate(
+                ViolationKind::InboxOverflow,
+                track,
+                0,
+                None,
+                format!(
+                    "inbox depth {depth} exceeds its configured bound {bound} \
+                     — admission control failed to reject"
                 ),
             );
         }
@@ -1013,5 +1089,60 @@ mod tests {
         assert!(text.contains("AccessOutsideScope"), "{text}");
         assert!(text.contains("track 3"), "{text}");
         assert!(text.contains("global row 44"), "{text}");
+    }
+
+    /// Front-end causality, clean side: execution at or after the noted
+    /// arrival passes, and a transaction with no noted arrival (a
+    /// closed-loop batch) is never held against one.
+    #[test]
+    fn execution_at_or_after_arrival_is_clean() {
+        let san = ShadowSanitizer::new();
+        san.note_arrival(7, 1_000);
+        san.begin_execution(0, 7, 1_000); // exactly at arrival
+        san.begin_execution(1, 7, 5_000); // later, another shard
+        san.begin_execution(0, 8, 0); // no arrival noted: exempt
+        san.assert_clean("on-time execution");
+    }
+
+    /// Injected violation: execution before the stamped arrival fires
+    /// `ExecutedBeforeArrival` with the offending clocks in context.
+    #[test]
+    fn executed_before_arrival_fires() {
+        let san = ShadowSanitizer::new();
+        san.note_arrival(9, 2_000);
+        san.begin_execution(2, 9, 1_999);
+        let v = san.violations();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ViolationKind::ExecutedBeforeArrival);
+        assert_eq!(v[0].track, 2);
+        assert_eq!(v[0].ts, 9);
+        assert!(v[0].context.contains("arrives at 2000"), "{}", v[0].context);
+    }
+
+    /// Arrival stamps are batch-scoped: after `batch_end` the same ts
+    /// may execute at any clock (a fresh batch reuses timestamps).
+    #[test]
+    fn arrivals_clear_at_batch_end() {
+        let san = ShadowSanitizer::new();
+        san.note_arrival(4, 10_000);
+        san.batch_end(0);
+        san.begin_execution(0, 4, 0);
+        san.assert_clean("arrival cleared at batch boundary");
+    }
+
+    /// Inbox admission at or below the bound is clean; one past it
+    /// fires `InboxOverflow` naming the shard.
+    #[test]
+    fn inbox_overflow_fires_past_bound() {
+        let san = ShadowSanitizer::new();
+        san.inbox_admit(0, 1, 4);
+        san.inbox_admit(0, 4, 4); // exactly at the bound: admissible
+        san.assert_clean("inbox within bound");
+        san.inbox_admit(3, 5, 4);
+        let v = san.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::InboxOverflow);
+        assert_eq!(v[0].track, 3);
+        assert!(v[0].context.contains("bound 4"), "{}", v[0].context);
     }
 }

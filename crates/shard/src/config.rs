@@ -28,15 +28,26 @@ pub struct CommitConfig {
     /// Inert unless the deployment enables its WAL
     /// (`ShardedHtap::enable_wal`).
     pub force_latency: Ps,
+    /// Upper bound of the per-participant vote-processing skew in the
+    /// laggard vote-barrier model. A participant's "yes" vote leaves
+    /// its shard when that shard's *whole* prepare pass finished (its
+    /// clock), travels one `prepare_hop`, and is additionally delayed
+    /// by a deterministic per-(participant, transaction) skew drawn
+    /// uniformly from `[0, vote_jitter]` — so the coordinator's
+    /// decision stall reflects the *slowest* participant, not a free
+    /// round-trip. [`Ps::ZERO`] disables the jitter term but not the
+    /// laggard coupling itself.
+    pub vote_jitter: Ps,
 }
 
 impl CommitConfig {
-    /// All rounds and forces free — isolates pure engine time in
-    /// experiments.
+    /// All rounds, forces, and vote skews free — isolates pure engine
+    /// time in experiments.
     pub const FREE: CommitConfig = CommitConfig {
         prepare_hop: Ps::ZERO,
         commit_hop: Ps::ZERO,
         force_latency: Ps::ZERO,
+        vote_jitter: Ps::ZERO,
     };
 }
 
@@ -114,6 +125,7 @@ impl ShardConfig {
                 prepare_hop: Ps::from_ns(500.0),
                 commit_hop: Ps::from_ns(500.0),
                 force_latency: Ps::from_us(2.0),
+                vote_jitter: Ps::from_ns(200.0),
             },
             mode: CoordinatorMode::default(),
             merge_cycles_per_row: 8,
@@ -124,5 +136,33 @@ impl ShardConfig {
     pub fn with_mode(mut self, mode: CoordinatorMode) -> ShardConfig {
         self.mode = mode;
         self
+    }
+}
+
+/// Configuration of the open-loop front-end
+/// ([`crate::ShardedHtap::run_open_loop`]): admission control and the
+/// incremental scheduler's sliding window. The arrival process itself
+/// lives in [`crate::ArrivalConfig`] / [`crate::ArrivalGen`].
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Per-shard inbox bound: an arrival finding this many transactions
+    /// already admitted-but-undispatched at its home shard is
+    /// *rejected* — counted, reported as backpressure, never silently
+    /// dropped. Must be positive.
+    pub inbox_depth: usize,
+    /// Sliding-window size of the incremental wave scheduler: the
+    /// frontier wave is dispatched whenever this many admitted
+    /// transactions are pending (the window closes), or earlier if the
+    /// engines would otherwise idle. Must be positive.
+    pub window: usize,
+}
+
+impl OpenLoopConfig {
+    /// A front-end with the given inbox bound and scheduling window.
+    pub fn new(inbox_depth: usize, window: usize) -> OpenLoopConfig {
+        OpenLoopConfig {
+            inbox_depth,
+            window,
+        }
     }
 }

@@ -60,15 +60,25 @@
 //! accounting (transaction time, wasted retry latency, defragmentation
 //! pauses) is identical across modes.
 //!
-//! One modeling assumption is shared by both modes and inherited from
-//! the original coordinator: shard clocks are never coupled across
-//! engines — a decision delivery is anchored to the *receiving* shard's
-//! own phase clock, not to the slowest voter's, so neither mode charges
-//! a vote-barrier wait for a laggard participant (the serial home pays
-//! a fixed round-trip, not a max over voters). The serial/pipelined
-//! comparison is therefore apples-to-apples on hop-stall accounting;
-//! modeling decision latency as `max` over vote arrivals (coupling
-//! clocks) is the ROADMAP's next step for the shard layer.
+//! Decision latency uses the **laggard vote-barrier model** in both
+//! modes: the coordinator cannot act before the *slowest* participant's
+//! vote arrives. A participant's vote leaves its shard the instant that
+//! *transaction's* prepare finished on its clock (early vote — the
+//! wave's group-commit force overlaps the decision round; the decision
+//! *apply* still lands after the force because the participant's clock
+//! crossed it at the phase barrier), travels one
+//! `prepare_hop`, and is delayed by a deterministic per-(participant,
+//! transaction) skew drawn from `[0, vote_jitter]`
+//! ([`CommitConfig::vote_jitter`]). The home's own
+//! `phase clock + prepare_hop` floors the wait, so coupling clocks
+//! never makes a decision *cheaper* than the old uncoupled model; the
+//! extra stall lands on `critical_path_time` (and the vote-barrier
+//! stall histogram) while the `two_pc_time` hop ledger — one hop per
+//! delivered message — is unchanged, which is why the stall can exceed
+//! the ledger under a slow participant. The serial/pipelined
+//! comparison stays apples-to-apples: both modes wait for the same
+//! laggard votes, and still differ only in how much delivery overlap
+//! the schedule extracts.
 //!
 //! [`OltpReport`]: pushtap_core::OltpReport
 //! [`CoordinatorMode::Serial`]: crate::CoordinatorMode::Serial
@@ -442,6 +452,12 @@ fn run_local_txn(
             before.ps(),
         ));
     }
+    {
+        let san = shard.db().sanitizer();
+        if san.enabled() {
+            san.begin_execution(routed.shard, routed.ts.0, shard.now().ps());
+        }
+    }
     let aborts_before = shard.db().aborts();
     let wasted_before = shard.db().wasted_retry_time();
     let (result, pauses) = shard.execute_txn_at(&routed.txn, routed.ts);
@@ -496,6 +512,23 @@ fn deliver(load: &mut ShardLoad, shard: &mut Pushtap, hop: Ps, arrive_at: Ps) {
     load.report.critical_path_time += wait;
     load.report.commit_rounds += 1;
     load.report.two_pc_stall.record(wait.ps());
+}
+
+/// The deterministic per-(participant, transaction) vote-processing
+/// skew of the laggard vote-barrier model: uniform over `[0, bound]`,
+/// derived by a splitmix64-style bit mix of the timestamp and the
+/// participant id so every replay of the stream sees the same laggard.
+/// [`Ps::ZERO`] bound short-circuits to zero skew.
+fn vote_skew(bound: Ps, participant: u32, ts: Ts) -> Ps {
+    if bound == Ps::ZERO {
+        return Ps::ZERO;
+    }
+    let mut x = ts.0 ^ ((u64::from(participant) + 1) << 32);
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    Ps::new(x % (bound.ps() + 1))
 }
 
 /// Records a defragmentation pause in a shard's load accounting.
@@ -617,6 +650,12 @@ fn two_phase_commit(
             ));
         }
         attempts += 1;
+        {
+            let san = shards[home].db().sanitizer();
+            if san.enabled() {
+                san.begin_execution(routed.shard, ts.0, shards[home].now().ps());
+            }
+        }
         // Phase 1a: the home half prepares its owned effects.
         let home_result = charge_engine(&mut loads[home], &mut shards[home], |s| {
             s.prepare_effects_at(&local, ts)
@@ -654,6 +693,12 @@ fn two_phase_commit(
         let mut vote_no: Option<usize> = None;
         for (&p, effs) in &forwarded {
             charge_hop(&mut loads[p], &mut shards[p], commit.prepare_hop);
+            {
+                let san = shards[p].db().sanitizer();
+                if san.enabled() {
+                    san.begin_execution(p as u32, ts.0, shards[p].now().ps());
+                }
+            }
             let r = charge_engine(&mut loads[p], &mut shards[p], |s| {
                 s.prepare_effects_at(effs, ts)
             });
@@ -711,8 +756,32 @@ fn two_phase_commit(
                     d.logs[p].discard_pending();
                 }
             }
+            // Laggard vote barrier: the abort decision waits for the
+            // slowest vote — each voter's shard clock plus one
+            // prepare-hop and its deterministic skew (the "no" voter's
+            // vote included). The home's own round-trip floors the
+            // wait, so the stall is never cheaper than the uncoupled
+            // model's fixed round-trip.
             let vb_start = shards[home].now();
-            charge_hop(&mut loads[home], &mut shards[home], commit.prepare_hop);
+            let mut vote_at = vb_start + commit.prepare_hop;
+            for &(q, _) in &prepared {
+                vote_at = vote_at.max(
+                    shards[q].now()
+                        + commit.prepare_hop
+                        + vote_skew(commit.vote_jitter, q as u32, ts),
+                );
+            }
+            vote_at = vote_at.max(
+                shards[no_shard].now()
+                    + commit.prepare_hop
+                    + vote_skew(commit.vote_jitter, no_shard as u32, ts),
+            );
+            deliver(
+                &mut loads[home],
+                &mut shards[home],
+                commit.prepare_hop,
+                vote_at,
+            );
             charge_hop(&mut loads[home], &mut shards[home], commit.commit_hop);
             if shards[home].trace_enabled() {
                 let s = &shards[home];
@@ -763,13 +832,27 @@ fn two_phase_commit(
         }
 
         // Phase 2, commit decision: the coordinator waits out the
-        // decision round-trip (one prepare-delivery round out, one
-        // vote/decision round back — charged as two rounds so every
-        // counted round is exactly one message hop), then every engine
-        // commits at the pinned timestamp (metadata-only — prepare
-        // already flushed).
+        // laggard vote barrier — the decision round-trip still counts
+        // as two ledger rounds (one prepare-delivery out, one
+        // vote/decision back), but the stall waits for the *slowest*
+        // participant's vote: its shard clock (prepare work and WAL
+        // force included) plus one prepare-hop and its deterministic
+        // skew, floored by the home's own round-trip. Then every
+        // engine commits at the pinned timestamp (metadata-only —
+        // prepare already flushed).
         let vb_start = shards[home].now();
-        charge_hop(&mut loads[home], &mut shards[home], commit.prepare_hop);
+        let mut vote_at = vb_start + commit.prepare_hop;
+        for &(q, _) in &prepared {
+            vote_at = vote_at.max(
+                shards[q].now() + commit.prepare_hop + vote_skew(commit.vote_jitter, q as u32, ts),
+            );
+        }
+        deliver(
+            &mut loads[home],
+            &mut shards[home],
+            commit.prepare_hop,
+            vote_at,
+        );
         charge_hop(&mut loads[home], &mut shards[home], commit.commit_hop);
         if shards[home].trace_enabled() {
             let s = &shards[home];
@@ -898,6 +981,67 @@ fn execute_pipelined(
     }
 }
 
+/// Executes one wave dispatched by the open-loop front-end
+/// ([`crate::ShardedHtap::run_open_loop`]). Before the wave runs, every
+/// shard's clock is gated to the wave's latest member arrival — a wave
+/// cannot close before all its members exist, and gating *all* engines
+/// keeps the deployment on one open-loop timeline (participants and
+/// retry passes included, which is what the sanitizer's
+/// no-execution-before-arrival invariant checks). Each member's real
+/// inbox wait (arrival → gated home clock) lands in its home shard's
+/// queue-wait histogram and, when positive, a [`Phase::Queued`] span;
+/// after the wave commits, each member's *sojourn* (arrival →
+/// home-shard wave completion) is recorded into `sojourn`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_open_wave(
+    shards: &mut [Pushtap],
+    map: &WarehouseMap,
+    wave: Vec<RoutedTxn>,
+    commit: CommitConfig,
+    loads: &mut [ShardLoad],
+    stats: &mut CoordStats,
+    wave_id: u64,
+    sojourn: &mut pushtap_trace::Histogram,
+) {
+    stats.waves += 1;
+    stats.max_wave = stats.max_wave.max(wave.len() as u64);
+    let cross = wave.iter().filter(|t| !t.participants.is_empty()).count() as u64;
+    if cross >= 2 {
+        stats.overlapped_two_pcs += cross;
+    }
+    let gate = wave.iter().map(|t| t.arrival).max().unwrap_or(Ps::ZERO);
+    for shard in shards.iter_mut() {
+        let wait = gate.saturating_sub(shard.now());
+        if wait > Ps::ZERO {
+            shard.advance(wait);
+        }
+    }
+    for routed in &wave {
+        let home = routed.shard as usize;
+        let wait = shards[home].now().saturating_sub(routed.arrival);
+        loads[home].report.queue_wait.record(wait.ps());
+        if wait > Ps::ZERO && shards[home].trace_enabled() {
+            let s = &shards[home];
+            s.trace_record(
+                Span::new(
+                    s.trace_track(),
+                    Phase::Queued,
+                    routed.ts.0,
+                    routed.arrival.ps(),
+                    s.now().ps(),
+                )
+                .in_wave(wave_id),
+            );
+        }
+    }
+    let members: Vec<(usize, Ps)> = wave.iter().map(|t| (t.shard as usize, t.arrival)).collect();
+    let crashed = run_wave(shards, map, wave, commit, loads, wave_id, None);
+    debug_assert!(!crashed, "open-loop waves run without a durability ctx");
+    for (home, arrival) in members {
+        sojourn.record(shards[home].now().saturating_sub(arrival).ps());
+    }
+}
+
 /// Executes one conflict-free wave (see the module docs for the five
 /// steps). With a durability context, every shard appends its prepared
 /// records during the prepare phase and forces once — the wave's group
@@ -984,7 +1128,7 @@ fn run_wave(
         Some(d) => d.logs.iter_mut().map(Some).collect(),
         None => shards.iter().map(|_| None).collect(),
     };
-    type PrepareOutcome = (usize, ShardLoad, Vec<Option<TxnResult>>, Vec<Ps>);
+    type PrepareOutcome = (usize, ShardLoad, Vec<Option<TxnResult>>, Vec<Ps>, Vec<Ps>);
     let results: Vec<PrepareOutcome> = thread::scope(|scope| {
         let handles: Vec<_> = shards
             .iter_mut()
@@ -1004,6 +1148,9 @@ fn run_wave(
                     // Per-item prepare-start clocks, threaded to the
                     // decision phase for commit-latency attribution.
                     let mut starts: Vec<Ps> = Vec::with_capacity(list.len());
+                    // Per-item prepare-end clocks: the instant this
+                    // shard's vote for the item leaves (laggard model).
+                    let mut ends: Vec<Ps> = Vec::with_capacity(list.len());
                     for item in list {
                         let item_start = shard.now();
                         starts.push(item_start);
@@ -1014,6 +1161,12 @@ fn run_wave(
                                 commit.prepare_hop,
                                 phase_start + commit.prepare_hop,
                             );
+                        }
+                        {
+                            let san = shard.db().sanitizer();
+                            if san.enabled() {
+                                san.begin_execution(i as u32, item.ts.0, shard.now().ps());
+                            }
                         }
                         let r = charge_engine(&mut load, shard, |s| {
                             s.prepare_effects_at(&item.effects, item.ts)
@@ -1061,6 +1214,7 @@ fn run_wave(
                                 .in_wave(wave_id),
                             );
                         }
+                        ends.push(shard.now());
                     }
                     // The wave's group commit: one force barrier covers every
                     // record this shard appended for the wave. An armed
@@ -1093,7 +1247,7 @@ fn run_wave(
                             .in_wave(wave_id),
                         );
                     }
-                    (i, load, votes, starts)
+                    (i, load, votes, starts, ends)
                 })
             })
             .collect();
@@ -1101,10 +1255,12 @@ fn run_wave(
     });
     let mut votes: Vec<Vec<Option<TxnResult>>> = (0..shards.len()).map(|_| Vec::new()).collect();
     let mut starts: Vec<Vec<Ps>> = (0..shards.len()).map(|_| Vec::new()).collect();
-    for (i, partial, v, s) in results {
+    let mut ends: Vec<Vec<Ps>> = (0..shards.len()).map(|_| Vec::new()).collect();
+    for (i, partial, v, s, e) in results {
         merge_load(&mut loads[i], partial);
         votes[i] = v;
         starts[i] = s;
+        ends[i] = e;
     }
 
     // The kill at (or during) the wave's group commit: the prepare
@@ -1164,6 +1320,22 @@ fn run_wave(
     // delivered in timestamp order with overlapped hops. Commits
     // resolve scopes (metadata-only); aborts replay pinned undo
     // records.
+    //
+    // Laggard vote clocks: participant `p`'s vote for wave member `t`
+    // leaves at `vote_ready[p][t.txn]` — `p`'s clock right after `t`'s
+    // prepare applied (early vote; the group-commit force overlaps the
+    // decision round, and the decision *apply* on `p` still lands after
+    // the force because `p`'s clock crossed it at the phase barrier).
+    // A shard with no item for `t` (never happens for a real
+    // participant) falls back to its prepare-pass end.
+    let prepare_done: Vec<Ps> = shards.iter().map(Pushtap::now).collect();
+    let mut vote_ready: Vec<Vec<Ps>> = prepare_done.iter().map(|&d| vec![d; wave.len()]).collect();
+    for (i, (list, shard_ends)) in items.iter().zip(&ends).enumerate() {
+        for (item, &end) in list.iter().zip(shard_ends) {
+            vote_ready[i][item.txn] = end;
+        }
+    }
+    let vote_ready_ref = &vote_ready;
     let committed_ref = &committed;
     let wave_ref = &wave;
     let results: Vec<(usize, ShardLoad)> = thread::scope(|scope| {
@@ -1191,22 +1363,30 @@ fn run_wave(
                             TxnRole::Coordinator => {
                                 // The home half pays the decision
                                 // round-trip for a cross-shard
-                                // transaction: the vote comes back one
-                                // prepare-hop out, the decision goes out
-                                // one commit-hop later — both overlapped
-                                // with the rest of the wave's rounds.
+                                // transaction, gated by the laggard
+                                // vote barrier: the last vote arrives
+                                // from the slowest participant — its
+                                // prepare-pass end plus one prepare-hop
+                                // and its deterministic skew, floored
+                                // by the home's own round-trip — and
+                                // the decision goes out one commit-hop
+                                // later, overlapped with the rest of
+                                // the wave's rounds.
                                 if item.cross {
-                                    deliver(
-                                        &mut load,
-                                        shard,
-                                        commit.prepare_hop,
-                                        phase_start + commit.prepare_hop,
-                                    );
+                                    let mut vote_at = phase_start + commit.prepare_hop;
+                                    for &p in &wave_ref[item.txn].participants {
+                                        vote_at = vote_at.max(
+                                            vote_ready_ref[p as usize][item.txn]
+                                                + commit.prepare_hop
+                                                + vote_skew(commit.vote_jitter, p, item.ts),
+                                        );
+                                    }
+                                    deliver(&mut load, shard, commit.prepare_hop, vote_at);
                                     deliver(
                                         &mut load,
                                         shard,
                                         commit.commit_hop,
-                                        phase_start + commit.prepare_hop + commit.commit_hop,
+                                        vote_at + commit.commit_hop,
                                     );
                                     if shard.trace_enabled() {
                                         shard.trace_record(

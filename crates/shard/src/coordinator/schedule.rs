@@ -17,7 +17,7 @@
 //! earlier transaction is scheduled first, and the later one sees it in
 //! the key maps and lands strictly after it.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use pushtap_oltp::Key;
 
@@ -80,6 +80,166 @@ pub fn build_waves(stream: Vec<RoutedTxn>) -> Vec<Wave> {
     waves
 }
 
+/// Incremental wave construction over a sliding window of admitted
+/// transactions — [`build_waves`]' greedy pass run *online*.
+///
+/// The scheduler maintains the same last-writer/last-reader key maps,
+/// but keyed by **global** wave index so they survive across
+/// dispatches, and a `floor`: the first wave index not yet dispatched.
+/// [`admit`](WaveScheduler::admit) assigns each transaction the
+/// earliest wave after every conflicting predecessor (never below the
+/// floor — already-dispatched waves are closed), and
+/// [`pop_wave`](WaveScheduler::pop_wave) extracts the *frontier*: all
+/// pending transactions in the minimum pending wave, in admission
+/// order.
+///
+/// Equivalence with the batch oracle: the greedy rule is identical, the
+/// floor only ever rises past fully-dispatched waves, and the stream is
+/// admitted in timestamp order — so any conflicting pair lands in
+/// strictly increasing waves and is dispatched in timestamp order,
+/// whatever the window size. Per-row commit order therefore equals
+/// stream order, which is the only property byte identity needs; the
+/// `open_loop` integration suite proves the committed bytes equal the
+/// batch scheduler's and the unpartitioned reference's across window
+/// sizes, mixes, and shard counts. With a window at least the stream
+/// length, the partition itself is *exactly* [`build_waves`]' output.
+///
+/// Memory stays bounded by the window: map entries below the floor are
+/// pruned at every dispatch, so only keys touched by still-pending
+/// transactions are tracked.
+#[derive(Debug, Clone)]
+pub struct WaveScheduler {
+    window: usize,
+    floor: u64,
+    last_writer: BTreeMap<Key, u64>,
+    last_reader: BTreeMap<Key, u64>,
+    /// Admitted-but-undispatched transactions with their assigned
+    /// global wave index, in admission order.
+    pending: VecDeque<(u64, RoutedTxn)>,
+}
+
+impl WaveScheduler {
+    /// A scheduler dispatching whenever `window` transactions are
+    /// pending.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> WaveScheduler {
+        assert!(window > 0, "scheduling window must be positive");
+        WaveScheduler {
+            window,
+            floor: 0,
+            last_writer: BTreeMap::new(),
+            last_reader: BTreeMap::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Admits one transaction: assigns its wave by the greedy
+    /// earliest-after-conflicts rule and records its keyset in the
+    /// maps. Transactions must be admitted in timestamp order.
+    ///
+    /// # Panics
+    /// Debug-asserts the keyset is stamped, as [`build_waves`] does.
+    pub fn admit(&mut self, routed: RoutedTxn) {
+        debug_assert!(
+            !routed.keys.is_empty(),
+            "unstamped keyset admitted to the wave scheduler (ts {:?})",
+            routed.ts
+        );
+        let mut wave = self.floor;
+        for k in routed.keys.reads() {
+            if let Some(&w) = self.last_writer.get(k) {
+                wave = wave.max(w + 1);
+            }
+        }
+        for k in routed.keys.writes() {
+            if let Some(&w) = self.last_writer.get(k) {
+                wave = wave.max(w + 1);
+            }
+            if let Some(&w) = self.last_reader.get(k) {
+                wave = wave.max(w + 1);
+            }
+        }
+        for k in routed.keys.reads() {
+            let e = self.last_reader.entry(*k).or_insert(wave);
+            *e = (*e).max(wave);
+        }
+        for k in routed.keys.writes() {
+            self.last_writer.insert(*k, wave);
+        }
+        self.pending.push_back((wave, routed));
+    }
+
+    /// Number of admitted-but-undispatched transactions.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// True when the sliding window is closed: at least `window`
+    /// transactions pending, so the frontier wave should dispatch.
+    pub fn window_full(&self) -> bool {
+        self.pending.len() >= self.window
+    }
+
+    /// Key-map entries currently tracked — bounded by the keys of
+    /// pending transactions (the bounded-memory test pins this).
+    pub fn tracked_keys(&self) -> usize {
+        self.last_writer.len() + self.last_reader.len()
+    }
+
+    /// Dispatches the frontier: removes and returns every pending
+    /// transaction in the minimum pending wave (admission order —
+    /// i.e. timestamp order), advances the floor past it, and prunes
+    /// map entries the floor subsumes. `None` when nothing is pending.
+    pub fn pop_wave(&mut self) -> Option<Wave> {
+        let min_wave = self.pending.iter().map(|(w, _)| *w).min()?;
+        let mut wave: Wave = Vec::new();
+        let mut rest: VecDeque<(u64, RoutedTxn)> = VecDeque::with_capacity(self.pending.len());
+        for (w, routed) in self.pending.drain(..) {
+            if w == min_wave {
+                wave.push(routed);
+            } else {
+                rest.push_back((w, routed));
+            }
+        }
+        self.pending = rest;
+        self.floor = min_wave + 1;
+        // Entries below the floor constrain nothing the floor doesn't
+        // already: pruning them is what keeps memory window-bounded.
+        self.last_writer.retain(|_, w| *w >= self.floor);
+        self.last_reader.retain(|_, w| *w >= self.floor);
+        Some(wave)
+    }
+}
+
+/// Runs a whole timestamp-ordered stream through a [`WaveScheduler`]
+/// with the given window, returning the dispatched waves in order —
+/// the incremental counterpart of [`build_waves`] for tests and
+/// benches.
+pub fn incremental_waves(stream: Vec<RoutedTxn>, window: usize) -> Vec<Wave> {
+    let mut sched = WaveScheduler::new(window);
+    let mut waves: Vec<Wave> = Vec::new();
+    for routed in stream {
+        sched.admit(routed);
+        while sched.window_full() {
+            match sched.pop_wave() {
+                Some(w) => waves.push(w),
+                None => break,
+            }
+        }
+    }
+    while let Some(w) = sched.pop_wave() {
+        waves.push(w);
+    }
+    waves
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +247,7 @@ mod tests {
     use pushtap_chbench::{Payment, Txn};
     use pushtap_mvcc::Ts;
     use pushtap_oltp::KeySet;
+    use pushtap_pim::Ps;
 
     /// A hand-built routed Payment with an explicit keyset: writes its
     /// warehouse row, its customer row, and HISTORY's ring at `w`.
@@ -111,6 +272,7 @@ mod tests {
                     Key::Ring(Table::History, w),
                 ],
             ),
+            arrival: Ps::ZERO,
         }
     }
 
@@ -195,5 +357,108 @@ mod tests {
         };
         let waves = build_waves(vec![write, reader(2, 1), reader(3, 2)]);
         assert_eq!(ts_of(&waves), vec![vec![1], vec![2, 3]]);
+    }
+
+    /// A representative mixed stream for the incremental tests: two
+    /// hot warehouses, one shared customer, some disjoint traffic.
+    fn mixed_stream() -> Vec<RoutedTxn> {
+        vec![
+            payment(0, 100, 1),
+            payment(1, 200, 2),
+            payment(0, 300, 3),
+            payment(2, 400, 4),
+            payment(1, 500, 5),
+            payment(3, 600, 6),
+            payment(2, 500, 7), // shares customer 500 with ts 5
+            payment(0, 700, 8),
+        ]
+    }
+
+    /// With a window at least the stream length, the incremental
+    /// scheduler reproduces the batch partition *exactly*.
+    #[test]
+    fn wide_window_equals_batch_partition() {
+        for window in [8usize, 16, 1000] {
+            let batch = ts_of(&build_waves(mixed_stream()));
+            let inc = ts_of(&incremental_waves(mixed_stream(), window));
+            assert_eq!(inc, batch, "window {window} must match batch");
+        }
+    }
+
+    /// Any window keeps every conflicting pair in timestamp order
+    /// across dispatched waves, and dispatches every transaction
+    /// exactly once.
+    #[test]
+    fn narrow_windows_preserve_conflict_order() {
+        for window in 1..=8usize {
+            let waves = incremental_waves(mixed_stream(), window);
+            let flat: Vec<u64> = waves.iter().flatten().map(|t| t.ts.0).collect();
+            let mut sorted = flat.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (1..=8).collect::<Vec<_>>());
+            let wave_of = |ts: u64| {
+                waves
+                    .iter()
+                    .position(|w| w.iter().any(|t| t.ts.0 == ts))
+                    .unwrap()
+            };
+            // Conflicting pairs in the stream (same warehouse or same
+            // customer row) must land in strictly increasing waves.
+            for (earlier, later) in [(1u64, 3u64), (3, 8), (2, 5), (4, 7), (5, 7)] {
+                assert!(
+                    wave_of(earlier) < wave_of(later),
+                    "window {window}: ts {earlier} must dispatch before ts {later}"
+                );
+            }
+        }
+    }
+
+    /// Window 1 degenerates to per-admission dispatch: waves pop as
+    /// soon as each transaction is admitted, in stream order.
+    #[test]
+    fn window_one_dispatches_in_stream_order() {
+        let waves = incremental_waves(mixed_stream(), 1);
+        let flat: Vec<u64> = waves.iter().flatten().map(|t| t.ts.0).collect();
+        assert_eq!(flat, (1..=8).collect::<Vec<_>>());
+        assert!(waves.iter().all(|w| w.len() == 1));
+    }
+
+    /// The key maps stay window-bounded: after every dispatch, only
+    /// keys of still-pending transactions survive the floor pruning —
+    /// the maps never grow with the length of the stream.
+    #[test]
+    fn key_maps_stay_window_bounded() {
+        let mut sched = WaveScheduler::new(4);
+        let mut high_water = 0usize;
+        for i in 0..1_000u64 {
+            // Every txn hits warehouse i%2 (a conflict chain) plus its
+            // own customer row — unbounded distinct keys overall.
+            sched.admit(payment(i % 2, 10_000 + i, i + 1));
+            while sched.window_full() {
+                sched.pop_wave().unwrap();
+            }
+            high_water = high_water.max(sched.tracked_keys());
+        }
+        while sched.pop_wave().is_some() {}
+        assert_eq!(sched.tracked_keys(), 0, "drained scheduler must be empty");
+        // 4 pending txns × 4 written keys is the ceiling.
+        assert!(
+            high_water <= 16,
+            "tracked keys must stay window-bounded, saw {high_water}"
+        );
+    }
+
+    /// The scheduler is work-conserving about its frontier: popping
+    /// with fewer than `window` pending still yields the min wave.
+    #[test]
+    fn pop_before_window_closes_yields_frontier() {
+        let mut sched = WaveScheduler::new(100);
+        sched.admit(payment(0, 100, 1));
+        sched.admit(payment(0, 200, 2)); // conflicts: later wave
+        let first = sched.pop_wave().unwrap();
+        assert_eq!(first.iter().map(|t| t.ts.0).collect::<Vec<_>>(), vec![1]);
+        let second = sched.pop_wave().unwrap();
+        assert_eq!(second.iter().map(|t| t.ts.0).collect::<Vec<_>>(), vec![2]);
+        assert!(sched.pop_wave().is_none());
     }
 }

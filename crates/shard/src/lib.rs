@@ -37,6 +37,15 @@
 //!   ([`pushtap_oltp::TpccDb::decompose`]), prepares its own, forwards
 //!   the rest, collects votes, and commits (or aborts and retries at
 //!   the same pinned timestamp) everywhere;
+//! * [`ArrivalGen`] / [`OpenLoopConfig`] — the open-loop front-end:
+//!   a deterministic seeded arrival process (Poisson plus an on/off
+//!   burstiness knob) feeds bounded per-shard inboxes with admission
+//!   control, and an incremental sliding-window
+//!   [`coordinator::schedule::WaveScheduler`] maintains the batch
+//!   scheduler's last-writer/last-reader maps online, dispatching
+//!   conflict-free waves as windows close — byte-identical committed
+//!   state to the batch path over the admitted stream
+//!   ([`ShardedHtap::run_open_loop`], [`OpenLoopReport`]);
 //! * [`ShardedHtap`] — the service: N independent [`pushtap_core::Pushtap`]
 //!   engines (fact tables warehouse-partitioned, dimension tables
 //!   replicated, all drawing timestamps from one oracle), OLTP driven
@@ -105,6 +114,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arrival;
 mod config;
 pub mod coordinator;
 pub mod durability;
@@ -113,11 +123,14 @@ mod report;
 mod router;
 mod service;
 
-pub use config::{CommitConfig, CoordinatorMode, ShardConfig};
+pub use arrival::{ArrivalConfig, ArrivalGen};
+pub use config::{CommitConfig, CoordinatorMode, OpenLoopConfig, ShardConfig};
 pub use durability::{
     CheckpointReport, CrashPoint, CrashSite, RecoveryReport, ShardRecovery, WalBytes,
 };
 pub use partition::WarehouseMap;
-pub use report::{CoordStats, RemoteTouches, ShardLoad, ShardOltpReport, ShardQueryReport};
+pub use report::{
+    CoordStats, OpenLoopReport, RemoteTouches, ShardLoad, ShardOltpReport, ShardQueryReport,
+};
 pub use router::{RoutedTxn, TxnRouter};
 pub use service::{ShardedHtap, WalHandles};

@@ -225,17 +225,22 @@ impl ShardOltpReport {
 
     /// Total 2PC message-round latency charged across all shards under
     /// *sequential* delivery — the ledger sum of every hop (one entry
-    /// per counted round). Under the pipelined coordinator a wave's
-    /// deliveries overlap in flight, so the latency that actually landed
-    /// on the clocks is [`ShardOltpReport::critical_path_time`] ≤ this.
+    /// per counted round). The latency that actually landed on the
+    /// clocks is [`ShardOltpReport::critical_path_time`]: smaller when
+    /// a wave's deliveries overlap in flight, larger when the laggard
+    /// vote barrier ([`crate::CommitConfig::vote_jitter`] and slow
+    /// participants) stalls a decision past its own hop budget — the
+    /// ledger counts hops, not waits.
     pub fn two_pc_time(&self) -> Ps {
         self.per_shard.iter().map(|s| s.report.two_pc_time).sum()
     }
 
     /// 2PC message latency on the shards' critical paths — the clock
-    /// advance the rounds actually caused, summed across shards. Equals
-    /// [`ShardOltpReport::two_pc_time`] under the serial coordinator;
-    /// strictly smaller when waves overlap deliveries.
+    /// advance the rounds and vote-barrier stalls actually caused,
+    /// summed across shards. Below [`ShardOltpReport::two_pc_time`]
+    /// when waves overlap deliveries; above it when laggard votes
+    /// (a slow participant's prepare pass, or its vote-processing
+    /// skew) hold a decision longer than the hop ledger accounts for.
     pub fn critical_path_time(&self) -> Ps {
         self.per_shard
             .iter()
@@ -324,8 +329,11 @@ impl ShardOltpReport {
 
     /// Coordinator-queue wait merged across all shards: how long
     /// warehouse-local transactions sat parked before a flush under the
-    /// serial coordinator (empty under the pipelined one — waves subsume
-    /// the queues).
+    /// serial coordinator, or how long admitted arrivals sat in their
+    /// home inbox before their wave dispatched under the open-loop
+    /// front-end (one sample per admitted transaction there). Empty
+    /// for a pipelined *batch* run — waves subsume the queues and the
+    /// whole batch is offered at time zero.
     pub fn queue_wait(&self) -> Histogram {
         self.merged(|r| &r.queue_wait)
     }
@@ -408,6 +416,93 @@ impl ShardQueryReport {
     /// Partial result rows gathered from the shards.
     pub fn gathered_rows(&self) -> u64 {
         self.per_shard.iter().map(|p| p.result.rows()).sum()
+    }
+}
+
+/// The outcome of one open-loop run
+/// ([`crate::ShardedHtap::run_open_loop`]): the admitted stream's
+/// execution report wrapped with the front-end's arrival, admission,
+/// and sojourn accounting. Backpressure is first-class here — rejected
+/// arrivals are counted per home shard, never silently dropped.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Execution report over the *admitted* stream: per-shard loads,
+    /// remote accounting (admitted transactions only), and the
+    /// incremental scheduler's wave stats.
+    pub exec: ShardOltpReport,
+    /// Arrivals offered (admitted + rejected).
+    pub arrivals: u64,
+    /// Arrivals turned away at a full home-shard inbox, per shard.
+    pub rejected_per_shard: Vec<u64>,
+    /// Sojourn times — arrival to home-shard wave completion — one
+    /// sample per admitted transaction: the open-loop latency the
+    /// queueing front-end exists to measure.
+    pub sojourn: Histogram,
+    /// Inbox depth sampled after every admission (merged over shards);
+    /// its max is the deepest backlog any inbox held.
+    pub inbox_depth: Histogram,
+    /// The admitted commit timestamps in admission order — contiguous
+    /// from `Ts(1)` because rejected arrivals never draw one, which is
+    /// what lets a closed-loop reference re-execute exactly the
+    /// admitted stream for byte-identity checks.
+    pub committed_ts: Vec<Ts>,
+    /// Arrival index (position in the generated arrival stream,
+    /// rejected arrivals included) of each admitted transaction, in
+    /// admission order. Rejected arrivals still consume a generator
+    /// draw, so a byte-identity reference must replay `batch[index]`
+    /// at `committed_ts[k]` — not `batch[ts - 1]`.
+    pub admitted_index: Vec<u64>,
+    /// The last arrival's timestamp: the offered-load horizon.
+    pub horizon: Ps,
+}
+
+impl OpenLoopReport {
+    /// Arrivals admitted past the inbox bound (equals
+    /// `committed_ts.len()`).
+    pub fn admitted(&self) -> u64 {
+        self.committed_ts.len() as u64
+    }
+
+    /// Arrivals rejected across all shards.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_per_shard.iter().sum()
+    }
+
+    /// Fraction of offered arrivals rejected — the backpressure signal
+    /// (0.0 for an empty run).
+    pub fn rejection_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.rejected() as f64 / self.arrivals as f64
+        }
+    }
+
+    /// The offered arrival rate actually generated, in transactions
+    /// per simulated second (0.0 for an empty horizon).
+    pub fn offered_rate_tps(&self) -> f64 {
+        let secs = self.horizon.as_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.arrivals as f64 / secs
+        }
+    }
+
+    /// Committed throughput over the run's makespan, transactions per
+    /// simulated second (0.0 for an empty run).
+    pub fn throughput_tps(&self) -> f64 {
+        let secs = self.exec.makespan().as_secs();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.exec.committed() as f64 / secs
+        }
+    }
+
+    /// Sojourn quantile in picoseconds (see [`Histogram::quantile`]).
+    pub fn sojourn_quantile(&self, q: f64) -> u64 {
+        self.sojourn.quantile(q)
     }
 }
 

@@ -4,6 +4,7 @@
 use pushtap_chbench::Txn;
 use pushtap_mvcc::{Ts, TsOracle};
 use pushtap_oltp::KeySet;
+use pushtap_pim::Ps;
 
 use crate::partition::WarehouseMap;
 use crate::report::RemoteTouches;
@@ -40,6 +41,14 @@ pub struct RoutedTxn {
     /// stamps it ([`crate::ShardedHtap`] stamps every stream it routes);
     /// the pipelined coordinator's wave scheduler requires it.
     pub keys: KeySet,
+    /// The instant this transaction *arrived* at the deployment, in
+    /// simulated picoseconds. [`Ps::ZERO`] for closed-loop (batch)
+    /// streams, where the whole batch is offered at time zero; the
+    /// open-loop front-end ([`crate::ShardedHtap::run_open_loop`])
+    /// stamps it from the seeded [`crate::ArrivalGen`] at admission,
+    /// and the sanitizer's front-end invariant holds that no
+    /// transaction begins execution before it.
+    pub arrival: Ps,
 }
 
 /// Routes transactions by home warehouse and computes each transaction's
@@ -110,6 +119,7 @@ impl TxnRouter {
             remote,
             ts: Ts::ZERO,
             keys: KeySet::default(),
+            arrival: Ps::ZERO,
         }
     }
 

@@ -3,7 +3,7 @@
 //! for cross-shard writes — see [`crate::coordinator`]), and one
 //! scatter-gather query coordinator.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::Path;
 use std::sync::Arc;
 use std::thread;
@@ -16,17 +16,21 @@ use pushtap_olap::{merge_partials, Query};
 use pushtap_oltp::{codec, ColumnWrite, Effect, EffectRecord, Partition, TaggedEffect, TxnRole};
 use pushtap_pim::Ps;
 use pushtap_sanitizer::AccessSink;
-use pushtap_trace::{Phase, Span, TraceSink};
+use pushtap_trace::{Histogram, Phase, Span, TraceSink};
 use pushtap_wal::{scan, MemLog, Wal, WalTrim};
 
-use crate::config::ShardConfig;
+use crate::arrival::ArrivalGen;
+use crate::config::{CommitConfig, OpenLoopConfig, ShardConfig};
 use crate::coordinator;
+use crate::coordinator::schedule::WaveScheduler;
 use crate::durability::{
     decode_decision, CheckpointReport, CrashPoint, Durability, DurabilityCtx, RecoveryReport,
     ShardRecovery, WalBytes,
 };
 use crate::partition::WarehouseMap;
-use crate::report::{ShardLoad, ShardOltpReport, ShardQueryReport};
+use crate::report::{
+    CoordStats, OpenLoopReport, RemoteTouches, ShardLoad, ShardOltpReport, ShardQueryReport,
+};
 use crate::router::TxnRouter;
 
 /// Harvest handles onto an in-memory WAL deployment's durable bytes
@@ -498,6 +502,254 @@ impl ShardedHtap {
             }
         }
         out
+    }
+
+    /// Drives the deployment **open-loop**: `n` transactions arrive on
+    /// the simulated clock of `arrivals` (not back-to-back), pass
+    /// admission control at their home shard's bounded inbox, and are
+    /// scheduled incrementally by a sliding-window [`WaveScheduler`]
+    /// whose frontier waves dispatch whenever every engine would
+    /// otherwise sit idle (work conservation) or the window fills.
+    ///
+    /// Rejected arrivals draw **no** timestamp, so the admitted stream
+    /// carries contiguous oracle timestamps and commits byte-identical
+    /// state to a closed-loop run of the same admitted transactions —
+    /// the invariant `crates/shard/tests/open_loop.rs` proves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service crashed at an armed crash point, if a WAL
+    /// is attached (open-loop durability is future work), if the
+    /// coordinator mode is not [`crate::CoordinatorMode::Pipelined`]
+    /// (the serial oracle has no wave scheduler to feed), or if `open`
+    /// has a zero inbox depth or window.
+    pub fn run_open_loop(
+        &mut self,
+        gen: &mut TxnGen,
+        arrivals: &mut ArrivalGen,
+        n: u64,
+        open: &OpenLoopConfig,
+    ) -> OpenLoopReport {
+        assert!(
+            !self.crashed(),
+            "service crashed at its armed crash point; harvest the logs and \
+             recover into a fresh deployment"
+        );
+        assert!(
+            self.durability.is_none(),
+            "open-loop runs do not support an attached WAL yet"
+        );
+        assert_eq!(
+            self.cfg.mode,
+            crate::CoordinatorMode::Pipelined,
+            "open-loop scheduling requires the pipelined coordinator"
+        );
+        assert!(open.inbox_depth > 0, "inbox depth must be positive");
+        assert!(open.window > 0, "scheduling window must be positive");
+
+        /// One dispatch step: pop the scheduler's frontier wave, move
+        /// its members from waiting to in-flight, and execute it
+        /// (clock-gated to its members' arrivals). A member's inbox
+        /// slot stays occupied until its wave *completes* on its home
+        /// clock (`in_flight` holds the completion times), the way a
+        /// bounded queue counts its in-service customers.
+        #[allow(clippy::too_many_arguments)]
+        fn dispatch_open_wave(
+            shards: &mut [Pushtap],
+            map: &WarehouseMap,
+            commit: CommitConfig,
+            sched: &mut WaveScheduler,
+            waiting: &mut [u64],
+            in_flight: &mut [VecDeque<Ps>],
+            loads: &mut [ShardLoad],
+            stats: &mut CoordStats,
+            wave_seq: &mut u64,
+            sojourn: &mut Histogram,
+        ) {
+            let Some(wave) = sched.pop_wave() else { return };
+            let homes: Vec<usize> = wave.iter().map(|t| t.shard as usize).collect();
+            for &h in &homes {
+                waiting[h] -= 1;
+            }
+            *wave_seq += 1;
+            coordinator::execute_open_wave(
+                shards, map, wave, commit, loads, stats, *wave_seq, sojourn,
+            );
+            for &h in &homes {
+                // Shard clocks are monotone and waves execute in
+                // dispatch order, so each queue stays sorted.
+                in_flight[h].push_back(shards[h].now());
+            }
+        }
+
+        let map = *self.router.map();
+        let commit = self.cfg.commit;
+        let starts: Vec<Ps> = self.shards.iter().map(Pushtap::now).collect();
+        let mut loads: Vec<ShardLoad> = (0..self.shards.len())
+            .map(|_| ShardLoad::default())
+            .collect();
+        let mut stats = CoordStats {
+            mode: self.cfg.mode,
+            ..CoordStats::default()
+        };
+        let mut remote = RemoteTouches::default();
+        let mut sched = WaveScheduler::new(open.window);
+        // Inbox occupancy per shard = `waiting` (admitted, not yet
+        // dispatched) + `in_flight` (dispatched, wave still completing
+        // at the arrival instant under scrutiny — sorted completion
+        // clocks, drained lazily as later arrivals pass them).
+        let mut waiting: Vec<u64> = vec![0; self.shards.len()];
+        let mut in_flight: Vec<VecDeque<Ps>> = vec![VecDeque::new(); self.shards.len()];
+        let mut rejected: Vec<u64> = vec![0; self.shards.len()];
+        let mut sojourn = Histogram::default();
+        let mut inbox_depth = Histogram::default();
+        let mut committed_ts: Vec<Ts> = Vec::new();
+        let mut admitted_index: Vec<u64> = Vec::new();
+        let mut wave_seq = 0u64;
+        let mut horizon = Ps::ZERO;
+        for arrival_idx in 0..n {
+            let txn = gen.next_txn();
+            let at = arrivals.next_arrival();
+            horizon = at;
+            // Work conservation: while every engine would sit idle
+            // before this arrival lands, flush pending frontier waves
+            // into the gap instead of holding admitted work hostage to
+            // a window that may never fill.
+            while !sched.is_empty() {
+                let busy_until = self
+                    .shards
+                    .iter()
+                    .map(Pushtap::now)
+                    .max()
+                    .unwrap_or(Ps::ZERO);
+                if busy_until >= at {
+                    break;
+                }
+                dispatch_open_wave(
+                    &mut self.shards,
+                    &map,
+                    commit,
+                    &mut sched,
+                    &mut waiting,
+                    &mut in_flight,
+                    &mut loads,
+                    &mut stats,
+                    &mut wave_seq,
+                    &mut sojourn,
+                );
+            }
+            let mut routed = self.router.route(txn);
+            let home = routed.shard as usize;
+            // Free the slots of home transactions whose waves completed
+            // before this arrival landed.
+            while in_flight[home].front().is_some_and(|&done| done <= at) {
+                in_flight[home].pop_front();
+            }
+            let depth = waiting[home] + in_flight[home].len() as u64;
+            if depth >= open.inbox_depth as u64 {
+                // Admission control: a full home inbox turns the
+                // arrival away *before* it draws a timestamp, keeping
+                // the admitted stream's timestamps contiguous. The
+                // rejection is counted and traced, never silent.
+                rejected[home] += 1;
+                let s = &self.shards[home];
+                if s.trace_enabled() {
+                    s.trace_record(Span::instant(s.trace_track(), Phase::Rejected, 0, at.ps()));
+                }
+                continue;
+            }
+            routed.ts = self.oracle.allocate();
+            routed.keys = self.shards[home].db().keyset(&routed.txn, routed.ts);
+            routed.arrival = at;
+            remote.routed += 1;
+            if routed.remote > 0 {
+                remote.cross_shard_txns += 1;
+                remote.remote_touches += routed.remote;
+            }
+            waiting[home] += 1;
+            inbox_depth.record(depth + 1);
+            {
+                let san = self.shards[home].db().sanitizer();
+                if san.enabled() {
+                    san.note_arrival(routed.ts.0, at.ps());
+                    san.inbox_admit(routed.shard, depth + 1, open.inbox_depth as u64);
+                }
+            }
+            let s = &self.shards[home];
+            if s.trace_enabled() {
+                // Ingestion marker at the arrival instant (the batch
+                // path stamps it at the home clock instead).
+                s.trace_record(Span::instant(
+                    s.trace_track(),
+                    Phase::Routed,
+                    routed.ts.0,
+                    at.ps(),
+                ));
+            }
+            committed_ts.push(routed.ts);
+            admitted_index.push(arrival_idx);
+            sched.admit(routed);
+            while sched.window_full() {
+                dispatch_open_wave(
+                    &mut self.shards,
+                    &map,
+                    commit,
+                    &mut sched,
+                    &mut waiting,
+                    &mut in_flight,
+                    &mut loads,
+                    &mut stats,
+                    &mut wave_seq,
+                    &mut sojourn,
+                );
+            }
+        }
+        // The arrival process ended; drain everything still queued.
+        while !sched.is_empty() {
+            dispatch_open_wave(
+                &mut self.shards,
+                &map,
+                commit,
+                &mut sched,
+                &mut waiting,
+                &mut in_flight,
+                &mut loads,
+                &mut stats,
+                &mut wave_seq,
+                &mut sojourn,
+            );
+        }
+        debug_assert!(
+            waiting.iter().all(|&d| d == 0),
+            "drained inboxes must be empty"
+        );
+        // Batch boundary for the shadow tracker (see execute_stream):
+        // every scope decided, no prepared versions, arrivals cleared.
+        {
+            let san = self.shards[0].db().sanitizer();
+            if san.enabled() {
+                let pending: u64 = self.shards.iter().map(|s| s.db().prepared_versions()).sum();
+                san.batch_end(pending);
+            }
+        }
+        for (i, load) in loads.iter_mut().enumerate() {
+            load.elapsed = self.shards[i].now().saturating_sub(starts[i]);
+            load.report.gc.merge(&self.shards[i].take_gc_stats());
+        }
+        OpenLoopReport {
+            exec: ShardOltpReport {
+                per_shard: loads,
+                remote,
+                coord: stats,
+            },
+            arrivals: n,
+            rejected_per_shard: rejected,
+            sojourn,
+            inbox_depth,
+            committed_ts,
+            admitted_index,
+            horizon,
+        }
     }
 
     /// Defragments every shard concurrently (each pauses its own OLTP,

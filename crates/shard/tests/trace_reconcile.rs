@@ -11,7 +11,8 @@ use std::sync::Arc;
 use pushtap_chbench::{RemoteMix, ALL_TABLES};
 use pushtap_format::RowSlot;
 use pushtap_shard::{
-    CoordinatorMode, CrashPoint, CrashSite, ShardConfig, ShardOltpReport, ShardedHtap, WalHandles,
+    ArrivalConfig, ArrivalGen, CoordinatorMode, CrashPoint, CrashSite, OpenLoopConfig,
+    OpenLoopReport, ShardConfig, ShardOltpReport, ShardedHtap, WalHandles,
 };
 use pushtap_trace::{two_pc_overlap_peak, MemSink, Phase, Span};
 
@@ -460,6 +461,85 @@ fn recovery_spans_land_on_replaying_shards() {
         assert_eq!(s.wave, 0, "recovery runs outside wave execution");
     }
     drop(recovered);
+}
+
+/// The open-loop front-end's timeline reconciles with its queueing
+/// counters: one `Rejected` instant per counted rejection, `Routed`
+/// instants mark admissions only, and the `Queued` intervals are
+/// exactly the nonzero samples of the queue-wait histogram — while the
+/// vote-barrier stall identities survive the laggard decision model.
+#[test]
+fn open_loop_trace_reconciles_with_queue_counters() {
+    let run = |traced: bool| -> (ShardedHtap, OpenLoopReport, Vec<Span>) {
+        let cfg = ShardConfig::small(SHARDS).with_mode(CoordinatorMode::Pipelined);
+        let mut service = ShardedHtap::new(cfg).expect("build shards");
+        let san = common::maybe_sanitize(&mut service);
+        let sink = Arc::new(MemSink::default());
+        if traced {
+            service.set_trace_sink(sink.clone());
+        }
+        let warehouses = service.map().warehouses();
+        let mut gen = service
+            .global_txn_gen(SEED)
+            .with_remote_mix(RemoteMix::TPCC, warehouses);
+        // Overload: arrivals far outpace service through a shallow
+        // inbox, so both the rejection and the queue-wait paths fire.
+        let mut arr = ArrivalGen::new(7, ArrivalConfig::poisson(160_000_000.0));
+        let report = service.run_open_loop(&mut gen, &mut arr, TXNS, &OpenLoopConfig::new(4, 8));
+        common::assert_sanitized_clean(&san, "open loop");
+        service.defragment_all();
+        (service, report, sink.take())
+    };
+    let (service, report, spans) = run(true);
+    assert!(report.rejected() > 0, "overload must reject");
+    assert!(report.admitted() > 0, "overload must still admit");
+    // Every rejection left a counted instant on its home shard's track;
+    // a rejected arrival never drew a timestamp.
+    assert_eq!(count(&spans, Phase::Rejected), report.rejected());
+    for s in spans.iter().filter(|s| s.phase == Phase::Rejected) {
+        assert!(s.track < SHARDS, "rejections land on shard tracks");
+        assert_eq!(s.end, s.start, "rejections are instants");
+        assert_eq!(s.txn, 0, "a rejected arrival has no timestamp");
+    }
+    // Ingestion markers belong to admitted transactions only.
+    assert_eq!(count(&spans, Phase::Routed), report.admitted());
+    // One queue-wait sample per admitted transaction; the Queued
+    // intervals are that histogram's nonzero waits and their durations
+    // sum to exactly its total.
+    let qw = report.exec.queue_wait();
+    assert_eq!(qw.count(), report.admitted(), "queue-wait samples");
+    assert!(count(&spans, Phase::Queued) > 0, "overload must queue");
+    assert!(count(&spans, Phase::Queued) <= report.admitted());
+    let queued: u128 = spans
+        .iter()
+        .filter(|s| s.phase == Phase::Queued)
+        .map(|s| {
+            assert!(s.end > s.start, "a queued interval is never empty");
+            u128::from(s.end - s.start)
+        })
+        .sum();
+    assert_eq!(queued, qw.sum(), "queued time vs histogram");
+    // Sojourn covers every admitted transaction and dominates its own
+    // queueing component.
+    assert_eq!(report.sojourn.count(), report.admitted());
+    assert!(report.sojourn.sum() >= qw.sum());
+    // The critical-path identities survive the laggard vote-barrier
+    // model: one stall sample per counted message round, and stalls
+    // plus force barriers (zero here — no WAL) reproduce the critical
+    // path exactly.
+    let stall = report.exec.two_pc_stall();
+    assert_eq!(stall.count(), report.exec.commit_rounds(), "stall samples");
+    assert_eq!(
+        stall.sum() + u128::from(report.exec.wal_force_time().ps()),
+        u128::from(report.exec.critical_path_time().ps()),
+        "stall sum + force time vs critical path"
+    );
+    // Tracing stays a read-only lens on the open loop too.
+    let (untraced, ur, none) = run(false);
+    assert!(none.is_empty(), "disabled sink must stay empty");
+    assert_eq!(report.committed_ts, ur.committed_ts);
+    assert_eq!(report.rejected_per_shard, ur.rejected_per_shard);
+    assert_services_match(&service, &untraced, "open loop traced vs untraced");
 }
 
 #[test]

@@ -28,8 +28,14 @@ pub enum Phase {
     /// home shard.
     Routed,
     /// Interval: time spent queued behind earlier work on the home
-    /// shard (serial local queues, or behind earlier wave items).
+    /// shard (serial local queues, behind earlier wave items, or — in
+    /// the open-loop front-end — the real inbox wait from arrival to
+    /// wave dispatch).
     Queued,
+    /// Instant: an open-loop arrival turned away at a full home-shard
+    /// inbox (admission control; counted backpressure, never a silent
+    /// drop).
+    Rejected,
     /// Interval: one engine-level prepare attempt that succeeded
     /// (applies to one-phase local commits too — they ride the same
     /// prepare machinery).
@@ -87,6 +93,7 @@ impl Phase {
         match self {
             Phase::Routed => "routed",
             Phase::Queued => "queued",
+            Phase::Rejected => "rejected",
             Phase::Prepare => "prepare",
             Phase::PrepareAbort => "prepare_abort",
             Phase::WavePrepare => "wave_prepare",
@@ -111,6 +118,7 @@ impl Phase {
         matches!(
             self,
             Phase::Routed
+                | Phase::Rejected
                 | Phase::Commit
                 | Phase::Abort
                 | Phase::Retry
@@ -138,7 +146,7 @@ impl Phase {
             | Phase::Retry
             | Phase::Barrier => 1,
             Phase::DefragStall | Phase::GcPass => 2,
-            Phase::Queued => 3,
+            Phase::Queued | Phase::Rejected => 3,
             Phase::WalAppend | Phase::GroupCommit | Phase::Recovery => 4,
         }
     }
